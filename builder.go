@@ -1,0 +1,156 @@
+package apq
+
+import (
+	"repro/internal/algebra"
+	"repro/internal/plan"
+)
+
+// Pred is a range predicate over int64 column values.
+type Pred = algebra.Range
+
+// Predicate constructors.
+func Between(lo, hi int64) Pred  { return algebra.Between(lo, hi) }
+func HalfOpen(lo, hi int64) Pred { return algebra.HalfOpen(lo, hi) }
+func Eq(v int64) Pred            { return algebra.Eq(v) }
+func LessThan(hi int64) Pred     { return algebra.LessThan(hi) }
+func AtMost(hi int64) Pred       { return algebra.AtMost(hi) }
+func GreaterThan(lo int64) Pred  { return algebra.GreaterThan(lo) }
+func AtLeast(lo int64) Pred      { return algebra.AtLeast(lo) }
+
+// AggrFunc selects an aggregate function.
+type AggrFunc = algebra.AggrFunc
+
+// Aggregate functions.
+const (
+	Sum   = algebra.AggrSum
+	Count = algebra.AggrCount
+	Min   = algebra.AggrMin
+	Max   = algebra.AggrMax
+)
+
+// CalcOp selects a vectorized arithmetic operator.
+type CalcOp = algebra.CalcOp
+
+// Arithmetic operators.
+const (
+	Add = algebra.CalcAdd
+	Sub = algebra.CalcSub
+	Mul = algebra.CalcMul
+	Div = algebra.CalcDiv
+)
+
+// Var names an intermediate value inside a QueryBuilder.
+type Var = plan.VarID
+
+// QueryBuilder composes custom serial query plans against a DB's tables —
+// the public face of the engine's MAL-like plan DSL. Build serial plans
+// here; parallelization is the engine's job (adaptive, heuristic, or
+// work-stealing).
+type QueryBuilder struct {
+	b *plan.Builder
+}
+
+// NewQueryBuilder returns an empty builder.
+func NewQueryBuilder() *QueryBuilder { return &QueryBuilder{b: plan.NewBuilder()} }
+
+// Bind references table.column.
+func (qb *QueryBuilder) Bind(table, column string) Var { return qb.b.Bind(table, column) }
+
+// Const produces a scalar constant.
+func (qb *QueryBuilder) Const(v int64) Var { return qb.b.Const(v) }
+
+// Select scans col with pred, producing row ids.
+func (qb *QueryBuilder) Select(col Var, pred Pred) Var { return qb.b.Select(col, pred) }
+
+// SelectCand refines existing row ids against col with pred.
+func (qb *QueryBuilder) SelectCand(col, cands Var, pred Pred) Var {
+	return qb.b.SelectCand(col, cands, pred)
+}
+
+// LikeContains selects rows whose string contains pattern (anti inverts).
+func (qb *QueryBuilder) LikeContains(col Var, pattern string, anti bool) Var {
+	return qb.b.LikeSelect(col, pattern, algebra.LikeContains, anti)
+}
+
+// LikePrefix selects rows whose string starts with pattern (anti inverts).
+func (qb *QueryBuilder) LikePrefix(col Var, pattern string, anti bool) Var {
+	return qb.b.LikeSelect(col, pattern, algebra.LikePrefix, anti)
+}
+
+// Fetch reconstructs tuples: values of col at the given row ids.
+func (qb *QueryBuilder) Fetch(oids, col Var) Var { return qb.b.Fetch(oids, col) }
+
+// FetchPos gathers col values at zero-based positions.
+func (qb *QueryBuilder) FetchPos(pos, col Var) Var { return qb.b.FetchPos(pos, col) }
+
+// Join hash-joins outer against inner, returning (outer positions, inner
+// row ids).
+func (qb *QueryBuilder) Join(outer, inner Var) (Var, Var) { return qb.b.Join(outer, inner) }
+
+// Calc computes a op b element-wise.
+func (qb *QueryBuilder) Calc(op CalcOp, a, b Var) Var { return qb.b.CalcVV(op, a, b) }
+
+// CalcScalar computes (scalar op v) when scalarLeft, else (v op scalar).
+func (qb *QueryBuilder) CalcScalar(op CalcOp, scalar int64, v Var, scalarLeft bool) Var {
+	return qb.b.CalcSV(op, scalar, v, scalarLeft)
+}
+
+// CalcWithScalarVar computes (s op v) / (v op s) with s a scalar variable.
+func (qb *QueryBuilder) CalcWithScalarVar(op CalcOp, s, v Var, scalarLeft bool) Var {
+	return qb.b.CalcSSV(op, s, v, scalarLeft)
+}
+
+// CalcSS computes a op b over two scalars.
+func (qb *QueryBuilder) CalcSS(op CalcOp, a, b Var) Var { return qb.b.CalcSS(op, a, b) }
+
+// GroupBy groups a key column; GroupKeys and AggrGrouped consume it.
+func (qb *QueryBuilder) GroupBy(keys Var) Var { return qb.b.GroupBy(keys) }
+
+// GroupKeys extracts the distinct keys.
+func (qb *QueryBuilder) GroupKeys(groups Var) Var { return qb.b.GroupKeys(groups) }
+
+// AggrGrouped aggregates vals per group.
+func (qb *QueryBuilder) AggrGrouped(f AggrFunc, vals, groups Var) Var {
+	return qb.b.AggrGrouped(f, vals, groups)
+}
+
+// Aggr computes a scalar aggregate over a column.
+func (qb *QueryBuilder) Aggr(f AggrFunc, vals Var) Var { return qb.b.Aggr(f, vals) }
+
+// Sort sorts a column, returning (sorted values, permutation row ids).
+func (qb *QueryBuilder) Sort(col Var, desc bool) (Var, Var) { return qb.b.Sort(col, desc) }
+
+// Union combines values with the exchange union operator.
+func (qb *QueryBuilder) Union(vars ...Var) Var { return qb.b.Pack(vars...) }
+
+// Build finalizes the query with the given result values.
+func (qb *QueryBuilder) Build(results ...Var) *Query {
+	qb.b.Result(results...)
+	return &Query{p: qb.b.Plan()}
+}
+
+// SelectSumQuery is a convenience: sum(col) over rows of table where col is
+// within pred — the micro-benchmark shape used throughout the paper's
+// operator-level analysis (§4.1).
+func SelectSumQuery(table, column string, pred Pred) *Query {
+	qb := NewQueryBuilder()
+	c := qb.Bind(table, column)
+	s := qb.Select(c, pred)
+	f := qb.Fetch(s, c)
+	sum := qb.Aggr(Sum, f)
+	return qb.Build(sum)
+}
+
+// JoinSumQuery is a convenience micro-benchmark: join outer and inner key
+// columns, fetch the inner payload at the matches and sum it — the join
+// plan of the paper's §4.1.2 analysis.
+func JoinSumQuery(outerTable, outerCol, innerTable, innerCol, payloadCol string) *Query {
+	qb := NewQueryBuilder()
+	outer := qb.Bind(outerTable, outerCol)
+	inner := qb.Bind(innerTable, innerCol)
+	payload := qb.Bind(innerTable, payloadCol)
+	_, ro := qb.Join(outer, inner)
+	vals := qb.Fetch(ro, payload)
+	sum := qb.Aggr(Sum, vals)
+	return qb.Build(sum)
+}

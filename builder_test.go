@@ -1,0 +1,222 @@
+package apq
+
+import (
+	"testing"
+)
+
+func buildEventsDB(t *testing.T, n int) *DB {
+	t.Helper()
+	ts := make([]int64, n)
+	val := make([]int64, n)
+	kinds := make([]string, n)
+	names := []string{"read", "write", "delete"}
+	for i := 0; i < n; i++ {
+		ts[i] = int64(i)
+		val[i] = int64(i % 100)
+		kinds[i] = names[i%3]
+	}
+	db := NewDB()
+	if err := db.AddTable("events").
+		Int64("ts", ts).Int64("value", val).String("kind", kinds).Done(); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestQueryBuilderEndToEnd(t *testing.T) {
+	db := buildEventsDB(t, 9_000)
+	eng := NewEngine(db, TwoSocketMachine())
+
+	qb := NewQueryBuilder()
+	ts := qb.Bind("events", "ts")
+	val := qb.Bind("events", "value")
+	kind := qb.Bind("events", "kind")
+	sel := qb.Select(ts, Between(1000, 7999))
+	sel2 := qb.SelectCand(val, sel, AtLeast(10))
+	v := qb.Fetch(sel2, val)
+	k := qb.Fetch(sel2, kind)
+	g := qb.GroupBy(k)
+	sums := qb.AggrGrouped(Sum, v, g)
+	keys := qb.GroupKeys(g)
+	total := qb.Aggr(Sum, v)
+	q := qb.Build(keys, sums, total)
+
+	res, err := eng.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, err := res.StringColumn(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 {
+		t.Fatalf("groups = %v", names)
+	}
+	sumsCol, err := res.Column(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total0, err := res.Scalar(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var check int64
+	for _, s := range sumsCol {
+		check += s
+	}
+	if check != total0 {
+		t.Fatalf("group sums %d != total %d", check, total0)
+	}
+	// Ground truth.
+	var want int64
+	for i := 1000; i < 8000; i++ {
+		if int64(i%100) >= 10 {
+			want += int64(i % 100)
+		}
+	}
+	if total0 != want {
+		t.Fatalf("total = %d, want %d", total0, want)
+	}
+}
+
+func TestQueryBuilderLikeAndUnion(t *testing.T) {
+	db := buildEventsDB(t, 3_000)
+	eng := NewEngine(db, TwoSocketMachine())
+
+	qb := NewQueryBuilder()
+	kind := qb.Bind("events", "kind")
+	val := qb.Bind("events", "value")
+	reads := qb.LikePrefix(kind, "read", false)
+	writes := qb.LikePrefix(kind, "write", false)
+	both := qb.Union(reads, writes)
+	v := qb.Fetch(both, val)
+	cnt := qb.Aggr(Count, v)
+	q := qb.Build(cnt)
+
+	res, err := eng.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := res.Scalar(0)
+	if got != 2000 {
+		t.Fatalf("count = %d, want 2000", got)
+	}
+
+	// Anti-LIKE counts the complement.
+	qb2 := NewQueryBuilder()
+	kind2 := qb2.Bind("events", "kind")
+	val2 := qb2.Bind("events", "value")
+	notRead := qb2.LikeContains(kind2, "read", true)
+	v2 := qb2.Fetch(notRead, val2)
+	q2 := qb2.Build(qb2.Aggr(Count, v2))
+	res2, err := eng.Execute(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := res2.Scalar(0); got != 2000 {
+		t.Fatalf("anti count = %d, want 2000", got)
+	}
+}
+
+func TestQueryBuilderScalarArithmeticAndSort(t *testing.T) {
+	db := buildEventsDB(t, 2_000)
+	eng := NewEngine(db, TwoSocketMachine())
+
+	qb := NewQueryBuilder()
+	val := qb.Bind("events", "value")
+	sum := qb.Aggr(Sum, val)
+	cnt := qb.Aggr(Count, val)
+	avg := qb.CalcSS(Div, sum, cnt)
+	scaled := qb.CalcScalar(Mul, 3, val, true)
+	deltas := qb.CalcWithScalarVar(Sub, avg, scaled, true)
+	sorted, _ := qb.Sort(deltas, false)
+	mn := qb.Aggr(Min, sorted)
+	mx := qb.Aggr(Max, sorted)
+	q := qb.Build(avg, mn, mx)
+
+	res, err := eng.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avgV, _ := res.Scalar(0)
+	mnV, _ := res.Scalar(1)
+	mxV, _ := res.Scalar(2)
+	if avgV != 49 { // mean of 0..99 floored
+		t.Fatalf("avg = %d", avgV)
+	}
+	if mnV != avgV-3*99 || mxV != avgV {
+		t.Fatalf("min/max = %d/%d", mnV, mxV)
+	}
+}
+
+func TestSelectSumAndJoinSumHelpers(t *testing.T) {
+	db := buildEventsDB(t, 5_000)
+	eng := NewEngine(db, TwoSocketMachine())
+	q := SelectSumQuery("events", "value", AtLeast(90))
+	res, err := eng.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := res.Scalar(0)
+	want := int64(5_000 / 100 * (90 + 91 + 92 + 93 + 94 + 95 + 96 + 97 + 98 + 99))
+	if got != want {
+		t.Fatalf("select-sum = %d, want %d", got, want)
+	}
+
+	// JoinSumQuery over a tiny dimension.
+	dim := NewDB()
+	if err := dim.AddTable("d").
+		Int64("k", []int64{0, 1, 2}).Int64("v", []int64{10, 20, 30}).Done(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dim.AddTable("f").
+		Int64("k", []int64{2, 1, 1, 0}).Done(); err != nil {
+		t.Fatal(err)
+	}
+	eng2 := NewEngine(dim, TwoSocketMachine())
+	jq := JoinSumQuery("f", "k", "d", "k", "v")
+	res2, err := eng2.Execute(jq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := res2.Scalar(0); got != 30+20+20+10 {
+		t.Fatalf("join-sum = %d", got)
+	}
+}
+
+func TestBuilderQueriesSurviveAdaptation(t *testing.T) {
+	db := buildEventsDB(t, 120_000)
+	eng := NewEngine(db, TwoSocketMachine())
+	q := SelectSumQuery("events", "value", AtLeast(50))
+	sess := eng.NewAdaptiveSession(q,
+		WithConvergenceConfig(DefaultConvergenceConfig(8)),
+		WithResultVerification())
+	rep, err := sess.Converge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Speedup() < 1.5 {
+		t.Fatalf("speedup = %.2f", rep.Speedup())
+	}
+}
+
+func TestPredicateConstructors(t *testing.T) {
+	cases := []struct {
+		p    Pred
+		v    int64
+		want bool
+	}{
+		{Between(1, 3), 3, true},
+		{HalfOpen(1, 3), 3, false},
+		{Eq(5), 5, true},
+		{LessThan(5), 5, false},
+		{AtMost(5), 5, true},
+		{GreaterThan(5), 5, false},
+		{AtLeast(5), 5, true},
+	}
+	for i, c := range cases {
+		if c.p.Matches(c.v) != c.want {
+			t.Fatalf("case %d wrong", i)
+		}
+	}
+}

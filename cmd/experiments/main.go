@@ -1,0 +1,112 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section on the simulated machines.
+//
+// Usage:
+//
+//	go run ./cmd/experiments            # everything, quick preset
+//	go run ./cmd/experiments -full      # larger data, full convergence budget
+//	go run ./cmd/experiments -only fig12,table5
+//
+// Experiment ids: table1 table2 table3 table4 table5 fig1 fig8 fig11 fig12
+// fig13 fig14 fig15 fig16 fig17 fig18 (table5 includes figures 19/20).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+type runner struct {
+	id  string
+	run func(experiments.Scale) (fmt.Stringer, error)
+}
+
+// tableResult adapts *experiments.Table to fmt.Stringer.
+type tableResult struct{ t *experiments.Table }
+
+func (r tableResult) String() string { return r.t.Format() }
+
+type table5Result struct{ r *experiments.Table5Result }
+
+func (r table5Result) String() string {
+	return r.r.Table.Format() + "\n" + r.r.APTomograph + "\n" + r.r.HPTomograph
+}
+
+func wrap(f func(experiments.Scale) (*experiments.Table, error)) func(experiments.Scale) (fmt.Stringer, error) {
+	return func(s experiments.Scale) (fmt.Stringer, error) {
+		t, err := f(s)
+		if err != nil {
+			return nil, err
+		}
+		return tableResult{t}, nil
+	}
+}
+
+func main() {
+	full := flag.Bool("full", false, "use the larger, paper-shaped preset")
+	only := flag.String("only", "", "comma-separated experiment ids (default: all)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	all := []runner{
+		{"table1", wrap(experiments.Table1)},
+		{"table4", wrap(experiments.Table4)},
+		{"fig1", wrap(experiments.Figure1)},
+		{"fig8", wrap(experiments.Figure8)},
+		{"fig11", wrap(experiments.Figure11)},
+		{"fig12", wrap(experiments.Figure12)},
+		{"fig13", wrap(experiments.Figure13)},
+		{"fig14", wrap(experiments.Figure14)},
+		{"table2", wrap(experiments.Table2)},
+		{"fig15", wrap(experiments.Figure15)},
+		{"table3", wrap(experiments.Table3)},
+		{"fig16", wrap(experiments.Figure16)},
+		{"fig17", wrap(experiments.Figure17)},
+		{"fig18", wrap(experiments.Figure18)},
+		{"table5", func(s experiments.Scale) (fmt.Stringer, error) {
+			r, err := experiments.Table5(s)
+			if err != nil {
+				return nil, err
+			}
+			return table5Result{r}, nil
+		}},
+	}
+
+	if *list {
+		for _, r := range all {
+			fmt.Println(r.id)
+		}
+		return
+	}
+
+	scale := experiments.Quick()
+	if *full {
+		scale = experiments.Full()
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	for _, r := range all {
+		if len(want) > 0 && !want[r.id] {
+			continue
+		}
+		start := time.Now()
+		res, err := r.run(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("--- %s (%s preset, %.1fs wall) ---\n%s\n", r.id, scale.Name,
+			time.Since(start).Seconds(), res)
+	}
+}

@@ -1,0 +1,70 @@
+package apq_test
+
+import (
+	"fmt"
+
+	apq "repro"
+)
+
+// Example demonstrates the core adaptive-parallelization loop: a cached
+// query is re-invoked, each invocation parallelizing its most expensive
+// operator, until the convergence algorithm halts and the global-minimum
+// plan is identified. Everything — data generation, the simulated machine,
+// the adaptation — is deterministic, so this output is stable.
+func Example() {
+	db := apq.LoadTPCH(1, 42)
+	eng := apq.NewEngine(db, apq.TwoSocketMachine())
+
+	q := apq.TPCHQuery(6)
+	serial, err := eng.Execute(q)
+	if err != nil {
+		panic(err)
+	}
+	rev, _ := serial.Scalar(0)
+
+	sess := eng.NewAdaptiveSession(q,
+		apq.WithConvergenceConfig(apq.DefaultConvergenceConfig(8)),
+		apq.WithResultVerification())
+	report, err := sess.Converge()
+	if err != nil {
+		panic(err)
+	}
+	again, err := eng.Execute(sess.BestQuery())
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("revenue stable: %v\n", apq.ResultsEqual(serial, again))
+	fmt.Printf("revenue positive: %v\n", rev > 0)
+	fmt.Printf("parallel plan found: %v\n", sess.BestQuery().MaxDOP() > 1)
+	fmt.Printf("faster than serial: %v\n", report.Speedup() > 1)
+	// Output:
+	// revenue stable: true
+	// revenue positive: true
+	// parallel plan found: true
+	// faster than serial: true
+}
+
+// ExampleEngine_HeuristicPlan contrasts the static baseline with an
+// adaptive plan on the same query: both must agree on results while using
+// very different numbers of operators (the paper's Table 5).
+func ExampleEngine_HeuristicPlan() {
+	db := apq.LoadTPCH(1, 42)
+	eng := apq.NewEngine(db, apq.TwoSocketMachine())
+	q := apq.TPCHQuery(14)
+
+	serial, _ := eng.Execute(q)
+	hp, err := eng.HeuristicPlan(q, 0)
+	if err != nil {
+		panic(err)
+	}
+	hpRes, _ := eng.Execute(hp)
+
+	fmt.Printf("results agree: %v\n", apq.ResultsEqual(serial, hpRes))
+	fmt.Printf("static DOP: %d\n", hp.MaxDOP())
+	fmt.Printf("more selects than serial: %v\n", hp.Stats().Selects > q.Stats().Selects)
+	// Output:
+	// results agree: true
+	// static DOP: 32
+	// more selects than serial: true
+}

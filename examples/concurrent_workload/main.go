@@ -1,0 +1,73 @@
+// Concurrent workload (the §4.2.3 / Figure 16 study): many clients replay a
+// TPC-H mix. Heuristic plans over-partition and thrash under contention;
+// adaptive plans use fewer cores per query and degrade more gracefully; the
+// Vectorwise-style comparator's admission control serializes late clients.
+//
+// Run with: go run ./examples/concurrent_workload
+package main
+
+import (
+	"fmt"
+	"log"
+
+	apq "repro"
+)
+
+const (
+	clients = 16
+	repeats = 3
+)
+
+func main() {
+	db := apq.LoadTPCH(1, 13)
+	queries := []int{6, 14, 4}
+
+	// Converge adaptive plans once per query (queries are cached and
+	// re-invoked in real deployments; adaptation has already happened).
+	apMix := make([]*apq.Query, 0, len(queries))
+	hpMix := make([]*apq.Query, 0, len(queries))
+	vwMix := make([]*apq.Query, 0, len(queries))
+	prep := apq.NewEngine(db, apq.TwoSocketMachine())
+	for _, n := range queries {
+		q := apq.TPCHQuery(n)
+		sess := prep.NewAdaptiveSession(q,
+			apq.WithConvergenceConfig(apq.DefaultConvergenceConfig(16)))
+		if _, err := sess.Converge(); err != nil {
+			log.Fatal(err)
+		}
+		apMix = append(apMix, sess.BestQuery())
+
+		hp, err := prep.HeuristicPlan(q, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		hpMix = append(hpMix, hp)
+
+		vw, err := prep.VectorwisePlan(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		vwMix = append(vwMix, vw)
+	}
+
+	run := func(label string, mix []*apq.Query, vw bool) {
+		eng := apq.NewEngine(db, apq.TwoSocketMachine())
+		res, err := eng.RunConcurrent(clients, mix, apq.ConcurrentOptions{
+			Repeats: repeats, Seed: 5, Vectorwise: vw,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s mean %8.2f ms   median %8.2f ms   p95 %8.2f ms   total %8.2f ms\n",
+			label, res.Overall.Mean()/1e6, res.Overall.Median()/1e6,
+			res.Overall.Percentile(95)/1e6, res.MakespanNs/1e6)
+	}
+
+	fmt.Printf("%d clients × %d queries each, mix = TPC-H %v\n\n", clients, repeats, queries)
+	run("heuristic (32 parts)", hpMix, false)
+	run("adaptive (converged)", apMix, false)
+	run("vectorwise comparator", vwMix, true)
+
+	fmt.Println("\nAdaptive plans' lower multi-core utilization leaves spare resources")
+	fmt.Println("that improve response times under concurrency (paper §4.2.5).")
+}

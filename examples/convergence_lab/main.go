@@ -1,0 +1,81 @@
+// Convergence lab (the Figure 11 study): watch the convergence algorithm
+// navigate minima, plateaus, up-hills and noise peaks while adapting a join
+// plan in a noisy environment.
+//
+// Run with: go run ./examples/convergence_lab
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	apq "repro"
+)
+
+func main() {
+	// A join micro-benchmark: large outer key column against a small inner
+	// whose hash table fits the (scaled) shared L3 cache.
+	db := apq.NewDB()
+	const outerRows = 2_500_000
+	const innerRows = 20_000
+	outer := make([]int64, outerRows)
+	inner := make([]int64, innerRows)
+	payload := make([]int64, innerRows)
+	for i := range outer {
+		outer[i] = int64(i*2654435761) % innerRows
+		if outer[i] < 0 {
+			outer[i] += innerRows
+		}
+	}
+	for i := range inner {
+		inner[i] = int64(i)
+		payload[i] = int64(i) * 3
+	}
+	if err := db.AddTable("big").Int64("k", outer).Done(); err != nil {
+		log.Fatal(err)
+	}
+	if err := db.AddTable("small").Int64("k", inner).Int64("v", payload).Done(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Enable the OS-noise model so the trace shows interference peaks
+	// (§3.3.3) that the algorithm must forgive.
+	eng := apq.NewEngine(db, apq.TwoSocketMachine(),
+		apq.WithNoise(apq.DefaultNoise()), apq.WithSeed(2024))
+
+	q := apq.JoinSumQuery("big", "k", "small", "k", "v")
+	sess := eng.NewAdaptiveSession(q,
+		apq.WithConvergenceConfig(apq.DefaultConvergenceConfig(16)))
+	rep, err := sess.Converge()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// ASCII rendition of Figure 11: execution time per run.
+	max := 0.0
+	for _, t := range rep.History {
+		if t > max {
+			max = t
+		}
+	}
+	outliers := map[int]bool{}
+	for _, r := range rep.Outliers {
+		outliers[r] = true
+	}
+	fmt.Println("adaptive join convergence (execution time per run):")
+	for i, t := range rep.History {
+		bar := int(t / max * 64)
+		marks := ""
+		if i == rep.GMERun {
+			marks = " <- global minimum"
+		}
+		if outliers[i] {
+			marks += " (noise peak, forgiven)"
+		}
+		fmt.Printf("run %3d %9.2f ms |%s%s\n", i, t/1e6, strings.Repeat("#", bar), marks)
+	}
+	fmt.Printf("\nconverged after %d runs; GME %.2f ms at run %d; speedup %.2fx; DOP %d\n",
+		rep.TotalRuns, rep.GMENs/1e6, rep.GMERun, rep.Speedup(), sess.BestQuery().MaxDOP())
+	fmt.Printf("noise peaks forgiven: %v\n", rep.Outliers)
+}

@@ -1,0 +1,71 @@
+// Quickstart: load a TPC-H database, run a query serially, then let
+// adaptive parallelization converge on a near-optimal parallel plan and
+// compare.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	apq "repro"
+)
+
+func main() {
+	// A TPC-H database at scale factor 2 (≈120k lineitem rows at the
+	// library's 1/100 scale) on the paper's 2-socket 32-thread machine.
+	db := apq.LoadTPCH(2, 42)
+	eng := apq.NewEngine(db, apq.TwoSocketMachine())
+
+	// TPC-H Q6: the paper's "simple" query — a predicate-only lineitem
+	// scan with a scalar aggregate.
+	q := apq.TPCHQuery(6)
+	serial, err := eng.Execute(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum, _ := serial.Scalar(0)
+	fmt.Printf("Q6 serial:    revenue = %d, time = %.3f ms, utilization = %.1f%%\n",
+		sum, serial.MakespanNs()/1e6, serial.Utilization()*100)
+
+	// Adaptive parallelization: re-invoke the query; each run parallelizes
+	// the most expensive operator until the convergence algorithm halts.
+	sess := eng.NewAdaptiveSession(q, apq.WithResultVerification())
+	report, err := sess.Converge()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Q6 adaptive:  GME = %.3f ms at run %d of %d, speedup = %.2fx\n",
+		report.GMENs/1e6, report.GMERun, report.TotalRuns, report.Speedup())
+
+	best := sess.BestQuery()
+	fmt.Printf("best plan:    DOP = %d, %d instructions (%d selects, %d packs)\n",
+		best.MaxDOP(), best.Stats().Instrs, best.Stats().Selects, best.Stats().Packs)
+
+	// The converged plan produces identical results.
+	again, err := eng.Execute(best)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !apq.ResultsEqual(serial, again) {
+		log.Fatal("adaptive plan diverged from serial results")
+	}
+	fmt.Println("results:      adaptive plan matches the serial plan")
+
+	// A condensed convergence trace (execution time per run).
+	fmt.Println("\nconvergence trace (ms per run):")
+	for i, t := range report.History {
+		marker := ""
+		if i == report.GMERun {
+			marker = "  <- global minimum"
+		}
+		if i%5 == 0 || marker != "" {
+			fmt.Printf("  run %3d: %8.3f%s\n", i, t/1e6, marker)
+		}
+	}
+
+	// Per-core execution timeline of the converged plan (Figures 19/20).
+	fmt.Println("\ntomograph of the converged plan:")
+	fmt.Print(again.Tomograph(88))
+}

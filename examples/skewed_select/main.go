@@ -1,0 +1,95 @@
+// Skewed select (the Figure 12 scenario): a column whose second half holds
+// sequential clusters of identical values makes static equi-range partitions
+// suffer execution skew — some partitions produce far more output than
+// others. Adaptive parallelization keeps splitting whichever partition stays
+// expensive; a work-stealing-style configuration fights the skew with many
+// small partitions instead.
+//
+// Run with: go run ./examples/skewed_select
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	apq "repro"
+)
+
+const rows = 2_000_000
+
+// buildSkewedDB lays out the Figure 13 distribution: random tuples in the
+// first half, clusters of identical (predicate-matching) tuples covering
+// skewPct percent of the column in the second half.
+func buildSkewedDB(skewPct int) *apq.DB {
+	rng := rand.New(rand.NewSource(99))
+	vals := make([]int64, rows)
+	clusterRows := rows * skewPct / 100
+	for i := range vals {
+		if i >= rows/2 && i < rows/2+clusterRows {
+			vals[i] = 7 // matched by the predicate below
+		} else {
+			vals[i] = int64(rng.Intn(1_000_000)) + 1_000_000
+		}
+	}
+	db := apq.NewDB()
+	if err := db.AddTable("skewed").Int64("v", vals).Done(); err != nil {
+		log.Fatal(err)
+	}
+	return db
+}
+
+func main() {
+	// 8 worker threads, as in the paper's experiment.
+	machine := apq.TwoSocketMachine()
+	machine.PhysCoresPerSocket = 4
+	machine.SMT = 1
+
+	fmt.Println("skew%   static 8 parts   static 128 parts (steal)   adaptive dynamic parts")
+	for _, skew := range []int{10, 20, 30, 40, 50} {
+		db := buildSkewedDB(skew)
+		q := apq.SelectSumQuery("skewed", "v", apq.AtMost(100))
+
+		// Static 8 partitions on 8 threads.
+		eng1 := apq.NewEngine(db, machine)
+		st8, err := eng1.HeuristicPlan(q, 8)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r8, err := eng1.Execute(st8)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Static 128 partitions on 8 threads (work-stealing style).
+		eng2 := apq.NewEngine(db, machine)
+		ws, err := eng2.WorkStealingPlan(q, 128)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rws, err := eng2.Execute(ws)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Adaptive: dynamically sized partitions.
+		eng3 := apq.NewEngine(db, machine)
+		sess := eng3.NewAdaptiveSession(q,
+			apq.WithConvergenceConfig(apq.DefaultConvergenceConfig(8)))
+		rep, err := sess.Converge()
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%4d   %10.2f ms   %17.2f ms   %15.2f ms (DOP %d)\n",
+			skew, r8.MakespanNs()/1e6, rws.MakespanNs()/1e6,
+			rep.GMENs/1e6, sess.BestQuery().MaxDOP())
+
+		if !apq.ResultsEqual(r8, rws) {
+			log.Fatal("static and work-stealing plans disagree")
+		}
+	}
+	fmt.Println("\nDynamically sized partitions absorb the execution skew that static")
+	fmt.Println("equi-range partitions suffer from, and stay competitive with the")
+	fmt.Println("many-small-partitions work-stealing configuration (paper §4.1.1).")
+}

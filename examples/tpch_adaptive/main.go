@@ -1,0 +1,71 @@
+// TPC-H Q14, adaptive vs heuristic (the Table 5 / Figures 19-20 study):
+// both parallelizations produce identical results, but the adaptive plan
+// uses far fewer operators and much less of the machine, leaving headroom
+// for concurrent work.
+//
+// Run with: go run ./examples/tpch_adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	apq "repro"
+)
+
+func main() {
+	db := apq.LoadTPCH(2, 7)
+	eng := apq.NewEngine(db, apq.TwoSocketMachine())
+	q := apq.TPCHQuery(14)
+
+	serial, err := eng.Execute(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Heuristic parallelization: 32 partitions (the machine's threads),
+	// every parallelizable operator cloned.
+	hp, err := eng.HeuristicPlan(q, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hpRes, err := eng.Execute(hp)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Adaptive parallelization: converge on execution feedback.
+	sess := eng.NewAdaptiveSession(q, apq.WithResultVerification())
+	rep, err := sess.Converge()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ap := sess.BestQuery()
+	apRes, err := eng.Execute(ap)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if !apq.ResultsEqual(serial, hpRes) || !apq.ResultsEqual(serial, apRes) {
+		log.Fatal("parallel plans diverged from the serial plan")
+	}
+
+	fmt.Println("TPC-H Q14 plan statistics (compare paper Table 5):")
+	fmt.Printf("%-28s %10s %10s\n", "", "adaptive", "heuristic")
+	aps, hps := ap.Stats(), hp.Stats()
+	fmt.Printf("%-28s %10d %10d\n", "# select operators", aps.Selects, hps.Selects)
+	fmt.Printf("%-28s %10d %10d\n", "# join operators", aps.Joins, hps.Joins)
+	fmt.Printf("%-28s %10d %10d\n", "# instructions", aps.Instrs, hps.Instrs)
+	fmt.Printf("%-28s %10d %10d\n", "max degree of parallelism", aps.MaxDOP, hps.MaxDOP)
+	fmt.Printf("%-28s %9.1f%% %9.1f%%\n", "multi-core utilization",
+		apRes.Utilization()*100, hpRes.Utilization()*100)
+	fmt.Printf("%-28s %8.2fms %8.2fms   (serial %.2f ms)\n", "response time",
+		apRes.MakespanNs()/1e6, hpRes.MakespanNs()/1e6, serial.MakespanNs()/1e6)
+	fmt.Printf("\nadaptive converged in %d runs; global minimum at run %d\n",
+		rep.TotalRuns, rep.GMERun)
+
+	fmt.Println("\nadaptive tomograph (Figure 19 analogue):")
+	fmt.Print(apRes.Tomograph(88))
+	fmt.Println("\nheuristic tomograph (Figure 20 analogue):")
+	fmt.Print(hpRes.Tomograph(88))
+}

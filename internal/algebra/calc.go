@@ -1,0 +1,103 @@
+package algebra
+
+import (
+	"fmt"
+
+	"repro/internal/storage"
+	"repro/internal/vec"
+)
+
+// CalcOp enumerates vectorized arithmetic operators (MonetDB's batcalc.*).
+type CalcOp int
+
+const (
+	// CalcAdd computes a + b.
+	CalcAdd CalcOp = iota
+	// CalcSub computes a - b.
+	CalcSub
+	// CalcMul computes a * b.
+	CalcMul
+	// CalcDiv computes a / b (integer division; division by zero yields 0,
+	// the nil-as-zero convention our fixed-point plans rely on).
+	CalcDiv
+)
+
+func (op CalcOp) String() string {
+	switch op {
+	case CalcAdd:
+		return "+"
+	case CalcSub:
+		return "-"
+	case CalcMul:
+		return "*"
+	case CalcDiv:
+		return "/"
+	}
+	return fmt.Sprintf("calc(%d)", int(op))
+}
+
+func (op CalcOp) apply(a, b int64) int64 {
+	switch op {
+	case CalcAdd:
+		return a + b
+	case CalcSub:
+		return a - b
+	case CalcMul:
+		return a * b
+	case CalcDiv:
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	}
+	panic("algebra: unknown calc op")
+}
+
+// CalcVV applies op element-wise over two equally long column views and
+// materializes the result with a fresh zero-based head.
+func CalcVV(op CalcOp, a, b *storage.Column) (*storage.Column, Work) {
+	av, bv := a.Values(), b.Values()
+	if len(av) != len(bv) {
+		panic(fmt.Sprintf("algebra: CalcVV length mismatch %d vs %d (%s %s %s)", len(av), len(bv), a.Name(), op, b.Name()))
+	}
+	out := make([]int64, len(av))
+	for i := range av {
+		out[i] = op.apply(av[i], bv[i])
+	}
+	w := Work{
+		BytesSeqRead:  a.Bytes() + b.Bytes(),
+		BytesWritten:  int64(len(out)) * 8,
+		TuplesIn:      int64(len(av)) * 2,
+		TuplesOut:     int64(len(out)),
+		MemClaimBytes: int64(len(out)) * 8,
+	}
+	// The result is positionally aligned with its inputs, so it inherits
+	// the view's head sequence: a partitioned calc over a column slice
+	// stays aligned on the base column (§2.3).
+	return storage.NewColumn(fmt.Sprintf("(%s%s%s)", a.Name(), op, b.Name()), a.Seq(), vec.NewInt64(out)), w
+}
+
+// CalcSV applies op with a scalar operand: scalar op v[i] when scalarLeft,
+// v[i] op scalar otherwise.
+func CalcSV(op CalcOp, scalar int64, v *storage.Column, scalarLeft bool) (*storage.Column, Work) {
+	in := v.Values()
+	out := make([]int64, len(in))
+	if scalarLeft {
+		for i, x := range in {
+			out[i] = op.apply(scalar, x)
+		}
+	} else {
+		for i, x := range in {
+			out[i] = op.apply(x, scalar)
+		}
+	}
+	w := Work{
+		BytesSeqRead:  v.Bytes(),
+		BytesWritten:  int64(len(out)) * 8,
+		TuplesIn:      int64(len(in)),
+		TuplesOut:     int64(len(out)),
+		MemClaimBytes: int64(len(out)) * 8,
+	}
+	// Positionally aligned with the input view; see CalcVV.
+	return storage.NewColumn(fmt.Sprintf("(calc%s%s)", op, v.Name()), v.Seq(), vec.NewInt64(out)), w
+}

@@ -1,0 +1,179 @@
+package algebra
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/storage"
+	"repro/internal/vec"
+)
+
+func TestFetchTupleReconstruction(t *testing.T) {
+	// The Figure 10 example: row ids 2,4,5,7 probed into a column whose
+	// values at those oids are 12, 11, 20, 13.
+	target := storage.NewIntColumn("rt", []int64{0, 0, 12, 0, 11, 20, 0, 13})
+	out, w, dropped := Fetch([]int64{2, 4, 5, 7}, target)
+	if dropped != 0 {
+		t.Fatalf("dropped = %d", dropped)
+	}
+	want := []int64{12, 11, 20, 13}
+	for i, x := range want {
+		if out.Data().At(i) != x {
+			t.Fatalf("out[%d] = %d, want %d", i, out.Data().At(i), x)
+		}
+	}
+	if out.Seq() != 0 {
+		t.Fatal("fetched intermediate must have a fresh zero-based head")
+	}
+	if w.TuplesOut != 4 {
+		t.Fatalf("work = %+v", w)
+	}
+}
+
+func TestFetchAlignsMisalignedBoundaries(t *testing.T) {
+	// Figure 10's misalignment: LT holds row id 8 but RH covers [1,8).
+	target := storage.NewIntColumn("rt", make([]int64, 9)).View(1, 8)
+	_, _, dropped := Fetch([]int64{2, 4, 5, 7, 8}, target)
+	if dropped != 1 {
+		t.Fatalf("dropped = %d, want 1 (row id 8 outside [1,8))", dropped)
+	}
+}
+
+func TestFetchDictColumn(t *testing.T) {
+	d := vec.NewDict()
+	codes := []int64{d.Code("x"), d.Code("y"), d.Code("z")}
+	target := storage.NewColumn("s", 0, vec.NewDictCoded(codes, d))
+	out, _, _ := Fetch([]int64{2, 0}, target)
+	if out.Data().StringAt(0) != "z" || out.Data().StringAt(1) != "x" {
+		t.Fatalf("fetched strings: %q %q", out.Data().StringAt(0), out.Data().StringAt(1))
+	}
+}
+
+func TestFetchPositions(t *testing.T) {
+	c := storage.NewIntColumn("v", []int64{10, 20, 30})
+	out, _ := FetchPositions([]int64{2, 2, 0}, c)
+	if out.Data().At(0) != 30 || out.Data().At(1) != 30 || out.Data().At(2) != 10 {
+		t.Fatalf("FetchPositions = %v", out.Values())
+	}
+}
+
+// Property: fetch distributes over oid partitioning — fetching each oid
+// partition then packing equals fetching the packed oids.
+func TestFetchPartitionEquivalence(t *testing.T) {
+	f := func(raw []uint8, cutRaw uint8) bool {
+		target := storage.NewIntColumn("t", []int64{7, 13, 29, 31, 41, 53, 61, 71})
+		oids := make([]int64, len(raw))
+		for i, r := range raw {
+			oids[i] = int64(r % 8)
+		}
+		serial, _, _ := Fetch(oids, target)
+		cut := 0
+		if len(oids) > 0 {
+			cut = int(cutRaw) % (len(oids) + 1)
+		}
+		p1, _, _ := Fetch(oids[:cut], target)
+		p2, _, _ := Fetch(oids[cut:], target)
+		packed, _ := PackColumns([]*storage.Column{p1, p2})
+		return vec.Equal(packed.Data(), serial.Data())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortStableWithPermutation(t *testing.T) {
+	c := storage.NewIntColumn("v", []int64{3, 1, 3, 2}).View(0, 4)
+	sorted, perm, w := Sort(c, false)
+	wantVals := []int64{1, 2, 3, 3}
+	wantPerm := []int64{1, 3, 0, 2} // stable: first 3 (oid 0) before second (oid 2)
+	for i := range wantVals {
+		if sorted.Data().At(i) != wantVals[i] || perm[i] != wantPerm[i] {
+			t.Fatalf("sorted=%v perm=%v", sorted.Values(), perm)
+		}
+	}
+	if w.CompareOps == 0 {
+		t.Fatal("sort reported zero compare work")
+	}
+	desc, _, _ := Sort(c, true)
+	if desc.Data().At(0) != 3 || desc.Data().At(3) != 1 {
+		t.Fatalf("desc sort = %v", desc.Values())
+	}
+}
+
+// Property: partitioned sort + merge equals serial sort.
+func TestSortMergeEquivalence(t *testing.T) {
+	f := func(vals []int64, cutRaw uint8) bool {
+		c := storage.NewIntColumn("v", vals)
+		serial, _, _ := Sort(c, false)
+		cut := 0
+		if len(vals) > 0 {
+			cut = int(cutRaw) % (len(vals) + 1)
+		}
+		r1, _, _ := Sort(c.View(0, cut), false)
+		r2, _, _ := Sort(c.View(cut, len(vals)), false)
+		merged, _ := MergeSortedRuns([]*storage.Column{r1, r2}, false)
+		if merged.Len() != serial.Len() {
+			return false
+		}
+		for i := 0; i < merged.Len(); i++ {
+			if merged.Data().At(i) != serial.Data().At(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeSortedRunsDesc(t *testing.T) {
+	r1 := storage.NewIntColumn("a", []int64{9, 5, 1})
+	r2 := storage.NewIntColumn("b", []int64{8, 2})
+	merged, _ := MergeSortedRuns([]*storage.Column{r1, r2}, true)
+	want := []int64{9, 8, 5, 2, 1}
+	got := merged.Values()
+	if len(got) != len(want) {
+		t.Fatalf("merged = %v", got)
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] > got[j] }) {
+		t.Fatalf("not descending: %v", got)
+	}
+}
+
+func TestPackColumnsOrderAndWork(t *testing.T) {
+	a := storage.NewIntColumn("x", []int64{1, 2})
+	b := storage.NewIntColumn("x", []int64{3})
+	out, w := PackColumns([]*storage.Column{a, b})
+	if out.Len() != 3 || out.Data().At(2) != 3 {
+		t.Fatalf("packed = %v", out.Values())
+	}
+	if out.Seq() != 0 {
+		t.Fatal("packed column must have fresh head")
+	}
+	if w.BytesWritten != 24 {
+		t.Fatalf("work = %+v", w)
+	}
+}
+
+func TestPackScalars(t *testing.T) {
+	src := []int64{4, 5}
+	out, _ := PackScalars("partials", src)
+	src[0] = 99 // PackScalars must copy; partials may be reused by the caller
+	if out.Data().At(0) != 4 || out.Data().At(1) != 5 {
+		t.Fatalf("packed scalars = %v", out.Values())
+	}
+}
+
+func TestWorkAdd(t *testing.T) {
+	var w Work
+	w.Add(Work{BytesSeqRead: 10, FootprintBytes: 100, TuplesIn: 1})
+	w.Add(Work{BytesSeqRead: 5, FootprintBytes: 50, TuplesOut: 2, MemClaimBytes: 7})
+	if w.BytesSeqRead != 15 || w.TuplesIn != 1 || w.TuplesOut != 2 || w.MemClaimBytes != 7 {
+		t.Fatalf("accumulated = %+v", w)
+	}
+	if w.FootprintBytes != 100 {
+		t.Fatalf("footprint should take max, got %d", w.FootprintBytes)
+	}
+}

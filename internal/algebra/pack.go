@@ -1,0 +1,67 @@
+package algebra
+
+import (
+	"repro/internal/storage"
+	"repro/internal/vec"
+)
+
+// PackColumns is the exchange-union operator (MonetDB's mat.pack) over
+// materialized columns: it concatenates the partition outputs in argument
+// order into one column with a fresh dense head. Argument order must be
+// partition order; §2.3 shows why — the pack must "maintain the correct
+// ordering to avoid the incorrect results". Its cost is pure data movement,
+// which is why low-selectivity inputs make packs expensive and trigger the
+// medium mutation.
+func PackColumns(parts []*storage.Column) (*storage.Column, Work) {
+	vecs := make([]*vec.Vector, len(parts))
+	var tuplesIn int64
+	name := "pack"
+	for i, p := range parts {
+		vecs[i] = p.Data()
+		tuplesIn += int64(p.Len())
+		if i == 0 {
+			name = p.Name()
+		}
+	}
+	data := vec.Concat(vecs...)
+	w := Work{
+		BytesSeqRead:  tuplesIn * 8,
+		BytesWritten:  data.Bytes(),
+		TuplesIn:      tuplesIn,
+		TuplesOut:     int64(data.Len()),
+		MemClaimBytes: data.Bytes(),
+	}
+	return storage.NewColumn(name, 0, data), w
+}
+
+// PackOids concatenates partition oid vectors in partition order.
+func PackOids(parts [][]int64) ([]int64, Work) {
+	out := vec.ConcatInt64(parts...)
+	var tuplesIn int64
+	for _, p := range parts {
+		tuplesIn += int64(len(p))
+	}
+	w := Work{
+		BytesSeqRead:  tuplesIn * 8,
+		BytesWritten:  int64(len(out)) * 8,
+		TuplesIn:      tuplesIn,
+		TuplesOut:     int64(len(out)),
+		MemClaimBytes: int64(len(out)) * 8,
+	}
+	return out, w
+}
+
+// PackScalars packs partial scalar aggregates into a small column, the shape
+// MonetDB's Q14 plan uses (mat.pack of partial aggr.sum results, Figure 7).
+func PackScalars(name string, partials []int64) (*storage.Column, Work) {
+	out := make([]int64, len(partials))
+	copy(out, partials)
+	w := Work{
+		BytesSeqRead:  int64(len(partials)) * 8,
+		BytesWritten:  int64(len(out)) * 8,
+		TuplesIn:      int64(len(partials)),
+		TuplesOut:     int64(len(out)),
+		MemClaimBytes: int64(len(out)) * 8,
+	}
+	return storage.NewIntColumn(name, out), w
+}

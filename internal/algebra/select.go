@@ -1,0 +1,176 @@
+package algebra
+
+import (
+	"repro/internal/storage"
+)
+
+// Range is a one-sided or two-sided range predicate over int64 payloads.
+// Unbounded sides use the sentinel values NoLow / NoHigh.
+type Range struct {
+	Lo, Hi         int64
+	LoIncl, HiIncl bool
+}
+
+// Sentinels for unbounded range sides.
+const (
+	NoLow  = int64(-1) << 62
+	NoHigh = int64(1) << 62
+)
+
+// FullRange matches every value.
+func FullRange() Range { return Range{Lo: NoLow, Hi: NoHigh} }
+
+// Eq returns the point predicate value == v.
+func Eq(v int64) Range { return Range{Lo: v, Hi: v, LoIncl: true, HiIncl: true} }
+
+// Between returns the inclusive range [lo, hi].
+func Between(lo, hi int64) Range { return Range{Lo: lo, Hi: hi, LoIncl: true, HiIncl: true} }
+
+// HalfOpen returns the range [lo, hi).
+func HalfOpen(lo, hi int64) Range { return Range{Lo: lo, Hi: hi, LoIncl: true} }
+
+// LessThan returns value < hi.
+func LessThan(hi int64) Range { return Range{Lo: NoLow, Hi: hi} }
+
+// AtMost returns value <= hi.
+func AtMost(hi int64) Range { return Range{Lo: NoLow, Hi: hi, HiIncl: true} }
+
+// GreaterThan returns value > lo.
+func GreaterThan(lo int64) Range { return Range{Lo: lo, Hi: NoHigh} }
+
+// AtLeast returns value >= lo.
+func AtLeast(lo int64) Range { return Range{Lo: lo, Hi: NoHigh, LoIncl: true} }
+
+// Matches reports whether v satisfies the predicate.
+func (r Range) Matches(v int64) bool {
+	if r.Lo != NoLow {
+		if r.LoIncl {
+			if v < r.Lo {
+				return false
+			}
+		} else if v <= r.Lo {
+			return false
+		}
+	}
+	if r.Hi != NoHigh {
+		if r.HiIncl {
+			if v > r.Hi {
+				return false
+			}
+		} else if v >= r.Hi {
+			return false
+		}
+	}
+	return true
+}
+
+// Select scans the column view and returns the absolute head oids of
+// matching tuples in ascending order (MonetDB's algebra.uselect /
+// algebra.subselect). The oids are absolute so that partitioned selects over
+// sibling views concatenate into exactly the serial result.
+func Select(col *storage.Column, pred Range) ([]int64, Work) {
+	vals := col.Values()
+	seq := col.Seq()
+	out := make([]int64, 0, len(vals)/4+1)
+	for i, v := range vals {
+		if pred.Matches(v) {
+			out = append(out, seq+int64(i))
+		}
+	}
+	w := Work{
+		BytesSeqRead:  col.Bytes(),
+		BytesWritten:  int64(len(out)) * 8,
+		TuplesIn:      int64(len(vals)),
+		TuplesOut:     int64(len(out)),
+		MemClaimBytes: int64(cap(out)) * 8,
+	}
+	return out, w
+}
+
+// SelectWithCands refines an existing candidate oid list against the view:
+// the two-input filter-operator semantics the paper discusses in §2.2
+// ("accepts column and also a bit vector from another selection operator's
+// output"). Candidates outside the view's oid span are aligned away first
+// (§2.3) so partitioned refinement stays a valid access.
+func SelectWithCands(col *storage.Column, pred Range, cands []int64) ([]int64, Work, int) {
+	aligned, dropped := storage.AlignOids(cands, col.Seq(), col.EndSeq())
+	out := make([]int64, 0, len(aligned)/2+1)
+	for _, oid := range aligned {
+		if pred.Matches(col.ValueAtOid(oid)) {
+			out = append(out, oid)
+		}
+	}
+	w := Work{
+		BytesSeqRead:   int64(len(cands)) * 8,
+		BytesWritten:   int64(len(out)) * 8,
+		TuplesIn:       int64(len(cands)),
+		TuplesOut:      int64(len(out)),
+		FootprintBytes: col.Bytes(),
+		MemClaimBytes:  int64(cap(out)) * 8,
+	}
+	// Candidate lists from selects are ascending, so the driven accesses are
+	// a forward skip-scan — effectively sequential for the prefetcher.
+	// Unsorted candidates pay random-access cost instead.
+	if isAscending(aligned) {
+		w.BytesSeqRead += int64(len(aligned)) * 8
+	} else {
+		w.BytesRandRead += int64(len(aligned)) * 8
+	}
+	return out, w, dropped
+}
+
+// isAscending reports whether oids are in non-decreasing order, the access
+// pattern distinction the cost model uses (serial vs random access, §4.1).
+func isAscending(oids []int64) bool {
+	for i := 1; i < len(oids); i++ {
+		if oids[i] < oids[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// LikeKind selects the string-match flavour of SelectLike.
+type LikeKind int
+
+const (
+	// LikeContains matches LIKE '%pat%'.
+	LikeContains LikeKind = iota
+	// LikePrefix matches LIKE 'pat%'.
+	LikePrefix
+)
+
+// SelectLike scans a dictionary-coded column view and returns absolute head
+// oids whose string matches (or, with anti, does not match) the pattern. The
+// dictionary is matched once and the column scan tests code membership — the
+// standard columnar batstr.like evaluation.
+func SelectLike(col *storage.Column, pattern string, kind LikeKind, anti bool) ([]int64, Work) {
+	dict := col.Dict()
+	if dict == nil {
+		panic("algebra: SelectLike over a non-string column " + col.Name())
+	}
+	var member []bool
+	switch kind {
+	case LikePrefix:
+		member = dict.MatchPrefix(pattern)
+	default:
+		member = dict.MatchSubstring(pattern)
+	}
+	vals := col.Values()
+	seq := col.Seq()
+	out := make([]int64, 0, len(vals)/8+1)
+	for i, c := range vals {
+		if member[c] != anti {
+			out = append(out, seq+int64(i))
+		}
+	}
+	w := Work{
+		BytesSeqRead:   col.Bytes() + int64(dict.Len())*16, // codes + dictionary pass
+		BytesWritten:   int64(len(out)) * 8,
+		TuplesIn:       int64(len(vals)),
+		TuplesOut:      int64(len(out)),
+		FootprintBytes: int64(len(member)),
+		MemClaimBytes:  int64(cap(out))*8 + int64(len(member)),
+	}
+	return out, w
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/exec"
+	"repro/internal/plan"
+)
+
+// PlanCache implements the paper's plan-administration component (§2,
+// "Infrastructure components": "the plan administration policies to choose a
+// suitable plan from the plan history"). Real deployments re-issue the same
+// query templates with changing parameters; the cache keeps one adaptation
+// per template key, drives it forward on each invocation until converged,
+// and serves the global-minimum-execution plan afterwards — the paper's
+// "optimize once and execute many, adaptively" workflow (Figure 2).
+type PlanCache struct {
+	mu      sync.Mutex
+	eng     *exec.Engine
+	mcfg    MutationConfig
+	ccfg    ConvergenceConfig
+	entries map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	session *Session
+}
+
+// NewPlanCache creates a cache that adapts plans on eng.
+func NewPlanCache(eng *exec.Engine, mcfg MutationConfig, ccfg ConvergenceConfig) *PlanCache {
+	if ccfg.Cores == 0 {
+		ccfg = DefaultConvergenceConfig(eng.Machine().Config().LogicalCores())
+	}
+	return &PlanCache{
+		eng:     eng,
+		mcfg:    mcfg,
+		ccfg:    ccfg,
+		entries: map[string]*cacheEntry{},
+	}
+}
+
+// InvocationState reports how the cache served one invocation.
+type InvocationState int
+
+const (
+	// StateAdapting: the adaptation is still active; this invocation was an
+	// adaptive run and contributed execution feedback.
+	StateAdapting InvocationState = iota
+	// StateConverged: the adaptation has finished; the GME plan served this
+	// invocation.
+	StateConverged
+)
+
+func (s InvocationState) String() string {
+	if s == StateConverged {
+		return "converged"
+	}
+	return "adapting"
+}
+
+// Execute serves one invocation of the query template identified by key.
+// While the template's adaptation is active, the invocation IS an adaptive
+// run (executing the current plan and feeding the convergence algorithm —
+// exactly the paper's workflow where adaptation happens on the production
+// query stream, not offline). Once converged, the cached global-minimum
+// plan is executed directly.
+//
+// The serial plan builder is only invoked for the first call per key.
+func (c *PlanCache) Execute(key string, serial func() *plan.Plan) ([]exec.Value, *exec.Profile, InvocationState, error) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry{session: NewSession(c.eng, serial(), c.mcfg, c.ccfg)}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+
+	if !e.session.Done() {
+		if _, err := e.session.Step(); err != nil {
+			return nil, nil, StateAdapting, err
+		}
+		att := e.session.Attempts()
+		last := att[len(att)-1]
+		state := StateAdapting
+		if e.session.Done() {
+			state = StateConverged
+		}
+		return last.Results, last.Profile, state, nil
+	}
+	best := e.session.Report().BestPlan
+	vals, prof, err := c.eng.Execute(best)
+	return vals, prof, StateConverged, err
+}
+
+// Report returns the adaptation report for a cached template, or nil when
+// the key is unknown.
+func (c *PlanCache) Report(key string) *Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		return e.session.Report()
+	}
+	return nil
+}
+
+// Converged reports whether the template's adaptation has finished.
+func (c *PlanCache) Converged(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	return ok && e.session.Done()
+}
+
+// Keys returns the cached template keys.
+func (c *PlanCache) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.entries))
+	for k := range c.entries {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Evict removes a template's adaptation state (e.g. after data volume
+// changes invalidate the learned partitioning).
+func (c *PlanCache) Evict(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.entries, key)
+}

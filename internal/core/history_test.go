@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/exec"
+	"repro/internal/plan"
+)
+
+func TestPlanCacheAdaptsThenServesGME(t *testing.T) {
+	cat := testCatalog(200_000)
+	eng := exec.NewEngine(cat, testMachine(), cost.Default())
+	pc := NewPlanCache(eng, DefaultMutationConfig(), DefaultConvergenceConfig(4))
+
+	builds := 0
+	builder := func() *plan.Plan {
+		builds++
+		return selectPlan()
+	}
+
+	var firstResult []exec.Value
+	invocations := 0
+	for i := 0; i < 200; i++ {
+		vals, prof, state, err := pc.Execute("q6", builder)
+		if err != nil {
+			t.Fatal(err)
+		}
+		invocations++
+		if prof.Makespan() <= 0 {
+			t.Fatal("no makespan")
+		}
+		if i == 0 {
+			firstResult = vals
+		} else if !exec.ResultsEqual(firstResult, vals) {
+			t.Fatalf("invocation %d diverged", i)
+		}
+		if state == StateConverged && pc.Converged("q6") {
+			break
+		}
+	}
+	if !pc.Converged("q6") {
+		t.Fatalf("not converged after %d invocations", invocations)
+	}
+	if builds != 1 {
+		t.Fatalf("serial plan built %d times, want 1", builds)
+	}
+	rep := pc.Report("q6")
+	if rep == nil || rep.TotalRuns < 5 {
+		t.Fatalf("report = %+v", rep)
+	}
+
+	// Post-convergence invocations serve the GME plan (fast) and still
+	// return correct results.
+	vals, prof, state, err := pc.Execute("q6", builder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state != StateConverged {
+		t.Fatalf("state = %s", state)
+	}
+	if !exec.ResultsEqual(firstResult, vals) {
+		t.Fatal("converged plan diverged")
+	}
+	if prof.Makespan() >= rep.SerialNs {
+		t.Fatalf("converged plan (%f) not faster than serial (%f)", prof.Makespan(), rep.SerialNs)
+	}
+	if builds != 1 {
+		t.Fatal("builder re-invoked after caching")
+	}
+}
+
+func TestPlanCacheIndependentTemplates(t *testing.T) {
+	cat := testCatalog(30_000)
+	eng := exec.NewEngine(cat, testMachine(), cost.Default())
+	pc := NewPlanCache(eng, DefaultMutationConfig(), DefaultConvergenceConfig(2))
+
+	if _, _, _, err := pc.Execute("a", selectPlan); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := pc.Execute("b", joinPlan); err != nil {
+		t.Fatal(err)
+	}
+	keys := pc.Keys()
+	if len(keys) != 2 {
+		t.Fatalf("keys = %v", keys)
+	}
+	if pc.Report("a") == nil || pc.Report("b") == nil || pc.Report("ghost") != nil {
+		t.Fatal("reports wrong")
+	}
+	pc.Evict("a")
+	if pc.Report("a") != nil || pc.Converged("a") {
+		t.Fatal("evict failed")
+	}
+	if len(pc.Keys()) != 1 {
+		t.Fatal("evict did not shrink keys")
+	}
+}
+
+func TestInvocationStateString(t *testing.T) {
+	if StateAdapting.String() != "adapting" || StateConverged.String() != "converged" {
+		t.Fatal("state strings wrong")
+	}
+}
+
+func TestPlanCacheDefaultsCoresFromMachine(t *testing.T) {
+	cat := testCatalog(1_000)
+	eng := exec.NewEngine(cat, testMachine(), cost.Default())
+	pc := NewPlanCache(eng, DefaultMutationConfig(), ConvergenceConfig{})
+	if pc.ccfg.Cores != testMachine().LogicalCores() {
+		t.Fatalf("cores = %d", pc.ccfg.Cores)
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/exec"
+	"repro/internal/plan"
+)
+
+// MutationConfig tunes the plan-mutation policy.
+type MutationConfig struct {
+	// PackInputThreshold suppresses exchange-union removal above this input
+	// count (15 in the paper's implementation, §2.3).
+	PackInputThreshold int
+	// MinPartTuples stops splitting operators whose input is already small;
+	// partitioning a few hundred tuples only buys dispatch overhead.
+	MinPartTuples int64
+	// SplitFactor is how many clones replace an expensive operator per
+	// mutation. The paper uses 2 ("a single new operator per invocation")
+	// and discusses larger factors as the lever for faster convergence
+	// (§4.3, "How to lower number of convergence runs?").
+	SplitFactor int
+}
+
+// DefaultMutationConfig mirrors the paper's implementation choices, with
+// one calibration difference: the exchange-union input threshold defaults
+// to 33 (logical cores + 1) rather than the paper's 15 MAL parameters. Our
+// packs gain exactly one input per binary split, so 15 would freeze plans
+// at DOP 15 with the expensive pack still on the critical path; 33 lets the
+// medium mutation fire all the way to machine-wide DOP while still capping
+// plan explosion. Set PackInputThreshold to 15 to reproduce the paper's
+// suppression behaviour exactly.
+func DefaultMutationConfig() MutationConfig {
+	return MutationConfig{PackInputThreshold: 33, MinPartTuples: 2048, SplitFactor: 2}
+}
+
+// Mutation describes what a mutation step did.
+type Mutation struct {
+	Kind  MutationKind
+	Instr int         // index of the mutated instruction in the OLD plan
+	Op    plan.OpCode // opcode of the mutated instruction
+}
+
+// Mutator turns execution feedback into plan mutations.
+type Mutator struct {
+	Cfg MutationConfig
+}
+
+// NewMutator returns a mutator with cfg (zero fields replaced by defaults).
+func NewMutator(cfg MutationConfig) *Mutator {
+	def := DefaultMutationConfig()
+	if cfg.PackInputThreshold == 0 {
+		cfg.PackInputThreshold = def.PackInputThreshold
+	}
+	if cfg.MinPartTuples == 0 {
+		cfg.MinPartTuples = def.MinPartTuples
+	}
+	if cfg.SplitFactor < 2 {
+		cfg.SplitFactor = def.SplitFactor
+	}
+	return &Mutator{Cfg: cfg}
+}
+
+// MutateMostExpensive applies one adaptation step: it walks the plan's
+// operators from most to least expensive (per the profile) and applies the
+// first applicable mutation — parallelizing the expensive operator (§2.1's
+// guiding principle). When the most expensive operator is an exchange union
+// over more inputs than the threshold, the step is a deliberate no-op
+// (suppression): the plan stops growing, as in the paper, and the
+// convergence budget drains.
+//
+// The returned plan is fresh; p is never modified. A MutationNone result
+// with a nil error means no operator could be (or should be) mutated.
+func (m *Mutator) MutateMostExpensive(p *plan.Plan, prof *exec.Profile) (*plan.Plan, Mutation, error) {
+	type cand struct {
+		instr    int
+		dur      float64
+		tuplesIn int64
+	}
+	var cands []cand
+	for _, o := range prof.Ops {
+		cands = append(cands, cand{instr: o.Instr, dur: o.Duration(), tuplesIn: o.Work.TuplesIn})
+	}
+	sort.SliceStable(cands, func(a, b int) bool { return cands[a].dur > cands[b].dur })
+
+	for _, c := range cands {
+		if c.instr < 0 || c.instr >= len(p.Instrs) {
+			continue
+		}
+		in := p.Instrs[c.instr]
+		switch {
+		case in.Op == plan.OpPack:
+			np, err := RemovePack(p, c.instr, m.Cfg.PackInputThreshold)
+			if errors.Is(err, ErrSuppressed) {
+				// Pack growth capped: the pack stays the most expensive
+				// operator and adaptation stops changing the plan (§2.3).
+				return p, Mutation{Kind: MutationNone, Instr: c.instr, Op: in.Op}, nil
+			}
+			if errors.Is(err, errNotApplicable) {
+				continue
+			}
+			if err != nil {
+				return nil, Mutation{}, err
+			}
+			return np, Mutation{Kind: MutationMedium, Instr: c.instr, Op: in.Op}, nil
+
+		case plan.BasicPartitionable(in.Op) || plan.AdvancedPartitionable(in.Op):
+			if c.tuplesIn < 2*m.Cfg.MinPartTuples {
+				continue // too small to split profitably
+			}
+			np, kind, err := Parallelize(p, c.instr, m.Cfg.SplitFactor)
+			if errors.Is(err, errNotApplicable) {
+				continue
+			}
+			if err != nil {
+				return nil, Mutation{}, err
+			}
+			return np, Mutation{Kind: kind, Instr: c.instr, Op: in.Op}, nil
+		}
+	}
+	return p, Mutation{Kind: MutationNone, Instr: -1}, nil
+}

@@ -1,0 +1,980 @@
+// Package core implements the paper's contribution: adaptive
+// parallelization. It contains the three plan-mutation schemes of §2.1
+// (basic, medium, advanced), dynamic range partitioning with dyadic
+// boundaries (§2.3), the exchange-union input threshold that suppresses plan
+// explosion, the convergence algorithm of §3 (GME detection, ROI-driven
+// credit/debit budget, leaking debit, outlier peaks), and the adaptation
+// session that ties them to the execution engine.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/plan"
+)
+
+// MutationKind labels the mutation scheme applied (§2.1).
+type MutationKind int
+
+const (
+	// MutationNone: no mutation was possible; the plan is unchanged.
+	MutationNone MutationKind = iota
+	// MutationBasic: an expensive operator was cloned over a split range
+	// (Figure 3 / Figure 4).
+	MutationBasic
+	// MutationMedium: an expensive exchange union was removed and its
+	// inputs propagated to dataflow-dependent operators (Figure 5).
+	MutationMedium
+	// MutationAdvanced: a non-filtering operator (group-by, aggregate,
+	// sort) was parallelized with partials and a merge (Figure 6).
+	MutationAdvanced
+)
+
+func (k MutationKind) String() string {
+	switch k {
+	case MutationNone:
+		return "none"
+	case MutationBasic:
+		return "basic"
+	case MutationMedium:
+		return "medium"
+	case MutationAdvanced:
+		return "advanced"
+	}
+	return fmt.Sprintf("mutation(%d)", int(k))
+}
+
+// ErrSuppressed reports that a pack's removal was suppressed because its
+// input count crossed the threshold (§2.3, "Plan explosion"): the plan stops
+// growing and convergence is left to drain.
+var ErrSuppressed = errors.New("core: exchange union removal suppressed (input threshold)")
+
+// errNotApplicable reports a mutation that cannot apply at this instruction;
+// the mutator then tries the next most expensive operator.
+var errNotApplicable = errors.New("core: mutation not applicable")
+
+// kindOfPack returns the result kind a pack over args of kind k produces.
+func kindOfPack(k plan.Kind) plan.Kind {
+	if k == plan.KindOids {
+		return plan.KindOids
+	}
+	return plan.KindColumn
+}
+
+// rewriteCtx accumulates one mutation's edits over a cloned plan and commits
+// them in a single pass.
+type rewriteCtx struct {
+	p       *plan.Plan
+	removed map[*plan.Instr]bool
+	addend  []*plan.Instr
+	rewires map[plan.VarID]plan.VarID
+}
+
+func newRewrite(p *plan.Plan) *rewriteCtx {
+	return &rewriteCtx{p: p, removed: map[*plan.Instr]bool{}, rewires: map[plan.VarID]plan.VarID{}}
+}
+
+func (rw *rewriteCtx) remove(in *plan.Instr)         { rw.removed[in] = true }
+func (rw *rewriteCtx) add(in *plan.Instr)            { rw.addend = append(rw.addend, in) }
+func (rw *rewriteCtx) rewire(from, to plan.VarID)    { rw.rewires[from] = to }
+func (rw *rewriteCtx) newVar(k plan.Kind) plan.VarID { return rw.p.NewVar(k, "") }
+
+// commit assembles the final instruction list, applies variable rewires to
+// surviving and added instructions, and restores topological order.
+func (rw *rewriteCtx) commit() error {
+	out := make([]*plan.Instr, 0, len(rw.p.Instrs)+len(rw.addend))
+	for _, in := range rw.p.Instrs {
+		if !rw.removed[in] {
+			out = append(out, in)
+		}
+	}
+	out = append(out, rw.addend...)
+	if len(rw.rewires) > 0 {
+		for _, in := range out {
+			for i, a := range in.Args {
+				if to, ok := rw.rewires[a]; ok {
+					in.Args[i] = to
+				}
+			}
+		}
+	}
+	rw.p.Instrs = out
+	return rw.p.TopoSort()
+}
+
+// cloneOver creates nParts clones of t, each restricted to one sub-range of
+// t's current partition, with fresh result variables. The clones inherit
+// t's arguments (so join clones share the inner build, §2.1).
+func (rw *rewriteCtx) cloneOver(t *plan.Instr, parts []plan.Part, comment string) []*plan.Instr {
+	clones := make([]*plan.Instr, len(parts))
+	for i, part := range parts {
+		rets := make([]plan.VarID, len(t.Rets))
+		for j, r := range t.Rets {
+			rets[j] = rw.newVar(rw.p.KindOf(r))
+		}
+		clones[i] = &plan.Instr{
+			Op:      t.Op,
+			Args:    append([]plan.VarID(nil), t.Args...),
+			Rets:    rets,
+			Aux:     t.Aux,
+			Part:    part,
+			Comment: comment,
+		}
+		rw.add(clones[i])
+	}
+	return clones
+}
+
+// combineRet wires the ri-th results of the clones into every consumer of
+// the original result variable r:
+//
+//   - consumers that are packs get the clone results spliced in place of r,
+//     preserving partition order (the ordering invariant of §2.3);
+//   - other consumers are rewired to a new pack over the clone results —
+//     and, for scalar aggregates, to a merge over the packed partials
+//     (aggr → pack → mergeaggr, the Figure 7 shape), or to a sorted-run
+//     merge for sorts.
+//
+// origin is the instruction being replaced (its aux provides merge
+// semantics).
+func (rw *rewriteCtx) combineRet(origin *plan.Instr, r plan.VarID, ri int, clones []*plan.Instr) error {
+	cloneRets := make([]plan.VarID, len(clones))
+	for i, c := range clones {
+		cloneRets[i] = c.Rets[ri]
+	}
+	var packConsumers []*plan.Instr
+	needCombined := false
+	for _, in := range rw.p.Instrs {
+		if rw.removed[in] || in == origin {
+			continue
+		}
+		uses := false
+		for _, a := range in.Args {
+			if a == r {
+				uses = true
+				break
+			}
+		}
+		if !uses {
+			continue
+		}
+		if in.Op == plan.OpPack || in.Op == plan.OpMergeSorted {
+			packConsumers = append(packConsumers, in)
+		} else {
+			needCombined = true
+		}
+	}
+	// Splice into existing packs in place (partition order preserved).
+	for _, pk := range packConsumers {
+		newArgs := make([]plan.VarID, 0, len(pk.Args)+len(cloneRets)-1)
+		for _, a := range pk.Args {
+			if a == r {
+				newArgs = append(newArgs, cloneRets...)
+			} else {
+				newArgs = append(newArgs, a)
+			}
+		}
+		pk.Args = newArgs
+	}
+	if !needCombined {
+		return nil
+	}
+
+	retKind := rw.p.KindOf(r)
+	switch {
+	case origin.Op == plan.OpSort && ri == 0:
+		// Sorted runs must merge, not concatenate.
+		mv := rw.newVar(plan.KindColumn)
+		rw.add(&plan.Instr{Op: plan.OpMergeSorted, Args: cloneRets, Rets: []plan.VarID{mv},
+			Aux: origin.Aux, Part: plan.FullPart(), Comment: "merge of sorted runs"})
+		rw.rewire(r, mv)
+	case retKind == plan.KindScalar:
+		// Scalar aggregate partials: pack then merge (Figure 7's
+		// mat.pack + aggr.sum over partials).
+		aux, ok := origin.Aux.(plan.AggrAux)
+		if !ok {
+			return errNotApplicable
+		}
+		pv := rw.newVar(plan.KindColumn)
+		rw.add(&plan.Instr{Op: plan.OpPack, Args: cloneRets, Rets: []plan.VarID{pv},
+			Part: plan.FullPart(), Comment: "pack of partial aggregates"})
+		mv := rw.newVar(plan.KindScalar)
+		rw.add(&plan.Instr{Op: plan.OpMergeAggr, Args: []plan.VarID{pv}, Rets: []plan.VarID{mv},
+			Aux: aux, Part: plan.FullPart(), Comment: "merge of partial aggregates"})
+		rw.rewire(r, mv)
+	default:
+		pv := rw.newVar(kindOfPack(retKind))
+		rw.add(&plan.Instr{Op: plan.OpPack, Args: cloneRets, Rets: []plan.VarID{pv},
+			Part: plan.FullPart(), Comment: "exchange union"})
+		rw.rewire(r, pv)
+	}
+	return nil
+}
+
+// Parallelize applies the mutation appropriate for instruction idx of p,
+// splitting its partition into nParts sub-ranges, and returns the mutated
+// plan (p itself is never modified). Basic operators use the basic mutation;
+// scalar aggregates and sorts the partial+merge scheme; group-bys the full
+// advanced mutation. Packs must go through RemovePack instead.
+func Parallelize(p *plan.Plan, idx, nParts int) (*plan.Plan, MutationKind, error) {
+	if idx < 0 || idx >= len(p.Instrs) {
+		return nil, MutationNone, fmt.Errorf("core: instruction %d out of range", idx)
+	}
+	op := p.Instrs[idx].Op
+	switch {
+	case op == plan.OpGroupBy:
+		np, err := parallelizeGroupBy(p, idx, nParts)
+		if err != nil {
+			return nil, MutationNone, err
+		}
+		return np, MutationAdvanced, nil
+	case op == plan.OpAggr || op == plan.OpSort:
+		np, err := parallelizeBasic(p, idx, nParts)
+		if err != nil {
+			return nil, MutationNone, err
+		}
+		return np, MutationAdvanced, nil
+	case plan.BasicPartitionable(op):
+		np, err := parallelizeBasic(p, idx, nParts)
+		if err != nil {
+			return nil, MutationNone, err
+		}
+		return np, MutationBasic, nil
+	}
+	return nil, MutationNone, errNotApplicable
+}
+
+// parallelizeBasic is the basic mutation (Figure 3/4), also used for scalar
+// aggregates and sorts whose combining stage differs only in the combiner
+// operator emitted by combineRet.
+func parallelizeBasic(p *plan.Plan, idx, nParts int) (*plan.Plan, error) {
+	cp := p.Clone()
+	t := cp.Instrs[idx]
+	if t.Op == plan.OpSort {
+		// The permutation result of a parallelized sort is not
+		// reconstructible by concatenation; refuse if it is consumed.
+		if len(cp.Consumers(t.Rets[1])) > 0 {
+			return nil, errNotApplicable
+		}
+	}
+	rw := newRewrite(cp)
+	parts := t.Part.SplitN(nParts)
+	clones := rw.cloneOver(t, parts, fmt.Sprintf("clone of %s", t.Op))
+	rw.remove(t)
+	for ri, r := range t.Rets {
+		if t.Op == plan.OpSort && ri == 1 {
+			continue // permutation unconsumed, checked above
+		}
+		if err := rw.combineRet(t, r, ri, clones); err != nil {
+			return nil, err
+		}
+	}
+	if err := rw.commit(); err != nil {
+		return nil, err
+	}
+	return cp, nil
+}
+
+// parallelizeGroupBy is the advanced mutation for group-by (Figure 6): the
+// group-by and its dataflow-dependent aggregates are cloned over the key
+// partitions; per-partition keys and partial aggregates are packed; a
+// group-merge combines them. On re-application to an already-cloned
+// group-by the clone results are spliced into the existing packs and the
+// existing merge is reused.
+func parallelizeGroupBy(p *plan.Plan, idx, nParts int) (*plan.Plan, error) {
+	cp := p.Clone()
+	g := cp.Instrs[idx]
+	gOut := g.Rets[0]
+
+	// Collect and classify the group-by's dataflow-dependent operators.
+	var aggrs []*plan.Instr
+	var keyOps []*plan.Instr
+	for _, ci := range cp.Consumers(gOut) {
+		c := cp.Instrs[ci]
+		switch c.Op {
+		case plan.OpAggrGrouped:
+			aggrs = append(aggrs, c)
+		case plan.OpGroupKeys:
+			keyOps = append(keyOps, c)
+		default:
+			return nil, errNotApplicable
+		}
+	}
+	if len(aggrs) == 0 {
+		return nil, errNotApplicable
+	}
+	// The vals inputs of the dependent aggregates must be positionally
+	// co-partitioned with the keys; the builder guarantees both derive from
+	// the same candidate list. (AggrGrouped validates lengths at runtime.)
+
+	rw := newRewrite(cp)
+	parts := g.Part.SplitN(nParts)
+	gClones := rw.cloneOver(g, parts, "clone of groupby")
+	rw.remove(g)
+
+	// Clone each dependent aggregate per partition, co-partitioning its
+	// values input.
+	type aggrCombo struct {
+		origin *plan.Instr
+		clones []*plan.Instr
+	}
+	var combos []aggrCombo
+	for _, a := range aggrs {
+		clones := make([]*plan.Instr, len(parts))
+		for i := range parts {
+			rets := []plan.VarID{rw.newVar(plan.KindColumn)}
+			args := append([]plan.VarID(nil), a.Args...)
+			args[1] = gClones[i].Rets[0]
+			clones[i] = &plan.Instr{Op: plan.OpAggrGrouped, Args: args, Rets: rets,
+				Aux: a.Aux, Part: parts[i], Comment: "clone of aggrgrouped"}
+			rw.add(clones[i])
+		}
+		rw.remove(a)
+		combos = append(combos, aggrCombo{origin: a, clones: clones})
+	}
+	// Per-partition distinct keys.
+	kClones := make([]*plan.Instr, len(parts))
+	for i := range parts {
+		kClones[i] = &plan.Instr{Op: plan.OpGroupKeys,
+			Args: []plan.VarID{gClones[i].Rets[0]},
+			Rets: []plan.VarID{rw.newVar(plan.KindColumn)},
+			Part: plan.FullPart(), Comment: "clone of groupkeys"}
+		rw.add(kClones[i])
+	}
+	for _, k := range keyOps {
+		rw.remove(k)
+	}
+
+	// Existing downstream combiners? If the original aggregates fed packs
+	// (a previous advanced mutation), splice; otherwise build the pack +
+	// group-merge tail.
+	spliceIntoExistingPacks := func(r plan.VarID, cloneRets []plan.VarID) bool {
+		spliced := false
+		for _, in := range cp.Instrs {
+			if rw.removed[in] || in.Op != plan.OpPack {
+				continue
+			}
+			for _, a := range in.Args {
+				if a == r {
+					newArgs := make([]plan.VarID, 0, len(in.Args)+len(cloneRets)-1)
+					for _, a2 := range in.Args {
+						if a2 == r {
+							newArgs = append(newArgs, cloneRets...)
+						} else {
+							newArgs = append(newArgs, a2)
+						}
+					}
+					in.Args = newArgs
+					spliced = true
+					break
+				}
+			}
+		}
+		return spliced
+	}
+
+	retsOf := func(instrs []*plan.Instr) []plan.VarID {
+		out := make([]plan.VarID, len(instrs))
+		for i, in := range instrs {
+			out[i] = in.Rets[0]
+		}
+		return out
+	}
+
+	// Keys side.
+	var keysPackVar plan.VarID
+	keysPackNeeded := true
+	if len(keyOps) > 0 {
+		if spliceIntoExistingPacks(keyOps[0].Rets[0], retsOf(kClones)) {
+			keysPackNeeded = false
+		}
+	}
+	var firstMergeKeys plan.VarID = -1
+	if keysPackNeeded {
+		keysPackVar = rw.newVar(plan.KindColumn)
+		rw.add(&plan.Instr{Op: plan.OpPack, Args: retsOf(kClones), Rets: []plan.VarID{keysPackVar},
+			Part: plan.FullPart(), Comment: "pack of partial group keys"})
+	}
+
+	// Aggregate sides.
+	for _, combo := range combos {
+		r := combo.origin.Rets[0]
+		if spliceIntoExistingPacks(r, retsOf(combo.clones)) {
+			continue // existing merge downstream still applies
+		}
+		if !keysPackNeeded {
+			// Mixed state: keys already packed upstream but this aggregate
+			// was not — cannot happen with builder-produced plans.
+			return nil, errNotApplicable
+		}
+		aux, ok := combo.origin.Aux.(plan.AggrAux)
+		if !ok {
+			return nil, errNotApplicable
+		}
+		aggPack := rw.newVar(plan.KindColumn)
+		rw.add(&plan.Instr{Op: plan.OpPack, Args: retsOf(combo.clones), Rets: []plan.VarID{aggPack},
+			Part: plan.FullPart(), Comment: "pack of partial aggregates"})
+		mk := rw.newVar(plan.KindColumn)
+		ma := rw.newVar(plan.KindColumn)
+		rw.add(&plan.Instr{Op: plan.OpGroupMerge, Args: []plan.VarID{keysPackVar, aggPack},
+			Rets: []plan.VarID{mk, ma}, Aux: aux, Part: plan.FullPart(), Comment: "group merge"})
+		rw.rewire(r, ma)
+		if firstMergeKeys < 0 {
+			firstMergeKeys = mk
+		}
+	}
+	// Rewire key consumers to the merged keys.
+	for _, k := range keyOps {
+		if len(cp.Consumers(k.Rets[0])) == 0 {
+			continue
+		}
+		if keysPackNeeded {
+			if firstMergeKeys < 0 {
+				return nil, errNotApplicable
+			}
+			rw.rewire(k.Rets[0], firstMergeKeys)
+		}
+		// else: already spliced into the existing keys pack; the existing
+		// merge's output serves downstream consumers.
+	}
+
+	if err := rw.commit(); err != nil {
+		return nil, err
+	}
+	return cp, nil
+}
+
+// RemovePack is the medium mutation (Figure 5): the expensive exchange
+// union at idx is removed and its inputs are propagated to its
+// dataflow-dependent operators, which are "cloned to match the exchange
+// union operator's input" (§2.1). Unpartitioned consumers are cloned once
+// per input; a *family* of positionally partitioned consumer clones (from
+// earlier basic mutations over the packed value) is replaced wholesale by
+// per-input clones, its downstream packs rewired in partition order.
+// Removal is suppressed (ErrSuppressed) when the pack has more than
+// threshold inputs, capping plan explosion (§2.3).
+func RemovePack(p *plan.Plan, idx int, threshold int) (*plan.Plan, error) {
+	if idx < 0 || idx >= len(p.Instrs) || p.Instrs[idx].Op != plan.OpPack {
+		return nil, errNotApplicable
+	}
+	if threshold > 0 && len(p.Instrs[idx].Args) > threshold {
+		return nil, ErrSuppressed
+	}
+	cp := p.Clone()
+	u := cp.Instrs[idx]
+	inputs := u.Args
+	out := u.Rets[0]
+
+	consumers := cp.Consumers(out)
+	if len(consumers) == 0 {
+		return nil, errNotApplicable
+	}
+	for _, ci := range consumers {
+		c := cp.Instrs[ci]
+		if c.Op == plan.OpGroupBy {
+			// A pack feeding a (possibly partitioned) group-by subgraph is
+			// removed by re-cloning the whole group-by/aggregate/keys
+			// pattern per pack input.
+			return removePackIntoGroupBy(cp, u)
+		}
+		if c.Op == plan.OpAggrGrouped && c.Args[0] == out {
+			// The pack feeds a grouped aggregate as its VALUES input; the
+			// grouping itself hangs off a sibling pack. Remove the whole
+			// subgraph through the groups-side pack (which treats this one
+			// as a co-partitioned sibling).
+			gi := cp.Producer(c.Args[1])
+			if gi < 0 || cp.Instrs[gi].Op != plan.OpGroupBy {
+				return nil, errNotApplicable
+			}
+			si := cp.Producer(cp.Instrs[gi].Args[0])
+			if si < 0 || cp.Instrs[si].Op != plan.OpPack {
+				return nil, errNotApplicable
+			}
+			return removePackIntoGroupBy(cp, cp.Instrs[si])
+		}
+	}
+
+	// Group the consumers into families: sibling clones sharing opcode,
+	// aux and arguments whose partitions together cover the full packed
+	// range. An unpartitioned consumer is a family of one.
+	type famKey struct {
+		op   plan.OpCode
+		aux  any
+		args string
+	}
+	fams := map[famKey][]*plan.Instr{}
+	var famOrder []famKey
+	for _, ci := range consumers {
+		c := cp.Instrs[ci]
+		if c.Op == plan.OpPack {
+			continue // handled by flattening below
+		}
+		ok := c.Op == plan.OpAggr || plan.BasicPartitionable(c.Op)
+		if !ok {
+			return nil, errNotApplicable
+		}
+		// Propagation substitutes pack inputs for the packed variable, so
+		// the packed variable must cover the consumer's partitionable
+		// anchor set: a non-anchor reference (a fetch target, a join inner)
+		// would end up misaligned with the substituted partition. A second
+		// anchor fed by a *sibling* pack — one whose inputs are
+		// co-partitioned with ours, the multi-column dependency of §2.2 —
+		// is resolved pairwise: clone i receives input i of both packs.
+		anchors := map[int]bool{}
+		for _, ai := range plan.SliceArgs(c.Op) {
+			anchors[ai] = true
+		}
+		for ai, a := range c.Args {
+			switch {
+			case a == out && !anchors[ai]:
+				return nil, errNotApplicable
+			case a != out && anchors[ai]:
+				if findSiblingPack(cp, a, inputs) == nil {
+					return nil, errNotApplicable
+				}
+			}
+		}
+		k := famKey{op: c.Op, aux: c.Aux, args: fmt.Sprint(c.Args)}
+		if _, seen := fams[k]; !seen {
+			famOrder = append(famOrder, k)
+		}
+		fams[k] = append(fams[k], c)
+	}
+	for _, k := range famOrder {
+		if !partsCoverFull(fams[k]) {
+			return nil, errNotApplicable
+		}
+	}
+
+	rw := newRewrite(cp)
+	rw.remove(u)
+	// Flatten into consuming packs: splice the removed pack's inputs.
+	for _, ci := range consumers {
+		c := cp.Instrs[ci]
+		if c.Op != plan.OpPack {
+			continue
+		}
+		newArgs := make([]plan.VarID, 0, len(c.Args)+len(inputs)-1)
+		for _, a := range c.Args {
+			if a == out {
+				newArgs = append(newArgs, inputs...)
+			} else {
+				newArgs = append(newArgs, a)
+			}
+		}
+		c.Args = newArgs
+	}
+
+	var siblingPacks []*plan.Instr
+	for _, k := range famOrder {
+		members := fams[k]
+		proto := members[0]
+		// Resolve sibling packs feeding other anchors of this consumer.
+		siblings := map[plan.VarID]*plan.Instr{}
+		for _, ai := range plan.SliceArgs(proto.Op) {
+			if a := proto.Args[ai]; a != out {
+				w := findSiblingPack(cp, a, inputs)
+				if w == nil {
+					return nil, errNotApplicable
+				}
+				siblings[a] = w
+				siblingPacks = append(siblingPacks, w)
+			}
+		}
+		// Clone the consumer once per pack input, substituting the input
+		// for the packed variable (and the sibling pack's co-partitioned
+		// input for its variable) — this is where plans can explode (§2.3).
+		clones := make([]*plan.Instr, len(inputs))
+		for i, inVar := range inputs {
+			rets := make([]plan.VarID, len(proto.Rets))
+			for j, r := range proto.Rets {
+				rets[j] = rw.newVar(cp.KindOf(r))
+			}
+			args := append([]plan.VarID(nil), proto.Args...)
+			for ai, a := range args {
+				switch {
+				case a == out:
+					args[ai] = inVar
+				default:
+					if w, ok := siblings[a]; ok {
+						args[ai] = w.Args[i]
+					}
+				}
+			}
+			clones[i] = &plan.Instr{Op: proto.Op, Args: args, Rets: rets, Aux: proto.Aux,
+				Part: plan.FullPart(), Comment: fmt.Sprintf("propagated %s", proto.Op)}
+			rw.add(clones[i])
+		}
+		for _, m := range members {
+			rw.remove(m)
+		}
+		if len(members) == 1 {
+			for ri, r := range proto.Rets {
+				if err := rw.combineRet(proto, r, ri, clones); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		// Partitioned family: every member result must feed exactly one
+		// downstream pack, shared across the family for a given result
+		// index; the family's entries there are replaced, in order, by the
+		// new clone results.
+		if err := rw.replaceFamilyInPacks(members, clones); err != nil {
+			return nil, err
+		}
+	}
+	// Sibling packs whose only consumers were the propagated operators are
+	// now dead; drop them so they stop costing execution time.
+	for _, w := range siblingPacks {
+		alive := false
+		for _, in := range cp.Instrs {
+			if rw.removed[in] || in == w {
+				continue
+			}
+			for _, a := range in.Args {
+				if a == w.Rets[0] {
+					alive = true
+					break
+				}
+			}
+		}
+		if !alive {
+			rw.remove(w)
+		}
+	}
+	if err := rw.commit(); err != nil {
+		return nil, err
+	}
+	return cp, nil
+}
+
+// findSiblingPack returns the pack producing v when that pack's inputs are
+// co-partitioned one-to-one with the given inputs (same count, and each
+// pair of producing instructions shares its partition range and anchor
+// argument). Used to resolve multi-column propagation dependencies (§2.2).
+func findSiblingPack(p *plan.Plan, v plan.VarID, inputs []plan.VarID) *plan.Instr {
+	src := p.Producer(v)
+	if src < 0 {
+		return nil
+	}
+	w := p.Instrs[src]
+	if w.Op != plan.OpPack || len(w.Args) != len(inputs) {
+		return nil
+	}
+	for i := range inputs {
+		pa, pb := p.Producer(inputs[i]), p.Producer(w.Args[i])
+		if pa < 0 || pb < 0 {
+			return nil
+		}
+		ia, ib := p.Instrs[pa], p.Instrs[pb]
+		if ia.Part != ib.Part {
+			return nil
+		}
+		// Same anchor lineage: the first slice-arg variable must coincide
+		// so that positions align pairwise.
+		sa, sb := plan.SliceArgs(ia.Op), plan.SliceArgs(ib.Op)
+		if len(sa) > 0 && len(sb) > 0 {
+			if ia.Args[sa[0]] != ib.Args[sb[0]] {
+				return nil
+			}
+		}
+	}
+	return w
+}
+
+// partsCoverFull reports whether the members' partitions tile the full
+// [0,1) range exactly (no overlap, no gap). Members are checked in
+// partition order, which can differ from plan order once clones of clones
+// have been appended.
+func partsCoverFull(members []*plan.Instr) bool {
+	if len(members) == 1 {
+		return members[0].Part.IsFull()
+	}
+	ordered := append([]*plan.Instr(nil), members...)
+	sort.SliceStable(ordered, func(a, b int) bool {
+		return ordered[a].Part.Before(ordered[b].Part)
+	})
+	prev := ordered[0].Part
+	if prev.LoNum != 0 {
+		return false
+	}
+	for _, m := range ordered[1:] {
+		cur := m.Part
+		// prev.Hi == cur.Lo under cross-multiplication.
+		if prev.HiNum*cur.Den != cur.LoNum*prev.Den {
+			return false
+		}
+		prev = cur
+	}
+	return prev.HiNum == prev.Den
+}
+
+// replaceFamilyInPacks rewires the downstream packs of a partitioned
+// consumer family: for each result index, the members' results (which must
+// all feed one shared pack and nothing else) are replaced by the new clone
+// results in partition order.
+func (rw *rewriteCtx) replaceFamilyInPacks(members, clones []*plan.Instr) error {
+	for ri := range members[0].Rets {
+		memberRets := map[plan.VarID]bool{}
+		for _, m := range members {
+			memberRets[m.Rets[ri]] = true
+		}
+		cloneRets := make([]plan.VarID, len(clones))
+		for i, c := range clones {
+			cloneRets[i] = c.Rets[ri]
+		}
+		var target *plan.Instr
+		consumed := false
+		for _, in := range rw.p.Instrs {
+			if rw.removed[in] {
+				continue
+			}
+			uses := false
+			for _, a := range in.Args {
+				if memberRets[a] {
+					uses = true
+					break
+				}
+			}
+			if !uses {
+				continue
+			}
+			consumed = true
+			if in.Op != plan.OpPack || (target != nil && target != in) {
+				return errNotApplicable
+			}
+			target = in
+		}
+		if !consumed {
+			continue // dead result (e.g. unused join side)
+		}
+		newArgs := make([]plan.VarID, 0, len(target.Args)+len(cloneRets))
+		spliced := false
+		for _, a := range target.Args {
+			if memberRets[a] {
+				if !spliced {
+					newArgs = append(newArgs, cloneRets...)
+					spliced = true
+				}
+				continue
+			}
+			newArgs = append(newArgs, a)
+		}
+		target.Args = newArgs
+	}
+	return nil
+}
+
+// removePackIntoGroupBy removes an exchange union whose output feeds a
+// group-by subgraph: the group-by clones (and their dependent grouped
+// aggregates and key extractions) are re-cloned once per pack input, their
+// downstream partial packs rewired, and the pack (plus any sibling packs
+// carrying co-partitioned aggregate values) dropped. This is the medium
+// mutation flowing into the advanced pattern — the paper's "operator
+// parallelization occurs as a result of using the medium mutation, where the
+// operator is in the data flow dependent path of the expensive exchange
+// union operator" (§2.1).
+func removePackIntoGroupBy(cp *plan.Plan, u *plan.Instr) (*plan.Plan, error) {
+	inputs := u.Args
+	out := u.Rets[0]
+
+	// Classify consumers: group-by members and aggregates consuming the
+	// packed value directly as their values input.
+	var gMembers []*plan.Instr
+	for _, ci := range cp.Consumers(out) {
+		c := cp.Instrs[ci]
+		switch c.Op {
+		case plan.OpGroupBy:
+			if c.Args[0] != out {
+				return nil, errNotApplicable
+			}
+			gMembers = append(gMembers, c)
+		case plan.OpAggrGrouped:
+			// Handled through its group-by member below; it must consume
+			// the pack as its values input.
+			if c.Args[0] != out {
+				return nil, errNotApplicable
+			}
+		default:
+			return nil, errNotApplicable
+		}
+	}
+	if len(gMembers) == 0 || !partsCoverFull(gMembers) {
+		return nil, errNotApplicable
+	}
+
+	// Per member: collect its aggregates and key extractions; aggregates
+	// must align across members (same order, aux and values source).
+	type aggSlot struct {
+		aux  plan.AggrAux
+		vals plan.VarID // source values var: `out` or a sibling pack output
+		pack *plan.Instr
+	}
+	var slots []aggSlot
+	var keysPack *plan.Instr
+	memberAggRets := make([][]plan.VarID, 0, len(gMembers)) // per member, per slot
+	var memberKeyRets []plan.VarID
+
+	solePack := func(r plan.VarID) (*plan.Instr, error) {
+		cons := cp.Consumers(r)
+		if len(cons) != 1 || cp.Instrs[cons[0]].Op != plan.OpPack {
+			return nil, errNotApplicable
+		}
+		return cp.Instrs[cons[0]], nil
+	}
+
+	var removedMembers []*plan.Instr
+	for mi, g := range gMembers {
+		gRet := g.Rets[0]
+		var aggRets []plan.VarID
+		slot := 0
+		var keyRet plan.VarID = -1
+		for _, ci := range cp.Consumers(gRet) {
+			c := cp.Instrs[ci]
+			switch c.Op {
+			case plan.OpAggrGrouped:
+				aux, _ := c.Aux.(plan.AggrAux)
+				vals := c.Args[0]
+				if vals != out {
+					// values must come from a sibling pack, co-partitioned
+					// with ours.
+					if findSiblingPack(cp, vals, inputs) == nil {
+						return nil, errNotApplicable
+					}
+				}
+				if mi == 0 {
+					pk, err := solePack(c.Rets[0])
+					if err != nil {
+						return nil, err
+					}
+					slots = append(slots, aggSlot{aux: aux, vals: vals, pack: pk})
+				} else {
+					if slot >= len(slots) || slots[slot].aux != aux || slots[slot].vals != vals {
+						return nil, errNotApplicable
+					}
+				}
+				slot++
+				aggRets = append(aggRets, c.Rets[0])
+				removedMembers = append(removedMembers, c)
+			case plan.OpGroupKeys:
+				if keyRet >= 0 {
+					return nil, errNotApplicable
+				}
+				keyRet = c.Rets[0]
+				if mi == 0 {
+					pk, err := solePack(keyRet)
+					if err != nil {
+						return nil, err
+					}
+					keysPack = pk
+				}
+				removedMembers = append(removedMembers, c)
+			default:
+				return nil, errNotApplicable
+			}
+		}
+		if slot != len(slots) && mi > 0 {
+			return nil, errNotApplicable
+		}
+		if (keyRet >= 0) != (keysPack != nil) {
+			return nil, errNotApplicable
+		}
+		memberAggRets = append(memberAggRets, aggRets)
+		if keyRet >= 0 {
+			memberKeyRets = append(memberKeyRets, keyRet)
+		}
+		removedMembers = append(removedMembers, g)
+	}
+
+	rw := newRewrite(cp)
+	rw.remove(u)
+	for _, m := range removedMembers {
+		rw.remove(m)
+	}
+	// Build the per-input clones.
+	newAggRets := make([][]plan.VarID, len(slots)) // per slot, per input
+	var newKeyRets []plan.VarID
+	var siblings []*plan.Instr
+	for i, inVar := range inputs {
+		gv := rw.newVar(plan.KindGroups)
+		rw.add(&plan.Instr{Op: plan.OpGroupBy, Args: []plan.VarID{inVar},
+			Rets: []plan.VarID{gv}, Part: plan.FullPart(), Comment: "propagated groupby"})
+		for si, s := range slots {
+			valsArg := inVar
+			if s.vals != out {
+				w := findSiblingPack(cp, s.vals, inputs)
+				if w == nil {
+					return nil, errNotApplicable
+				}
+				valsArg = w.Args[i]
+				siblings = append(siblings, w)
+			}
+			av := rw.newVar(plan.KindColumn)
+			rw.add(&plan.Instr{Op: plan.OpAggrGrouped, Args: []plan.VarID{valsArg, gv},
+				Rets: []plan.VarID{av}, Aux: s.aux, Part: plan.FullPart(),
+				Comment: "propagated aggrgrouped"})
+			newAggRets[si] = append(newAggRets[si], av)
+		}
+		if keysPack != nil {
+			kv := rw.newVar(plan.KindColumn)
+			rw.add(&plan.Instr{Op: plan.OpGroupKeys, Args: []plan.VarID{gv},
+				Rets: []plan.VarID{kv}, Part: plan.FullPart(), Comment: "propagated groupkeys"})
+			newKeyRets = append(newKeyRets, kv)
+		}
+	}
+	// Rewire the partial packs: replace the member rets with the clone rets.
+	replace := func(pk *plan.Instr, oldRets map[plan.VarID]bool, newRets []plan.VarID) {
+		newArgs := make([]plan.VarID, 0, len(pk.Args)+len(newRets))
+		spliced := false
+		for _, a := range pk.Args {
+			if oldRets[a] {
+				if !spliced {
+					newArgs = append(newArgs, newRets...)
+					spliced = true
+				}
+				continue
+			}
+			newArgs = append(newArgs, a)
+		}
+		pk.Args = newArgs
+	}
+	for si, s := range slots {
+		old := map[plan.VarID]bool{}
+		for _, mrets := range memberAggRets {
+			old[mrets[si]] = true
+		}
+		replace(s.pack, old, newAggRets[si])
+	}
+	if keysPack != nil {
+		old := map[plan.VarID]bool{}
+		for _, r := range memberKeyRets {
+			old[r] = true
+		}
+		replace(keysPack, old, newKeyRets)
+	}
+	// Drop sibling packs that became dead.
+	for _, w := range siblings {
+		alive := false
+		for _, in := range cp.Instrs {
+			if rw.removed[in] || in == w {
+				continue
+			}
+			for _, a := range in.Args {
+				if a == w.Rets[0] {
+					alive = true
+					break
+				}
+			}
+		}
+		if !alive {
+			rw.remove(w)
+		}
+	}
+	if err := rw.commit(); err != nil {
+		return nil, err
+	}
+	return cp, nil
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/exec"
+	"repro/internal/plan"
+)
+
+// Attempt records one adaptive run: the plan executed, its measured
+// execution time, the full profile, and the mutation that produced the plan
+// (MutationNone for the serial 0th run).
+type Attempt struct {
+	Plan     *plan.Plan
+	ExecNs   float64
+	Profile  *exec.Profile
+	Mutation Mutation
+	Results  []exec.Value
+}
+
+// Report summarizes a converged adaptation (the quantities of Figure 18).
+type Report struct {
+	TotalRuns int
+	GMERun    int
+	GMENs     float64
+	SerialNs  float64
+	BestPlan  *plan.Plan
+	History   []float64
+	Outliers  []int
+	Attempts  []Attempt
+}
+
+// Speedup returns serial time over GME time.
+func (r *Report) Speedup() float64 {
+	if r.GMENs <= 0 {
+		return 1
+	}
+	return r.SerialNs / r.GMENs
+}
+
+// Session is one active adaptive-parallelization instance for a cached
+// query (§2's workflow): execute → profile → mutate the most expensive
+// operator → repeat, under control of the convergence algorithm.
+type Session struct {
+	eng  *exec.Engine
+	mut  *Mutator
+	conv *Convergence
+
+	cur      *plan.Plan
+	nextMut  Mutation
+	attempts []Attempt
+	best     *plan.Plan
+	done     bool
+
+	// VerifyResults, when set, compares every run's results against the
+	// serial run's — the central mutation-correctness invariant. Intended
+	// for tests and examples; adds only comparison cost.
+	VerifyResults bool
+}
+
+// NewSession starts an adaptation for serial plan p on eng. The convergence
+// configuration defaults to the engine machine's logical core count.
+func NewSession(eng *exec.Engine, p *plan.Plan, mcfg MutationConfig, ccfg ConvergenceConfig) *Session {
+	if ccfg.Cores == 0 {
+		ccfg = DefaultConvergenceConfig(eng.Machine().Config().LogicalCores())
+	}
+	return &Session{
+		eng:  eng,
+		mut:  NewMutator(mcfg),
+		conv: NewConvergence(ccfg),
+		cur:  p,
+	}
+}
+
+// Current returns the plan the next Step will execute.
+func (s *Session) Current() *plan.Plan { return s.cur }
+
+// Convergence exposes the convergence state.
+func (s *Session) Convergence() *Convergence { return s.conv }
+
+// Attempts returns the runs so far.
+func (s *Session) Attempts() []Attempt { return s.attempts }
+
+// Done reports whether the adaptation has converged.
+func (s *Session) Done() bool { return s.done }
+
+// Step executes the current plan once, feeds the execution time to the
+// convergence algorithm, and (if adaptation continues) mutates the plan for
+// the next invocation. It returns false when converged.
+func (s *Session) Step() (bool, error) {
+	if s.done {
+		return false, nil
+	}
+	results, prof, err := s.eng.Execute(s.cur)
+	if err != nil {
+		return false, fmt.Errorf("core: run %d: %w", s.conv.Run(), err)
+	}
+	execNs := prof.Makespan()
+	s.attempts = append(s.attempts, Attempt{
+		Plan: s.cur, ExecNs: execNs, Profile: prof, Mutation: s.nextMut, Results: results,
+	})
+	if s.VerifyResults && len(s.attempts) > 1 {
+		if !exec.ResultsEqual(s.attempts[0].Results, results) {
+			return false, fmt.Errorf("core: run %d: mutated plan results diverge from serial plan", s.conv.Run())
+		}
+	}
+	cont := s.conv.Observe(execNs)
+	if _, run, ok := s.conv.GME(); ok && run == len(s.attempts)-1 {
+		s.best = s.cur
+	}
+	if !cont {
+		s.done = true
+		return false, nil
+	}
+	np, mut, err := s.mut.MutateMostExpensive(s.cur, prof)
+	if err != nil {
+		return false, fmt.Errorf("core: run %d mutation: %w", s.conv.Run(), err)
+	}
+	s.cur = np
+	s.nextMut = mut
+	return true, nil
+}
+
+// Converge drives Step until the convergence algorithm halts (or the safety
+// cap of twice the theoretical upper bound trips, which would indicate a
+// bug) and returns the report.
+func (s *Session) Converge() (*Report, error) {
+	cap := 2*s.conv.UpperBoundRuns() + 4
+	for i := 0; i < cap; i++ {
+		cont, err := s.Step()
+		if err != nil {
+			return nil, err
+		}
+		if !cont {
+			return s.Report(), nil
+		}
+	}
+	return nil, fmt.Errorf("core: convergence did not halt within %d runs", cap)
+}
+
+// Report snapshots the adaptation outcome so far.
+func (s *Session) Report() *Report {
+	gme, gmeRun, ok := s.conv.GME()
+	serial := 0.0
+	if len(s.attempts) > 0 {
+		serial = s.attempts[0].ExecNs
+	}
+	best := s.best
+	if best == nil || !ok {
+		best = s.cur
+		gme, gmeRun = serial, 0
+	}
+	return &Report{
+		TotalRuns: len(s.attempts),
+		GMERun:    gmeRun,
+		GMENs:     gme,
+		SerialNs:  serial,
+		BestPlan:  best,
+		History:   s.conv.History(),
+		Outliers:  s.conv.Outliers(),
+		Attempts:  s.attempts,
+	}
+}

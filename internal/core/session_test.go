@@ -1,0 +1,151 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/exec"
+	"repro/internal/plan"
+)
+
+func TestSessionConvergesAndSpeedsUp(t *testing.T) {
+	cat := testCatalog(400_000)
+	eng := exec.NewEngine(cat, testMachine(), cost.Default())
+	s := NewSession(eng, selectPlan(), DefaultMutationConfig(),
+		DefaultConvergenceConfig(8))
+	s.VerifyResults = true
+
+	rep, err := s.Converge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalRuns < 9 { // cores+1 lower bound
+		t.Fatalf("TotalRuns = %d", rep.TotalRuns)
+	}
+	if rep.Speedup() < 2 {
+		t.Fatalf("speedup = %.2f, want meaningful parallel gain", rep.Speedup())
+	}
+	if rep.GMERun <= 0 || rep.GMERun >= rep.TotalRuns {
+		t.Fatalf("GMERun = %d of %d", rep.GMERun, rep.TotalRuns)
+	}
+	if rep.BestPlan.MaxDOP() < 2 {
+		t.Fatalf("best plan DOP = %d", rep.BestPlan.MaxDOP())
+	}
+	if len(rep.History) != rep.TotalRuns {
+		t.Fatalf("history len %d != runs %d", len(rep.History), rep.TotalRuns)
+	}
+	// The GME time matches the history entry at the GME run.
+	if rep.History[rep.GMERun] != rep.GMENs {
+		t.Fatalf("GME %f != history[%d] = %f", rep.GMENs, rep.GMERun, rep.History[rep.GMERun])
+	}
+}
+
+func TestSessionEachRunAddsAtMostOneOperatorSplit(t *testing.T) {
+	// §2: "plan parallelization introduces only a single new operator per
+	// invocation" — DOP grows by at most one per run for basic mutations.
+	cat := testCatalog(200_000)
+	eng := exec.NewEngine(cat, testMachine(), cost.Default())
+	s := NewSession(eng, selectPlan(), DefaultMutationConfig(),
+		DefaultConvergenceConfig(4))
+	prevDOP := 1
+	for i := 0; i < 10; i++ {
+		cont, err := s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dop := s.Current().MaxDOP()
+		if dop > prevDOP+1 {
+			t.Fatalf("run %d: DOP jumped %d → %d", i, prevDOP, dop)
+		}
+		prevDOP = dop
+		if !cont {
+			break
+		}
+	}
+}
+
+func TestSessionTinyInputStaysSerial(t *testing.T) {
+	// With input below MinPartTuples no mutation applies; convergence
+	// drains quickly and the plan stays serial.
+	cat := testCatalog(1_000)
+	eng := exec.NewEngine(cat, testMachine(), cost.Default())
+	s := NewSession(eng, selectPlan(), DefaultMutationConfig(),
+		DefaultConvergenceConfig(4))
+	rep, err := s.Converge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BestPlan.MaxDOP() != 1 {
+		t.Fatalf("tiny input was parallelized to DOP %d", rep.BestPlan.MaxDOP())
+	}
+}
+
+func TestSessionGroupByQueryConverges(t *testing.T) {
+	cat := testCatalog(300_000)
+	eng := exec.NewEngine(cat, testMachine(), cost.Default())
+	s := NewSession(eng, groupPlan(), DefaultMutationConfig(),
+		DefaultConvergenceConfig(8))
+	s.VerifyResults = true
+	rep, err := s.Converge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Speedup() < 1.5 {
+		t.Fatalf("groupby speedup = %.2f", rep.Speedup())
+	}
+	if rep.BestPlan.CountOps(plan.OpGroupMerge) == 0 {
+		t.Fatal("best plan has no group merge; advanced mutation never fired")
+	}
+}
+
+func TestSessionJoinQueryConverges(t *testing.T) {
+	cat := testCatalog(300_000)
+	eng := exec.NewEngine(cat, testMachine(), cost.Default())
+	s := NewSession(eng, joinPlan(), DefaultMutationConfig(),
+		DefaultConvergenceConfig(8))
+	s.VerifyResults = true
+	rep, err := s.Converge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Speedup() < 1.5 {
+		t.Fatalf("join speedup = %.2f", rep.Speedup())
+	}
+	if rep.BestPlan.CountOps(plan.OpJoin) < 2 {
+		t.Fatal("join never parallelized")
+	}
+}
+
+func TestSessionDOPBoundedByUsefulParallelism(t *testing.T) {
+	// The converged DOP should be in the vicinity of the core count, not
+	// exploded into hundreds of partitions (the AP-vs-HP contrast of
+	// Table 5).
+	cat := testCatalog(400_000)
+	eng := exec.NewEngine(cat, testMachine(), cost.Default())
+	s := NewSession(eng, selectPlan(), DefaultMutationConfig(),
+		DefaultConvergenceConfig(8))
+	rep, err := s.Converge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cores := eng.Machine().Config().LogicalCores()
+	if dop := rep.BestPlan.MaxDOP(); dop > 2*cores {
+		t.Fatalf("best DOP %d explodes past 2x cores (%d)", dop, cores)
+	}
+}
+
+func TestReportBeforeAnyGME(t *testing.T) {
+	cat := testCatalog(1_000)
+	eng := exec.NewEngine(cat, testMachine(), cost.Default())
+	s := NewSession(eng, selectPlan(), DefaultMutationConfig(), DefaultConvergenceConfig(2))
+	if _, err := s.Step(); err != nil {
+		t.Fatal(err)
+	}
+	rep := s.Report()
+	if rep.TotalRuns != 1 || rep.GMERun != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Speedup() != 1 {
+		t.Fatalf("speedup before adaptation = %f", rep.Speedup())
+	}
+}

@@ -1,0 +1,109 @@
+package cost
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/plan"
+)
+
+func TestScanCostScalesWithBytes(t *testing.T) {
+	p := Default()
+	small := p.ForWork(plan.OpSelect, algebra.Work{BytesSeqRead: 1 << 20}, 1<<20)
+	large := p.ForWork(plan.OpSelect, algebra.Work{BytesSeqRead: 4 << 20}, 1<<20)
+	if large.Ns <= small.Ns {
+		t.Fatal("scan cost does not grow with bytes")
+	}
+	wantDelta := 3 * float64(1<<20) * p.ScanNsPerByte
+	if got := large.Ns - small.Ns; got < wantDelta*0.99 || got > wantDelta*1.01 {
+		t.Fatalf("delta = %f, want ~%f", got, wantDelta)
+	}
+}
+
+func TestDispatchOverheadFloorsTinyOps(t *testing.T) {
+	p := Default()
+	e := p.ForWork(plan.OpConst, algebra.Work{}, 1<<20)
+	if e.Ns < p.DispatchNs {
+		t.Fatalf("tiny op cost %f below dispatch overhead %f", e.Ns, p.DispatchNs)
+	}
+}
+
+func TestL3ResidencyDiscountsProbes(t *testing.T) {
+	p := Default()
+	w := algebra.Work{HashProbes: 1_000_000, FootprintBytes: 100 << 10}
+	inCache := p.ForWork(plan.OpJoin, w, 200<<10)
+	spilled := p.ForWork(plan.OpJoin, w, 50<<10)
+	if inCache.Ns >= spilled.Ns {
+		t.Fatal("L3-resident probes not cheaper than spilled probes")
+	}
+	ratio := spilled.Ns / inCache.Ns
+	if ratio < 2 {
+		t.Fatalf("cache effect too weak: ratio %f", ratio)
+	}
+}
+
+func TestL3ResidencyDiscountsRandomAccess(t *testing.T) {
+	p := Default()
+	w := algebra.Work{BytesRandRead: 8 << 20, FootprintBytes: 100 << 10}
+	inCache := p.ForWork(plan.OpFetch, w, 200<<10)
+	spilled := p.ForWork(plan.OpFetch, w, 50<<10)
+	if inCache.Ns >= spilled.Ns {
+		t.Fatal("L3-resident random access not cheaper")
+	}
+}
+
+func TestMemFracBounds(t *testing.T) {
+	p := Default()
+	streaming := p.ForWork(plan.OpSelect, algebra.Work{BytesSeqRead: 100 << 20}, 1<<20)
+	if streaming.MemFrac < 0.8 {
+		t.Fatalf("pure streaming MemFrac = %f, want near 1", streaming.MemFrac)
+	}
+	compute := p.ForWork(plan.OpSort, algebra.Work{CompareOps: 1 << 24}, 1<<20)
+	if compute.MemFrac > 0.2 {
+		t.Fatalf("pure compute MemFrac = %f, want near 0", compute.MemFrac)
+	}
+	if streaming.MemFrac > 1 || compute.MemFrac < 0 {
+		t.Fatal("MemFrac out of [0,1]")
+	}
+}
+
+func TestHashBuildChargedOnlyWhenBuilt(t *testing.T) {
+	p := Default()
+	built := p.ForWork(plan.OpJoin, algebra.Work{HashBuilds: 1_000_000, HashProbes: 10}, 1<<20)
+	cached := p.ForWork(plan.OpJoin, algebra.Work{HashProbes: 10}, 1<<20)
+	if built.Ns <= cached.Ns {
+		t.Fatal("hash build not charged")
+	}
+}
+
+func TestVectorwiseExchangeOverheadOnPackOnly(t *testing.T) {
+	vw := Vectorwise()
+	def := Default()
+	w := algebra.Work{TuplesIn: 1_000_000, BytesSeqRead: 8_000_000, BytesWritten: 8_000_000}
+	vwPack := vw.ForWork(plan.OpPack, w, 1<<20)
+	defPack := def.ForWork(plan.OpPack, w, 1<<20)
+	if vwPack.Ns <= defPack.Ns {
+		t.Fatal("Vectorwise pack has no exchange overhead")
+	}
+	// Non-pack ops don't get the exchange surcharge.
+	vwSel := vw.ForWork(plan.OpSelect, w, 1<<20)
+	if vwSel.Ns >= vwPack.Ns {
+		t.Fatal("exchange overhead leaked into non-pack op")
+	}
+}
+
+func TestBytesReportedForBandwidthDemand(t *testing.T) {
+	p := Default()
+	// Working set fits L3: random accesses cost no memory traffic.
+	w := algebra.Work{BytesSeqRead: 1000, BytesWritten: 500, BytesRandRead: 256, FootprintBytes: 100}
+	e := p.ForWork(plan.OpSelect, w, 1<<20)
+	if e.Bytes != 2000 { // 1000 + 2*500
+		t.Fatalf("fitting Bytes = %f", e.Bytes)
+	}
+	// Spilled: each 8-byte random access pulls a 64-byte cache line.
+	w.FootprintBytes = 1 << 30
+	e = p.ForWork(plan.OpSelect, w, 1<<20)
+	if e.Bytes != 2000+32*64 {
+		t.Fatalf("spilled Bytes = %f", e.Bytes)
+	}
+}

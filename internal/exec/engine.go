@@ -1,0 +1,221 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/plan"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// Engine hosts plan executions on one simulated machine. Multiple plans may
+// be in flight simultaneously (the concurrent-workload experiments); they
+// compete for the machine's cores and memory bandwidth exactly as the
+// paper's concurrent clients do.
+type Engine struct {
+	cat    *storage.Catalog
+	mach   *sim.Machine
+	params cost.Params
+}
+
+// NewEngine creates an engine over the catalog with a fresh machine.
+func NewEngine(cat *storage.Catalog, machineCfg sim.Config, params cost.Params) *Engine {
+	return &Engine{cat: cat, mach: sim.NewMachine(machineCfg), params: params}
+}
+
+// Machine exposes the simulated machine (for workload drivers that inject
+// background load or need the virtual clock).
+func (e *Engine) Machine() *sim.Machine { return e.mach }
+
+// Catalog returns the engine's catalog.
+func (e *Engine) Catalog() *storage.Catalog { return e.cat }
+
+// Params returns the engine's cost parameters.
+func (e *Engine) Params() cost.Params { return e.params }
+
+// PlanJob is one in-flight plan execution.
+type PlanJob struct {
+	Plan    *plan.Plan
+	Profile *Profile
+	Err     error
+	Done    bool
+	// OnDone, when set, fires at virtual completion time.
+	OnDone func(*PlanJob)
+
+	eng        *Engine
+	simJob     *sim.Job
+	env        []Value
+	pending    []int // unresolved argument-producer count per instruction
+	waiters    map[int][]int
+	results    []Value
+	costParams cost.Params
+	completed  int
+}
+
+// JobOptions configures a plan submission.
+type JobOptions struct {
+	// MaxCores caps the job's simultaneous operator executions (admission
+	// control, §4.2.4); 0 = unlimited.
+	MaxCores int
+	// CostParams overrides the engine's cost model for this job (used by
+	// the Vectorwise comparator). Nil uses the engine default.
+	CostParams *cost.Params
+}
+
+// Submit schedules p for execution starting at the machine's current virtual
+// time. Call Engine.Run (or Machine().Run()) to drive the simulation.
+func (e *Engine) Submit(p *plan.Plan, opts JobOptions) (*PlanJob, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	j := &PlanJob{
+		Plan:    p,
+		Profile: &Profile{StartNs: e.mach.Now(), Machine: e.mach.Config()},
+		eng:     e,
+		simJob:  e.mach.NewJob(opts.MaxCores),
+		env:     make([]Value, p.NVars()),
+		pending: make([]int, len(p.Instrs)),
+		waiters: make(map[int][]int),
+	}
+	params := e.params
+	if opts.CostParams != nil {
+		params = *opts.CostParams
+	}
+	// Build the dependency graph: instruction i waits for the producers of
+	// its arguments.
+	producer := make(map[plan.VarID]int)
+	for i, in := range p.Instrs {
+		for _, r := range in.Rets {
+			producer[r] = i
+		}
+	}
+	for i, in := range p.Instrs {
+		seen := map[int]bool{}
+		for _, a := range in.Args {
+			if src, ok := producer[a]; ok && !seen[src] {
+				seen[src] = true
+				j.pending[i]++
+				j.waiters[src] = append(j.waiters[src], i)
+			}
+		}
+	}
+	j.costParams = params
+	for i := range p.Instrs {
+		if j.pending[i] == 0 {
+			j.submitInstr(i)
+		}
+	}
+	return j, nil
+}
+
+func (j *PlanJob) fail(err error) {
+	if j.Err == nil {
+		j.Err = err
+	}
+	j.Done = true
+	if j.OnDone != nil {
+		j.OnDone(j)
+		j.OnDone = nil
+	}
+}
+
+// submitInstr evaluates instruction idx immediately (results become visible
+// only at virtual completion) and schedules its virtual duration.
+func (j *PlanJob) submitInstr(idx int) {
+	if j.Err != nil {
+		return
+	}
+	in := j.Plan.Instrs[idx]
+	rets, w, everr := evalInstr(j.eng.cat, j.Plan, in, j.env)
+	if everr != nil {
+		j.fail(everr)
+		return
+	}
+	est := j.costParams.ForWork(in.Op, w, j.eng.mach.L3SharePerSocket())
+	home := 0
+	if sockets := j.eng.mach.Config().Sockets; sockets > 1 {
+		if !in.Part.IsFull() {
+			// Range partitions are spread across sockets by their position
+			// in the partitioning, mimicking the memory-mapped round-robin
+			// placement the paper observes minimal NUMA effects under [14].
+			home = int(uint64(sockets) * in.Part.LoNum / in.Part.Den)
+			if home >= sockets {
+				home = sockets - 1
+			}
+		} else {
+			// Propagated clones and serial operators: spread round-robin so
+			// no single socket's bandwidth serves the whole plan.
+			home = idx % sockets
+		}
+	}
+	task := &sim.Task{
+		Label:      in.Op.String(),
+		Job:        j.simJob,
+		BaseNs:     est.Ns,
+		MemFrac:    est.MemFrac,
+		Bytes:      est.Bytes,
+		HomeSocket: home,
+	}
+	var startNs float64
+	var coreID int
+	task.OnStart = func(now float64, core int) {
+		startNs = now
+		coreID = core
+	}
+	task.OnComplete = func(now float64, core int) {
+		j.Profile.Ops = append(j.Profile.Ops, OpExec{
+			Instr: idx, Op: in.Op, StartNs: startNs, EndNs: now, Core: coreID, Work: w,
+		})
+		for k, r := range in.Rets {
+			j.env[r] = rets[k]
+		}
+		if in.Op == plan.OpResult {
+			j.results = make([]Value, len(in.Args))
+			for k, a := range in.Args {
+				j.results[k] = j.env[a]
+			}
+		}
+		for _, dep := range j.waiters[idx] {
+			j.pending[dep]--
+			if j.pending[dep] == 0 {
+				j.submitInstr(dep)
+			}
+		}
+		j.completed++
+		if j.completed == len(j.Plan.Instrs) && !j.Done {
+			j.Profile.EndNs = now
+			j.Done = true
+			if j.OnDone != nil {
+				j.OnDone(j)
+				j.OnDone = nil
+			}
+		}
+	}
+	j.eng.mach.Submit(task)
+}
+
+// Results returns the values of the plan's result instruction (valid once
+// Done).
+func (j *PlanJob) Results() []Value { return j.results }
+
+// Run drives the machine until all submitted work drains.
+func (e *Engine) Run() { e.mach.Run() }
+
+// Execute runs p from the engine's current virtual time and returns its
+// results and profile. It drives the machine only until this plan
+// completes, so background jobs (concurrent load) may continue to exist.
+func (e *Engine) Execute(p *plan.Plan) ([]Value, *Profile, error) {
+	job, err := e.Submit(p, JobOptions{})
+	if err != nil {
+		return nil, nil, err
+	}
+	e.mach.RunUntil(func() bool { return job.Done })
+	if job.Err != nil {
+		return nil, nil, job.Err
+	}
+	if !job.Done {
+		return nil, nil, fmt.Errorf("exec: plan did not complete")
+	}
+	return job.Results(), job.Profile, nil
+}

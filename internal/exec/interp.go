@@ -1,0 +1,208 @@
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+// sliceValue restricts a value to the positional range [lo,hi) — the runtime
+// realization of an instruction's Part over its anchor input.
+func sliceValue(v Value, lo, hi int) Value {
+	switch v.Kind {
+	case plan.KindColumn:
+		return ColValue(v.Col.View(lo, hi))
+	case plan.KindOids:
+		return OidsValue(v.Oids[lo:hi])
+	}
+	panic(fmt.Sprintf("exec: cannot slice %s value", v.Kind))
+}
+
+// resolveArgs returns the instruction's argument values with its Part
+// applied to the slice-able anchors. All sliced anchors of one instruction
+// share the Part (they are positionally co-aligned by construction).
+func resolveArgs(p *plan.Plan, in *plan.Instr, env []Value) []Value {
+	args := make([]Value, len(in.Args))
+	for i, a := range in.Args {
+		args[i] = env[a]
+	}
+	if in.Part.IsFull() {
+		return args
+	}
+	for _, idx := range plan.SliceArgs(in.Op) {
+		n := args[idx].Len()
+		lo, hi := in.Part.Resolve(n)
+		args[idx] = sliceValue(args[idx], lo, hi)
+	}
+	return args
+}
+
+// reseqPartitioned aligns a partitioned tuple-reconstruction output with its
+// position space: a fetch clone over oid-list positions [lo,hi) produces the
+// values for those positions, so its head sequence starts at lo. This keeps
+// dynamically partitioned intermediates aligned on their conceptual full
+// column (§2.3) — selects over them emit global row ids, and packs of
+// sibling partitions reassemble the full intermediate exactly.
+func reseqPartitioned(col *storage.Column, in *plan.Instr, anchor Value) *storage.Column {
+	if in.Part.IsFull() {
+		return col
+	}
+	lo, _ := in.Part.Resolve(anchor.Len())
+	return storage.NewColumn(col.Name(), int64(lo), col.Data())
+}
+
+// evalInstr executes one instruction: it resolves arguments (applying the
+// partition range), dispatches to the algebra kernel, and returns the result
+// values aligned with in.Rets plus the Work performed.
+func evalInstr(cat *storage.Catalog, p *plan.Plan, in *plan.Instr, env []Value) ([]Value, algebra.Work, error) {
+	args := resolveArgs(p, in, env)
+	switch in.Op {
+	case plan.OpBind:
+		aux := in.Aux.(plan.BindAux)
+		t, err := cat.Table(aux.Table)
+		if err != nil {
+			return nil, algebra.Work{}, err
+		}
+		c, err := t.Column(aux.Column)
+		if err != nil {
+			return nil, algebra.Work{}, err
+		}
+		return []Value{ColValue(c)}, algebra.Work{}, nil
+
+	case plan.OpConst:
+		return []Value{ScalarValue(in.Aux.(plan.ConstAux).Value)}, algebra.Work{}, nil
+
+	case plan.OpSelect:
+		oids, w := algebra.Select(args[0].Col, in.Aux.(plan.SelectAux).Pred)
+		return []Value{OidsValue(oids)}, w, nil
+
+	case plan.OpSelectCand:
+		oids, w, _ := algebra.SelectWithCands(args[0].Col, in.Aux.(plan.SelectAux).Pred, args[1].Oids)
+		return []Value{OidsValue(oids)}, w, nil
+
+	case plan.OpLikeSelect:
+		aux := in.Aux.(plan.LikeAux)
+		oids, w := algebra.SelectLike(args[0].Col, aux.Pattern, aux.Kind, aux.Anti)
+		return []Value{OidsValue(oids)}, w, nil
+
+	case plan.OpFetch:
+		col, w, _ := algebra.Fetch(args[0].Oids, args[1].Col)
+		col = reseqPartitioned(col, in, env[in.Args[0]])
+		return []Value{ColValue(col)}, w, nil
+
+	case plan.OpFetchPos:
+		col, w := algebra.FetchPositions(args[0].Oids, args[1].Col)
+		col = reseqPartitioned(col, in, env[in.Args[0]])
+		return []Value{ColValue(col)}, w, nil
+
+	case plan.OpJoin:
+		lo, ro, w := algebra.HashJoin(args[0].Col, args[1].Col)
+		return []Value{OidsValue(lo), OidsValue(ro)}, w, nil
+
+	case plan.OpCalcVV:
+		col, w := algebra.CalcVV(in.Aux.(plan.CalcAux).Op, args[0].Col, args[1].Col)
+		return []Value{ColValue(col)}, w, nil
+
+	case plan.OpCalcSV:
+		aux := in.Aux.(plan.CalcAux)
+		col, w := algebra.CalcSV(aux.Op, aux.Scalar, args[0].Col, aux.ScalarLeft)
+		return []Value{ColValue(col)}, w, nil
+
+	case plan.OpCalcSSV:
+		aux := in.Aux.(plan.CalcAux)
+		col, w := algebra.CalcSV(aux.Op, args[0].Scalar, args[1].Col, aux.ScalarLeft)
+		return []Value{ColValue(col)}, w, nil
+
+	case plan.OpCalcSS:
+		aux := in.Aux.(plan.CalcAux)
+		var out int64
+		switch aux.Op {
+		case algebra.CalcAdd:
+			out = args[0].Scalar + args[1].Scalar
+		case algebra.CalcSub:
+			out = args[0].Scalar - args[1].Scalar
+		case algebra.CalcMul:
+			out = args[0].Scalar * args[1].Scalar
+		case algebra.CalcDiv:
+			if args[1].Scalar == 0 {
+				out = 0
+			} else {
+				out = args[0].Scalar / args[1].Scalar
+			}
+		}
+		return []Value{ScalarValue(out)}, algebra.Work{TuplesIn: 2, TuplesOut: 1}, nil
+
+	case plan.OpGroupBy:
+		g, w := algebra.GroupBy(args[0].Col)
+		return []Value{GroupsValue(g)}, w, nil
+
+	case plan.OpGroupKeys:
+		g := args[0].Groups
+		w := algebra.Work{BytesSeqRead: g.Keys.Bytes(), TuplesIn: int64(g.NGroups()), TuplesOut: int64(g.NGroups())}
+		return []Value{ColValue(g.Keys)}, w, nil
+
+	case plan.OpAggrGrouped:
+		col, w := algebra.AggrGrouped(in.Aux.(plan.AggrAux).Func, args[0].Col, args[1].Groups)
+		return []Value{ColValue(col)}, w, nil
+
+	case plan.OpAggr:
+		s, w := algebra.Aggr(in.Aux.(plan.AggrAux).Func, args[0].Col)
+		return []Value{ScalarValue(s)}, w, nil
+
+	case plan.OpMergeAggr:
+		s, w := algebra.MergeScalars(in.Aux.(plan.AggrAux).Func, args[0].Col)
+		return []Value{ScalarValue(s)}, w, nil
+
+	case plan.OpGroupMerge:
+		keys, aggs, w := algebra.GroupMerge(in.Aux.(plan.AggrAux).Func, args[0].Col, args[1].Col)
+		return []Value{ColValue(keys), ColValue(aggs)}, w, nil
+
+	case plan.OpPack:
+		return evalPack(p, in, args)
+
+	case plan.OpSort:
+		sorted, perm, w := algebra.Sort(args[0].Col, in.Aux.(plan.SortAux).Desc)
+		return []Value{ColValue(sorted), OidsValue(perm)}, w, nil
+
+	case plan.OpMergeSorted:
+		cols := make([]*storage.Column, len(args))
+		for i, a := range args {
+			cols[i] = a.Col
+		}
+		merged, w := algebra.MergeSortedRuns(cols, in.Aux.(plan.SortAux).Desc)
+		return []Value{ColValue(merged)}, w, nil
+
+	case plan.OpResult:
+		return nil, algebra.Work{}, nil
+	}
+	return nil, algebra.Work{}, fmt.Errorf("exec: unknown opcode %s", in.Op)
+}
+
+func evalPack(p *plan.Plan, in *plan.Instr, args []Value) ([]Value, algebra.Work, error) {
+	switch args[0].Kind {
+	case plan.KindOids:
+		parts := make([][]int64, len(args))
+		for i, a := range args {
+			parts[i] = a.Oids
+		}
+		out, w := algebra.PackOids(parts)
+		return []Value{OidsValue(out)}, w, nil
+	case plan.KindColumn:
+		cols := make([]*storage.Column, len(args))
+		for i, a := range args {
+			cols[i] = a.Col
+		}
+		out, w := algebra.PackColumns(cols)
+		return []Value{ColValue(out)}, w, nil
+	case plan.KindScalar:
+		partials := make([]int64, len(args))
+		for i, a := range args {
+			partials[i] = a.Scalar
+		}
+		out, w := algebra.PackScalars("partials", partials)
+		return []Value{ColValue(out)}, w, nil
+	}
+	return nil, algebra.Work{}, fmt.Errorf("exec: pack over %s", args[0].Kind)
+}

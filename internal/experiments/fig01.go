@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/heuristic"
+	"repro/internal/sim"
+	"repro/internal/tpch"
+	"repro/internal/workload"
+)
+
+// Figure1 reproduces the motivation experiment: response time of three
+// heuristically parallelized TPC-H queries (Q9, Q13, Q17) at degrees of
+// parallelism 8, 16 and 32, under a heavy concurrent CPU-bound workload
+// that keeps every hardware thread busy. The paper's point: no single DOP
+// wins for all queries under contention, so static plan generation is
+// fragile.
+func Figure1(s Scale) (*Table, error) {
+	cat := tpchCatalog(s.TPCHSF, s.Seed)
+	queries := []int{9, 13, 17}
+	dops := []int{8, 16, 32}
+
+	t := &Table{
+		Title:   "Figure 1: response time (ms) vs DOP under saturated concurrent load",
+		Headers: append([]string{"query"}, "dop=8", "dop=16", "dop=32"),
+		Notes: []string{
+			"paper: different queries prefer different DOPs under contention",
+		},
+	}
+	for _, qn := range queries {
+		row := []string{fmt.Sprintf("Q%d", qn)}
+		for _, dop := range dops {
+			serial := tpch.MustQuery(qn)
+			hp, err := heuristic.Parallelize(serial, cat, heuristic.Config{Partitions: dop})
+			if err != nil {
+				return nil, err
+			}
+			cfg := sim.TwoSocket()
+			cfg.Seed = s.Seed
+			eng := newEngine(cat, cfg)
+			// Saturate every hardware thread with CPU-bound work for the
+			// whole measurement window (0% idleness).
+			workload.SaturateCores(eng.Machine(), cfg.LogicalCores(), 100_000, 1e12)
+			_, prof, err := eng.Execute(hp)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, ms(prof.Makespan()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/plan"
+)
+
+// Figure8 demonstrates dynamic partitioning: starting from a serial select,
+// each step splits the currently *widest* select clone (standing in for
+// "the expensive one" — on uniform data the widest partition is the
+// expensive partition), and the table lists the partition boundaries after
+// each mutation, which stay aligned on the base column exactly as in the
+// paper's Figure 8 A→D sequence.
+func Figure8(s Scale) (*Table, error) {
+	p := selectSumPlan("skewed", "v", 0, 100)
+	t := &Table{
+		Title:   "Figure 8: dynamic partition evolution of a select operator",
+		Headers: []string{"step", "partitions (fractions of the base column)"},
+		Notes:   []string{"boundaries are dyadic so every split stays aligned on the base column"},
+	}
+	list := func() string {
+		out := ""
+		for _, in := range p.Instrs {
+			if in.Op == plan.OpSelect {
+				if out != "" {
+					out += " "
+				}
+				out += in.Part.String()
+			}
+		}
+		if out == "" {
+			out = "full"
+		}
+		return out
+	}
+	t.Rows = append(t.Rows, []string{"A (serial)", list()})
+	for step := 0; step < 3; step++ {
+		// Find the widest select clone.
+		widest, widestIdx := 0.0, -1
+		for i, in := range p.Instrs {
+			if in.Op != plan.OpSelect {
+				continue
+			}
+			w := float64(in.Part.HiNum-in.Part.LoNum) / float64(in.Part.Den)
+			if w > widest {
+				widest, widestIdx = w, i
+			}
+		}
+		np, _, err := core.Parallelize(p, widestIdx, 2)
+		if err != nil {
+			return nil, err
+		}
+		p = np
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%c", 'B'+step), list()})
+	}
+	return t, nil
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Figure13 renders the data distribution of the skewed column used by
+// Figure 12: random tuples in the first half, sequential clusters of
+// identical tuples in the second half.
+func Figure13(s Scale) (*Table, error) {
+	const buckets = 20
+	rows := s.MicroRows
+	cat := makeSkewedColumn(rows, 50, s.Seed)
+	col := cat.MustTable("skewed").MustColumn("v")
+
+	t := &Table{
+		Title:   "Figure 13: data distribution of the skewed column (matches per region)",
+		Headers: []string{"region", "matches", "histogram"},
+		Notes:   []string{"matching tuples (value 7) cluster in the second half of the column"},
+	}
+	per := rows / buckets
+	maxCount := 0
+	counts := make([]int, buckets)
+	for b := 0; b < buckets; b++ {
+		lo, hi := b*per, (b+1)*per
+		n := 0
+		for i := lo; i < hi; i++ {
+			if col.At(i) == 7 {
+				n++
+			}
+		}
+		counts[b] = n
+		if n > maxCount {
+			maxCount = n
+		}
+	}
+	for b, n := range counts {
+		bar := ""
+		if maxCount > 0 {
+			bar = strings.Repeat("#", n*40/maxCount)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("[%2d%%,%2d%%)", b*100/buckets, (b+1)*100/buckets),
+			fmt.Sprintf("%d", n), bar,
+		})
+	}
+	return t, nil
+}

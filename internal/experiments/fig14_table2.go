@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/heuristic"
+	"repro/internal/plan"
+	"repro/internal/sim"
+)
+
+// q6Variant builds the Q6-style select plan with controlled output
+// selectivity. The paper varies selectivity via l_quantity: 0% selectivity
+// means "all output" (every scanned tuple written), 100% means "no output".
+func q6Variant(outputSelectivityPct int) *plan.Plan {
+	var qty algebra.Range
+	switch {
+	case outputSelectivityPct <= 0: // all output
+		qty = algebra.AtLeast(0)
+	case outputSelectivityPct >= 100: // no output
+		qty = algebra.LessThan(0)
+	default: // ~half output: quantities are uniform 1..50
+		qty = algebra.LessThan(int64(50 - outputSelectivityPct/2))
+	}
+	b := plan.NewBuilder()
+	qtyCol := b.Bind("lineitem", "l_quantity")
+	disc := b.Bind("lineitem", "l_discount")
+	price := b.Bind("lineitem", "l_extendedprice")
+	s := b.Select(qtyCol, qty)
+	d := b.Fetch(s, disc)
+	pr := b.Fetch(s, price)
+	rev := b.CalcVV(algebra.CalcMul, pr, d)
+	sum := b.Aggr(algebra.AggrSum, rev)
+	b.Result(sum)
+	return b.Plan()
+}
+
+// Figure14 traces adaptive select-plan execution times against runs for two
+// data sizes and three selectivities (the paper's 10 GB / 20 GB curves at
+// 0%, 50% and 100% selectivity).
+func Figure14(s Scale) (*Table, error) {
+	t := &Table{
+		Title:   "Figure 14: adaptive select plan, execution time (ms) per run",
+		Headers: []string{"size", "sel%", "run0(serial)", "run2", "run4", "run8", "run16", "GME", "GMErun", "runs"},
+		Notes:   []string{"paper: steep early descent; larger inputs and lower selectivity start higher"},
+	}
+	for _, size := range []struct {
+		label string
+		sf    float64
+	}{{"10GB", s.TPCHSF}, {"20GB", s.TPCHSF * 2}} {
+		for _, sel := range []int{0, 50, 100} {
+			cat := tpchCatalog(size.sf, s.Seed)
+			cfg := sim.TwoSocket()
+			cfg.Seed = s.Seed
+			eng := newEngine(cat, cfg)
+			rep, err := converge(eng, q6Variant(sel), s.convConfig())
+			if err != nil {
+				return nil, err
+			}
+			at := func(i int) string {
+				if i < len(rep.History) {
+					return ms(rep.History[i])
+				}
+				return "-"
+			}
+			t.Rows = append(t.Rows, []string{
+				size.label, fmt.Sprintf("%d", sel),
+				at(0), at(2), at(4), at(8), at(16),
+				ms(rep.GMENs), fmt.Sprintf("%d", rep.GMERun), fmt.Sprintf("%d", rep.TotalRuns),
+			})
+		}
+	}
+	return t, nil
+}
+
+// Table2 compares select-plan speed-ups (serial / parallel) of adaptive and
+// heuristic parallelization across sizes and selectivities.
+func Table2(s Scale) (*Table, error) {
+	t := &Table{
+		Title:   "Table 2: select plan speedup vs serial (AP = adaptive, HP = heuristic)",
+		Headers: []string{"size", "AP 0%", "HP 0%", "AP 50%", "HP 50%", "AP 100%", "HP 100%"},
+		Notes: []string{
+			"paper: speedup decreases with selectivity and increases for smaller inputs (AP)",
+		},
+	}
+	sizes := []struct {
+		label string
+		sf    float64
+	}{{"100GB", s.TPCHSF * 4}, {"20GB", s.TPCHSF * 2}, {"10GB", s.TPCHSF}}
+	for _, size := range sizes {
+		row := []string{size.label}
+		for _, sel := range []int{0, 50, 100} {
+			cat := tpchCatalog(size.sf, s.Seed)
+			q := q6Variant(sel)
+
+			engA := newEngine(cat, sim.TwoSocket())
+			rep, err := converge(engA, q, s.convConfig())
+			if err != nil {
+				return nil, err
+			}
+			apSpeed := rep.Speedup()
+
+			engH := newEngine(cat, sim.TwoSocket())
+			_, serialProf, err := engH.Execute(q)
+			if err != nil {
+				return nil, err
+			}
+			hp, err := heuristic.Parallelize(q, cat, heuristic.Config{Partitions: 32})
+			if err != nil {
+				return nil, err
+			}
+			_, hpProf, err := engH.Execute(hp)
+			if err != nil {
+				return nil, err
+			}
+			hpSpeed := serialProf.Makespan() / hpProf.Makespan()
+
+			row = append(row, fmt.Sprintf("%.1f", apSpeed), fmt.Sprintf("%.1f", hpSpeed))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/exec"
+	"repro/internal/heuristic"
+	"repro/internal/plan"
+	"repro/internal/sim"
+	"repro/internal/tpch"
+	"repro/internal/vectorwise"
+	"repro/internal/workload"
+)
+
+// Figure16 compares heuristic parallelization, adaptive parallelization and
+// the Vectorwise comparator over the TPC-H subset, both in isolation and
+// under a 32-client concurrent workload (§4.2.1–§4.2.4).
+func Figure16(s Scale) (*Table, error) {
+	cat := tpchCatalog(s.TPCHSF, s.Seed)
+	queries := tpch.QueryNumbers()
+	cores := sim.TwoSocket().LogicalCores()
+
+	// Prepare the three plan sets.
+	hpPlans := map[int]*plan.Plan{}
+	apPlans := map[int]*plan.Plan{}
+	vwPlans := map[int]*plan.Plan{}
+	for _, qn := range queries {
+		serial := tpch.MustQuery(qn)
+		hp, err := heuristic.Parallelize(serial, cat, heuristic.Config{Partitions: cores})
+		if err != nil {
+			return nil, err
+		}
+		hpPlans[qn] = hp
+		eng := newEngine(cat, sim.TwoSocket())
+		rep, err := converge(eng, serial, s.convConfig())
+		if err != nil {
+			return nil, err
+		}
+		apPlans[qn] = rep.BestPlan
+		vw, err := vectorwise.Plan(serial, cat, cores)
+		if err != nil {
+			return nil, err
+		}
+		vwPlans[qn] = vw
+	}
+
+	t := &Table{
+		Title: "Figure 16: TPC-H isolated and concurrent execution (ms)",
+		Headers: []string{"query", "HP iso", "AP iso", "VW iso",
+			"HP conc", "AP conc", "VW conc"},
+		Notes: []string{
+			"paper: AP ≈ HP isolated (Q9/Q19 slightly worse), AP clearly best concurrent; VW worst concurrent (admission control)",
+			fmt.Sprintf("concurrent = mean latency over %d clients x %d queries", s.Clients, s.Repeats),
+		},
+	}
+
+	// Isolated executions.
+	iso := func(p *plan.Plan, vw bool) (float64, error) {
+		eng := newEngine(cat, sim.TwoSocket())
+		opts := exec.JobOptions{}
+		if vw {
+			params := cost.Vectorwise()
+			opts.CostParams = &params
+		}
+		job, err := eng.Submit(p, opts)
+		if err != nil {
+			return 0, err
+		}
+		eng.Run()
+		if job.Err != nil {
+			return 0, job.Err
+		}
+		return job.Profile.Makespan(), nil
+	}
+
+	// Concurrent executions: per engine, all clients replay the full mix;
+	// report per-query mean latency.
+	conc := func(plans map[int]*plan.Plan, vw bool) (map[int]float64, error) {
+		eng := newEngine(cat, sim.TwoSocket())
+		cfg := workload.ClientConfig{Repeats: s.Repeats, Seed: s.Seed}
+		idx := map[int]int{}
+		for i, qn := range queries {
+			cfg.Plans = append(cfg.Plans, plans[qn])
+			idx[i] = qn
+		}
+		if vw {
+			params := cost.Vectorwise()
+			cfg.CostParams = &params
+			cfg.MaxCores = func(client, active int) int {
+				return vectorwise.AdmissionMaxCores(client, active, cores)
+			}
+		}
+		res, err := workload.RunConcurrent(eng, s.Clients, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out := map[int]float64{}
+		for pi, st := range res.PerPlan {
+			out[idx[pi]] = st.Mean()
+		}
+		return out, nil
+	}
+
+	hpConc, err := conc(hpPlans, false)
+	if err != nil {
+		return nil, err
+	}
+	apConc, err := conc(apPlans, false)
+	if err != nil {
+		return nil, err
+	}
+	vwConc, err := conc(vwPlans, true)
+	if err != nil {
+		return nil, err
+	}
+
+	fmtConc := func(m map[int]float64, qn int) string {
+		if v, ok := m[qn]; ok {
+			return ms(v)
+		}
+		return "-" // query not drawn by the random mix at this seed
+	}
+	for _, qn := range queries {
+		hpIso, err := iso(hpPlans[qn], false)
+		if err != nil {
+			return nil, err
+		}
+		apIso, err := iso(apPlans[qn], false)
+		if err != nil {
+			return nil, err
+		}
+		vwIso, err := iso(vwPlans[qn], true)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("Q%d", qn),
+			ms(hpIso), ms(apIso), ms(vwIso),
+			fmtConc(hpConc, qn), fmtConc(apConc, qn), fmtConc(vwConc, qn),
+		})
+	}
+	return t, nil
+}

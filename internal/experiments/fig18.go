@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/tpch"
+)
+
+// Figure18 measures the convergence algorithm's robustness: for each TPC-H
+// query, three independent adaptive invocations, reporting (A) total
+// convergence runs, (B) the run at which the global minimum occurs, (C) the
+// global minimum time, and (D) GME run vs total runs. Robustness means
+// minimal variation across invocations (§4.3).
+func Figure18(s Scale) (*Table, error) {
+	cat := tpchCatalog(s.TPCHSF, s.Seed)
+	t := &Table{
+		Title: "Figure 18: convergence robustness over three invocations",
+		Headers: []string{"query",
+			"runs(1)", "runs(2)", "runs(3)",
+			"GMErun(1)", "GMErun(2)", "GMErun(3)",
+			"GMEms(1)", "GMEms(2)", "GMEms(3)"},
+		Notes: []string{
+			"paper: minimal variation across invocations; most queries converge soon after the GME",
+		},
+	}
+	for _, qn := range tpch.QueryNumbers() {
+		row := []string{fmt.Sprintf("Q%d", qn)}
+		var runs, gmeRuns []string
+		var gmeTimes []string
+		for inv := 0; inv < 3; inv++ {
+			cfg := sim.TwoSocket()
+			cfg.Noise = sim.DefaultNoise()
+			cfg.Seed = s.Seed + int64(inv)*101
+			eng := newEngine(cat, cfg)
+			rep, err := converge(eng, tpch.MustQuery(qn), s.convConfig())
+			if err != nil {
+				return nil, err
+			}
+			runs = append(runs, fmt.Sprintf("%d", rep.TotalRuns))
+			gmeRuns = append(gmeRuns, fmt.Sprintf("%d", rep.GMERun))
+			gmeTimes = append(gmeTimes, ms(rep.GMENs))
+		}
+		row = append(row, runs...)
+		row = append(row, gmeRuns...)
+		row = append(row, gmeTimes...)
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+	"repro/internal/tpch"
+)
+
+// Table1 prints the simulated machine configurations standing in for the
+// paper's hardware (Table 1), with the 1/100 byte-capacity scaling
+// documented.
+func Table1(_ Scale) (*Table, error) {
+	t := &Table{
+		Title: "Table 1: simulated system configurations (byte capacities scaled 1/100)",
+		Headers: []string{"machine", "sockets", "phys cores", "threads",
+			"L3/socket", "BW/socket", "clock"},
+		Notes: []string{
+			"stand-ins for Intel Xeon E5-2650 (2S/32T, 20MB L3, 256GB) and E5-4657Lv2 (4S/96T, 30MB L3, 1TB)",
+		},
+	}
+	for _, cfg := range []sim.Config{sim.TwoSocket(), sim.FourSocket()} {
+		t.Rows = append(t.Rows, []string{
+			cfg.Name,
+			fmt.Sprintf("%d", cfg.Sockets),
+			fmt.Sprintf("%d", cfg.PhysicalCores()),
+			fmt.Sprintf("%d", cfg.LogicalCores()),
+			fmt.Sprintf("%dKB", cfg.L3PerSocket>>10),
+			fmt.Sprintf("%.0fB/ns", cfg.BWPerSocket),
+			fmt.Sprintf("%.1fx", cfg.SpeedFactor),
+		})
+	}
+	return t, nil
+}
+
+// Table4 prints the TPC-H query classification used throughout §4.
+func Table4(_ Scale) (*Table, error) {
+	t := &Table{
+		Title:   "Table 4: TPC-H query classification",
+		Headers: []string{"class", "queries"},
+	}
+	byClass := map[string][]int{}
+	for qn, cls := range tpch.Classification() {
+		byClass[cls] = append(byClass[cls], qn)
+	}
+	classes := make([]string, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		qs := byClass[c]
+		sort.Ints(qs)
+		row := ""
+		for i, q := range qs {
+			if i > 0 {
+				row += " "
+			}
+			row += fmt.Sprintf("Q%d", q)
+		}
+		t.Rows = append(t.Rows, []string{c, row})
+	}
+	return t, nil
+}

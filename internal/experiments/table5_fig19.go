@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/heuristic"
+	"repro/internal/sim"
+	"repro/internal/tpch"
+)
+
+// Table5Fig19 reproduces the Q14 plan-statistics comparison (Table 5) and
+// the multi-core-utilization tomographs (Figures 19/20): the adaptive plan
+// uses far fewer operators and a fraction of the machine, at similar or
+// better isolated response time.
+type Table5Result struct {
+	Table       *Table
+	APTomograph string
+	HPTomograph string
+}
+
+// Table5 runs the experiment.
+func Table5(s Scale) (*Table5Result, error) {
+	cat := tpchCatalog(s.TPCHSF, s.Seed)
+	serial := tpch.MustQuery(14)
+	cores := sim.TwoSocket().LogicalCores()
+
+	engA := newEngine(cat, sim.TwoSocket())
+	rep, err := converge(engA, serial, s.convConfig())
+	if err != nil {
+		return nil, err
+	}
+	ap := rep.BestPlan
+	engA2 := newEngine(cat, sim.TwoSocket())
+	_, apProf, err := engA2.Execute(ap)
+	if err != nil {
+		return nil, err
+	}
+
+	hp, err := heuristic.Parallelize(serial, cat, heuristic.Config{Partitions: cores})
+	if err != nil {
+		return nil, err
+	}
+	engH := newEngine(cat, sim.TwoSocket())
+	_, hpProf, err := engH.Execute(hp)
+	if err != nil {
+		return nil, err
+	}
+
+	aps, hps := heuristic.Stats(ap), heuristic.Stats(hp)
+	t := &Table{
+		Title:   "Table 5: AP and HP TPC-H Q14 plan statistics",
+		Headers: []string{"metric", "AP", "HP"},
+		Notes: []string{
+			"paper: 10 vs 65 selects, 16 vs 32 joins, 35% vs 75% utilization",
+		},
+	}
+	t.Rows = append(t.Rows,
+		[]string{"# select operators", fmt.Sprintf("%d", aps.Selects), fmt.Sprintf("%d", hps.Selects)},
+		[]string{"# join operators", fmt.Sprintf("%d", aps.Joins), fmt.Sprintf("%d", hps.Joins)},
+		[]string{"# instructions", fmt.Sprintf("%d", aps.Instrs), fmt.Sprintf("%d", hps.Instrs)},
+		[]string{"max DOP", fmt.Sprintf("%d", aps.MaxDOP), fmt.Sprintf("%d", hps.MaxDOP)},
+		[]string{"% multi-core utilization",
+			fmt.Sprintf("%.1f", apProf.Utilization()*100),
+			fmt.Sprintf("%.1f", hpProf.Utilization()*100)},
+		[]string{"response time (ms)", ms(apProf.Makespan()), ms(hpProf.Makespan())},
+	)
+	return &Table5Result{
+		Table:       t,
+		APTomograph: "Figure 19 (adaptive Q14 tomograph):\n" + apProf.Tomograph(92),
+		HPTomograph: "Figure 20 (heuristic Q14 tomograph):\n" + hpProf.Tomograph(92),
+	}, nil
+}

@@ -1,0 +1,47 @@
+package plan
+
+import (
+	"repro/internal/algebra"
+)
+
+// BindAux parameterizes OpBind.
+type BindAux struct {
+	Table, Column string
+}
+
+// ConstAux parameterizes OpConst.
+type ConstAux struct {
+	Value int64
+}
+
+// SelectAux parameterizes OpSelect / OpSelectCand.
+type SelectAux struct {
+	Pred algebra.Range
+}
+
+// LikeAux parameterizes OpLikeSelect.
+type LikeAux struct {
+	Pattern string
+	Kind    algebra.LikeKind
+	Anti    bool
+}
+
+// CalcAux parameterizes the calc operators. Scalar/ScalarLeft are used by
+// OpCalcSV; ScalarLeft alone by OpCalcSSV.
+type CalcAux struct {
+	Op         algebra.CalcOp
+	Scalar     int64
+	ScalarLeft bool
+}
+
+// AggrAux parameterizes aggregation operators. For OpMergeAggr and
+// OpGroupMerge, Func is the original aggregate; merge semantics derive from
+// it (count partials merge by summation).
+type AggrAux struct {
+	Func algebra.AggrFunc
+}
+
+// SortAux parameterizes OpSort / OpMergeSorted.
+type SortAux struct {
+	Desc bool
+}

@@ -1,0 +1,387 @@
+// Package plan implements the query-plan representation of the engine: an
+// SSA list of operators over typed variables, forming a dataflow graph — the
+// same properties MonetDB's MAL gives the paper ("its plan representation
+// allows identification of individual expensive operators", §2). Plans are
+// value-like: mutations clone a plan and rewrite instructions, never touching
+// the original, so the plan history kept by adaptive parallelization stays
+// valid.
+//
+// Every partitionable instruction carries a Part — a binary-rational range
+// over its anchor input. Partition boundaries are dyadic fractions, so
+// repeated splits stay aligned on the base column (Figure 8) no matter the
+// runtime input length: floor(n·k/2^m) boundaries of a coarse split always
+// coincide with boundaries of its refinements.
+package plan
+
+import (
+	"fmt"
+)
+
+// VarID names an SSA variable within one plan.
+type VarID int
+
+// Kind is the runtime type of a variable.
+type Kind int
+
+// Variable kinds.
+const (
+	KindColumn Kind = iota // materialized column view (values)
+	KindOids               // selection vector of absolute head oids
+	KindScalar             // single int64
+	KindGroups             // group-by result (keys + gids)
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindColumn:
+		return "col"
+	case KindOids:
+		return "oids"
+	case KindScalar:
+		return "scalar"
+	case KindGroups:
+		return "groups"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// OpCode enumerates plan operators.
+type OpCode int
+
+// Operators. The names follow the MAL operators they model.
+const (
+	// OpBind binds a base table column (sql.bind). Aux: BindAux.
+	OpBind OpCode = iota
+	// OpConst produces a scalar constant. Aux: ConstAux.
+	OpConst
+	// OpSelect scans a column with a range predicate → oids (algebra.uselect).
+	// Args: [col]. Aux: SelectAux. Partitionable on arg 0.
+	OpSelect
+	// OpSelectCand refines candidates against a column (algebra.subselect
+	// with a candidate list). Args: [col, cands]. Aux: SelectAux.
+	// Partitionable on arg 1 (the candidate list).
+	OpSelectCand
+	// OpLikeSelect scans a string column with a LIKE pattern → oids
+	// (batstr.like + uselect). Args: [col]. Aux: LikeAux. Partitionable on
+	// arg 0.
+	OpLikeSelect
+	// OpFetch is tuple reconstruction (algebra.leftfetchjoin). Args:
+	// [oids, col] → col. Partitionable on arg 0.
+	OpFetch
+	// OpJoin is a hash join building on the inner, probing the outer
+	// (algebra.join). Args: [outer(col), inner(col)] → [louter(oids),
+	// rinner(oids)]. Partitionable on arg 0 (the outer), per §2.1.
+	OpJoin
+	// OpFetchPos gathers arg1 values at zero-based positions arg0.
+	// Args: [pos(oids), col] → col. Partitionable on arg 0.
+	OpFetchPos
+	// OpCalcVV is element-wise arithmetic (batcalc.*). Args: [a, b] → col.
+	// Aux: CalcAux. Partitionable on args 0 and 1 jointly.
+	OpCalcVV
+	// OpCalcSV is arithmetic with a scalar constant operand. Args: [v] →
+	// col. Aux: CalcAux (Scalar, ScalarLeft). Partitionable on arg 0.
+	OpCalcSV
+	// OpCalcSSV is arithmetic between a scalar variable and a column.
+	// Args: [s(scalar), v(col)] → col. Aux: CalcAux (ScalarLeft).
+	// Partitionable on arg 1.
+	OpCalcSSV
+	// OpCalcSS is scalar-scalar arithmetic (calc.*). Args: [a, b] → scalar.
+	// Aux: CalcAux.
+	OpCalcSS
+	// OpGroupBy groups a key column (group.subgroup). Args: [keys] →
+	// groups. Parallelized only via the advanced mutation.
+	OpGroupBy
+	// OpGroupKeys extracts the distinct keys of a groups value. Args:
+	// [groups] → col.
+	OpGroupKeys
+	// OpAggrGrouped aggregates values per group (aggr.subsum). Args:
+	// [vals, groups] → col. Aux: AggrAux.
+	OpAggrGrouped
+	// OpAggr is a scalar aggregate (aggr.sum). Args: [vals] → scalar. Aux:
+	// AggrAux. Parallelized via the advanced mutation (partials + merge).
+	OpAggr
+	// OpMergeAggr merges packed partial scalar aggregates. Args: [partials
+	// (col)] → scalar. Aux: AggrAux (the ORIGINAL aggregate; merge
+	// semantics are derived from it).
+	OpMergeAggr
+	// OpGroupMerge re-groups packed per-partition (keys, partial) pairs.
+	// Args: [keys(col), partials(col)] → [keys(col), aggs(col)]. Aux:
+	// AggrAux.
+	OpGroupMerge
+	// OpPack is the exchange union operator (mat.pack). Variadic args of
+	// one kind: all-oids → oids, all-columns → col, all-scalars → col.
+	OpPack
+	// OpSort sorts a column (algebra.sort). Args: [col] → [sorted(col),
+	// perm(oids)]. Aux: SortAux.
+	OpSort
+	// OpMergeSorted merges pre-sorted runs. Variadic col args → col. Aux:
+	// SortAux.
+	OpMergeSorted
+	// OpResult marks query outputs (sql.exportValue); variadic args.
+	OpResult
+)
+
+var opNames = map[OpCode]string{
+	OpBind:        "bind",
+	OpConst:       "const",
+	OpSelect:      "select",
+	OpSelectCand:  "selectcand",
+	OpLikeSelect:  "likeselect",
+	OpFetch:       "fetch",
+	OpJoin:        "join",
+	OpFetchPos:    "fetchpos",
+	OpCalcVV:      "calcvv",
+	OpCalcSV:      "calcsv",
+	OpCalcSSV:     "calcssv",
+	OpCalcSS:      "calcss",
+	OpGroupBy:     "groupby",
+	OpGroupKeys:   "groupkeys",
+	OpAggrGrouped: "aggrgrouped",
+	OpAggr:        "aggr",
+	OpMergeAggr:   "mergeaggr",
+	OpGroupMerge:  "groupmerge",
+	OpPack:        "pack",
+	OpSort:        "sort",
+	OpMergeSorted: "mergesorted",
+	OpResult:      "result",
+}
+
+func (op OpCode) String() string {
+	if n, ok := opNames[op]; ok {
+		return n
+	}
+	return fmt.Sprintf("op(%d)", int(op))
+}
+
+// SliceArgs returns the argument indices that a Part slices for op, or nil
+// when the operator is not range-partitionable by the basic mutation.
+// GroupBy, Aggr and Sort are handled by the advanced mutation instead and
+// report their anchor here too (the advanced mutation slices the same way).
+func SliceArgs(op OpCode) []int {
+	switch op {
+	case OpSelect, OpLikeSelect, OpFetch, OpJoin, OpFetchPos, OpCalcSV, OpSort, OpAggr, OpGroupBy, OpAggrGrouped:
+		return []int{0}
+	case OpSelectCand, OpCalcSSV:
+		return []int{1}
+	case OpCalcVV:
+		return []int{0, 1}
+	}
+	return nil
+}
+
+// BasicPartitionable reports whether the basic mutation (Figure 3) applies.
+func BasicPartitionable(op OpCode) bool {
+	switch op {
+	case OpSelect, OpSelectCand, OpLikeSelect, OpFetch, OpJoin, OpFetchPos, OpCalcVV, OpCalcSV, OpCalcSSV:
+		return true
+	}
+	return false
+}
+
+// AdvancedPartitionable reports whether the advanced mutation (Figure 6 —
+// operators without the filtering property) applies.
+func AdvancedPartitionable(op OpCode) bool {
+	switch op {
+	case OpGroupBy, OpAggr, OpSort:
+		return true
+	}
+	return false
+}
+
+// Part is a dyadic-rational sub-range [LoNum/Den, HiNum/Den) over an
+// instruction's anchor input. Den is always a power of two so that nested
+// splits remain aligned with every coarser boundary.
+type Part struct {
+	LoNum, HiNum, Den uint64
+}
+
+// FullPart covers the whole input.
+func FullPart() Part { return Part{LoNum: 0, HiNum: 1, Den: 1} }
+
+// IsFull reports whether p covers the whole input.
+func (p Part) IsFull() bool { return p.LoNum == 0 && p.HiNum == p.Den }
+
+// Split halves p into two aligned sub-ranges.
+func (p Part) Split() (Part, Part) {
+	lo2, hi2, den2 := p.LoNum*2, p.HiNum*2, p.Den*2
+	mid := (lo2 + hi2) / 2
+	return Part{LoNum: lo2, HiNum: mid, Den: den2}, Part{LoNum: mid, HiNum: hi2, Den: den2}
+}
+
+// SplitN cuts p into n aligned pieces (used by the static heuristic
+// parallelizer, which uses fixed equal partitions). n is rounded up to a
+// power of two internally to preserve dyadic alignment; the returned slice
+// still has exactly n non-empty-by-construction ranges obtained by merging
+// surplus leaves, except that when n is already a power of two the pieces
+// are exactly equal.
+func (p Part) SplitN(n int) []Part {
+	if n <= 1 {
+		return []Part{p}
+	}
+	pow := 1
+	for pow < n {
+		pow *= 2
+	}
+	den := p.Den * uint64(pow)
+	lo := p.LoNum * uint64(pow)
+	hi := p.HiNum * uint64(pow)
+	span := hi - lo
+	out := make([]Part, 0, n)
+	for i := 0; i < n; i++ {
+		a := lo + span*uint64(i)/uint64(n)
+		b := lo + span*uint64(i+1)/uint64(n)
+		out = append(out, Part{LoNum: a, HiNum: b, Den: den})
+	}
+	return out
+}
+
+// Resolve maps p onto a concrete input length, returning positional bounds
+// [lo, hi). Floor arithmetic keeps boundaries of nested splits coincident.
+func (p Part) Resolve(n int) (lo, hi int) {
+	un := uint64(n)
+	lo = int(un * p.LoNum / p.Den)
+	hi = int(un * p.HiNum / p.Den)
+	return lo, hi
+}
+
+// Before reports partition order: p entirely precedes q.
+func (p Part) Before(q Part) bool {
+	// Compare LoNum/Den cross-multiplied.
+	return p.LoNum*q.Den < q.LoNum*p.Den
+}
+
+func (p Part) String() string {
+	if p.IsFull() {
+		return "full"
+	}
+	return fmt.Sprintf("[%d/%d,%d/%d)", p.LoNum, p.Den, p.HiNum, p.Den)
+}
+
+// Instr is one plan instruction. Args and Rets reference plan variables;
+// Aux carries operator parameters; Part restricts the anchor input range.
+type Instr struct {
+	Op   OpCode
+	Args []VarID
+	Rets []VarID
+	Aux  any
+	Part Part
+	// Comment is free-form provenance recorded by mutations ("clone of
+	// select #4"), surfaced by the pretty-printer.
+	Comment string
+}
+
+func (in *Instr) clone() *Instr {
+	cp := *in
+	cp.Args = append([]VarID(nil), in.Args...)
+	cp.Rets = append([]VarID(nil), in.Rets...)
+	return &cp
+}
+
+// Plan is an ordered SSA instruction list. The order is a topological order
+// of the dataflow graph (def before use); Validate enforces it.
+type Plan struct {
+	Instrs []*Instr
+	kinds  []Kind
+	names  []string
+}
+
+// New returns an empty plan.
+func New() *Plan { return &Plan{} }
+
+// NewVar allocates a fresh variable of kind k. The name is cosmetic.
+func (p *Plan) NewVar(k Kind, name string) VarID {
+	id := VarID(len(p.kinds))
+	p.kinds = append(p.kinds, k)
+	p.names = append(p.names, name)
+	return id
+}
+
+// NVars returns the number of variables.
+func (p *Plan) NVars() int { return len(p.kinds) }
+
+// KindOf returns the kind of v.
+func (p *Plan) KindOf(v VarID) Kind { return p.kinds[v] }
+
+// NameOf returns the cosmetic name of v.
+func (p *Plan) NameOf(v VarID) string {
+	if n := p.names[v]; n != "" {
+		return n
+	}
+	return fmt.Sprintf("X_%d", int(v))
+}
+
+// Append adds an instruction at the end.
+func (p *Plan) Append(in *Instr) { p.Instrs = append(p.Instrs, in) }
+
+// Clone deep-copies the plan.
+func (p *Plan) Clone() *Plan {
+	cp := &Plan{
+		Instrs: make([]*Instr, len(p.Instrs)),
+		kinds:  append([]Kind(nil), p.kinds...),
+		names:  append([]string(nil), p.names...),
+	}
+	for i, in := range p.Instrs {
+		cp.Instrs[i] = in.clone()
+	}
+	return cp
+}
+
+// Producer returns the index of the instruction producing v, or -1.
+func (p *Plan) Producer(v VarID) int {
+	for i, in := range p.Instrs {
+		for _, r := range in.Rets {
+			if r == v {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// Consumers returns the indices of instructions consuming v, in plan order.
+func (p *Plan) Consumers(v VarID) []int {
+	var out []int
+	for i, in := range p.Instrs {
+		for _, a := range in.Args {
+			if a == v {
+				out = append(out, i)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Results returns the variables marked as query outputs.
+func (p *Plan) Results() []VarID {
+	for _, in := range p.Instrs {
+		if in.Op == OpResult {
+			return append([]VarID(nil), in.Args...)
+		}
+	}
+	return nil
+}
+
+// CountOps returns how many instructions have the given opcode — the plan
+// statistics of Table 5 (#select operators, #join operators).
+func (p *Plan) CountOps(op OpCode) int {
+	n := 0
+	for _, in := range p.Instrs {
+		if in.Op == op {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxDOP returns the plan's degree of parallelism: the largest number of
+// sibling clones any pack combines (1 for a serial plan).
+func (p *Plan) MaxDOP() int {
+	dop := 1
+	for _, in := range p.Instrs {
+		if in.Op == OpPack && len(in.Args) > dop {
+			dop = len(in.Args)
+		}
+	}
+	return dop
+}

@@ -1,0 +1,291 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/algebra"
+)
+
+// buildQ6ish builds a small serial plan shaped like TPC-H Q6: select,
+// refine, two fetches, a multiply and a scalar sum.
+func buildQ6ish() *Plan {
+	b := NewBuilder()
+	ship := b.Bind("lineitem", "l_shipdate")
+	disc := b.Bind("lineitem", "l_discount")
+	price := b.Bind("lineitem", "l_extendedprice")
+	s1 := b.Select(ship, algebra.Between(100, 200))
+	s2 := b.SelectCand(disc, s1, algebra.Between(5, 7))
+	d := b.Fetch(s2, disc)
+	pr := b.Fetch(s2, price)
+	rev := b.CalcVV(algebra.CalcMul, pr, d)
+	sum := b.Aggr(algebra.AggrSum, rev)
+	b.Result(sum)
+	return b.Plan()
+}
+
+func TestBuilderProducesValidPlan(t *testing.T) {
+	p := buildQ6ish()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Instrs) != 10 {
+		t.Fatalf("instr count = %d", len(p.Instrs))
+	}
+	if got := p.Results(); len(got) != 1 {
+		t.Fatalf("results = %v", got)
+	}
+	if p.MaxDOP() != 1 {
+		t.Fatalf("serial plan MaxDOP = %d", p.MaxDOP())
+	}
+	if p.CountOps(OpSelect) != 1 || p.CountOps(OpSelectCand) != 1 || p.CountOps(OpFetch) != 2 {
+		t.Fatal("CountOps wrong")
+	}
+}
+
+func TestBuilderKindCheckPanics(t *testing.T) {
+	b := NewBuilder()
+	col := b.Bind("t", "c")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Fetch(col, col) did not panic on kind mismatch")
+		}
+	}()
+	b.Fetch(col, col) // first arg must be oids
+}
+
+func TestProducerConsumers(t *testing.T) {
+	p := buildQ6ish()
+	// Var of the first select is consumed by the selectcand.
+	sel := p.Instrs[3]
+	if sel.Op != OpSelect {
+		t.Fatalf("instr 3 is %s", sel.Op)
+	}
+	v := sel.Rets[0]
+	if got := p.Producer(v); got != 3 {
+		t.Fatalf("Producer = %d", got)
+	}
+	cons := p.Consumers(v)
+	if len(cons) != 1 || p.Instrs[cons[0]].Op != OpSelectCand {
+		t.Fatalf("Consumers = %v", cons)
+	}
+	if p.Producer(VarID(9999)) != -1 {
+		// Producer of an unknown var: the call must not panic. (VarID 9999
+		// is out of range; Producer scans rets only.)
+		t.Fatal("Producer of unknown var should be -1")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := buildQ6ish()
+	cp := p.Clone()
+	cp.Instrs[3].Part, _ = FullPart().Split()
+	cp.Instrs[3].Args[0] = VarID(0)
+	cp.NewVar(KindScalar, "extra")
+	if !p.Instrs[3].Part.IsFull() {
+		t.Fatal("mutating clone changed original Part")
+	}
+	if p.NVars() == cp.NVars() {
+		t.Fatal("NewVar on clone changed original (or clone shares var table)")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("original corrupted: %v", err)
+	}
+}
+
+func TestValidateCatchesUseBeforeDef(t *testing.T) {
+	p := New()
+	v := p.NewVar(KindColumn, "x")
+	o := p.NewVar(KindOids, "o")
+	p.Append(&Instr{Op: OpSelect, Args: []VarID{v}, Rets: []VarID{o},
+		Aux: SelectAux{}, Part: FullPart()})
+	if err := p.Validate(); err == nil {
+		t.Fatal("use-before-def not caught")
+	}
+}
+
+func TestValidateCatchesSSAViolation(t *testing.T) {
+	p := New()
+	v := p.NewVar(KindScalar, "x")
+	p.Append(&Instr{Op: OpConst, Aux: ConstAux{Value: 1}, Rets: []VarID{v}, Part: FullPart()})
+	p.Append(&Instr{Op: OpConst, Aux: ConstAux{Value: 2}, Rets: []VarID{v}, Part: FullPart()})
+	if err := p.Validate(); err == nil {
+		t.Fatal("double assignment not caught")
+	}
+}
+
+func TestValidateCatchesMixedPack(t *testing.T) {
+	p := New()
+	c := p.NewVar(KindColumn, "c")
+	o := p.NewVar(KindOids, "o")
+	s := p.NewVar(KindOids, "s")
+	out := p.NewVar(KindOids, "out")
+	p.Append(&Instr{Op: OpBind, Aux: BindAux{"t", "c"}, Rets: []VarID{c}, Part: FullPart()})
+	p.Append(&Instr{Op: OpSelect, Aux: SelectAux{}, Args: []VarID{c}, Rets: []VarID{o}, Part: FullPart()})
+	p.Append(&Instr{Op: OpSelect, Aux: SelectAux{}, Args: []VarID{c}, Rets: []VarID{s}, Part: FullPart()})
+	p.Append(&Instr{Op: OpPack, Args: []VarID{o, c}, Rets: []VarID{out}, Part: FullPart()})
+	if err := p.Validate(); err == nil {
+		t.Fatal("mixed-kind pack not caught")
+	}
+}
+
+func TestValidateCatchesPartitionOnNonPartitionable(t *testing.T) {
+	p := New()
+	s := p.NewVar(KindScalar, "s")
+	half, _ := FullPart().Split()
+	p.Append(&Instr{Op: OpConst, Aux: ConstAux{Value: 1}, Rets: []VarID{s}, Part: half})
+	if err := p.Validate(); err == nil {
+		t.Fatal("partition on const not caught")
+	}
+}
+
+func TestValidateCatchesMissingAux(t *testing.T) {
+	p := New()
+	c := p.NewVar(KindColumn, "c")
+	o := p.NewVar(KindOids, "o")
+	p.Append(&Instr{Op: OpBind, Aux: BindAux{"t", "c"}, Rets: []VarID{c}, Part: FullPart()})
+	p.Append(&Instr{Op: OpSelect, Args: []VarID{c}, Rets: []VarID{o}, Part: FullPart()})
+	if err := p.Validate(); err == nil {
+		t.Fatal("missing SelectAux not caught")
+	}
+}
+
+func TestPartSplitAndResolve(t *testing.T) {
+	full := FullPart()
+	if !full.IsFull() {
+		t.Fatal("FullPart not full")
+	}
+	l, r := full.Split()
+	if l.String() != "[0/2,1/2)" || r.String() != "[1/2,2/2)" {
+		t.Fatalf("split = %s %s", l, r)
+	}
+	ll, lr := l.Split()
+	lo, hi := ll.Resolve(10)
+	if lo != 0 || hi != 2 {
+		t.Fatalf("ll.Resolve(10) = [%d,%d)", lo, hi)
+	}
+	lo, hi = lr.Resolve(10)
+	if lo != 2 || hi != 5 {
+		t.Fatalf("lr.Resolve(10) = [%d,%d)", lo, hi)
+	}
+	if !ll.Before(lr) || lr.Before(ll) {
+		t.Fatal("Before ordering wrong")
+	}
+	if !l.Before(r) {
+		t.Fatal("halves not ordered")
+	}
+}
+
+// Property: any sequence of binary splits covers every position exactly once
+// at any input length — partition boundaries stay aligned (Figure 8).
+func TestPartSplitCoverageProperty(t *testing.T) {
+	f := func(nRaw uint16, splitSeq []uint8) bool {
+		n := int(nRaw)%1000 + 1
+		parts := []Part{FullPart()}
+		for _, s := range splitSeq {
+			if len(splitSeq) > 12 {
+				splitSeq = splitSeq[:12]
+			}
+			i := int(s) % len(parts)
+			l, r := parts[i].Split()
+			parts = append(parts[:i], append([]Part{l, r}, parts[i+1:]...)...)
+			if len(parts) > 40 {
+				break
+			}
+		}
+		covered := make([]int, n)
+		for _, p := range parts {
+			lo, hi := p.Resolve(n)
+			for i := lo; i < hi; i++ {
+				covered[i]++
+			}
+		}
+		for _, c := range covered {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartSplitN(t *testing.T) {
+	parts := FullPart().SplitN(8)
+	if len(parts) != 8 {
+		t.Fatalf("SplitN(8) returned %d parts", len(parts))
+	}
+	covered := make([]int, 64)
+	for _, p := range parts {
+		lo, hi := p.Resolve(64)
+		if hi-lo != 8 {
+			t.Fatalf("power-of-two SplitN uneven: [%d,%d)", lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			covered[i]++
+		}
+	}
+	for i, c := range covered {
+		if c != 1 {
+			t.Fatalf("position %d covered %d times", i, c)
+		}
+	}
+	// Non power of two still covers exactly.
+	parts5 := FullPart().SplitN(5)
+	if len(parts5) != 5 {
+		t.Fatalf("SplitN(5) returned %d parts", len(parts5))
+	}
+	cov := make([]int, 37)
+	for _, p := range parts5 {
+		lo, hi := p.Resolve(37)
+		for i := lo; i < hi; i++ {
+			cov[i]++
+		}
+	}
+	for i, c := range cov {
+		if c != 1 {
+			t.Fatalf("SplitN(5): position %d covered %d times", i, c)
+		}
+	}
+	if got := FullPart().SplitN(1); len(got) != 1 || !got[0].IsFull() {
+		t.Fatal("SplitN(1) should be identity")
+	}
+}
+
+func TestStringAndDot(t *testing.T) {
+	p := buildQ6ish()
+	p.Instrs[3].Part, _ = FullPart().Split()
+	p.Instrs[3].Comment = "clone of select"
+	s := p.String()
+	for _, want := range []string{"select", "pred=", "part=[0/2,1/2)", "# clone of select", "lineitem.l_shipdate"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+	dot := p.Dot()
+	for _, want := range []string{"digraph plan", "n3 ->", "label=\"select"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("Dot() missing %q", want)
+		}
+	}
+}
+
+func TestMaxDOPCountsWidestPack(t *testing.T) {
+	p := New()
+	c := p.NewVar(KindColumn, "c")
+	p.Append(&Instr{Op: OpBind, Aux: BindAux{"t", "c"}, Rets: []VarID{c}, Part: FullPart()})
+	var oids []VarID
+	for i := 0; i < 3; i++ {
+		o := p.NewVar(KindOids, "")
+		p.Append(&Instr{Op: OpSelect, Aux: SelectAux{}, Args: []VarID{c}, Rets: []VarID{o}, Part: FullPart()})
+		oids = append(oids, o)
+	}
+	out := p.NewVar(KindOids, "")
+	p.Append(&Instr{Op: OpPack, Args: oids, Rets: []VarID{out}, Part: FullPart()})
+	if p.MaxDOP() != 3 {
+		t.Fatalf("MaxDOP = %d", p.MaxDOP())
+	}
+}

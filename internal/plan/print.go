@@ -1,0 +1,105 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the plan as MAL-flavoured text, one instruction per line,
+// with partition annotations — the format Figure 7's listing uses.
+func (p *Plan) String() string {
+	var sb strings.Builder
+	for i, in := range p.Instrs {
+		fmt.Fprintf(&sb, "%3d: ", i)
+		if len(in.Rets) > 0 {
+			rets := make([]string, len(in.Rets))
+			for j, r := range in.Rets {
+				rets[j] = p.NameOf(r)
+			}
+			fmt.Fprintf(&sb, "(%s) := ", strings.Join(rets, ", "))
+		}
+		sb.WriteString(in.Op.String())
+		sb.WriteString("(")
+		args := make([]string, len(in.Args))
+		for j, a := range in.Args {
+			args[j] = p.NameOf(a)
+		}
+		sb.WriteString(strings.Join(args, ", "))
+		sb.WriteString(")")
+		if aux := auxString(in.Aux); aux != "" {
+			fmt.Fprintf(&sb, " %s", aux)
+		}
+		if !in.Part.IsFull() {
+			fmt.Fprintf(&sb, " part=%s", in.Part)
+		}
+		if in.Comment != "" {
+			fmt.Fprintf(&sb, "  # %s", in.Comment)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func auxString(aux any) string {
+	switch a := aux.(type) {
+	case nil:
+		return ""
+	case BindAux:
+		return fmt.Sprintf("%s.%s", a.Table, a.Column)
+	case ConstAux:
+		return fmt.Sprintf("=%d", a.Value)
+	case SelectAux:
+		return fmt.Sprintf("pred=%s", rangeString(a.Pred))
+	case LikeAux:
+		neg := ""
+		if a.Anti {
+			neg = "!"
+		}
+		return fmt.Sprintf("%slike=%q", neg, a.Pattern)
+	case CalcAux:
+		return fmt.Sprintf("op=%s", a.Op)
+	case AggrAux:
+		return fmt.Sprintf("f=%s", a.Func)
+	case SortAux:
+		if a.Desc {
+			return "desc"
+		}
+		return "asc"
+	}
+	return fmt.Sprintf("%v", aux)
+}
+
+// Dot renders the dataflow graph in Graphviz format, the visual companion to
+// Figure 7 ("rectangles represent operators, edges the dependencies").
+func (p *Plan) Dot() string {
+	var sb strings.Builder
+	sb.WriteString("digraph plan {\n  rankdir=TB;\n  node [shape=box, fontsize=10];\n")
+	for i, in := range p.Instrs {
+		label := in.Op.String()
+		if !in.Part.IsFull() {
+			label += "\\n" + in.Part.String()
+		}
+		fmt.Fprintf(&sb, "  n%d [label=\"%s\"];\n", i, label)
+	}
+	producer := make(map[VarID]int)
+	for i, in := range p.Instrs {
+		for _, r := range in.Rets {
+			producer[r] = i
+		}
+	}
+	for i, in := range p.Instrs {
+		seen := map[int]bool{}
+		for _, a := range in.Args {
+			if src, ok := producer[a]; ok && !seen[src] {
+				fmt.Fprintf(&sb, "  n%d -> n%d;\n", src, i)
+				seen[src] = true
+			}
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func rangeString(r any) string {
+	return strings.ReplaceAll(fmt.Sprintf("%+v", r), " ", "")
+}

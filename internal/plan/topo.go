@@ -1,0 +1,71 @@
+package plan
+
+import "fmt"
+
+// TopoSort reorders the instruction list into a valid topological order of
+// the dataflow graph (def before use), stable with respect to the current
+// order: among ready instructions the earliest-listed runs first. Mutations
+// use it to restore the def-before-use invariant after rewiring consumers;
+// stability keeps pack-argument partition order intact.
+//
+// It returns an error if the graph has a cycle (which would indicate a bug
+// in a mutation).
+func (p *Plan) TopoSort() error {
+	n := len(p.Instrs)
+	producer := make(map[VarID]int, n)
+	for i, in := range p.Instrs {
+		for _, r := range in.Rets {
+			producer[r] = i
+		}
+	}
+	indeg := make([]int, n)
+	dependents := make([][]int, n)
+	for i, in := range p.Instrs {
+		seen := map[int]bool{}
+		for _, a := range in.Args {
+			src, ok := producer[a]
+			if !ok {
+				return fmt.Errorf("plan: instr %d (%s) consumes unproduced var %s", i, in.Op, p.NameOf(a))
+			}
+			if src == i {
+				return fmt.Errorf("plan: instr %d (%s) consumes its own output", i, in.Op)
+			}
+			if !seen[src] {
+				seen[src] = true
+				indeg[i]++
+				dependents[src] = append(dependents[src], i)
+			}
+		}
+	}
+	// Stable Kahn's algorithm: a min-ordered ready list by original index.
+	var ready []int
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	out := make([]*Instr, 0, n)
+	for len(ready) > 0 {
+		// Pop the smallest original index for stability.
+		min := 0
+		for i := 1; i < len(ready); i++ {
+			if ready[i] < ready[min] {
+				min = i
+			}
+		}
+		idx := ready[min]
+		ready = append(ready[:min], ready[min+1:]...)
+		out = append(out, p.Instrs[idx])
+		for _, d := range dependents[idx] {
+			indeg[d]--
+			if indeg[d] == 0 {
+				ready = append(ready, d)
+			}
+		}
+	}
+	if len(out) != n {
+		return fmt.Errorf("plan: dependency cycle involving %d instructions", n-len(out))
+	}
+	p.Instrs = out
+	return nil
+}

@@ -1,0 +1,71 @@
+package plan
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+)
+
+func TestTopoSortRestoresOrder(t *testing.T) {
+	p := buildQ6ish()
+	// Scramble: move the result instruction first and a bind last.
+	n := len(p.Instrs)
+	p.Instrs[0], p.Instrs[n-1] = p.Instrs[n-1], p.Instrs[0]
+	if err := p.Validate(); err == nil {
+		t.Fatal("scrambled plan unexpectedly valid")
+	}
+	if err := p.TopoSort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("TopoSort did not restore def-before-use: %v", err)
+	}
+}
+
+func TestTopoSortIsStable(t *testing.T) {
+	p := buildQ6ish()
+	var before []OpCode
+	for _, in := range p.Instrs {
+		before = append(before, in.Op)
+	}
+	if err := p.TopoSort(); err != nil {
+		t.Fatal(err)
+	}
+	for i, in := range p.Instrs {
+		if in.Op != before[i] {
+			t.Fatalf("already-sorted plan reordered at %d: %s -> %s", i, before[i], in.Op)
+		}
+	}
+}
+
+func TestTopoSortDetectsCycle(t *testing.T) {
+	p := New()
+	a := p.NewVar(KindColumn, "a")
+	b := p.NewVar(KindColumn, "b")
+	// a needs b, b needs a.
+	p.Append(&Instr{Op: OpFetchPos, Args: []VarID{b, b}, Rets: []VarID{a}, Part: FullPart()})
+	p.Append(&Instr{Op: OpFetchPos, Args: []VarID{a, a}, Rets: []VarID{b}, Part: FullPart()})
+	if err := p.TopoSort(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+}
+
+func TestTopoSortUnproducedVar(t *testing.T) {
+	p := New()
+	ghost := p.NewVar(KindColumn, "ghost")
+	o := p.NewVar(KindOids, "o")
+	p.Append(&Instr{Op: OpSelect, Aux: SelectAux{Pred: algebra.FullRange()},
+		Args: []VarID{ghost}, Rets: []VarID{o}, Part: FullPart()})
+	if err := p.TopoSort(); err == nil {
+		t.Fatal("unproduced variable not detected")
+	}
+}
+
+func TestTopoSortSelfReference(t *testing.T) {
+	p := New()
+	v := p.NewVar(KindColumn, "v")
+	p.Append(&Instr{Op: OpFetchPos, Args: []VarID{v, v}, Rets: []VarID{v}, Part: FullPart()})
+	if err := p.TopoSort(); err == nil {
+		t.Fatal("self-reference not detected")
+	}
+}

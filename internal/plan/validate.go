@@ -1,0 +1,251 @@
+package plan
+
+import (
+	"fmt"
+)
+
+// Validate checks structural invariants: def-before-use ordering (the
+// instruction list must be a topological order of the dataflow graph), SSA
+// single assignment, kind agreement for every operator, pack homogeneity,
+// and partition sanity. Mutations call Validate on their output in tests;
+// the engine calls it once per plan before execution.
+func (p *Plan) Validate() error {
+	defined := make([]bool, p.NVars())
+	assigned := make([]bool, p.NVars())
+	for i, in := range p.Instrs {
+		for _, a := range in.Args {
+			if int(a) >= p.NVars() {
+				return fmt.Errorf("plan: instr %d (%s) references unknown var %d", i, in.Op, a)
+			}
+			if !defined[a] {
+				return fmt.Errorf("plan: instr %d (%s) uses %s before definition", i, in.Op, p.NameOf(a))
+			}
+		}
+		for _, r := range in.Rets {
+			if int(r) >= p.NVars() {
+				return fmt.Errorf("plan: instr %d (%s) returns unknown var %d", i, in.Op, r)
+			}
+			if assigned[r] {
+				return fmt.Errorf("plan: instr %d (%s) reassigns %s (SSA violation)", i, in.Op, p.NameOf(r))
+			}
+			assigned[r] = true
+			defined[r] = true
+		}
+		if err := p.checkInstr(i, in); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Plan) checkInstr(i int, in *Instr) error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("plan: instr %d (%s): %s", i, in.Op, fmt.Sprintf(format, args...))
+	}
+	argKinds := func(kinds ...Kind) error {
+		if len(in.Args) != len(kinds) {
+			return fail("want %d args, got %d", len(kinds), len(in.Args))
+		}
+		for j, k := range kinds {
+			if p.KindOf(in.Args[j]) != k {
+				return fail("arg %d is %s, want %s", j, p.KindOf(in.Args[j]), k)
+			}
+		}
+		return nil
+	}
+	retKinds := func(kinds ...Kind) error {
+		if len(in.Rets) != len(kinds) {
+			return fail("want %d rets, got %d", len(kinds), len(in.Rets))
+		}
+		for j, k := range kinds {
+			if p.KindOf(in.Rets[j]) != k {
+				return fail("ret %d is %s, want %s", j, p.KindOf(in.Rets[j]), k)
+			}
+		}
+		return nil
+	}
+
+	if in.Part.Den == 0 {
+		return fail("zero partition denominator")
+	}
+	if in.Part.LoNum > in.Part.HiNum || in.Part.HiNum > in.Part.Den {
+		return fail("malformed partition %s", in.Part)
+	}
+	if !in.Part.IsFull() && SliceArgs(in.Op) == nil {
+		return fail("partition %s on non-partitionable operator", in.Part)
+	}
+
+	switch in.Op {
+	case OpBind:
+		if _, ok := in.Aux.(BindAux); !ok {
+			return fail("missing BindAux")
+		}
+		if err := argKinds(); err != nil {
+			return err
+		}
+		return retKinds(KindColumn)
+	case OpConst:
+		if _, ok := in.Aux.(ConstAux); !ok {
+			return fail("missing ConstAux")
+		}
+		return retKinds(KindScalar)
+	case OpSelect:
+		if _, ok := in.Aux.(SelectAux); !ok {
+			return fail("missing SelectAux")
+		}
+		if err := argKinds(KindColumn); err != nil {
+			return err
+		}
+		return retKinds(KindOids)
+	case OpSelectCand:
+		if _, ok := in.Aux.(SelectAux); !ok {
+			return fail("missing SelectAux")
+		}
+		if err := argKinds(KindColumn, KindOids); err != nil {
+			return err
+		}
+		return retKinds(KindOids)
+	case OpLikeSelect:
+		if _, ok := in.Aux.(LikeAux); !ok {
+			return fail("missing LikeAux")
+		}
+		if err := argKinds(KindColumn); err != nil {
+			return err
+		}
+		return retKinds(KindOids)
+	case OpFetch:
+		if err := argKinds(KindOids, KindColumn); err != nil {
+			return err
+		}
+		return retKinds(KindColumn)
+	case OpFetchPos:
+		if err := argKinds(KindOids, KindColumn); err != nil {
+			return err
+		}
+		return retKinds(KindColumn)
+	case OpJoin:
+		if err := argKinds(KindColumn, KindColumn); err != nil {
+			return err
+		}
+		return retKinds(KindOids, KindOids)
+	case OpCalcVV:
+		if _, ok := in.Aux.(CalcAux); !ok {
+			return fail("missing CalcAux")
+		}
+		if err := argKinds(KindColumn, KindColumn); err != nil {
+			return err
+		}
+		return retKinds(KindColumn)
+	case OpCalcSV:
+		if _, ok := in.Aux.(CalcAux); !ok {
+			return fail("missing CalcAux")
+		}
+		if err := argKinds(KindColumn); err != nil {
+			return err
+		}
+		return retKinds(KindColumn)
+	case OpCalcSSV:
+		if _, ok := in.Aux.(CalcAux); !ok {
+			return fail("missing CalcAux")
+		}
+		if err := argKinds(KindScalar, KindColumn); err != nil {
+			return err
+		}
+		return retKinds(KindColumn)
+	case OpCalcSS:
+		if _, ok := in.Aux.(CalcAux); !ok {
+			return fail("missing CalcAux")
+		}
+		if err := argKinds(KindScalar, KindScalar); err != nil {
+			return err
+		}
+		return retKinds(KindScalar)
+	case OpGroupBy:
+		if err := argKinds(KindColumn); err != nil {
+			return err
+		}
+		return retKinds(KindGroups)
+	case OpGroupKeys:
+		if err := argKinds(KindGroups); err != nil {
+			return err
+		}
+		return retKinds(KindColumn)
+	case OpAggrGrouped:
+		if _, ok := in.Aux.(AggrAux); !ok {
+			return fail("missing AggrAux")
+		}
+		if err := argKinds(KindColumn, KindGroups); err != nil {
+			return err
+		}
+		return retKinds(KindColumn)
+	case OpAggr:
+		if _, ok := in.Aux.(AggrAux); !ok {
+			return fail("missing AggrAux")
+		}
+		if err := argKinds(KindColumn); err != nil {
+			return err
+		}
+		return retKinds(KindScalar)
+	case OpMergeAggr:
+		if _, ok := in.Aux.(AggrAux); !ok {
+			return fail("missing AggrAux")
+		}
+		if err := argKinds(KindColumn); err != nil {
+			return err
+		}
+		return retKinds(KindScalar)
+	case OpGroupMerge:
+		if _, ok := in.Aux.(AggrAux); !ok {
+			return fail("missing AggrAux")
+		}
+		if err := argKinds(KindColumn, KindColumn); err != nil {
+			return err
+		}
+		return retKinds(KindColumn, KindColumn)
+	case OpPack:
+		if len(in.Args) == 0 {
+			return fail("pack with no inputs")
+		}
+		first := p.KindOf(in.Args[0])
+		for _, a := range in.Args {
+			if p.KindOf(a) != first {
+				return fail("pack over mixed kinds %s and %s", first, p.KindOf(a))
+			}
+		}
+		switch first {
+		case KindOids:
+			return retKinds(KindOids)
+		case KindColumn, KindScalar:
+			return retKinds(KindColumn)
+		default:
+			return fail("pack over %s", first)
+		}
+	case OpSort:
+		if _, ok := in.Aux.(SortAux); !ok {
+			return fail("missing SortAux")
+		}
+		if err := argKinds(KindColumn); err != nil {
+			return err
+		}
+		return retKinds(KindColumn, KindOids)
+	case OpMergeSorted:
+		if _, ok := in.Aux.(SortAux); !ok {
+			return fail("missing SortAux")
+		}
+		if len(in.Args) == 0 {
+			return fail("mergesorted with no inputs")
+		}
+		for _, a := range in.Args {
+			if p.KindOf(a) != KindColumn {
+				return fail("mergesorted arg is %s", p.KindOf(a))
+			}
+		}
+		return retKinds(KindColumn)
+	case OpResult:
+		if len(in.Rets) != 0 {
+			return fail("result must not return")
+		}
+		return nil
+	}
+	return fail("unknown opcode")
+}

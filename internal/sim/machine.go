@@ -1,0 +1,355 @@
+// Package sim implements the discrete-event multi-core machine on which all
+// query plans execute. It is the substitute for the paper's physical Xeon
+// servers (DESIGN.md §2): cores grouped into sockets with SMT pairs, a
+// processor-sharing model of the shared memory bandwidth per socket, NUMA
+// remote-access penalties, and a seeded OS-noise model. Operators compute
+// real results on the host; the simulator only decides how long each
+// operator *takes* and when it runs, in virtual nanoseconds.
+//
+// The fluid model: every running task has `remaining` nanoseconds of
+// unit-rate work and progresses at a rate determined by its core's SMT
+// occupancy and the socket's bandwidth saturation. Rates are recomputed at
+// every event (task start or completion), and the clock jumps to the next
+// completion — a classic processor-sharing event simulation, deterministic
+// for a fixed seed and submission order.
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Config describes a simulated machine. Byte capacities are scaled by the
+// same factor as the datasets (1/100 of the paper's hardware) so that
+// cache-residency crossovers land where the paper's do.
+type Config struct {
+	Name               string
+	Sockets            int
+	PhysCoresPerSocket int
+	SMT                int     // hardware threads per physical core
+	SpeedFactor        float64 // relative per-core speed (1.0 = 2.0 GHz class)
+	L3PerSocket        int64   // bytes, scaled
+	BWPerSocket        float64 // bytes per ns of memory bandwidth, scaled
+	SMTFactor          float64 // per-thread rate when the SMT sibling is busy
+	NUMAFactor         float64 // memory slowdown for remote-socket access
+	Noise              NoiseConfig
+	Seed               int64
+}
+
+// LogicalCores returns the number of schedulable hardware threads.
+func (c Config) LogicalCores() int { return c.Sockets * c.PhysCoresPerSocket * c.SMT }
+
+// PhysicalCores returns the number of physical cores.
+func (c Config) PhysicalCores() int { return c.Sockets * c.PhysCoresPerSocket }
+
+// TwoSocket mirrors the paper's 2-socket Intel Xeon E5-2650 machine
+// (Table 1): 2×8 physical cores, 32 hyper-threads, 20 MB shared L3 per
+// socket and 256 GB of RAM — L3 and bandwidth scaled 1/100 like the data.
+func TwoSocket() Config {
+	return Config{
+		Name:               "2-socket E5-2650-class (32 threads)",
+		Sockets:            2,
+		PhysCoresPerSocket: 8,
+		SMT:                2,
+		SpeedFactor:        1.0,
+		L3PerSocket:        200 << 10, // 20 MB scaled 1/100
+		BWPerSocket:        40,        // ~4 GB/s per socket at 1/100 scale
+		SMTFactor:          0.55,
+		NUMAFactor:         1.35,
+	}
+}
+
+// FourSocket mirrors the paper's 4-socket Intel Xeon E5-4657Lv2 machine
+// (Table 1): 4×12 physical cores, 96 hyper-threads, 30 MB L3 per socket,
+// 2.4 GHz (1.2× the two-socket machine's clock).
+func FourSocket() Config {
+	return Config{
+		Name:               "4-socket E5-4657Lv2-class (96 threads)",
+		Sockets:            4,
+		PhysCoresPerSocket: 12,
+		SMT:                2,
+		SpeedFactor:        1.2,
+		L3PerSocket:        300 << 10, // 30 MB scaled 1/100
+		BWPerSocket:        40,
+		SMTFactor:          0.55,
+		NUMAFactor:         1.35,
+	}
+}
+
+// NoiseConfig models run-time environment disturbance (§3.3.3): multiplicative
+// jitter on every task and rare large spikes that mimic OS interference.
+type NoiseConfig struct {
+	Enabled   bool
+	Jitter    float64 // uniform ±Jitter fraction on every task
+	SpikeProb float64 // probability a task is hit by an interference spike
+	SpikeMin  float64 // spike multiplier range
+	SpikeMax  float64
+}
+
+// DefaultNoise is calibrated so that convergence traces show the occasional
+// above-serial peak of Figure 11 without drowning the signal.
+func DefaultNoise() NoiseConfig {
+	return NoiseConfig{Enabled: true, Jitter: 0.03, SpikeProb: 0.004, SpikeMin: 4, SpikeMax: 10}
+}
+
+// Task is one schedulable unit: an operator execution.
+type Task struct {
+	Label      string
+	Job        *Job
+	BaseNs     float64 // duration at unit rate on an uncontended core
+	MemFrac    float64 // fraction of BaseNs bound on memory bandwidth
+	Bytes      float64 // bytes moved; bandwidth demand = Bytes/BaseNs
+	HomeSocket int     // socket owning the task's data partition
+	OnStart    func(now float64, core int)
+	OnComplete func(now float64, core int)
+
+	remaining float64
+	rate      float64
+	core      int
+}
+
+// Job groups tasks for admission control: at most MaxCores of a job's tasks
+// run simultaneously (0 = unlimited). The Vectorwise comparator uses this to
+// model its resource-allocation scheme (§4.2.4).
+type Job struct {
+	ID       int
+	MaxCores int
+	running  int
+}
+
+// Machine is the simulated multi-core machine.
+type Machine struct {
+	cfg   Config
+	rng   *rand.Rand
+	now   float64
+	ready []*Task
+	// cores[i] holds the running task or nil. Core i lives on socket
+	// i/(PhysCoresPerSocket*SMT); its SMT sibling is i^1 when SMT=2.
+	cores   []*Task
+	running int
+	jobs    int
+
+	// BusyNs accumulates core-busy virtual time for utilisation accounting.
+	BusyNs float64
+}
+
+// NewMachine builds a machine from cfg.
+func NewMachine(cfg Config) *Machine {
+	if cfg.SMT != 1 && cfg.SMT != 2 {
+		panic(fmt.Sprintf("sim: SMT=%d unsupported (1 or 2)", cfg.SMT))
+	}
+	if cfg.SpeedFactor <= 0 {
+		cfg.SpeedFactor = 1
+	}
+	return &Machine{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		cores: make([]*Task, cfg.LogicalCores()),
+	}
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Now returns the current virtual time in nanoseconds.
+func (m *Machine) Now() float64 { return m.now }
+
+// NewJob allocates a job handle. maxCores of 0 means unlimited.
+func (m *Machine) NewJob(maxCores int) *Job {
+	m.jobs++
+	return &Job{ID: m.jobs, MaxCores: maxCores}
+}
+
+// Submit queues a task; it starts when a core (and its job's core budget)
+// becomes available. Submission order is preserved FIFO, which makes the
+// whole simulation deterministic.
+func (m *Machine) Submit(t *Task) {
+	if t.Job == nil {
+		panic("sim: task without job")
+	}
+	if t.BaseNs <= 0 {
+		t.BaseNs = 1 // zero-length tasks still occupy a scheduling slot
+	}
+	if t.MemFrac < 0 {
+		t.MemFrac = 0
+	}
+	if t.MemFrac > 1 {
+		t.MemFrac = 1
+	}
+	t.remaining = t.BaseNs * m.noiseFactor()
+	m.ready = append(m.ready, t)
+}
+
+func (m *Machine) noiseFactor() float64 {
+	n := m.cfg.Noise
+	if !n.Enabled {
+		return 1
+	}
+	f := 1 + n.Jitter*(2*m.rng.Float64()-1)
+	if m.rng.Float64() < n.SpikeProb {
+		f *= n.SpikeMin + m.rng.Float64()*(n.SpikeMax-n.SpikeMin)
+	}
+	return f
+}
+
+func (m *Machine) socketOf(core int) int {
+	return core / (m.cfg.PhysCoresPerSocket * m.cfg.SMT)
+}
+
+func (m *Machine) siblingOf(core int) int {
+	if m.cfg.SMT == 1 {
+		return -1
+	}
+	return core ^ 1
+}
+
+// pickCore chooses an idle core for a task, preferring (1) an idle core with
+// an idle SMT sibling on the task's home socket, (2) such a core anywhere,
+// (3) any idle core on the home socket, (4) any idle core. Returns -1 when
+// the machine is saturated.
+func (m *Machine) pickCore(t *Task) int {
+	best := -1
+	bestScore := -1
+	for i, occ := range m.cores {
+		if occ != nil {
+			continue
+		}
+		score := 0
+		if sib := m.siblingOf(i); sib < 0 || m.cores[sib] == nil {
+			score += 2
+		}
+		if m.socketOf(i) == t.HomeSocket%m.cfg.Sockets {
+			score++
+		}
+		if score > bestScore {
+			bestScore = score
+			best = i
+		}
+	}
+	return best
+}
+
+// dispatch moves ready tasks onto idle cores, respecting job core budgets.
+func (m *Machine) dispatch() {
+	kept := m.ready[:0]
+	for _, t := range m.ready {
+		if t.Job.MaxCores > 0 && t.Job.running >= t.Job.MaxCores {
+			kept = append(kept, t)
+			continue
+		}
+		core := m.pickCore(t)
+		if core < 0 {
+			kept = append(kept, t)
+			continue
+		}
+		t.core = core
+		m.cores[core] = t
+		m.running++
+		t.Job.running++
+		if t.OnStart != nil {
+			t.OnStart(m.now, core)
+		}
+	}
+	m.ready = kept
+}
+
+// recomputeRates refreshes every running task's progress rate from the
+// current SMT occupancy and per-socket bandwidth saturation.
+func (m *Machine) recomputeRates() {
+	// Per-socket bandwidth demand of the memory-bound parts.
+	demand := make([]float64, m.cfg.Sockets)
+	for core, t := range m.cores {
+		if t == nil {
+			continue
+		}
+		bw := 0.0
+		if t.BaseNs > 0 {
+			bw = t.Bytes / t.BaseNs * t.MemFrac
+		}
+		demand[m.socketOf(core)] += bw
+	}
+	for core, t := range m.cores {
+		if t == nil {
+			continue
+		}
+		rate := m.cfg.SpeedFactor
+		if sib := m.siblingOf(core); sib >= 0 && m.cores[sib] != nil {
+			rate *= m.cfg.SMTFactor
+		}
+		sock := m.socketOf(core)
+		bwFactor := 1.0
+		if demand[sock] > m.cfg.BWPerSocket && demand[sock] > 0 {
+			bwFactor = m.cfg.BWPerSocket / demand[sock]
+		}
+		numa := 1.0
+		if m.cfg.Sockets > 1 && sock != t.HomeSocket%m.cfg.Sockets && m.cfg.NUMAFactor > 1 {
+			numa = 1 / m.cfg.NUMAFactor
+		}
+		memRate := bwFactor * numa
+		t.rate = rate * ((1 - t.MemFrac) + t.MemFrac*memRate)
+		if t.rate <= 0 {
+			t.rate = 1e-9
+		}
+	}
+}
+
+// step advances the simulation by one event. It reports false when nothing
+// is running and nothing could be dispatched.
+func (m *Machine) step() bool {
+	m.dispatch()
+	if m.running == 0 {
+		return false
+	}
+	m.recomputeRates()
+	// Find the earliest completion.
+	dt := math.Inf(1)
+	for _, t := range m.cores {
+		if t == nil {
+			continue
+		}
+		if d := t.remaining / t.rate; d < dt {
+			dt = d
+		}
+	}
+	m.now += dt
+	// Progress everyone; complete all tasks that finish at this instant, in
+	// core order for determinism.
+	for core, t := range m.cores {
+		if t == nil {
+			continue
+		}
+		t.remaining -= dt * t.rate
+		if t.remaining <= 1e-9 {
+			m.cores[core] = nil
+			m.running--
+			t.Job.running--
+			m.BusyNs += t.BaseNs / m.cfg.SpeedFactor // busy time at nominal rate
+			if t.OnComplete != nil {
+				t.OnComplete(m.now, core)
+			}
+		}
+	}
+	return true
+}
+
+// Run processes events until the machine drains: no running tasks and no
+// dispatchable ready tasks. Completion callbacks may submit further tasks.
+func (m *Machine) Run() {
+	for m.step() {
+	}
+	if len(m.ready) > 0 {
+		panic(fmt.Sprintf("sim: %d tasks remain undispatchable (job core budgets deadlocked?)", len(m.ready)))
+	}
+}
+
+// RunUntil processes events until done() reports true or the machine
+// drains. It lets a caller wait for one job while unrelated work (e.g. a
+// background load generator) keeps the machine busy.
+func (m *Machine) RunUntil(done func() bool) {
+	for !done() && m.step() {
+	}
+}
+
+// L3SharePerSocket exposes the socket L3 size to the cost model.
+func (m *Machine) L3SharePerSocket() int64 { return m.cfg.L3PerSocket }

@@ -1,0 +1,62 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRunUntilStopsEarly(t *testing.T) {
+	m := NewMachine(tinyConfig())
+	job := m.NewJob(1) // serial: tasks complete one by one
+	done := 0
+	for i := 0; i < 5; i++ {
+		m.Submit(&Task{Job: job, BaseNs: 100,
+			OnComplete: func(now float64, core int) { done++ }})
+	}
+	m.RunUntil(func() bool { return done >= 2 })
+	if done != 2 {
+		t.Fatalf("done = %d, want exactly 2", done)
+	}
+	if math.Abs(m.Now()-200) > 1e-6 {
+		t.Fatalf("Now = %f, want 200", m.Now())
+	}
+	// Remaining work continues on the next drive.
+	m.Run()
+	if done != 5 {
+		t.Fatalf("done after Run = %d", done)
+	}
+}
+
+func TestRunUntilDrainsWhenConditionNeverTrue(t *testing.T) {
+	m := NewMachine(tinyConfig())
+	job := m.NewJob(0)
+	done := 0
+	submitN(m, job, 3, 50, &done)
+	m.RunUntil(func() bool { return false })
+	if done != 3 {
+		t.Fatalf("done = %d, want all work drained", done)
+	}
+}
+
+func TestZeroLengthTaskStillSchedules(t *testing.T) {
+	m := NewMachine(tinyConfig())
+	job := m.NewJob(0)
+	ran := false
+	m.Submit(&Task{Job: job, BaseNs: 0,
+		OnComplete: func(now float64, core int) { ran = true }})
+	m.Run()
+	if !ran {
+		t.Fatal("zero-length task never completed")
+	}
+}
+
+func TestMemFracClamped(t *testing.T) {
+	m := NewMachine(tinyConfig())
+	job := m.NewJob(0)
+	m.Submit(&Task{Job: job, BaseNs: 10, MemFrac: 42, Bytes: 1})
+	m.Submit(&Task{Job: job, BaseNs: 10, MemFrac: -3})
+	m.Run() // must not panic or hang
+	if m.Now() <= 0 {
+		t.Fatal("clock did not advance")
+	}
+}

@@ -1,0 +1,169 @@
+// Package storage implements the column-store substrate the paper assumes:
+// columns with virtual consecutive head oids (MonetDB's hseqbase), zero-copy
+// range-partition views over base and intermediate columns, tables and a
+// catalog, a shared hash-index cache (MonetDB caches hash indexes on BATs, so
+// cloned join operators re-use a single build — §2.1), and the boundary
+// alignment rules for dynamically partitioned tuple reconstruction (§2.3,
+// Figures 9 and 10).
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/vec"
+)
+
+// Column is a BAT-like column: a virtual head of consecutive oids starting at
+// Seq paired with a payload tail. Views created by View share the payload of
+// their base column; Seq keeps oid arithmetic aligned with the base so that
+// dynamically sized partitions stay "aligned on the base column" (Figure 8D).
+type Column struct {
+	name string
+	seq  int64
+	data *vec.Vector
+
+	base *Column // base column of a view chain; nil for base columns
+
+	mu     sync.Mutex
+	hashes map[hashKey]*HashIndex // populated on base columns only
+}
+
+type hashKey struct {
+	lo, hi int64
+}
+
+// NewColumn creates a base column with head oids [seq, seq+len).
+func NewColumn(name string, seq int64, data *vec.Vector) *Column {
+	return &Column{name: name, seq: seq, data: data}
+}
+
+// NewIntColumn is a convenience wrapper over NewColumn for int64 payloads
+// with head oids starting at zero.
+func NewIntColumn(name string, vals []int64) *Column {
+	return NewColumn(name, 0, vec.NewInt64(vals))
+}
+
+// Name returns the column name (view names inherit the base name).
+func (c *Column) Name() string { return c.name }
+
+// Seq returns the first head oid.
+func (c *Column) Seq() int64 { return c.seq }
+
+// Len returns the number of tuples.
+func (c *Column) Len() int { return c.data.Len() }
+
+// Bytes returns the payload size in bytes.
+func (c *Column) Bytes() int64 { return c.data.Bytes() }
+
+// Data exposes the payload vector (read-only).
+func (c *Column) Data() *vec.Vector { return c.data }
+
+// Values exposes the raw payload values (read-only).
+func (c *Column) Values() []int64 { return c.data.Values() }
+
+// At returns the payload value at position i of this view (not an absolute
+// oid; see ValueAtOid for oid-based access).
+func (c *Column) At(i int) int64 { return c.data.At(i) }
+
+// Dict returns the string dictionary for dictionary-coded columns, or nil.
+func (c *Column) Dict() *vec.Dict { return c.data.Dict() }
+
+// Base returns the base column of a view chain (itself for base columns).
+func (c *Column) Base() *Column {
+	if c.base != nil {
+		return c.base
+	}
+	return c
+}
+
+// EndSeq returns one past the last head oid: the view covers oids
+// [Seq, EndSeq).
+func (c *Column) EndSeq() int64 { return c.seq + int64(c.data.Len()) }
+
+// View returns a zero-copy range-partition slice over positions [lo, hi) of
+// the receiver. The view's head oids continue the receiver's oid space
+// (seq+lo ...), which is exactly the "read only slices on the base or the
+// intermediate column" partitioning of §2.3: no data copy, boundary ranges
+// only.
+func (c *Column) View(lo, hi int) *Column {
+	if lo < 0 || hi < lo || hi > c.Len() {
+		panic(fmt.Sprintf("storage: view [%d,%d) out of range for column %q of length %d", lo, hi, c.name, c.Len()))
+	}
+	return &Column{
+		name: c.name,
+		seq:  c.seq + int64(lo),
+		data: c.data.Slice(lo, hi),
+		base: c.Base(),
+	}
+}
+
+// OidToPos translates an absolute head oid into a position of this view, and
+// reports whether the oid falls inside the view.
+func (c *Column) OidToPos(oid int64) (int, bool) {
+	pos := oid - c.seq
+	if pos < 0 || pos >= int64(c.Len()) {
+		return 0, false
+	}
+	return int(pos), true
+}
+
+// ValueAtOid returns the payload value addressed by absolute head oid.
+func (c *Column) ValueAtOid(oid int64) int64 {
+	pos, ok := c.OidToPos(oid)
+	if !ok {
+		panic(fmt.Sprintf("storage: oid %d outside view [%d,%d) of column %q", oid, c.seq, c.EndSeq(), c.name))
+	}
+	return c.data.At(pos)
+}
+
+// HashIndex is a value → head-oid multimap built over a column range. Builds
+// are cached on the base column keyed by the covered oid range, so two cloned
+// join operators probing the same inner share one build — the behaviour the
+// paper relies on when only the outer join input is partitioned (§2.1).
+type HashIndex struct {
+	index map[int64][]int64
+	// tuples counts entries, exposed for cost accounting.
+	tuples int64
+}
+
+// Lookup returns the head oids whose value equals v. The returned slice must
+// be treated as read-only.
+func (h *HashIndex) Lookup(v int64) []int64 { return h.index[v] }
+
+// Tuples reports how many tuples the index covers.
+func (h *HashIndex) Tuples() int64 { return h.tuples }
+
+// Hash returns the hash index over the receiver's full range, building it on
+// first use. The second return value reports whether this call performed the
+// build (true) or hit the cache (false); the cost model charges the build
+// only when it actually happened.
+func (c *Column) Hash() (*HashIndex, bool) {
+	base := c.Base()
+	key := hashKey{lo: c.seq, hi: c.EndSeq()}
+
+	base.mu.Lock()
+	defer base.mu.Unlock()
+	if base.hashes == nil {
+		base.hashes = make(map[hashKey]*HashIndex)
+	}
+	if h, ok := base.hashes[key]; ok {
+		return h, false
+	}
+	h := &HashIndex{index: make(map[int64][]int64, c.Len()), tuples: int64(c.Len())}
+	vals := c.data.Values()
+	for i, v := range vals {
+		h.index[v] = append(h.index[v], c.seq+int64(i))
+	}
+	base.hashes[key] = h
+	return h, true
+}
+
+// DropHashes discards every cached hash index on the receiver's base column.
+// Used by tests and by benchmarks that want to charge builds again.
+func (c *Column) DropHashes() {
+	base := c.Base()
+	base.mu.Lock()
+	defer base.mu.Unlock()
+	base.hashes = nil
+}

@@ -1,0 +1,239 @@
+// Package tpcds provides a synthetic TPC-DS-like star schema with the
+// property the paper's §4.2.2 experiments depend on: heavily skewed fact
+// data. TPC-DS (unlike TPC-H's uniform distributions) ships skewed
+// columns, which is what makes the statically range-partitioned heuristic
+// plans up to five times slower than adaptive plans — static equi-range
+// partitions put most of the matching work into a few partitions, while
+// adaptive parallelization keeps splitting whichever partition stays
+// expensive until expensiveness balances out (§4.1.1).
+//
+// The generator produces one store_sales fact table plus date_dim, item,
+// store and customer dimensions at 1/100 linear scale. Skew has two
+// components mirroring real sales data:
+//
+//   - item popularity follows a harmonic (Zipf-like) distribution: the top
+//     items absorb most of the sales volume;
+//   - sales are bursty: an item's sales arrive in sequential runs of
+//     identical tuples (campaigns, restocks), the "sequential clusters of
+//     identical tuples" shape of Figure 13 — this is what makes positional
+//     equi-range partitions suffer execution skew on dimension-filtered
+//     joins;
+//   - fact rows are date-clustered: rows arrive in date order, so a date
+//     filter hits a contiguous region of the fact table.
+package tpcds
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/storage"
+	"repro/internal/vec"
+)
+
+// Rows per scale factor (1/100 of a rough TPC-DS profile).
+const (
+	factPerSF     = 28_800
+	itemsPerSF    = 180
+	storesPerSF   = 2
+	customerPerSF = 1_000
+	dateDays      = 1826 // five years
+)
+
+// Categories used by the item dimension.
+var categories = []string{"Books", "Electronics", "Home", "Jewelry", "Music",
+	"Shoes", "Sports", "Women", "Men", "Children"}
+
+var states = []string{"TN", "GA", "SC", "AL", "KY", "VA", "NC", "FL"}
+
+// Config controls generation.
+type Config struct {
+	// SF is the scale factor: SF100 ≈ 2.88M fact rows at 1/100 scale.
+	SF float64
+	// Seed makes generation deterministic.
+	Seed int64
+	// SkewTheta controls item-popularity skew; 0 disables skew (uniform),
+	// 1 is the default heavy skew.
+	SkewTheta float64
+}
+
+// Generate builds the catalog.
+func Generate(cfg Config) *storage.Catalog {
+	if cfg.SF <= 0 {
+		cfg.SF = 1
+	}
+	if cfg.SkewTheta == 0 {
+		cfg.SkewTheta = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5ca1ab1e))
+	nFact := int(float64(factPerSF) * cfg.SF)
+	nItem := int(float64(itemsPerSF) * cfg.SF)
+	if nItem < 20 {
+		nItem = 20
+	}
+	nStore := int(float64(storesPerSF) * cfg.SF)
+	if nStore < 2 {
+		nStore = 2
+	}
+	nCust := int(float64(customerPerSF) * cfg.SF)
+	if nCust < 50 {
+		nCust = 50
+	}
+
+	cat := storage.NewCatalog()
+	cat.MustAdd(genDateDim())
+	cat.MustAdd(genItem(rng, nItem))
+	cat.MustAdd(genStore(rng, nStore))
+	cat.MustAdd(genCustomer(rng, nCust))
+	cat.MustAdd(genStoreSales(rng, nFact, nItem, nStore, nCust, cfg.SkewTheta))
+	return cat
+}
+
+func genDateDim() *storage.Table {
+	t := storage.NewTable("date_dim")
+	sk := make([]int64, dateDays)
+	year := make([]int64, dateDays)
+	moy := make([]int64, dateDays)
+	for i := 0; i < dateDays; i++ {
+		sk[i] = int64(i)
+		year[i] = 1999 + int64(i/365)
+		moy[i] = int64((i%365)/31 + 1)
+		if moy[i] > 12 {
+			moy[i] = 12
+		}
+	}
+	t.MustAddColumn(storage.NewIntColumn("d_date_sk", sk))
+	t.MustAddColumn(storage.NewIntColumn("d_year", year))
+	t.MustAddColumn(storage.NewIntColumn("d_moy", moy))
+	return t
+}
+
+func genItem(rng *rand.Rand, n int) *storage.Table {
+	t := storage.NewTable("item")
+	sk := make([]int64, n)
+	price := make([]int64, n)
+	catDict := vec.NewDict()
+	catCodes := make([]int64, n)
+	brandDict := vec.NewDict()
+	brandCodes := make([]int64, n)
+	for i := 0; i < n; i++ {
+		sk[i] = int64(i)
+		price[i] = int64(100 + rng.Intn(9900))
+		catCodes[i] = catDict.Code(categories[i%len(categories)])
+		brandCodes[i] = brandDict.Code(fmt.Sprintf("brand#%03d", i%40))
+	}
+	t.MustAddColumn(storage.NewIntColumn("i_item_sk", sk))
+	t.MustAddColumn(storage.NewIntColumn("i_current_price", price))
+	t.MustAddColumn(storage.NewColumn("i_category", 0, vec.NewDictCoded(catCodes, catDict)))
+	t.MustAddColumn(storage.NewColumn("i_brand", 0, vec.NewDictCoded(brandCodes, brandDict)))
+	return t
+}
+
+func genStore(rng *rand.Rand, n int) *storage.Table {
+	t := storage.NewTable("store")
+	sk := make([]int64, n)
+	stDict := vec.NewDict()
+	st := make([]int64, n)
+	for i := 0; i < n; i++ {
+		sk[i] = int64(i)
+		st[i] = stDict.Code(states[i%len(states)])
+	}
+	t.MustAddColumn(storage.NewIntColumn("s_store_sk", sk))
+	t.MustAddColumn(storage.NewColumn("s_state", 0, vec.NewDictCoded(st, stDict)))
+	return t
+}
+
+func genCustomer(rng *rand.Rand, n int) *storage.Table {
+	t := storage.NewTable("customer")
+	sk := make([]int64, n)
+	for i := 0; i < n; i++ {
+		sk[i] = int64(i)
+	}
+	t.MustAddColumn(storage.NewIntColumn("c_customer_sk", sk))
+	return t
+}
+
+// zipfItem draws an item with harmonic popularity: item rank r has weight
+// 1/r^theta. A small alias-free inversion keeps generation fast enough.
+type zipfDraw struct {
+	cum []float64
+}
+
+func newZipf(n int, theta float64) *zipfDraw {
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		w := 1.0 / math.Pow(float64(i+1), theta)
+		total += w
+		cum[i] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &zipfDraw{cum: cum}
+}
+
+func (z *zipfDraw) draw(rng *rand.Rand) int {
+	u := rng.Float64()
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func genStoreSales(rng *rand.Rand, n, nItem, nStore, nCust int, theta float64) *storage.Table {
+	t := storage.NewTable("store_sales")
+	date := make([]int64, n)
+	item := make([]int64, n)
+	store := make([]int64, n)
+	cust := make([]int64, n)
+	qty := make([]int64, n)
+	price := make([]int64, n)
+	z := newZipf(nItem, theta)
+	// Burst length scales with skew so theta→0 degrades to near-uniform.
+	maxBurst := int(400 * theta)
+	if maxBurst < 1 {
+		maxBurst = 1
+	}
+	// Popularity drifts over time: within each epoch the Zipf ranks map to
+	// a rotated slice of the item space, so an item (and hence a category
+	// or brand) is hot only during some epochs. Combined with date-ordered
+	// rows this concentrates dimension-filtered matches into contiguous
+	// regions of the fact table — the positional skew that static
+	// equi-range partitioning mishandles (§4.2.2).
+	const epochs = 16
+	stride := nItem / epochs
+	if stride == 0 {
+		stride = 1
+	}
+	for i := 0; i < n; {
+		epoch := i * epochs / n
+		rank := z.draw(rng)
+		burstItem := int64((rank + epoch*stride) % nItem)
+		burst := 1 + rng.Intn(maxBurst)
+		for j := 0; j < burst && i < n; j++ {
+			// Date-clustered: row order follows time, giving the contiguous
+			// cluster shape of Figure 13.
+			date[i] = int64(i * dateDays / n)
+			item[i] = burstItem
+			store[i] = int64(rng.Intn(nStore))
+			cust[i] = int64(rng.Intn(nCust))
+			qty[i] = int64(1 + rng.Intn(100))
+			price[i] = qty[i] * int64(100+rng.Intn(9900))
+			i++
+		}
+	}
+	t.MustAddColumn(storage.NewIntColumn("ss_sold_date_sk", date))
+	t.MustAddColumn(storage.NewIntColumn("ss_item_sk", item))
+	t.MustAddColumn(storage.NewIntColumn("ss_store_sk", store))
+	t.MustAddColumn(storage.NewIntColumn("ss_customer_sk", cust))
+	t.MustAddColumn(storage.NewIntColumn("ss_quantity", qty))
+	t.MustAddColumn(storage.NewIntColumn("ss_ext_sales_price", price))
+	return t
+}

@@ -1,0 +1,173 @@
+package tpcds
+
+import (
+	"fmt"
+
+	"repro/internal/algebra"
+	"repro/internal/plan"
+)
+
+// The five query templates of §4.2.2: subsets of official TPC-DS queries
+// "chosen such that they contain the large tables and a few smaller
+// dimension tables", modified to single-attribute group-bys like the
+// paper's. Each is a star-join pattern: dimension filter → fact join →
+// grouped aggregation, with the skewed fact columns exposed to the
+// partitioner.
+
+// QueryNumbers lists the implemented TPC-DS query template numbers.
+func QueryNumbers() []int { return []int{1, 2, 3, 4, 5} }
+
+// Query builds TPC-DS query template n.
+func Query(n int) (*plan.Plan, error) {
+	switch n {
+	case 1:
+		return Q1(), nil
+	case 2:
+		return Q2(), nil
+	case 3:
+		return Q3(), nil
+	case 4:
+		return Q4(), nil
+	case 5:
+		return Q5(), nil
+	}
+	return nil, fmt.Errorf("tpcds: query %d not implemented", n)
+}
+
+// MustQuery is Query that panics on unknown numbers.
+func MustQuery(n int) *plan.Plan {
+	p, err := Query(n)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Q1 — sales by category for one year: date filter on the clustered fact
+// date column, item join, group by category (the skewed-item path).
+func Q1() *plan.Plan {
+	b := plan.NewBuilder()
+	ssDate := b.Bind("store_sales", "ss_sold_date_sk")
+	ssItem := b.Bind("store_sales", "ss_item_sk")
+	ssPrice := b.Bind("store_sales", "ss_ext_sales_price")
+	iSK := b.Bind("item", "i_item_sk")
+	iCat := b.Bind("item", "i_category")
+
+	dsel := b.Select(ssDate, algebra.HalfOpen(365, 730))
+	items := b.Fetch(dsel, ssItem)
+	price := b.Fetch(dsel, ssPrice)
+	lo, ro := b.Join(items, iSK)
+	cat := b.Fetch(ro, iCat)
+	pricej := b.FetchPos(lo, price)
+	g := b.GroupBy(cat)
+	sums := b.AggrGrouped(algebra.AggrSum, pricej, g)
+	keys := b.GroupKeys(g)
+	b.Result(keys, sums)
+	return b.Plan()
+}
+
+// Q2 — revenue by store state over a month window.
+func Q2() *plan.Plan {
+	b := plan.NewBuilder()
+	ssDate := b.Bind("store_sales", "ss_sold_date_sk")
+	ssStore := b.Bind("store_sales", "ss_store_sk")
+	ssPrice := b.Bind("store_sales", "ss_ext_sales_price")
+	stSK := b.Bind("store", "s_store_sk")
+	stState := b.Bind("store", "s_state")
+
+	dsel := b.Select(ssDate, algebra.HalfOpen(900, 960))
+	stores := b.Fetch(dsel, ssStore)
+	price := b.Fetch(dsel, ssPrice)
+	lo, ro := b.Join(stores, stSK)
+	state := b.Fetch(ro, stState)
+	pricej := b.FetchPos(lo, price)
+	g := b.GroupBy(state)
+	sums := b.AggrGrouped(algebra.AggrSum, pricej, g)
+	keys := b.GroupKeys(g)
+	b.Result(keys, sums)
+	return b.Plan()
+}
+
+// Q3 — revenue, quantity and discounted projections by brand for one
+// category: the dimension filter compresses the fact join through the
+// skewed item column, and several measures are reconstructed and combined
+// per matched sale (the match-side work official Q3/Q7-style templates do).
+func Q3() *plan.Plan {
+	b := plan.NewBuilder()
+	ssItem := b.Bind("store_sales", "ss_item_sk")
+	ssPrice := b.Bind("store_sales", "ss_ext_sales_price")
+	ssQty := b.Bind("store_sales", "ss_quantity")
+	iSK := b.Bind("item", "i_item_sk")
+	iCat := b.Bind("item", "i_category")
+	iBrand := b.Bind("item", "i_brand")
+	iPrice := b.Bind("item", "i_current_price")
+
+	csel := b.LikeSelect(iCat, "Electronics", algebra.LikeContains, false)
+	isk := b.Fetch(csel, iSK)
+	lo, ro := b.Join(ssItem, isk)
+	brandf := b.Fetch(csel, iBrand)
+	brand := b.FetchPos(ro, brandf)
+	listPricef := b.Fetch(csel, iPrice)
+	listPrice := b.FetchPos(ro, listPricef)
+	price := b.Fetch(lo, ssPrice)
+	qty := b.Fetch(lo, ssQty)
+	list := b.CalcVV(algebra.CalcMul, listPrice, qty)
+	discount := b.CalcVV(algebra.CalcSub, list, price)
+	g := b.GroupBy(brand)
+	sums := b.AggrGrouped(algebra.AggrSum, price, g)
+	qsums := b.AggrGrouped(algebra.AggrSum, qty, g)
+	dsums := b.AggrGrouped(algebra.AggrSum, discount, g)
+	keys := b.GroupKeys(g)
+	b.Result(keys, sums, qsums, dsums)
+	return b.Plan()
+}
+
+// Q4 — sales count by month of year across the full fact table.
+func Q4() *plan.Plan {
+	b := plan.NewBuilder()
+	ssDate := b.Bind("store_sales", "ss_sold_date_sk")
+	ssQty := b.Bind("store_sales", "ss_quantity")
+	dSK := b.Bind("date_dim", "d_date_sk")
+	dMoy := b.Bind("date_dim", "d_moy")
+
+	lo, ro := b.Join(ssDate, dSK)
+	moy := b.Fetch(ro, dMoy)
+	qty := b.Fetch(lo, ssQty)
+	g := b.GroupBy(moy)
+	cnt := b.AggrGrouped(algebra.AggrCount, qty, g)
+	sums := b.AggrGrouped(algebra.AggrSum, qty, g)
+	keys := b.GroupKeys(g)
+	b.Result(keys, cnt, sums)
+	return b.Plan()
+}
+
+// Q5 — per-item revenue, volume and count for the heaviest category with a
+// quantity filter: maximum exposure to the Zipf-skewed, temporally drifting
+// item distribution, with multiple measures reconstructed per match.
+func Q5() *plan.Plan {
+	b := plan.NewBuilder()
+	ssItem := b.Bind("store_sales", "ss_item_sk")
+	ssQty := b.Bind("store_sales", "ss_quantity")
+	ssPrice := b.Bind("store_sales", "ss_ext_sales_price")
+	iSK := b.Bind("item", "i_item_sk")
+	iCat := b.Bind("item", "i_category")
+
+	qsel := b.Select(ssQty, algebra.AtLeast(20))
+	items := b.Fetch(qsel, ssItem)
+	price := b.Fetch(qsel, ssPrice)
+	qty := b.Fetch(qsel, ssQty)
+	csel := b.LikeSelect(iCat, "Books", algebra.LikeContains, false)
+	isk := b.Fetch(csel, iSK)
+	lo, ro := b.Join(items, isk)
+	itemj := b.FetchPos(ro, isk)
+	pricej := b.FetchPos(lo, price)
+	qtyj := b.FetchPos(lo, qty)
+	unit := b.CalcVV(algebra.CalcDiv, pricej, qtyj)
+	g := b.GroupBy(itemj)
+	sums := b.AggrGrouped(algebra.AggrSum, pricej, g)
+	vols := b.AggrGrouped(algebra.AggrSum, qtyj, g)
+	cnts := b.AggrGrouped(algebra.AggrCount, unit, g)
+	keys := b.GroupKeys(g)
+	b.Result(keys, sums, vols, cnts)
+	return b.Plan()
+}

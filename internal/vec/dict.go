@@ -1,0 +1,60 @@
+package vec
+
+import "strings"
+
+// Dict is an append-only string dictionary. Codes are assigned densely in
+// insertion order, which keeps dictionary-coded columns cache-friendly and
+// makes LIKE-style predicates a dictionary scan followed by a code-membership
+// scan (the standard column-store trick the paper's batstr.like relies on).
+type Dict struct {
+	values []string
+	index  map[string]int64
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{index: make(map[string]int64)}
+}
+
+// Code interns s and returns its code.
+func (d *Dict) Code(s string) int64 {
+	if c, ok := d.index[s]; ok {
+		return c
+	}
+	c := int64(len(d.values))
+	d.values = append(d.values, s)
+	d.index[s] = c
+	return c
+}
+
+// Lookup returns the code for s and whether it is present.
+func (d *Dict) Lookup(s string) (int64, bool) {
+	c, ok := d.index[s]
+	return c, ok
+}
+
+// Value returns the string for code c.
+func (d *Dict) Value(c int64) string { return d.values[c] }
+
+// Len reports the number of distinct values.
+func (d *Dict) Len() int { return len(d.values) }
+
+// MatchSubstring returns the set of codes whose value contains pattern, as a
+// dense membership bitmap indexed by code. A LIKE '%pat%' select over a
+// dictionary-coded column is a scan over this bitmap.
+func (d *Dict) MatchSubstring(pattern string) []bool {
+	out := make([]bool, len(d.values))
+	for i, v := range d.values {
+		out[i] = strings.Contains(v, pattern)
+	}
+	return out
+}
+
+// MatchPrefix returns the membership bitmap for LIKE 'pat%'.
+func (d *Dict) MatchPrefix(pattern string) []bool {
+	out := make([]bool, len(d.values))
+	for i, v := range d.values {
+		out[i] = strings.HasPrefix(v, pattern)
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+// Package vectorwise simulates the comparator system of §4.2.4: Vectorwise
+// 3.5.1, a pipelined vectorized columnar database with cost-model-based
+// exchange-operator parallel plans and an admission-control scheme under
+// concurrency. Per the paper's description:
+//
+//   - plans are statically parallelized with exchange operators whose
+//     per-tuple overhead limits speed-up (§4.1.2 cites [30] for this);
+//   - "resources are allocated based on the number of connected clients and
+//     the system load. During a heavy concurrent workload the first client's
+//     query gets all the resources, while the queries from the remaining
+//     clients get less resources based on an admission control scheme" —
+//     which the paper hypothesizes degrades later clients toward serial
+//     execution.
+//
+// The simulation composes three existing mechanisms: a heuristic static
+// plan at full machine DOP, the Vectorwise cost calibration (higher
+// dispatch and per-tuple exchange cost on packs), and per-job core budgets
+// from the admission policy.
+package vectorwise
+
+import (
+	"repro/internal/cost"
+	"repro/internal/heuristic"
+	"repro/internal/plan"
+	"repro/internal/storage"
+)
+
+// Plan builds the statically parallelized Vectorwise-style plan: exchange
+// parallelism at the machine's logical core count.
+func Plan(p *plan.Plan, cat *storage.Catalog, cores int) (*plan.Plan, error) {
+	return heuristic.Parallelize(p, cat, heuristic.Config{Partitions: cores})
+}
+
+// Params returns the Vectorwise cost calibration.
+func Params() cost.Params { return cost.Vectorwise() }
+
+// AdmissionMaxCores implements the admission-control scheme: the first
+// active client keeps the full machine; later clients share what remains,
+// degrading toward serial execution as the client count grows.
+func AdmissionMaxCores(clientIndex, activeClients, cores int) int {
+	if clientIndex == 0 || activeClients <= 1 {
+		return cores
+	}
+	share := cores / activeClients
+	if share < 1 {
+		share = 1
+	}
+	return share
+}
+
+// Stats re-exports plan statistics for reporting parity with the other
+// engines.
+func Stats(p *plan.Plan) heuristic.PlanStats { return heuristic.Stats(p) }

@@ -1,0 +1,116 @@
+package vectorwise
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/cost"
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+func testCat(n int) *storage.Catalog {
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i % 997)
+	}
+	t := storage.NewTable("data")
+	t.MustAddColumn(storage.NewIntColumn("v", vals))
+	cat := storage.NewCatalog()
+	cat.MustAdd(t)
+	return cat
+}
+
+func scanPlan() *plan.Plan {
+	b := plan.NewBuilder()
+	v := b.Bind("data", "v")
+	s := b.Select(v, algebra.Between(100, 600))
+	f := b.Fetch(s, v)
+	sum := b.Aggr(algebra.AggrSum, f)
+	b.Result(sum)
+	return b.Plan()
+}
+
+func machine() sim.Config {
+	return sim.Config{
+		Name: "m", Sockets: 2, PhysCoresPerSocket: 4, SMT: 2, SpeedFactor: 1,
+		L3PerSocket: 64 << 10, BWPerSocket: 1e9, SMTFactor: 0.55, NUMAFactor: 1.2,
+	}
+}
+
+func TestVectorwisePlanCorrectness(t *testing.T) {
+	cat := testCat(100_000)
+	eng := exec.NewEngine(cat, machine(), cost.Default())
+	want, _, err := eng.Execute(scanPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vw, err := Plan(scanPlan(), cat, machine().LogicalCores())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2 := exec.NewEngine(cat, machine(), cost.Default())
+	params := Params()
+	job, err := eng2.Submit(vw, exec.JobOptions{CostParams: &params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2.Run()
+	if job.Err != nil {
+		t.Fatal(job.Err)
+	}
+	if !exec.ResultsEqual(want, job.Results()) {
+		t.Fatal("Vectorwise plan diverges")
+	}
+}
+
+func TestExchangeOverheadSlowsPacks(t *testing.T) {
+	cat := testCat(200_000)
+	vw, err := Plan(scanPlan(), cat, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(params cost.Params) float64 {
+		eng := exec.NewEngine(cat, machine(), cost.Default())
+		job, err := eng.Submit(vw, exec.JobOptions{CostParams: &params})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+		if job.Err != nil {
+			t.Fatal(job.Err)
+		}
+		return job.Profile.Makespan()
+	}
+	if vwT, monetT := run(Params()), run(cost.Default()); vwT <= monetT {
+		t.Fatalf("exchange overhead missing: vw=%.0f monet=%.0f", vwT, monetT)
+	}
+}
+
+func TestAdmissionControlPolicy(t *testing.T) {
+	if AdmissionMaxCores(0, 32, 32) != 32 {
+		t.Fatal("first client must get all cores")
+	}
+	if got := AdmissionMaxCores(5, 32, 32); got != 1 {
+		t.Fatalf("late client under heavy load got %d cores, want 1", got)
+	}
+	if got := AdmissionMaxCores(1, 4, 32); got != 8 {
+		t.Fatalf("client share = %d, want 8", got)
+	}
+	if got := AdmissionMaxCores(3, 1, 32); got != 32 {
+		t.Fatal("single active client must get all cores")
+	}
+}
+
+func TestStatsExported(t *testing.T) {
+	cat := testCat(1000)
+	vw, err := Plan(scanPlan(), cat, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := Stats(vw); s.Selects != 8 {
+		t.Fatalf("stats = %+v", s)
+	}
+}

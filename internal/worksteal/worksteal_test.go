@@ -1,0 +1,109 @@
+package worksteal
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/cost"
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+func catWithSkew(n int) *storage.Catalog {
+	vals := make([]int64, n)
+	for i := range vals {
+		if i < n/2 {
+			vals[i] = int64(i % 1000)
+		} else {
+			vals[i] = 42 // heavily clustered second half
+		}
+	}
+	t := storage.NewTable("data")
+	t.MustAddColumn(storage.NewIntColumn("v", vals))
+	cat := storage.NewCatalog()
+	cat.MustAdd(t)
+	return cat
+}
+
+func scanPlan() *plan.Plan {
+	b := plan.NewBuilder()
+	v := b.Bind("data", "v")
+	s := b.Select(v, algebra.Eq(42))
+	f := b.Fetch(s, v)
+	sum := b.Aggr(algebra.AggrSum, f)
+	b.Result(sum)
+	return b.Plan()
+}
+
+func eightThreads() sim.Config {
+	return sim.Config{
+		Name: "8t", Sockets: 1, PhysCoresPerSocket: 8, SMT: 1, SpeedFactor: 1,
+		L3PerSocket: 200 << 10, BWPerSocket: 1e9, SMTFactor: 1, NUMAFactor: 1,
+	}
+}
+
+func TestWorkstealPlanShape(t *testing.T) {
+	cat := catWithSkew(100_000)
+	p, err := Plan(scanPlan(), cat, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxDOP() != DefaultPartitions {
+		t.Fatalf("DOP = %d, want %d", p.MaxDOP(), DefaultPartitions)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkstealMatchesSerialResults(t *testing.T) {
+	cat := catWithSkew(100_000)
+	eng := exec.NewEngine(cat, eightThreads(), cost.Default())
+	want, _, err := eng.Execute(scanPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := Plan(scanPlan(), cat, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng2 := exec.NewEngine(cat, eightThreads(), cost.Default())
+	got, _, err := eng2.Execute(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exec.ResultsEqual(want, got) {
+		t.Fatal("work-stealing plan diverges from serial")
+	}
+}
+
+func TestManySmallPartitionsBeatFewOnSkew(t *testing.T) {
+	// The Figure 12 effect: on skewed data, 128 partitions on 8 threads
+	// beat 8 static partitions on 8 threads because early finishers keep
+	// working. (Skew here comes from selectivity clustering: the second
+	// half of the column produces all the matches, so its partitions write
+	// much more output.)
+	cat := catWithSkew(400_000)
+	ws, err := Plan(scanPlan(), cat, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Plan(scanPlan(), cat, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(p *plan.Plan) float64 {
+		eng := exec.NewEngine(cat, eightThreads(), cost.Default())
+		_, prof, err := eng.Execute(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return prof.Makespan()
+	}
+	wsT, stT := run(ws), run(st)
+	if wsT >= stT {
+		t.Fatalf("128 parts (%.0f) not faster than 8 parts (%.0f) on skewed data", wsT, stT)
+	}
+}
