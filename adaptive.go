@@ -6,6 +6,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/heuristic"
 	"repro/internal/plan"
+	"repro/internal/plancache"
 	"repro/internal/vectorwise"
 	"repro/internal/worksteal"
 )
@@ -162,34 +163,50 @@ func VectorwiseAdmissionMaxCores(clientIndex, activeClients, cores int) int {
 // AdaptiveCache is the plan-administration component of the paper's §2
 // workflow: it keeps one adaptation per query-template key, advances it on
 // every invocation (adaptation happens on the production query stream), and
-// serves the converged global-minimum plan afterwards.
+// serves the converged global-minimum plan afterwards. It is the library
+// face of the same plan-session cache the apqd daemon serves from.
 type AdaptiveCache struct {
-	inner *core.PlanCache
+	inner *plancache.Cache
 }
 
 // NewAdaptiveCache creates a cache on the engine with default tuning.
 func (e *Engine) NewAdaptiveCache() *AdaptiveCache {
-	return &AdaptiveCache{inner: core.NewPlanCache(e.inner,
-		DefaultMutationConfig(),
-		DefaultConvergenceConfig(e.Machine().LogicalCores()))}
+	return &AdaptiveCache{inner: plancache.New(e.inner, plancache.Config{
+		Mutation:    DefaultMutationConfig(),
+		Convergence: DefaultConvergenceConfig(e.Machine().LogicalCores()),
+	})}
 }
 
 // Execute serves one invocation of the template identified by key; builder
 // is called once, on the first invocation. The boolean reports whether the
 // template has converged.
+//
+// Execute drives the engine's single-threaded virtual-time machine; callers
+// must not invoke it from multiple goroutines (the apqd server serializes
+// it behind a run-loop).
 func (c *AdaptiveCache) Execute(key string, builder func() *Query) (*Result, bool, error) {
-	vals, prof, state, err := c.inner.Execute(key, func() *plan.Plan { return builder().p })
+	r, err := c.inner.Invoke(key, key,
+		func() (*plan.Plan, error) { return builder().p, nil }, exec.JobOptions{})
 	if err != nil {
 		return nil, false, err
 	}
-	return &Result{Values: vals, Profile: prof}, state == core.StateConverged, nil
+	return &Result{Values: r.Values, Profile: r.Profile}, r.Invocation.Converged, nil
 }
 
 // Report returns the adaptation report for key (nil when unknown).
-func (c *AdaptiveCache) Report(key string) *ConvergenceReport { return c.inner.Report(key) }
+func (c *AdaptiveCache) Report(key string) *ConvergenceReport {
+	e := c.inner.GetFingerprint(key)
+	if e == nil {
+		return nil
+	}
+	return e.Session.Report()
+}
 
 // Converged reports whether key's adaptation has finished.
-func (c *AdaptiveCache) Converged(key string) bool { return c.inner.Converged(key) }
+func (c *AdaptiveCache) Converged(key string) bool {
+	e := c.inner.GetFingerprint(key)
+	return e != nil && e.Session.Done()
+}
 
 // Evict drops key's adaptation state.
 func (c *AdaptiveCache) Evict(key string) { c.inner.Evict(key) }

@@ -1,0 +1,229 @@
+// Command apqd is the adaptive-parallelization query-service daemon: it
+// loads a benchmark database onto a simulated multi-core machine and serves
+// queries over HTTP/JSON, keeping adaptive state alive between requests.
+// Repeated submissions of the same query keep stepping its convergence
+// algorithm (each request is one adaptive run), so a cached query's latency
+// drops request-over-request until the global-minimum plan is found.
+//
+// Endpoints:
+//
+//	POST /query                 {"query":6} | {"query":6,"mode":"serial"} |
+//	                            {"select_sum":{"table":"lineitem","column":"l_quantity","lo":10,"hi":500}}
+//	GET  /sessions              live plan-cache sessions
+//	GET  /sessions/{id}/trace   per-run convergence trace (Figure 18)
+//	GET  /stats                 server, cache, and admission counters
+//	GET  /healthz               liveness
+//
+// Usage:
+//
+//	go run ./cmd/apqd -addr :8080 -bench tpch -sf 1 -machine 2s -admission
+//	go run ./cmd/apqd -selfbench             # serve-path benchmark, JSON to stdout
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// drain before the engine run-loop stops.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	apq "repro"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	bench := flag.String("bench", "tpch", "benchmark database to load: tpch or tpcds")
+	sf := flag.Float64("sf", 1, "scale factor")
+	seed := flag.Int64("seed", 42, "generator seed")
+	machine := flag.String("machine", "2s", "machine config: 2s (2-socket/32HT) or 4s (4-socket/96HT)")
+	admission := flag.Bool("admission", true, "apply Vectorwise-style admission control to concurrent clients")
+	cacheSize := flag.Int("cache", 0, "max live plan-cache sessions (0 = unlimited)")
+	noise := flag.Bool("noise", false, "enable the OS-noise model")
+	selfbench := flag.Bool("selfbench", false, "run the serve-path benchmark and print JSON (no listener)")
+	benchQuery := flag.Int("selfbench-query", 6, "query number for -selfbench")
+	benchN := flag.Int("selfbench-n", 200, "measured requests per phase for -selfbench")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var m apq.Machine
+	switch *machine {
+	case "2s":
+		m = apq.TwoSocketMachine()
+	case "4s":
+		m = apq.FourSocketMachine()
+	default:
+		log.Fatalf("unknown machine %q (want 2s or 4s)", *machine)
+	}
+
+	var db *apq.DB
+	switch *bench {
+	case "tpch":
+		db = apq.LoadTPCH(*sf, *seed)
+	case "tpcds":
+		db = apq.LoadTPCDS(*sf, *seed)
+	default:
+		log.Fatalf("unknown benchmark %q (want tpch or tpcds)", *bench)
+	}
+
+	cfg := apq.ServerConfig{
+		DB:         db,
+		Machine:    m,
+		DBIdentity: apq.DBIdentity(*bench, *sf, *seed),
+		Benchmark:  *bench,
+		Admission:  *admission,
+		CacheSize:  *cacheSize,
+	}
+	if *noise {
+		cfg.EngineOptions = append(cfg.EngineOptions, apq.WithNoise(apq.DefaultNoise()), apq.WithSeed(*seed))
+	}
+
+	if *selfbench {
+		if err := runSelfbench(cfg, *bench, *benchQuery, *benchN); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("apqd: serving %s sf=%g on %s (machine %s, admission %v)",
+		*bench, *sf, *addr, *machine, *admission)
+	if err := apq.Serve(ctx, *addr, cfg); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+	log.Print("apqd: shut down")
+}
+
+// benchPhase is one measured serving regime.
+type benchPhase struct {
+	Requests        int     `json:"requests"`
+	WallMs          float64 `json:"wall_ms"`
+	ThroughputRPS   float64 `json:"throughput_rps"`
+	VirtualMeanNs   float64 `json:"virtual_mean_ns"`
+	VirtualFirstNs  float64 `json:"virtual_first_ns"`
+	VirtualFinalNs  float64 `json:"virtual_final_ns"`
+	ConvergenceRuns int     `json:"convergence_runs,omitempty"`
+}
+
+// benchReport is the -selfbench output recorded as BENCH_serve.json: the
+// serving benchmark comparing repeated same-query submissions (the plan
+// cache converges, then serves the learned plan) against cold serial
+// executions of the same query.
+type benchReport struct {
+	Benchmark   string     `json:"benchmark"`
+	Query       string     `json:"query"`
+	DBIdentity  string     `json:"db_identity"`
+	Cores       int        `json:"logical_cores"`
+	HotRepeated benchPhase `json:"hot_repeated"`
+	ColdSerial  benchPhase `json:"cold_serial"`
+	// VirtualSpeedup is cold mean latency over hot mean latency: the win
+	// from keeping converging sessions alive between requests.
+	VirtualSpeedup float64 `json:"virtual_speedup"`
+}
+
+func runSelfbench(cfg apq.ServerConfig, bench string, query, n int) error {
+	s, err := apq.NewServer(cfg)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+
+	serve := func(body string) (map[string]any, error) {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/query", bytes.NewReader([]byte(body)))
+		s.Handler().ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			return nil, fmt.Errorf("selfbench: status %d: %s", rec.Code, rec.Body.String())
+		}
+		var out map[string]any
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	num := func(r map[string]any, key string) float64 {
+		v, _ := r[key].(float64)
+		return v
+	}
+
+	adaptive := fmt.Sprintf(`{"query":%d}`, query)
+	serial := fmt.Sprintf(`{"query":%d,"mode":"serial"}`, query)
+
+	// Warm the cache to convergence; the warmup run count is the
+	// amortization cost of the adaptive phase.
+	convRuns := 0
+	converged := false
+	for i := 0; i < 4000 && !converged; i++ {
+		r, err := serve(adaptive)
+		if err != nil {
+			return err
+		}
+		convRuns = int(num(r, "run")) + 1
+		converged = r["state"] == "converged"
+	}
+	if !converged {
+		return fmt.Errorf("selfbench: session did not converge within %d warmup requests — the hot phase would be mislabeled", 4000)
+	}
+
+	measure := func(body string) (benchPhase, error) {
+		var p benchPhase
+		start := time.Now()
+		var virt, first, final float64
+		for i := 0; i < n; i++ {
+			r, err := serve(body)
+			if err != nil {
+				return p, err
+			}
+			lat := num(r, "latency_ns")
+			virt += lat
+			if i == 0 {
+				first = lat
+			}
+			final = lat
+		}
+		wall := time.Since(start)
+		p = benchPhase{
+			Requests:       n,
+			WallMs:         float64(wall.Microseconds()) / 1e3,
+			ThroughputRPS:  float64(n) / wall.Seconds(),
+			VirtualMeanNs:  virt / float64(n),
+			VirtualFirstNs: first,
+			VirtualFinalNs: final,
+		}
+		return p, nil
+	}
+
+	rep := benchReport{
+		Benchmark:  bench,
+		Query:      fmt.Sprintf("q%d", query),
+		DBIdentity: cfg.DBIdentity,
+		Cores:      cfg.Machine.LogicalCores(),
+	}
+	if rep.HotRepeated, err = measure(adaptive); err != nil {
+		return err
+	}
+	rep.HotRepeated.ConvergenceRuns = convRuns
+	if rep.ColdSerial, err = measure(serial); err != nil {
+		return err
+	}
+	if rep.HotRepeated.VirtualMeanNs > 0 {
+		rep.VirtualSpeedup = rep.ColdSerial.VirtualMeanNs / rep.HotRepeated.VirtualMeanNs
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

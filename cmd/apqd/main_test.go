@@ -1,0 +1,34 @@
+package main_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cmdtest"
+)
+
+func TestApqdSmoke(t *testing.T) {
+	bin := cmdtest.Build(t, "repro/cmd/apqd")
+
+	// -selfbench exercises the full serve path without binding a port.
+	out, code := cmdtest.Run(t, bin, "-selfbench", "-sf", "0.2", "-selfbench-n", "20")
+	if code != 0 {
+		t.Fatalf("-selfbench exited %d:\n%s", code, out)
+	}
+	for _, want := range []string{`"hot_repeated"`, `"cold_serial"`, `"virtual_speedup"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("selfbench output missing %s:\n%s", want, out)
+		}
+	}
+
+	for _, args := range [][]string{
+		{"-bench", "nosuchbench"},
+		{"-machine", "9s"},
+		{"-definitely-not-a-flag"},
+		{"-selfbench", "unexpected-positional"},
+	} {
+		if out, code := cmdtest.Run(t, bin, args...); code == 0 {
+			t.Fatalf("%v exited 0, want non-zero:\n%s", args, out)
+		}
+	}
+}

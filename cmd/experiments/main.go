@@ -89,10 +89,26 @@ func main() {
 		scale = experiments.Full()
 	}
 
+	known := map[string]bool{}
+	for _, r := range all {
+		known[r.id] = true
+	}
 	want := map[string]bool{}
 	if *only != "" {
 		for _, id := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(id)] = true
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			if !known[id] {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+				os.Exit(1)
+			}
+			want[id] = true
+		}
+		if len(want) == 0 {
+			fmt.Fprintf(os.Stderr, "-only %q selects no experiments (use -list)\n", *only)
+			os.Exit(1)
 		}
 	}
 

@@ -1,0 +1,38 @@
+package main_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cmdtest"
+)
+
+func TestExperimentsSmoke(t *testing.T) {
+	bin := cmdtest.Build(t, "repro/cmd/experiments")
+
+	out, code := cmdtest.Run(t, bin, "-list")
+	if code != 0 || !strings.Contains(out, "table5") {
+		t.Fatalf("-list exited %d:\n%s", code, out)
+	}
+
+	out, code = cmdtest.Run(t, bin, "-only", "table4")
+	if code != 0 || !strings.Contains(out, "table4") {
+		t.Fatalf("-only table4 exited %d:\n%s", code, out)
+	}
+
+	// A trailing comma is harmless, not an unknown experiment.
+	out, code = cmdtest.Run(t, bin, "-only", "table4,")
+	if code != 0 || !strings.Contains(out, "table4") {
+		t.Fatalf("-only table4, exited %d:\n%s", code, out)
+	}
+
+	for _, args := range [][]string{
+		{"-only", "fig99"},
+		{"-only", " "}, // selects nothing: error, not a silent full run
+		{"-definitely-not-a-flag"},
+	} {
+		if out, code := cmdtest.Run(t, bin, args...); code == 0 {
+			t.Fatalf("%v exited 0, want non-zero:\n%s", args, out)
+		}
+	}
+}

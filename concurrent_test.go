@@ -1,0 +1,81 @@
+package apq_test
+
+import (
+	"testing"
+
+	apq "repro"
+)
+
+// TestRunConcurrentVectorwise exercises the comparator path of
+// RunConcurrent directly: the Vectorwise cost calibration plus the
+// admission-control scheme of §4.2.4 (previously only covered indirectly
+// through the experiment drivers).
+func TestRunConcurrentVectorwise(t *testing.T) {
+	db := apq.LoadTPCH(0.5, 42)
+	mix := []*apq.Query{apq.TPCHQuery(6), apq.TPCHQuery(14)}
+
+	newEngine := func() *apq.Engine { return apq.NewEngine(db, apq.TwoSocketMachine()) }
+
+	// Single client: admission grants the full machine.
+	solo, err := newEngine().RunConcurrent(1, mix, apq.ConcurrentOptions{
+		Repeats: 2, Seed: 7, Vectorwise: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo.Overall.N() != 2 {
+		t.Fatalf("solo completed %d queries, want 2", solo.Overall.N())
+	}
+
+	// Heavy concurrency: every query must still complete, and mean latency
+	// must degrade relative to the solo client — later clients run under
+	// shrinking core budgets while competing for the machine.
+	clients, repeats := 8, 3
+	busy, err := newEngine().RunConcurrent(clients, mix, apq.ConcurrentOptions{
+		Repeats: repeats, Seed: 7, Vectorwise: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := busy.Overall.N(), clients*repeats; got != want {
+		t.Fatalf("busy completed %d queries, want %d", got, want)
+	}
+	if len(busy.Outcomes) != clients*repeats {
+		t.Fatalf("busy recorded %d outcomes, want %d", len(busy.Outcomes), clients*repeats)
+	}
+	if busy.Overall.Mean() <= solo.Overall.Mean() {
+		t.Fatalf("mean latency under 8 clients (%.0fns) not worse than solo (%.0fns)",
+			busy.Overall.Mean(), solo.Overall.Mean())
+	}
+	if busy.MakespanNs <= 0 {
+		t.Fatal("busy makespan not positive")
+	}
+	for pi, st := range busy.PerPlan {
+		if st.N() == 0 {
+			t.Fatalf("plan %d has no samples", pi)
+		}
+		if st.Min() <= 0 || st.Max() < st.Min() || st.Percentile(95) < st.Median() {
+			t.Fatalf("plan %d stats inconsistent: min %.0f max %.0f p50 %.0f p95 %.0f",
+				pi, st.Min(), st.Max(), st.Median(), st.Percentile(95))
+		}
+	}
+}
+
+// TestVectorwiseAdmissionPolicy pins the admission-control scheme itself:
+// the first client keeps the whole machine, later clients share what
+// remains, degrading toward serial execution.
+func TestVectorwiseAdmissionPolicy(t *testing.T) {
+	cores := 32
+	if got := apq.VectorwiseAdmissionMaxCores(0, 8, cores); got != cores {
+		t.Fatalf("first client got %d cores, want %d", got, cores)
+	}
+	if got := apq.VectorwiseAdmissionMaxCores(3, 8, cores); got != cores/8 {
+		t.Fatalf("later client got %d cores, want %d", got, cores/8)
+	}
+	if got := apq.VectorwiseAdmissionMaxCores(5, 64, cores); got != 1 {
+		t.Fatalf("overloaded client got %d cores, want 1 (serial floor)", got)
+	}
+	if got := apq.VectorwiseAdmissionMaxCores(2, 1, cores); got != cores {
+		t.Fatalf("sole active client got %d cores, want %d", got, cores)
+	}
+}

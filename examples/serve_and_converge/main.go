@@ -1,0 +1,101 @@
+// Example serve_and_converge starts the apqd query service on a loopback
+// port and plays a client re-submitting the same TPC-H query: because the
+// daemon keeps the query's adaptive session alive in its plan cache, every
+// request is one adaptive run and the reported latency drops
+// request-over-request until the session converges on the global-minimum
+// plan — the paper's "optimize once and execute many, adaptively" workflow
+// observed through the serving layer.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+
+	apq "repro"
+)
+
+type queryResponse struct {
+	Session       string  `json:"session"`
+	State         string  `json:"state"`
+	Run           int     `json:"run"`
+	LatencyNs     float64 `json:"latency_ns"`
+	BestLatencyNs float64 `json:"best_latency_ns"`
+	Speedup       float64 `json:"speedup"`
+	DOP           int     `json:"dop"`
+}
+
+func main() {
+	srv, err := apq.NewServer(apq.ServerConfig{
+		DB:         apq.LoadTPCH(1, 42),
+		Machine:    apq.TwoSocketMachine(),
+		DBIdentity: apq.DBIdentity("tpch", 1, 42),
+		Benchmark:  "tpch",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("apqd serving on %s\n\n", base)
+
+	body := []byte(`{"query":14}`)
+	var first, last queryResponse
+	for i := 0; i < 400; i++ {
+		resp, err := http.Post(base+"/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		var qr queryResponse
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		if i == 0 {
+			first = qr
+		}
+		last = qr
+		// Print a sparkline-style trace of the first runs and every tenth.
+		if i < 12 || i%10 == 0 || qr.State == "converged" {
+			bar := strings.Repeat("#", int(40*qr.LatencyNs/first.LatencyNs))
+			fmt.Printf("req %3d  run %3d  %8.3f ms  dop %2d  %s\n",
+				i, qr.Run, qr.LatencyNs/1e6, qr.DOP, bar)
+		}
+		if qr.State == "converged" {
+			break
+		}
+	}
+
+	fmt.Printf("\nsession %s converged: %.3f ms -> %.3f ms (%.2fx) at DOP %d\n",
+		last.Session, first.LatencyNs/1e6, last.BestLatencyNs/1e6, last.Speedup, last.DOP)
+
+	// The full convergence trace is a GET away.
+	resp, err := http.Get(base + "/sessions/" + last.Session + "/trace")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var trace struct {
+		Runs     int   `json:"runs"`
+		GMERun   int   `json:"gme_run"`
+		BestDOP  int   `json:"best_dop"`
+		Outliers []int `json:"outliers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&trace); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trace: %d runs, global minimum at run %d, best DOP %d\n",
+		trace.Runs, trace.GMERun, trace.BestDOP)
+}

@@ -1,0 +1,44 @@
+// Package cmdtest builds and runs the repo's command binaries for smoke
+// tests: every cmd must build, serve a trivial invocation, and exit
+// non-zero on bad flags or query names.
+package cmdtest
+
+import (
+	"context"
+	"os/exec"
+	"path"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// Build compiles the import path (e.g. "repro/cmd/apshell") into a temp dir
+// and returns the binary path.
+func Build(t *testing.T, importPath string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), path.Base(importPath))
+	cmd := exec.Command("go", "build", "-o", bin, importPath)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build %s: %v\n%s", importPath, err, out)
+	}
+	return bin
+}
+
+// Run executes the binary and returns its combined output and exit code.
+// Hung binaries are killed after two minutes (plus a grace period for
+// output pipes held by grandchildren).
+func Run(t *testing.T, bin string, args ...string) (string, int) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	cmd := exec.CommandContext(ctx, bin, args...)
+	cmd.WaitDelay = 5 * time.Second
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return string(out), ee.ExitCode()
+		}
+		t.Fatalf("run %s %v: %v\n%s", bin, args, err, out)
+	}
+	return string(out), 0
+}

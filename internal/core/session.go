@@ -87,11 +87,16 @@ func (s *Session) Done() bool { return s.done }
 // Step executes the current plan once, feeds the execution time to the
 // convergence algorithm, and (if adaptation continues) mutates the plan for
 // the next invocation. It returns false when converged.
-func (s *Session) Step() (bool, error) {
+func (s *Session) Step() (bool, error) { return s.StepWith(exec.JobOptions{}) }
+
+// StepWith is Step with per-run job options: the query-service daemon uses
+// it to apply admission-control core budgets to adaptive runs happening on
+// the production request stream.
+func (s *Session) StepWith(opts exec.JobOptions) (bool, error) {
 	if s.done {
 		return false, nil
 	}
-	results, prof, err := s.eng.Execute(s.cur)
+	results, prof, err := s.eng.ExecuteOpts(s.cur, opts)
 	if err != nil {
 		return false, fmt.Errorf("core: run %d: %w", s.conv.Run(), err)
 	}

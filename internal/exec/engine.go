@@ -206,7 +206,13 @@ func (e *Engine) Run() { e.mach.Run() }
 // results and profile. It drives the machine only until this plan
 // completes, so background jobs (concurrent load) may continue to exist.
 func (e *Engine) Execute(p *plan.Plan) ([]Value, *Profile, error) {
-	job, err := e.Submit(p, JobOptions{})
+	return e.ExecuteOpts(p, JobOptions{})
+}
+
+// ExecuteOpts is Execute with per-job options (core budgets from admission
+// control, comparator cost calibrations).
+func (e *Engine) ExecuteOpts(p *plan.Plan, opts JobOptions) ([]Value, *Profile, error) {
+	job, err := e.Submit(p, opts)
 	if err != nil {
 		return nil, nil, err
 	}

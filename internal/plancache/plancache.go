@@ -1,0 +1,378 @@
+// Package plancache keeps live adaptive-parallelization sessions alive
+// between query invocations. It is the serving-layer descendant of the
+// paper's plan-administration component (§2, Figure 2): adaptive
+// parallelization only pays off because plans are cached and re-invoked —
+// every execution profiles the plan and morphs its most expensive operator,
+// so the speedup is amortized across repeated submissions. The cache maps a
+// query fingerprint (query identity + database identity) to its live
+// adaptive session, so repeated submissions of the same query keep stepping
+// the convergence algorithm and later callers get the current best plan.
+//
+// The cache is *adaptive* in a second sense: it is capacity-bounded and
+// evicts least-recently-used entries, preferring converged sessions (whose
+// learned plan is cheap to re-derive) over still-adapting ones (whose
+// accumulated convergence state is expensive to lose).
+//
+// Concurrency: the cache's maps and per-entry bookkeeping are guarded by a
+// mutex, but *stepping a session executes on the discrete-event machine*,
+// which is single-threaded. Callers must serialize Invoke calls (the
+// internal/server run-loop does exactly that); the cache documents rather
+// than hides this constraint so the engine-ownership boundary stays visible.
+package plancache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/plan"
+)
+
+// Fingerprint derives the cache key for a query against a database. db
+// identifies the dataset (e.g. "tpch:sf=1:seed=42"); query identifies the
+// template (e.g. "tpch:q6", or a hash of a builder-spec plan's text). The
+// same query against a different database must adapt separately — learned
+// range partitions depend on the data volume.
+func Fingerprint(db, query string) string {
+	h := sha256.Sum256([]byte(db + "\x00" + query))
+	return hex.EncodeToString(h[:16])
+}
+
+// PlanFingerprint fingerprints an ad-hoc builder-spec plan by its rendered
+// text, which is deterministic for a given plan structure.
+func PlanFingerprint(db string, p *plan.Plan) string {
+	return Fingerprint(db, "spec:"+p.String())
+}
+
+// Config tunes the cache.
+type Config struct {
+	// MaxEntries bounds the number of live sessions (0 = unlimited). When
+	// full, the least-recently-used converged entry is evicted; if every
+	// entry is still adapting, the least-recently-used overall goes.
+	MaxEntries int
+	// Mutation and Convergence tune the sessions the cache creates.
+	Mutation    core.MutationConfig
+	Convergence core.ConvergenceConfig
+}
+
+// maxTraceInvocations bounds the per-entry invocation log: a long-lived
+// daemon serving one hot query forever must not grow memory per request.
+// The cap comfortably covers a full convergence (upper bound ~cores×8 runs
+// on the largest built-in machine) plus a window of converged serving.
+// When full, the oldest quarter is dropped in one copy so the steady-state
+// trim cost is amortized O(1) per invocation.
+const maxTraceInvocations = 1024
+
+// Invocation records one served request against an entry — the convergence
+// trace the server exposes at /sessions/{id}/trace. Only the most recent
+// maxTraceInvocations records are retained.
+type Invocation struct {
+	// Run is the index of the most recent adaptive run at serve time (the
+	// serial run is 0; -1 when throttled before any run). Invocations
+	// served after convergence repeat the final run index.
+	Run int `json:"run"`
+	// LatencyNs is the virtual execution time of this invocation.
+	LatencyNs float64 `json:"latency_ns"`
+	// Converged reports whether the session had converged when served.
+	Converged bool `json:"converged"`
+	// MaxCores is the admission-control core budget applied (0 = unlimited).
+	MaxCores int `json:"max_cores"`
+	// DOP is the executed plan's degree of parallelism.
+	DOP int `json:"dop"`
+	// Throttled marks an invocation served under a reduced core budget
+	// while the session was still adapting: it executed the current plan
+	// but did NOT count as an adaptive run — a throttled latency reflects
+	// the budget, not the plan, and would poison the convergence algorithm.
+	Throttled bool `json:"throttled,omitempty"`
+}
+
+// Entry is one live adaptive session keyed by fingerprint.
+type Entry struct {
+	// ID is the server-visible session id ("s1", "s2", ...).
+	ID string
+	// Fingerprint is the cache key.
+	Fingerprint string
+	// Query is the human-readable query identity used at creation.
+	Query string
+	// Session is the live adaptation. Step it only via Cache.Invoke.
+	Session *core.Session
+
+	cache       *Cache // guards the fields below via cache.mu
+	seq         int    // creation order, for stable listings
+	hits        int64
+	lastUsed    int64 // logical clock ticks from the cache
+	invocations []Invocation
+}
+
+// Hits returns how many invocations the entry has served.
+func (e *Entry) Hits() int64 {
+	e.cache.mu.Lock()
+	defer e.cache.mu.Unlock()
+	return e.hits
+}
+
+// Trace returns a copy of the per-invocation records.
+func (e *Entry) Trace() []Invocation {
+	e.cache.mu.Lock()
+	defer e.cache.mu.Unlock()
+	return append([]Invocation(nil), e.invocations...)
+}
+
+// Stats aggregates cache behavior for the /stats endpoint.
+type Stats struct {
+	Entries   int   `json:"entries"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Converged int   `json:"converged"`
+}
+
+// Cache maps query fingerprints to live adaptive sessions.
+type Cache struct {
+	mu   sync.Mutex
+	eng  *exec.Engine
+	cfg  Config
+	byFP map[string]*Entry
+	byID map[string]*Entry
+	seq  int
+	tick int64
+
+	hits, misses, evictions int64
+}
+
+// New creates a cache over eng. Zero-valued mutation/convergence configs
+// fall back to the engine defaults.
+func New(eng *exec.Engine, cfg Config) *Cache {
+	if cfg.Convergence.Cores == 0 {
+		cfg.Convergence = core.DefaultConvergenceConfig(eng.Machine().Config().LogicalCores())
+	}
+	if cfg.Mutation == (core.MutationConfig{}) {
+		cfg.Mutation = core.DefaultMutationConfig()
+	}
+	return &Cache{eng: eng, cfg: cfg, byFP: map[string]*Entry{}, byID: map[string]*Entry{}}
+}
+
+// Result is one served invocation's outcome.
+type Result struct {
+	Entry      *Entry
+	Values     []exec.Value
+	Profile    *exec.Profile
+	Invocation Invocation
+	// Created reports whether this invocation instantiated the session.
+	Created bool
+}
+
+// Invoke serves one invocation of the query identified by fp. The builder is
+// called only when the fingerprint is new. While the session is adapting,
+// the invocation IS an adaptive run (executed under opts' core budget); once
+// converged, the global-minimum plan is executed directly.
+//
+// Invoke executes on the single-threaded virtual-time machine — callers
+// must serialize it (see the package comment).
+func (c *Cache) Invoke(fp, query string, build func() (*plan.Plan, error), opts exec.JobOptions) (*Result, error) {
+	c.mu.Lock()
+	e, ok := c.byFP[fp]
+	if !ok {
+		p, err := build()
+		if err != nil {
+			c.mu.Unlock()
+			return nil, err
+		}
+		c.seq++
+		e = &Entry{
+			ID:          fmt.Sprintf("s%d", c.seq),
+			Fingerprint: fp,
+			Query:       query,
+			Session:     core.NewSession(c.eng, p, c.cfg.Mutation, c.cfg.Convergence),
+			cache:       c,
+			seq:         c.seq,
+		}
+		c.byFP[fp] = e
+		c.byID[e.ID] = e
+		c.misses++
+		c.evictOverflowLocked(e)
+	} else {
+		c.hits++
+	}
+	c.tick++
+	e.lastUsed = c.tick
+	e.hits++
+	created := !ok
+	c.mu.Unlock()
+
+	// Engine execution happens outside the map lock so that Entry's
+	// mutex-guarded accessors (Hits, Trace) and the cache's read methods
+	// stay callable from other goroutines during a run. (Callers that
+	// funnel every read through the same serializer as Invoke — like the
+	// apqd run-loop — still observe them blocked behind the execution.)
+	var (
+		values  []exec.Value
+		profile *exec.Profile
+		dop     int
+	)
+	cores := c.eng.Machine().Config().LogicalCores()
+	throttled := opts.MaxCores > 0 && opts.MaxCores < cores
+	switch {
+	case !e.Session.Done() && throttled:
+		// Admission throttled this invocation while the session is still
+		// adapting: execute the current plan under the budget but do not
+		// step the session — the observed latency reflects the core
+		// budget, not the plan's quality, and feeding it to the
+		// convergence algorithm could converge the session prematurely
+		// onto a suboptimal plan. Adaptation advances on unthrottled
+		// invocations (under the Vectorwise admission policy the first
+		// active client always has the full machine).
+		cur := e.Session.Current()
+		var err error
+		values, profile, err = c.eng.ExecuteOpts(cur, opts)
+		if err != nil {
+			c.dropEntry(e)
+			return nil, err
+		}
+		dop = cur.MaxDOP()
+	case !e.Session.Done():
+		if _, err := e.Session.StepWith(opts); err != nil {
+			// A failing session would error on every future invocation;
+			// evict it so the next request starts clean from the serial
+			// plan instead of replaying the broken state forever.
+			c.dropEntry(e)
+			return nil, err
+		}
+		att := e.Session.Attempts()
+		last := att[len(att)-1]
+		values, profile = last.Results, last.Profile
+		// Report the plan this invocation actually executed — on the run
+		// that triggers convergence that is the final adaptive plan, not
+		// necessarily the global-minimum plan served from here on.
+		dop = last.Plan.MaxDOP()
+	default:
+		best := e.Session.Report().BestPlan
+		var err error
+		values, profile, err = c.eng.ExecuteOpts(best, opts)
+		if err != nil {
+			c.dropEntry(e)
+			return nil, err
+		}
+		dop = best.MaxDOP()
+	}
+
+	inv := Invocation{
+		Run:       len(e.Session.Attempts()) - 1, // -1: throttled before the first adaptive run
+		LatencyNs: profile.Makespan(),
+		Converged: e.Session.Done(),
+		MaxCores:  opts.MaxCores,
+		DOP:       dop,
+		Throttled: throttled && !e.Session.Done(),
+	}
+	c.mu.Lock()
+	if len(e.invocations) >= maxTraceInvocations {
+		keep := maxTraceInvocations * 3 / 4
+		e.invocations = append(e.invocations[:0], e.invocations[len(e.invocations)-keep:]...)
+	}
+	e.invocations = append(e.invocations, inv)
+	c.mu.Unlock()
+	return &Result{Entry: e, Values: values, Profile: profile, Invocation: inv, Created: created}, nil
+}
+
+// dropEntry removes a failed entry (counted as an eviction).
+func (c *Cache) dropEntry(e *Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.byFP[e.Fingerprint] == e {
+		delete(c.byFP, e.Fingerprint)
+		delete(c.byID, e.ID)
+		c.evictions++
+	}
+}
+
+// evictOverflowLocked enforces MaxEntries after inserting keep, which is
+// never evicted. Converged LRU entries go first; still-adapting LRU second.
+func (c *Cache) evictOverflowLocked(keep *Entry) {
+	if c.cfg.MaxEntries <= 0 {
+		return
+	}
+	for len(c.byFP) > c.cfg.MaxEntries {
+		victim := c.lruLocked(keep, true)
+		if victim == nil {
+			victim = c.lruLocked(keep, false)
+		}
+		if victim == nil {
+			return
+		}
+		delete(c.byFP, victim.Fingerprint)
+		delete(c.byID, victim.ID)
+		c.evictions++
+	}
+}
+
+func (c *Cache) lruLocked(keep *Entry, convergedOnly bool) *Entry {
+	var victim *Entry
+	for _, e := range c.byFP {
+		if e == keep || (convergedOnly && !e.Session.Done()) {
+			continue
+		}
+		if victim == nil || e.lastUsed < victim.lastUsed {
+			victim = e
+		}
+	}
+	return victim
+}
+
+// Get returns the entry with the given session id, or nil.
+func (c *Cache) Get(id string) *Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.byID[id]
+}
+
+// GetFingerprint returns the entry with the given fingerprint, or nil.
+func (c *Cache) GetFingerprint(fp string) *Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.byFP[fp]
+}
+
+// List returns the entries ordered by session id creation order.
+func (c *Cache) List() []*Entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Entry, 0, len(c.byID))
+	for _, e := range c.byID {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	return out
+}
+
+// Evict removes the entry with the given fingerprint.
+func (c *Cache) Evict(fp string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.byFP[fp]; ok {
+		delete(c.byFP, fp)
+		delete(c.byID, e.ID)
+		c.evictions++
+	}
+}
+
+// Stats snapshots the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Stats{
+		Entries:   len(c.byFP),
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+	for _, e := range c.byFP {
+		if e.Session.Done() {
+			st.Converged++
+		}
+	}
+	return st
+}

@@ -1,0 +1,84 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/exec"
+	"repro/internal/sim"
+	"repro/internal/tpch"
+)
+
+func newBenchServer(b *testing.B) *Server {
+	b.Helper()
+	cat := tpch.Generate(tpch.Config{SF: 0.5, Seed: 42})
+	s, err := New(Config{
+		Engine:     exec.NewEngine(cat, sim.TwoSocket(), cost.Default()),
+		DBIdentity: "tpch:sf=0.5:seed=42",
+		Benchmark:  "tpch",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(s.Close)
+	return s
+}
+
+func serveOnce(b *testing.B, s *Server, body []byte) QueryResponse {
+	b.Helper()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/query", bytes.NewReader(body))
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var qr QueryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &qr); err != nil {
+		b.Fatal(err)
+	}
+	return qr
+}
+
+// BenchmarkServeHotRepeated measures serving a query whose plan-cache
+// session has already converged: every request executes the learned
+// global-minimum plan. The custom metric is the served query's virtual
+// latency — the quantity that improves with caching.
+func BenchmarkServeHotRepeated(b *testing.B) {
+	s := newBenchServer(b)
+	body := []byte(`{"query":6}`)
+	var warm QueryResponse
+	for i := 0; i < 400; i++ {
+		warm = serveOnce(b, s, body)
+		if warm.State == "converged" {
+			break
+		}
+	}
+	if warm.State != "converged" {
+		b.Fatal("warmup never converged")
+	}
+	b.ResetTimer()
+	var virt float64
+	for i := 0; i < b.N; i++ {
+		qr := serveOnce(b, s, body)
+		virt += qr.LatencyNs
+	}
+	b.ReportMetric(virt/float64(b.N), "virtual-ns/query")
+}
+
+// BenchmarkServeColdSerial is the baseline: every request executes the
+// serial plan with no cached adaptive state.
+func BenchmarkServeColdSerial(b *testing.B) {
+	s := newBenchServer(b)
+	body := []byte(`{"query":6,"mode":"serial"}`)
+	b.ResetTimer()
+	var virt float64
+	for i := 0; i < b.N; i++ {
+		qr := serveOnce(b, s, body)
+		virt += qr.LatencyNs
+	}
+	b.ReportMetric(virt/float64(b.N), "virtual-ns/query")
+}

@@ -1,0 +1,658 @@
+// Package server implements apqd's HTTP query service: a long-lived daemon
+// that keeps adaptive-parallelization state alive between requests. The
+// paper's workflow ("optimize once and execute many, adaptively") only pays
+// off in a serving context — each request against a cached query is one
+// adaptive run, so a query's latency drops request-over-request as its
+// session converges on the global-minimum plan.
+//
+// Concurrency model. The discrete-event virtual-time machine underneath the
+// execution engine is single-threaded: stepping it from two goroutines
+// corrupts its event queue and clock. The server therefore owns the engine
+// behind a run-loop goroutine; handler goroutines enqueue closures and wait.
+// Admission control is layered on top: concurrently arriving clients take
+// numbered slots and their queries execute under a Vectorwise-style
+// per-client core budget (vectorwise.AdmissionMaxCores, §4.2.4) — the first
+// client keeps the whole machine, later ones degrade toward serial.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"slices"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/algebra"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/plan"
+	"repro/internal/plancache"
+	"repro/internal/tpcds"
+	"repro/internal/tpch"
+	"repro/internal/vectorwise"
+)
+
+// ErrClosed reports a request against a server that has shut down.
+var ErrClosed = errors.New("server: closed")
+
+// Config configures a Server.
+type Config struct {
+	// Engine is the execution engine over the loaded database. The server
+	// takes ownership: all executions must go through the server.
+	Engine *exec.Engine
+	// DBIdentity names the dataset for fingerprinting, e.g.
+	// "tpch:sf=1:seed=42". Fingerprints must change when the data does.
+	DBIdentity string
+	// Benchmark is the loaded benchmark ("tpch" or "tpcds"); named-query
+	// requests for the other benchmark are rejected up front.
+	Benchmark string
+	// Admission enables the Vectorwise-style admission-control scheme for
+	// concurrent clients.
+	Admission bool
+	// CacheSize bounds the plan-session cache (0 = unlimited).
+	CacheSize int
+	// Mutation and Convergence tune adaptive sessions (zero = defaults).
+	Mutation    core.MutationConfig
+	Convergence core.ConvergenceConfig
+}
+
+// Server is the query-service daemon core: an HTTP handler set over one
+// engine, one plan-session cache, and one admission controller.
+type Server struct {
+	cfg   Config
+	cache *plancache.Cache
+	mux   *http.ServeMux
+	start time.Time
+
+	reqs     chan func()
+	quit     chan struct{}
+	loopDone chan struct{}
+
+	closeMu  sync.RWMutex
+	closed   bool
+	inflight sync.WaitGroup
+
+	adm admissionSlots
+
+	statMu     sync.Mutex
+	queryCount int64
+	errCount   int64
+
+	// admitHook, when non-nil, runs between admission-slot acquisition and
+	// engine dispatch — a test seam that makes concurrent admission
+	// observable deterministically on single-CPU machines.
+	admitHook func()
+}
+
+// New creates a Server and starts its engine run-loop.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		return nil, errors.New("server: Config.Engine is required")
+	}
+	switch cfg.Benchmark {
+	case "":
+		cfg.Benchmark = "tpch"
+	case "tpch", "tpcds":
+	default:
+		return nil, fmt.Errorf("server: unknown benchmark %q (want tpch or tpcds)", cfg.Benchmark)
+	}
+	if cfg.DBIdentity == "" {
+		cfg.DBIdentity = cfg.Benchmark
+	}
+	s := &Server{
+		cfg: cfg,
+		cache: plancache.New(cfg.Engine, plancache.Config{
+			MaxEntries:  cfg.CacheSize,
+			Mutation:    cfg.Mutation,
+			Convergence: cfg.Convergence,
+		}),
+		start:    time.Now(),
+		reqs:     make(chan func()),
+		quit:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/query", s.handleQuery)
+	s.mux.HandleFunc("/sessions", s.handleSessions)
+	s.mux.HandleFunc("/sessions/", s.handleSessionTrace)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	go s.loop()
+	return s, nil
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the engine run-loop after draining in-flight requests.
+// Requests arriving afterwards fail with ErrClosed (503 over HTTP).
+func (s *Server) Close() {
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		return
+	}
+	s.closed = true
+	s.closeMu.Unlock()
+	s.inflight.Wait()
+	close(s.quit)
+	<-s.loopDone
+}
+
+// loop is the engine owner: the only goroutine that ever touches the
+// single-threaded virtual-time machine.
+func (s *Server) loop() {
+	defer close(s.loopDone)
+	for {
+		select {
+		case f := <-s.reqs:
+			f()
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// do runs f on the engine run-loop and waits for it.
+func (s *Server) do(f func()) error {
+	s.closeMu.RLock()
+	if s.closed {
+		s.closeMu.RUnlock()
+		return ErrClosed
+	}
+	s.inflight.Add(1)
+	s.closeMu.RUnlock()
+	defer s.inflight.Done()
+	done := make(chan struct{})
+	s.reqs <- func() {
+		defer close(done)
+		f()
+	}
+	<-done
+	return nil
+}
+
+// admissionSlots hands out client indices for the admission policy: a
+// request takes the lowest free slot for its duration, so the "first
+// client" of §4.2.4 is whoever currently holds slot 0.
+type admissionSlots struct {
+	mu    sync.Mutex
+	slots []bool
+	peak  int
+}
+
+func (a *admissionSlots) acquire() (idx, active int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	idx = -1
+	active = 1
+	for i, used := range a.slots {
+		if !used && idx < 0 {
+			idx = i
+		}
+		if used {
+			active++
+		}
+	}
+	if idx < 0 {
+		idx = len(a.slots)
+		a.slots = append(a.slots, true)
+	} else {
+		a.slots[idx] = true
+	}
+	if active > a.peak {
+		a.peak = active
+	}
+	return idx, active
+}
+
+func (a *admissionSlots) release(idx int) {
+	a.mu.Lock()
+	a.slots[idx] = false
+	a.mu.Unlock()
+}
+
+func (a *admissionSlots) peakActive() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.peak
+}
+
+// QueryRequest is the POST /query body. Exactly one of Query (a named
+// benchmark query) or SelectSum (an ad-hoc builder spec) must be set.
+type QueryRequest struct {
+	// Benchmark is "tpch" or "tpcds"; empty means the server's benchmark.
+	Benchmark string `json:"benchmark,omitempty"`
+	// Query is the named benchmark query number (e.g. 6 for TPC-H Q6).
+	Query int `json:"query,omitempty"`
+	// SelectSum builds the paper's §4.1 micro-benchmark shape ad hoc:
+	// sum(column) over rows of table where lo ≤ column ≤ hi.
+	SelectSum *SelectSumSpec `json:"select_sum,omitempty"`
+	// Mode is "adaptive" (default: serve through the plan-session cache) or
+	// "serial" (execute the serial plan cold, bypassing the cache — the
+	// baseline the serving benchmark compares against).
+	Mode string `json:"mode,omitempty"`
+}
+
+// SelectSumSpec is the ad-hoc builder spec the service accepts over JSON.
+type SelectSumSpec struct {
+	Table  string `json:"table"`
+	Column string `json:"column"`
+	Lo     *int64 `json:"lo,omitempty"`
+	Hi     *int64 `json:"hi,omitempty"`
+}
+
+func (sp *SelectSumSpec) pred() algebra.Range {
+	switch {
+	case sp.Lo != nil && sp.Hi != nil:
+		return algebra.Between(*sp.Lo, *sp.Hi)
+	case sp.Lo != nil:
+		return algebra.AtLeast(*sp.Lo)
+	case sp.Hi != nil:
+		return algebra.AtMost(*sp.Hi)
+	default:
+		return algebra.Between(algebra.NoLow, algebra.NoHigh)
+	}
+}
+
+// key renders the spec's canonical identity for fingerprinting — the spec
+// fields already determine the plan, so there is no need to build and
+// render a plan per request just to compute the cache key.
+func (sp *SelectSumSpec) key() string {
+	bound := func(p *int64) string {
+		if p == nil {
+			return "-"
+		}
+		return fmt.Sprintf("%d", *p)
+	}
+	return fmt.Sprintf("select_sum:%s:%s:%s:%s", sp.Table, sp.Column, bound(sp.Lo), bound(sp.Hi))
+}
+
+func (sp *SelectSumSpec) build() *plan.Plan {
+	b := plan.NewBuilder()
+	col := b.Bind(sp.Table, sp.Column)
+	sel := b.Select(col, sp.pred())
+	vals := b.Fetch(sel, col)
+	sum := b.Aggr(algebra.AggrSum, vals)
+	b.Result(sum)
+	return b.Plan()
+}
+
+// QueryResponse is the POST /query reply.
+type QueryResponse struct {
+	Session     string `json:"session,omitempty"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	Query       string `json:"query"`
+	// State is "adapting", "converged", or "serial".
+	State string `json:"state"`
+	// Run is the adaptive run number this invocation executed. It is -1
+	// for serial-mode requests, and for adapting requests served under a
+	// throttled admission budget before the session's first adaptive run
+	// (throttled invocations execute the current plan without counting as
+	// adaptive runs).
+	Run      int  `json:"run"`
+	CacheHit bool `json:"cache_hit"`
+	// LatencyNs is this invocation's virtual execution time.
+	LatencyNs float64 `json:"latency_ns"`
+	// BestLatencyNs is the session's global-minimum execution time so far.
+	BestLatencyNs float64 `json:"best_latency_ns,omitempty"`
+	// SerialLatencyNs is the session's run-0 baseline.
+	SerialLatencyNs float64 `json:"serial_latency_ns,omitempty"`
+	// Speedup is SerialLatencyNs / BestLatencyNs.
+	Speedup float64 `json:"speedup,omitempty"`
+	// DOP is the executed plan's degree of parallelism.
+	DOP int `json:"dop"`
+	// MaxCores is the admission-control budget applied (0 = unlimited).
+	MaxCores  int `json:"max_cores"`
+	NumValues int `json:"num_values"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeErr(w http.ResponseWriter, code int, err error) {
+	s.statMu.Lock()
+	s.errCount++
+	s.statMu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// resolve maps a request to (query name, fingerprint, plan builder). The
+// builder is deferred: plancache only calls it on a fingerprint miss, so
+// the hot cached path never constructs a plan.
+func (s *Server) resolve(req *QueryRequest) (name, fp string, build func() (*plan.Plan, error), err error) {
+	bench := req.Benchmark
+	if bench == "" {
+		bench = s.cfg.Benchmark
+	}
+	if bench != s.cfg.Benchmark {
+		return "", "", nil, fmt.Errorf("this daemon serves %q, not %q", s.cfg.Benchmark, bench)
+	}
+	if req.SelectSum != nil {
+		if req.Query != 0 {
+			return "", "", nil, errors.New("set either query or select_sum, not both")
+		}
+		if req.SelectSum.Table == "" || req.SelectSum.Column == "" {
+			return "", "", nil, errors.New("select_sum needs table and column")
+		}
+		// Validate against the catalog before the plan can reach the cache:
+		// a bad spec must be a 400, not a cache insertion (and possible
+		// eviction of a healthy session) followed by an execution failure.
+		tbl, err := s.cfg.Engine.Catalog().Table(req.SelectSum.Table)
+		if err != nil {
+			return "", "", nil, err
+		}
+		if _, err := tbl.Column(req.SelectSum.Column); err != nil {
+			return "", "", nil, err
+		}
+		spec := *req.SelectSum
+		name = fmt.Sprintf("select_sum(%s.%s)", spec.Table, spec.Column)
+		return name, plancache.Fingerprint(s.cfg.DBIdentity, spec.key()),
+			func() (*plan.Plan, error) { return spec.build(), nil }, nil
+	}
+	var (
+		lookup  func(int) (*plan.Plan, error)
+		numbers []int
+	)
+	switch bench {
+	case "tpch":
+		lookup, numbers = tpch.Query, tpch.QueryNumbers()
+	case "tpcds":
+		lookup, numbers = tpcds.Query, tpcds.QueryNumbers()
+	}
+	n := req.Query
+	if n == 0 {
+		return "", "", nil, errors.New("missing query number")
+	}
+	// Validate by number only — building the plan here would put full plan
+	// construction on every cached request's path.
+	if !slices.Contains(numbers, n) {
+		return "", "", nil, fmt.Errorf("%s: query %d not implemented", bench, n)
+	}
+	name = fmt.Sprintf("%s:q%d", bench, n)
+	return name, plancache.Fingerprint(s.cfg.DBIdentity, name),
+		func() (*plan.Plan, error) { return lookup(n) }, nil
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	name, fp, build, err := s.resolve(&req)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.statMu.Lock()
+	s.queryCount++
+	s.statMu.Unlock()
+
+	var opts exec.JobOptions
+	if s.cfg.Admission {
+		idx, active := s.adm.acquire()
+		defer s.adm.release(idx)
+		cores := s.cfg.Engine.Machine().Config().LogicalCores()
+		opts.MaxCores = vectorwise.AdmissionMaxCores(idx, active, cores)
+		if s.admitHook != nil {
+			s.admitHook()
+		}
+	}
+
+	switch req.Mode {
+	case "", "adaptive":
+		var (
+			res *plancache.Result
+			rep *core.Report
+		)
+		doErr := s.do(func() {
+			res, err = s.cache.Invoke(fp, name, build, opts)
+			if err == nil {
+				// Snapshot the report on the run-loop: another request may
+				// step this session the moment we yield the loop.
+				rep = res.Entry.Session.Report()
+			}
+		})
+		if doErr != nil {
+			s.writeErr(w, http.StatusServiceUnavailable, doErr)
+			return
+		}
+		if err != nil {
+			s.writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp := QueryResponse{
+			Session:         res.Entry.ID,
+			Fingerprint:     fp,
+			Query:           name,
+			State:           "adapting",
+			Run:             res.Invocation.Run,
+			CacheHit:        !res.Created,
+			LatencyNs:       res.Invocation.LatencyNs,
+			BestLatencyNs:   rep.GMENs,
+			SerialLatencyNs: rep.SerialNs,
+			Speedup:         rep.Speedup(),
+			DOP:             res.Invocation.DOP,
+			MaxCores:        opts.MaxCores,
+			NumValues:       len(res.Values),
+		}
+		if res.Invocation.Converged {
+			resp.State = "converged"
+		}
+		writeJSON(w, resp)
+	case "serial":
+		var (
+			vals []exec.Value
+			prof *exec.Profile
+		)
+		doErr := s.do(func() {
+			var p *plan.Plan
+			if p, err = build(); err == nil {
+				vals, prof, err = s.cfg.Engine.ExecuteOpts(p, opts)
+			}
+		})
+		if doErr != nil {
+			s.writeErr(w, http.StatusServiceUnavailable, doErr)
+			return
+		}
+		if err != nil {
+			s.writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, QueryResponse{
+			Query:     name,
+			State:     "serial",
+			Run:       -1,
+			LatencyNs: prof.Makespan(),
+			DOP:       1,
+			MaxCores:  opts.MaxCores,
+			NumValues: len(vals),
+		})
+	default:
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown mode %q", req.Mode))
+	}
+}
+
+// SessionInfo is one GET /sessions list element.
+type SessionInfo struct {
+	Session     string  `json:"session"`
+	Fingerprint string  `json:"fingerprint"`
+	Query       string  `json:"query"`
+	State       string  `json:"state"`
+	Runs        int     `json:"runs"`
+	Hits        int64   `json:"hits"`
+	BestNs      float64 `json:"best_latency_ns"`
+	SerialNs    float64 `json:"serial_latency_ns"`
+	Speedup     float64 `json:"speedup"`
+	BestDOP     int     `json:"best_dop"`
+}
+
+func (s *Server) sessionInfo(e *plancache.Entry) SessionInfo {
+	rep := e.Session.Report()
+	info := SessionInfo{
+		Session:     e.ID,
+		Fingerprint: e.Fingerprint,
+		Query:       e.Query,
+		State:       "adapting",
+		Runs:        rep.TotalRuns,
+		Hits:        e.Hits(),
+		BestNs:      rep.GMENs,
+		SerialNs:    rep.SerialNs,
+		Speedup:     rep.Speedup(),
+	}
+	if rep.BestPlan != nil {
+		info.BestDOP = rep.BestPlan.MaxDOP()
+	}
+	if e.Session.Done() {
+		info.State = "converged"
+	}
+	return info
+}
+
+func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	var out []SessionInfo
+	// Report() walks session state the run-loop mutates; read it there.
+	if err := s.do(func() {
+		for _, e := range s.cache.List() {
+			out = append(out, s.sessionInfo(e))
+		}
+	}); err != nil {
+		s.writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	if out == nil {
+		out = []SessionInfo{}
+	}
+	writeJSON(w, out)
+}
+
+// TraceResponse is the GET /sessions/{id}/trace reply: the session's full
+// convergence trace (Figure 18 quantities) plus the served-invocation log.
+type TraceResponse struct {
+	SessionInfo
+	// History is the per-run execution time, index = run number.
+	History []float64 `json:"history_ns"`
+	// GMERun is the run that achieved the global minimum.
+	GMERun int `json:"gme_run"`
+	// Outliers are runs forgiven as noise peaks (§3.3.3).
+	Outliers []int `json:"outliers,omitempty"`
+	// Invocations logs every served request against this session.
+	Invocations []plancache.Invocation `json:"invocations"`
+}
+
+func (s *Server) handleSessionTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/sessions/")
+	id, tail, ok := strings.Cut(rest, "/")
+	if !ok || tail != "trace" || id == "" {
+		s.writeErr(w, http.StatusNotFound, fmt.Errorf("no route %q (want /sessions/{id}/trace)", r.URL.Path))
+		return
+	}
+	var (
+		resp  TraceResponse
+		found bool
+	)
+	if err := s.do(func() {
+		e := s.cache.Get(id)
+		if e == nil {
+			return
+		}
+		found = true
+		rep := e.Session.Report()
+		resp = TraceResponse{
+			SessionInfo: s.sessionInfo(e),
+			History:     rep.History,
+			GMERun:      rep.GMERun,
+			Outliers:    rep.Outliers,
+			Invocations: e.Trace(),
+		}
+	}); err != nil {
+		s.writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	if !found {
+		s.writeErr(w, http.StatusNotFound, fmt.Errorf("unknown session %q", id))
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// StatsResponse is the GET /stats reply.
+type StatsResponse struct {
+	UptimeSeconds float64         `json:"uptime_seconds"`
+	VirtualNowNs  float64         `json:"virtual_now_ns"`
+	Benchmark     string          `json:"benchmark"`
+	DBIdentity    string          `json:"db_identity"`
+	QueryRequests int64           `json:"query_requests"`
+	Errors        int64           `json:"errors"`
+	Admission     bool            `json:"admission"`
+	PeakClients   int             `json:"peak_concurrent_clients"`
+	Cores         int             `json:"logical_cores"`
+	Cache         plancache.Stats `json:"cache"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
+		return
+	}
+	s.statMu.Lock()
+	queries, errs := s.queryCount, s.errCount
+	s.statMu.Unlock()
+	resp := StatsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Benchmark:     s.cfg.Benchmark,
+		DBIdentity:    s.cfg.DBIdentity,
+		QueryRequests: queries,
+		Errors:        errs,
+		Admission:     s.cfg.Admission,
+		PeakClients:   s.adm.peakActive(),
+		Cores:         s.cfg.Engine.Machine().Config().LogicalCores(),
+	}
+	// The virtual clock belongs to the run-loop, and cache stats read
+	// session convergence state the loop mutates.
+	if err := s.do(func() {
+		resp.VirtualNowNs = s.cfg.Engine.Machine().Now()
+		resp.Cache = s.cache.Stats()
+	}); err != nil {
+		s.writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.closeMu.RLock()
+	closed := s.closed
+	s.closeMu.RUnlock()
+	if closed {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]bool{"ok": false})
+		return
+	}
+	writeJSON(w, map[string]bool{"ok": true})
+}

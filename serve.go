@@ -1,0 +1,112 @@
+package apq
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/plancache"
+	"repro/internal/server"
+)
+
+// ServerConfig configures the apqd query service (see cmd/apqd). The daemon
+// keeps adaptive-parallelization state alive between requests: each request
+// against a cached query is one adaptive run, so latency drops
+// request-over-request as the query's session converges.
+type ServerConfig struct {
+	// DB is the loaded database the service executes against.
+	DB *DB
+	// Machine is the simulated hardware.
+	Machine Machine
+	// DBIdentity names the dataset for query fingerprinting (e.g. the
+	// output of DBIdentity). Fingerprints must change when the data does.
+	DBIdentity string
+	// Benchmark is "tpch" (default) or "tpcds": which named-query set this
+	// daemon serves.
+	Benchmark string
+	// Admission enables Vectorwise-style admission control for concurrent
+	// clients (VectorwiseAdmissionMaxCores, §4.2.4 of the paper).
+	Admission bool
+	// CacheSize bounds the plan-session cache (0 = unlimited). When full,
+	// least-recently-used sessions are evicted, converged ones first.
+	CacheSize int
+	// EngineOptions tune the engine (noise model, cost calibration, seed).
+	EngineOptions []Option
+}
+
+// Server is the query-service core: HTTP handlers over one engine, one
+// plan-session cache, and one admission controller. The single-threaded
+// virtual-time engine is owned by the server's run-loop; all executions are
+// serialized behind it, so the handler set is safe for concurrent clients.
+type Server struct {
+	inner *server.Server
+}
+
+// NewServer creates a query service. Close it to stop the engine run-loop.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.DB == nil {
+		return nil, errors.New("apq: ServerConfig.DB is required")
+	}
+	eng := NewEngine(cfg.DB, cfg.Machine, cfg.EngineOptions...)
+	inner, err := server.New(server.Config{
+		Engine:     eng.inner,
+		DBIdentity: cfg.DBIdentity,
+		Benchmark:  cfg.Benchmark,
+		Admission:  cfg.Admission,
+		CacheSize:  cfg.CacheSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Server{inner: inner}, nil
+}
+
+// Handler returns the HTTP handler tree: POST /query, GET /sessions,
+// GET /sessions/{id}/trace, GET /stats, GET /healthz.
+func (s *Server) Handler() http.Handler { return s.inner.Handler() }
+
+// Close drains in-flight requests and stops the engine run-loop. Requests
+// arriving afterwards fail with 503.
+func (s *Server) Close() { s.inner.Close() }
+
+// Serve runs the query service on addr until ctx is cancelled, then shuts
+// down gracefully (in-flight requests drain before the engine stops).
+func Serve(ctx context.Context, addr string, cfg ServerConfig) error {
+	s, err := NewServer(cfg)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	hs := &http.Server{Addr: addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case <-ctx.Done():
+		shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return hs.Shutdown(shctx)
+	case err := <-errc:
+		return err
+	}
+}
+
+// DBIdentity renders the canonical dataset identity for the built-in
+// generators: benchmark name, scale factor, and seed.
+func DBIdentity(benchmark string, sf float64, seed int64) string {
+	return fmt.Sprintf("%s:sf=%g:seed=%d", benchmark, sf, seed)
+}
+
+// FingerprintNamed fingerprints a named benchmark query (e.g. "tpch:q6")
+// against a dataset identity — the plan-session cache key the service uses.
+func FingerprintNamed(dbIdentity, name string) string {
+	return plancache.Fingerprint(dbIdentity, name)
+}
+
+// FingerprintQuery fingerprints a builder-spec query by its plan structure
+// against a dataset identity. Structurally identical plans fingerprint
+// equal; any change to the plan (or the dataset) changes the key.
+func FingerprintQuery(dbIdentity string, q *Query) string {
+	return plancache.PlanFingerprint(dbIdentity, q.p)
+}
