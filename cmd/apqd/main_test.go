@@ -1,6 +1,7 @@
 package main_test
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -10,14 +11,41 @@ import (
 func TestApqdSmoke(t *testing.T) {
 	bin := cmdtest.Build(t, "repro/cmd/apqd")
 
-	// -selfbench exercises the full serve path without binding a port.
-	out, code := cmdtest.Run(t, bin, "-selfbench", "-sf", "0.2", "-selfbench-n", "20")
+	// -selfbench exercises the full serve path (shard sweep) without
+	// binding a port. Keep the workload tiny: 2 queries, 20 requests.
+	out, code := cmdtest.Run(t, bin, "-selfbench", "-sf", "0.2", "-selfbench-n", "20", "-selfbench-queries", "2")
 	if code != 0 {
 		t.Fatalf("-selfbench exited %d:\n%s", code, out)
 	}
-	for _, want := range []string{`"hot_repeated"`, `"cold_serial"`, `"virtual_speedup"`} {
+	for _, want := range []string{`"sweep"`, `"hot_adaptive"`, `"cold_serial"`, `"virtual_speedup"`, `"hot_beats_cold_at_shards"`} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("selfbench output missing %s:\n%s", want, out)
+		}
+	}
+	var rep struct {
+		Sweep []struct {
+			Shards int `json:"shards"`
+			Hot    struct {
+				Requests int `json:"requests"`
+			} `json:"hot_adaptive"`
+		} `json:"sweep"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("selfbench output is not JSON: %v\n%s", err, out)
+	}
+	if len(rep.Sweep) < 2 || rep.Sweep[0].Shards != 1 || rep.Sweep[1].Shards != 2 {
+		t.Fatalf("sweep must cover shard counts starting 1,2: %s", out)
+	}
+
+	// -simbench compares the optimized event core against the preserved
+	// seed core on pinned scenarios.
+	out, code = cmdtest.Run(t, bin, "-simbench", "-simbench-rounds", "1")
+	if code != 0 {
+		t.Fatalf("-simbench exited %d:\n%s", code, out)
+	}
+	for _, want := range []string{`"scenarios"`, `"optimized_ms"`, `"reference_ms"`, `"four-socket-96t"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("simbench output missing %s:\n%s", want, out)
 		}
 	}
 

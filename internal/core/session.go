@@ -143,6 +143,46 @@ func (s *Session) Converge() (*Report, error) {
 	return nil, fmt.Errorf("core: convergence did not halt within %d runs", cap)
 }
 
+// Best returns the plan a post-convergence invocation should execute: the
+// global-minimum plan once one exists, else the current plan. O(1).
+func (s *Session) Best() *plan.Plan {
+	if _, _, ok := s.conv.GME(); ok && s.best != nil {
+		return s.best
+	}
+	return s.cur
+}
+
+// Summary is the constant-time snapshot of an adaptation's headline
+// numbers. Unlike Report it copies no history or attempt slices, so the
+// serving hot path can read it per request without per-request allocation.
+type Summary struct {
+	Runs     int
+	GMENs    float64
+	SerialNs float64
+	Done     bool
+}
+
+// Speedup returns serial time over GME time.
+func (sm Summary) Speedup() float64 {
+	if sm.GMENs <= 0 {
+		return 1
+	}
+	return sm.SerialNs / sm.GMENs
+}
+
+// Summary snapshots the headline adaptation numbers in O(1).
+func (s *Session) Summary() Summary {
+	gme, _, ok := s.conv.GME()
+	serial := 0.0
+	if len(s.attempts) > 0 {
+		serial = s.attempts[0].ExecNs
+	}
+	if !ok {
+		gme = serial
+	}
+	return Summary{Runs: len(s.attempts), GMENs: gme, SerialNs: serial, Done: s.done}
+}
+
 // Report snapshots the adaptation outcome so far.
 func (s *Session) Report() *Report {
 	gme, gmeRun, ok := s.conv.GME()

@@ -2,7 +2,9 @@ package exec
 
 import (
 	"fmt"
+	"sync"
 
+	"repro/internal/algebra"
 	"repro/internal/cost"
 	"repro/internal/plan"
 	"repro/internal/sim"
@@ -17,11 +19,97 @@ type Engine struct {
 	cat    *storage.Catalog
 	mach   *sim.Machine
 	params cost.Params
+
+	schedMu   sync.Mutex
+	sched     map[*plan.Plan]*planSchedule
+	schedFifo []*plan.Plan
 }
 
 // NewEngine creates an engine over the catalog with a fresh machine.
 func NewEngine(cat *storage.Catalog, machineCfg sim.Config, params cost.Params) *Engine {
-	return &Engine{cat: cat, mach: sim.NewMachine(machineCfg), params: params}
+	return &Engine{
+		cat:    cat,
+		mach:   sim.NewMachine(machineCfg),
+		params: params,
+		sched:  make(map[*plan.Plan]*planSchedule),
+	}
+}
+
+// planSchedule is the per-plan execution scaffolding that is identical
+// across runs of the same (immutable) plan object: validation outcome, the
+// argument-dependency graph, and initial unresolved-producer counts. The
+// plan-session cache executes one plan object per request once a query
+// converges, so caching this turns the per-run O(instrs × args) graph
+// rebuild into a single slice copy.
+type planSchedule struct {
+	pending []int32   // unresolved argument-producer count per instruction
+	waiters [][]int32 // waiters[i] = instructions waiting on producer i
+	roots   []int32   // instructions with no unresolved producers
+}
+
+// maxCachedSchedules bounds the schedule cache; adaptive sessions retire
+// mutated plans constantly, so stale entries must not accumulate.
+const maxCachedSchedules = 256
+
+// scheduleFor returns the cached schedule for p, validating and building it
+// on first sight of the plan object. Plans must not be mutated in place
+// after submission (mutation always clones).
+func (e *Engine) scheduleFor(p *plan.Plan) (*planSchedule, error) {
+	e.schedMu.Lock()
+	if s, ok := e.sched[p]; ok {
+		e.schedMu.Unlock()
+		return s, nil
+	}
+	e.schedMu.Unlock()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	s := &planSchedule{
+		pending: make([]int32, len(p.Instrs)),
+		waiters: make([][]int32, len(p.Instrs)),
+	}
+	producer := make(map[plan.VarID]int32)
+	for i, in := range p.Instrs {
+		for _, r := range in.Rets {
+			producer[r] = int32(i)
+		}
+	}
+	for i, in := range p.Instrs {
+		seen := int32(-1)
+		for _, a := range in.Args {
+			if src, ok := producer[a]; ok && src != seen {
+				// Duplicate producers of one instruction are rare; dedupe
+				// against the full waiter set only when they occur.
+				dup := false
+				for _, w := range s.waiters[src] {
+					if w == int32(i) {
+						dup = true
+						break
+					}
+				}
+				if dup {
+					continue
+				}
+				seen = src
+				s.pending[i]++
+				s.waiters[src] = append(s.waiters[src], int32(i))
+			}
+		}
+		if s.pending[i] == 0 {
+			s.roots = append(s.roots, int32(i))
+		}
+	}
+	e.schedMu.Lock()
+	if len(e.schedFifo) >= maxCachedSchedules {
+		for _, old := range e.schedFifo[:maxCachedSchedules/2] {
+			delete(e.sched, old)
+		}
+		e.schedFifo = append(e.schedFifo[:0], e.schedFifo[maxCachedSchedules/2:]...)
+	}
+	e.sched[p] = s
+	e.schedFifo = append(e.schedFifo, p)
+	e.schedMu.Unlock()
+	return s, nil
 }
 
 // Machine exposes the simulated machine (for workload drivers that inject
@@ -46,11 +134,12 @@ type PlanJob struct {
 	eng        *Engine
 	simJob     *sim.Job
 	env        []Value
-	pending    []int // unresolved argument-producer count per instruction
-	waiters    map[int][]int
+	pending    []int32 // unresolved argument-producer count per instruction
+	waiters    [][]int32
 	results    []Value
 	costParams cost.Params
 	completed  int
+	argScratch []Value // reused per evalInstr call; never retained by kernels
 }
 
 // JobOptions configures a plan submission.
@@ -64,47 +153,32 @@ type JobOptions struct {
 }
 
 // Submit schedules p for execution starting at the machine's current virtual
-// time. Call Engine.Run (or Machine().Run()) to drive the simulation.
+// time. Call Engine.Run (or Machine().Run()) to drive the simulation. The
+// plan's validation and dependency graph are cached per plan object, so
+// repeated submissions of a cached plan (the converged serving path) pay
+// only a counter-slice copy.
 func (e *Engine) Submit(p *plan.Plan, opts JobOptions) (*PlanJob, error) {
-	if err := p.Validate(); err != nil {
+	sched, err := e.scheduleFor(p)
+	if err != nil {
 		return nil, err
 	}
 	j := &PlanJob{
 		Plan:    p,
-		Profile: &Profile{StartNs: e.mach.Now(), Machine: e.mach.Config()},
+		Profile: &Profile{StartNs: e.mach.Now(), Machine: e.mach.Config(), Ops: make([]OpExec, 0, len(p.Instrs))},
 		eng:     e,
 		simJob:  e.mach.NewJob(opts.MaxCores),
 		env:     make([]Value, p.NVars()),
-		pending: make([]int, len(p.Instrs)),
-		waiters: make(map[int][]int),
+		pending: make([]int32, len(p.Instrs)),
+		waiters: sched.waiters,
 	}
+	copy(j.pending, sched.pending)
 	params := e.params
 	if opts.CostParams != nil {
 		params = *opts.CostParams
 	}
-	// Build the dependency graph: instruction i waits for the producers of
-	// its arguments.
-	producer := make(map[plan.VarID]int)
-	for i, in := range p.Instrs {
-		for _, r := range in.Rets {
-			producer[r] = i
-		}
-	}
-	for i, in := range p.Instrs {
-		seen := map[int]bool{}
-		for _, a := range in.Args {
-			if src, ok := producer[a]; ok && !seen[src] {
-				seen[src] = true
-				j.pending[i]++
-				j.waiters[src] = append(j.waiters[src], i)
-			}
-		}
-	}
 	j.costParams = params
-	for i := range p.Instrs {
-		if j.pending[i] == 0 {
-			j.submitInstr(i)
-		}
+	for _, i := range sched.roots {
+		j.submitInstr(int(i))
 	}
 	return j, nil
 }
@@ -120,6 +194,60 @@ func (j *PlanJob) fail(err error) {
 	}
 }
 
+// instrTask carries one scheduled instruction through the simulator: the
+// sim task, its evaluated results, and the profiling state, in a single
+// allocation (it implements sim.TaskHooks, so no per-task closures).
+type instrTask struct {
+	sim.Task
+	j       *PlanJob
+	idx     int32
+	core    int32
+	startNs float64
+	work    algebra.Work
+	rets    []Value
+}
+
+// TaskStarted implements sim.TaskHooks.
+func (it *instrTask) TaskStarted(now float64, core int) {
+	it.startNs = now
+	it.core = int32(core)
+}
+
+// TaskCompleted implements sim.TaskHooks: results become visible, waiting
+// instructions are released, and the op is profiled.
+func (it *instrTask) TaskCompleted(now float64, core int) {
+	j := it.j
+	idx := int(it.idx)
+	in := j.Plan.Instrs[idx]
+	j.Profile.Ops = append(j.Profile.Ops, OpExec{
+		Instr: idx, Op: in.Op, StartNs: it.startNs, EndNs: now, Core: int(it.core), Work: it.work,
+	})
+	for k, r := range in.Rets {
+		j.env[r] = it.rets[k]
+	}
+	if in.Op == plan.OpResult {
+		j.results = make([]Value, len(in.Args))
+		for k, a := range in.Args {
+			j.results[k] = j.env[a]
+		}
+	}
+	for _, dep := range j.waiters[idx] {
+		j.pending[dep]--
+		if j.pending[dep] == 0 {
+			j.submitInstr(int(dep))
+		}
+	}
+	j.completed++
+	if j.completed == len(j.Plan.Instrs) && !j.Done {
+		j.Profile.EndNs = now
+		j.Done = true
+		if j.OnDone != nil {
+			j.OnDone(j)
+			j.OnDone = nil
+		}
+	}
+}
+
 // submitInstr evaluates instruction idx immediately (results become visible
 // only at virtual completion) and schedules its virtual duration.
 func (j *PlanJob) submitInstr(idx int) {
@@ -127,7 +255,7 @@ func (j *PlanJob) submitInstr(idx int) {
 		return
 	}
 	in := j.Plan.Instrs[idx]
-	rets, w, everr := evalInstr(j.eng.cat, j.Plan, in, j.env)
+	rets, w, everr := evalInstr(j, j.Plan, in)
 	if everr != nil {
 		j.fail(everr)
 		return
@@ -149,50 +277,17 @@ func (j *PlanJob) submitInstr(idx int) {
 			home = idx % sockets
 		}
 	}
-	task := &sim.Task{
+	it := &instrTask{j: j, idx: int32(idx), work: w, rets: rets}
+	it.Task = sim.Task{
 		Label:      in.Op.String(),
 		Job:        j.simJob,
 		BaseNs:     est.Ns,
 		MemFrac:    est.MemFrac,
 		Bytes:      est.Bytes,
 		HomeSocket: home,
+		Hooks:      it,
 	}
-	var startNs float64
-	var coreID int
-	task.OnStart = func(now float64, core int) {
-		startNs = now
-		coreID = core
-	}
-	task.OnComplete = func(now float64, core int) {
-		j.Profile.Ops = append(j.Profile.Ops, OpExec{
-			Instr: idx, Op: in.Op, StartNs: startNs, EndNs: now, Core: coreID, Work: w,
-		})
-		for k, r := range in.Rets {
-			j.env[r] = rets[k]
-		}
-		if in.Op == plan.OpResult {
-			j.results = make([]Value, len(in.Args))
-			for k, a := range in.Args {
-				j.results[k] = j.env[a]
-			}
-		}
-		for _, dep := range j.waiters[idx] {
-			j.pending[dep]--
-			if j.pending[dep] == 0 {
-				j.submitInstr(dep)
-			}
-		}
-		j.completed++
-		if j.completed == len(j.Plan.Instrs) && !j.Done {
-			j.Profile.EndNs = now
-			j.Done = true
-			if j.OnDone != nil {
-				j.OnDone(j)
-				j.OnDone = nil
-			}
-		}
-	}
-	j.eng.mach.Submit(task)
+	j.eng.mach.Submit(&it.Task)
 }
 
 // Results returns the values of the plan's result instruction (valid once

@@ -22,9 +22,14 @@ func sliceValue(v Value, lo, hi int) Value {
 
 // resolveArgs returns the instruction's argument values with its Part
 // applied to the slice-able anchors. All sliced anchors of one instruction
-// share the Part (they are positionally co-aligned by construction).
-func resolveArgs(p *plan.Plan, in *plan.Instr, env []Value) []Value {
-	args := make([]Value, len(in.Args))
+// share the Part (they are positionally co-aligned by construction). The
+// returned slice aliases the job's scratch buffer: it is valid only until
+// the next evalInstr call, which is fine because kernels never retain it.
+func resolveArgs(j *PlanJob, in *plan.Instr, env []Value) []Value {
+	if cap(j.argScratch) < len(in.Args) {
+		j.argScratch = make([]Value, len(in.Args)+8)
+	}
+	args := j.argScratch[:len(in.Args)]
 	for i, a := range in.Args {
 		args[i] = env[a]
 	}
@@ -56,8 +61,9 @@ func reseqPartitioned(col *storage.Column, in *plan.Instr, anchor Value) *storag
 // evalInstr executes one instruction: it resolves arguments (applying the
 // partition range), dispatches to the algebra kernel, and returns the result
 // values aligned with in.Rets plus the Work performed.
-func evalInstr(cat *storage.Catalog, p *plan.Plan, in *plan.Instr, env []Value) ([]Value, algebra.Work, error) {
-	args := resolveArgs(p, in, env)
+func evalInstr(j *PlanJob, p *plan.Plan, in *plan.Instr) ([]Value, algebra.Work, error) {
+	cat, env := j.eng.cat, j.env
+	args := resolveArgs(j, in, env)
 	switch in.Op {
 	case plan.OpBind:
 		aux := in.Aux.(plan.BindAux)

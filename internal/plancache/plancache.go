@@ -16,8 +16,9 @@
 // Concurrency: the cache's maps and per-entry bookkeeping are guarded by a
 // mutex, but *stepping a session executes on the discrete-event machine*,
 // which is single-threaded. Callers must serialize Invoke calls (the
-// internal/server run-loop does exactly that); the cache documents rather
-// than hides this constraint so the engine-ownership boundary stays visible.
+// internal/server shard owns one cache and serializes through its
+// engine-ownership lock); the cache documents rather than hides this
+// constraint so the engine-ownership boundary stays visible.
 package plancache
 
 import (
@@ -54,6 +55,10 @@ type Config struct {
 	// full, the least-recently-used converged entry is evicted; if every
 	// entry is still adapting, the least-recently-used overall goes.
 	MaxEntries int
+	// IDPrefix namespaces session ids: prefix "s" yields s1, s2, ...
+	// (the default); the engine shard pool gives each shard its own prefix
+	// (e.g. "s2.") so ids stay unique across shards.
+	IDPrefix string
 	// Mutation and Convergence tune the sessions the cache creates.
 	Mutation    core.MutationConfig
 	Convergence core.ConvergenceConfig
@@ -153,6 +158,9 @@ func New(eng *exec.Engine, cfg Config) *Cache {
 	if cfg.Mutation == (core.MutationConfig{}) {
 		cfg.Mutation = core.DefaultMutationConfig()
 	}
+	if cfg.IDPrefix == "" {
+		cfg.IDPrefix = "s"
+	}
 	return &Cache{eng: eng, cfg: cfg, byFP: map[string]*Entry{}, byID: map[string]*Entry{}}
 }
 
@@ -184,7 +192,7 @@ func (c *Cache) Invoke(fp, query string, build func() (*plan.Plan, error), opts 
 		}
 		c.seq++
 		e = &Entry{
-			ID:          fmt.Sprintf("s%d", c.seq),
+			ID:          fmt.Sprintf("%s%d", c.cfg.IDPrefix, c.seq),
 			Fingerprint: fp,
 			Query:       query,
 			Session:     core.NewSession(c.eng, p, c.cfg.Mutation, c.cfg.Convergence),
@@ -250,7 +258,7 @@ func (c *Cache) Invoke(fp, query string, build func() (*plan.Plan, error), opts 
 		// necessarily the global-minimum plan served from here on.
 		dop = last.Plan.MaxDOP()
 	default:
-		best := e.Session.Report().BestPlan
+		best := e.Session.Best()
 		var err error
 		values, profile, err = c.eng.ExecuteOpts(best, opts)
 		if err != nil {

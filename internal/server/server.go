@@ -5,20 +5,30 @@
 // adaptive run, so a query's latency drops request-over-request as its
 // session converges on the global-minimum plan.
 //
-// Concurrency model. The discrete-event virtual-time machine underneath the
-// execution engine is single-threaded: stepping it from two goroutines
-// corrupts its event queue and clock. The server therefore owns the engine
-// behind a run-loop goroutine; handler goroutines enqueue closures and wait.
-// Admission control is layered on top: concurrently arriving clients take
-// numbered slots and their queries execute under a Vectorwise-style
+// Concurrency model: the engine shard pool. The discrete-event virtual-time
+// machine underneath an execution engine is single-threaded: stepping it
+// from two goroutines corrupts its event queue and clock. The seed server
+// therefore owned ONE engine behind one run-loop goroutine and serialized
+// every execution — so wall-clock throughput could not scale with host
+// cores. The server now owns N independent engine replicas (shards), each
+// with its own simulated machine and plan-session cache behind its own
+// engine-ownership mutex, over one shared read-only catalog. A query is
+// pinned to a shard by its fingerprint hash: a given session's adaptive
+// convergence stays deterministic and single-threaded on its home shard,
+// while distinct queries execute concurrently on distinct host cores.
+//
+// Admission control is layered per shard: concurrently arriving clients of
+// the same shard take numbered slots and execute under a Vectorwise-style
 // per-client core budget (vectorwise.AdmissionMaxCores, §4.2.4) — the first
-// client keeps the whole machine, later ones degrade toward serial.
+// client keeps that shard's whole machine, later ones degrade toward
+// serial.
 package server
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"net/http"
 	"slices"
 	"strings"
@@ -40,9 +50,13 @@ var ErrClosed = errors.New("server: closed")
 
 // Config configures a Server.
 type Config struct {
-	// Engine is the execution engine over the loaded database. The server
-	// takes ownership: all executions must go through the server.
+	// Engine is a single execution engine — the one-shard configuration.
+	// The server takes ownership: all executions must go through it.
 	Engine *exec.Engine
+	// Engines, when set, is the shard pool: one engine replica per shard,
+	// each with its own simulated machine over the shared catalog. Takes
+	// precedence over Engine.
+	Engines []*exec.Engine
 	// DBIdentity names the dataset for fingerprinting, e.g.
 	// "tpch:sf=1:seed=42". Fingerprints must change when the data does.
 	DBIdentity string
@@ -50,32 +64,42 @@ type Config struct {
 	// requests for the other benchmark are rejected up front.
 	Benchmark string
 	// Admission enables the Vectorwise-style admission-control scheme for
-	// concurrent clients.
+	// concurrent clients of one shard.
 	Admission bool
-	// CacheSize bounds the plan-session cache (0 = unlimited).
+	// CacheSize bounds each shard's plan-session cache (0 = unlimited).
 	CacheSize int
 	// Mutation and Convergence tune adaptive sessions (zero = defaults).
 	Mutation    core.MutationConfig
 	Convergence core.ConvergenceConfig
 }
 
-// Server is the query-service daemon core: an HTTP handler set over one
-// engine, one plan-session cache, and one admission controller.
-type Server struct {
-	cfg   Config
+// shard is one engine replica: a simulated machine, its plan-session cache,
+// and its admission slots. The shard mutex is the engine-ownership boundary:
+// the single-threaded virtual-time machine is only ever touched while
+// holding it, so handler goroutines execute engine work inline (one
+// uncontended lock) instead of paying two channel handoffs to a dedicated
+// run-loop goroutine per request — the seed design's main fixed cost under
+// concurrent clients.
+type shard struct {
+	id    int
+	eng   *exec.Engine
 	cache *plancache.Cache
-	mux   *http.ServeMux
-	start time.Time
+	adm   admissionSlots
 
-	reqs     chan func()
-	quit     chan struct{}
-	loopDone chan struct{}
+	mu sync.Mutex
+}
+
+// Server is the query-service daemon core: an HTTP handler set over a pool
+// of engine shards.
+type Server struct {
+	cfg    Config
+	shards []*shard
+	mux    *http.ServeMux
+	start  time.Time
 
 	closeMu  sync.RWMutex
 	closed   bool
 	inflight sync.WaitGroup
-
-	adm admissionSlots
 
 	statMu     sync.Mutex
 	queryCount int64
@@ -87,10 +111,19 @@ type Server struct {
 	admitHook func()
 }
 
-// New creates a Server and starts its engine run-loop.
+// New creates a Server over a pool of engine shards.
 func New(cfg Config) (*Server, error) {
-	if cfg.Engine == nil {
-		return nil, errors.New("server: Config.Engine is required")
+	engines := cfg.Engines
+	if len(engines) == 0 && cfg.Engine != nil {
+		engines = []*exec.Engine{cfg.Engine}
+	}
+	if len(engines) == 0 {
+		return nil, errors.New("server: Config.Engine or Config.Engines is required")
+	}
+	for _, e := range engines {
+		if e == nil {
+			return nil, errors.New("server: nil engine in Config.Engines")
+		}
 	}
 	switch cfg.Benchmark {
 	case "":
@@ -102,17 +135,24 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DBIdentity == "" {
 		cfg.DBIdentity = cfg.Benchmark
 	}
-	s := &Server{
-		cfg: cfg,
-		cache: plancache.New(cfg.Engine, plancache.Config{
-			MaxEntries:  cfg.CacheSize,
-			Mutation:    cfg.Mutation,
-			Convergence: cfg.Convergence,
-		}),
-		start:    time.Now(),
-		reqs:     make(chan func()),
-		quit:     make(chan struct{}),
-		loopDone: make(chan struct{}),
+	s := &Server{cfg: cfg, start: time.Now()}
+	for i, eng := range engines {
+		prefix := "s"
+		if len(engines) > 1 {
+			// Namespace ids per shard so /sessions/{id} stays unique.
+			prefix = fmt.Sprintf("s%d.", i)
+		}
+		sh := &shard{
+			id:  i,
+			eng: eng,
+			cache: plancache.New(eng, plancache.Config{
+				MaxEntries:  cfg.CacheSize,
+				IDPrefix:    prefix,
+				Mutation:    cfg.Mutation,
+				Convergence: cfg.Convergence,
+			}),
+		}
+		s.shards = append(s.shards, sh)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/query", s.handleQuery)
@@ -120,15 +160,17 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/sessions/", s.handleSessionTrace)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
-	go s.loop()
 	return s, nil
 }
 
 // Handler returns the HTTP handler tree.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Close stops the engine run-loop after draining in-flight requests.
-// Requests arriving afterwards fail with ErrClosed (503 over HTTP).
+// Shards reports the pool width.
+func (s *Server) Shards() int { return len(s.shards) }
+
+// Close drains in-flight requests and releases the engines. Requests
+// arriving afterwards fail with ErrClosed (503 over HTTP).
 func (s *Server) Close() {
 	s.closeMu.Lock()
 	if s.closed {
@@ -138,26 +180,23 @@ func (s *Server) Close() {
 	s.closed = true
 	s.closeMu.Unlock()
 	s.inflight.Wait()
-	close(s.quit)
-	<-s.loopDone
 }
 
-// loop is the engine owner: the only goroutine that ever touches the
-// single-threaded virtual-time machine.
-func (s *Server) loop() {
-	defer close(s.loopDone)
-	for {
-		select {
-		case f := <-s.reqs:
-			f()
-		case <-s.quit:
-			return
-		}
+// shardFor pins a fingerprint to a shard. The hash is stable for a given
+// fingerprint and pool width, so a query's session never migrates — its
+// adaptive convergence happens on one deterministic virtual machine.
+func (s *Server) shardFor(fp string) *shard {
+	if len(s.shards) == 1 {
+		return s.shards[0]
 	}
+	h := fnv.New32a()
+	h.Write([]byte(fp))
+	return s.shards[h.Sum32()%uint32(len(s.shards))]
 }
 
-// do runs f on the engine run-loop and waits for it.
-func (s *Server) do(f func()) error {
+// do runs f holding sh's engine-ownership lock: f is the only code touching
+// the shard's machine, cache sessions, and virtual clock while it runs.
+func (s *Server) do(sh *shard, f func()) error {
 	s.closeMu.RLock()
 	if s.closed {
 		s.closeMu.RUnlock()
@@ -166,18 +205,15 @@ func (s *Server) do(f func()) error {
 	s.inflight.Add(1)
 	s.closeMu.RUnlock()
 	defer s.inflight.Done()
-	done := make(chan struct{})
-	s.reqs <- func() {
-		defer close(done)
-		f()
-	}
-	<-done
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f()
 	return nil
 }
 
 // admissionSlots hands out client indices for the admission policy: a
 // request takes the lowest free slot for its duration, so the "first
-// client" of §4.2.4 is whoever currently holds slot 0.
+// client" of §4.2.4 is whoever currently holds slot 0 on that shard.
 type admissionSlots struct {
 	mu    sync.Mutex
 	slots []bool
@@ -286,6 +322,8 @@ type QueryResponse struct {
 	Session     string `json:"session,omitempty"`
 	Fingerprint string `json:"fingerprint,omitempty"`
 	Query       string `json:"query"`
+	// Shard is the engine shard this query's fingerprint pins to.
+	Shard int `json:"shard"`
 	// State is "adapting", "converged", or "serial".
 	State string `json:"state"`
 	// Run is the adaptive run number this invocation executed. It is -1
@@ -349,7 +387,8 @@ func (s *Server) resolve(req *QueryRequest) (name, fp string, build func() (*pla
 		// Validate against the catalog before the plan can reach the cache:
 		// a bad spec must be a 400, not a cache insertion (and possible
 		// eviction of a healthy session) followed by an execution failure.
-		tbl, err := s.cfg.Engine.Catalog().Table(req.SelectSum.Table)
+		// The catalog is shared and read-only, so shard 0 can answer.
+		tbl, err := s.shards[0].eng.Catalog().Table(req.SelectSum.Table)
 		if err != nil {
 			return "", "", nil, err
 		}
@@ -404,11 +443,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.queryCount++
 	s.statMu.Unlock()
 
+	// Shard pinning: the fingerprint decides the engine replica, so a
+	// session's adaptive state lives (and converges deterministically) on
+	// exactly one simulated machine.
+	sh := s.shardFor(fp)
+
 	var opts exec.JobOptions
 	if s.cfg.Admission {
-		idx, active := s.adm.acquire()
-		defer s.adm.release(idx)
-		cores := s.cfg.Engine.Machine().Config().LogicalCores()
+		idx, active := sh.adm.acquire()
+		defer sh.adm.release(idx)
+		cores := sh.eng.Machine().Config().LogicalCores()
 		opts.MaxCores = vectorwise.AdmissionMaxCores(idx, active, cores)
 		if s.admitHook != nil {
 			s.admitHook()
@@ -419,14 +463,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case "", "adaptive":
 		var (
 			res *plancache.Result
-			rep *core.Report
+			sum core.Summary
 		)
-		doErr := s.do(func() {
-			res, err = s.cache.Invoke(fp, name, build, opts)
+		doErr := s.do(sh, func() {
+			res, err = sh.cache.Invoke(fp, name, build, opts)
 			if err == nil {
-				// Snapshot the report on the run-loop: another request may
-				// step this session the moment we yield the loop.
-				rep = res.Entry.Session.Report()
+				// Snapshot under the shard lock: another request may step
+				// this session the moment we release it.
+				sum = res.Entry.Session.Summary()
 			}
 		})
 		if doErr != nil {
@@ -441,13 +485,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			Session:         res.Entry.ID,
 			Fingerprint:     fp,
 			Query:           name,
+			Shard:           sh.id,
 			State:           "adapting",
 			Run:             res.Invocation.Run,
 			CacheHit:        !res.Created,
 			LatencyNs:       res.Invocation.LatencyNs,
-			BestLatencyNs:   rep.GMENs,
-			SerialLatencyNs: rep.SerialNs,
-			Speedup:         rep.Speedup(),
+			BestLatencyNs:   sum.GMENs,
+			SerialLatencyNs: sum.SerialNs,
+			Speedup:         sum.Speedup(),
 			DOP:             res.Invocation.DOP,
 			MaxCores:        opts.MaxCores,
 			NumValues:       len(res.Values),
@@ -461,10 +506,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			vals []exec.Value
 			prof *exec.Profile
 		)
-		doErr := s.do(func() {
+		doErr := s.do(sh, func() {
 			var p *plan.Plan
 			if p, err = build(); err == nil {
-				vals, prof, err = s.cfg.Engine.ExecuteOpts(p, opts)
+				vals, prof, err = sh.eng.ExecuteOpts(p, opts)
 			}
 		})
 		if doErr != nil {
@@ -477,6 +522,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		writeJSON(w, QueryResponse{
 			Query:     name,
+			Shard:     sh.id,
 			State:     "serial",
 			Run:       -1,
 			LatencyNs: prof.Makespan(),
@@ -494,6 +540,7 @@ type SessionInfo struct {
 	Session     string  `json:"session"`
 	Fingerprint string  `json:"fingerprint"`
 	Query       string  `json:"query"`
+	Shard       int     `json:"shard"`
 	State       string  `json:"state"`
 	Runs        int     `json:"runs"`
 	Hits        int64   `json:"hits"`
@@ -503,12 +550,13 @@ type SessionInfo struct {
 	BestDOP     int     `json:"best_dop"`
 }
 
-func (s *Server) sessionInfo(e *plancache.Entry) SessionInfo {
+func sessionInfo(sh *shard, e *plancache.Entry) SessionInfo {
 	rep := e.Session.Report()
 	info := SessionInfo{
 		Session:     e.ID,
 		Fingerprint: e.Fingerprint,
 		Query:       e.Query,
+		Shard:       sh.id,
 		State:       "adapting",
 		Runs:        rep.TotalRuns,
 		Hits:        e.Hits(),
@@ -530,18 +578,18 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
 		return
 	}
-	var out []SessionInfo
-	// Report() walks session state the run-loop mutates; read it there.
-	if err := s.do(func() {
-		for _, e := range s.cache.List() {
-			out = append(out, s.sessionInfo(e))
+	out := []SessionInfo{}
+	for _, sh := range s.shards {
+		// Report() walks session state that executions on this shard
+		// mutate; read it under the shard lock.
+		if err := s.do(sh, func() {
+			for _, e := range sh.cache.List() {
+				out = append(out, sessionInfo(sh, e))
+			}
+		}); err != nil {
+			s.writeErr(w, http.StatusServiceUnavailable, err)
+			return
 		}
-	}); err != nil {
-		s.writeErr(w, http.StatusServiceUnavailable, err)
-		return
-	}
-	if out == nil {
-		out = []SessionInfo{}
 	}
 	writeJSON(w, out)
 }
@@ -575,23 +623,29 @@ func (s *Server) handleSessionTrace(w http.ResponseWriter, r *http.Request) {
 		resp  TraceResponse
 		found bool
 	)
-	if err := s.do(func() {
-		e := s.cache.Get(id)
-		if e == nil {
+	for _, sh := range s.shards {
+		if sh.cache.Get(id) == nil {
+			continue
+		}
+		if err := s.do(sh, func() {
+			e := sh.cache.Get(id)
+			if e == nil {
+				return // evicted between lookup and loop entry
+			}
+			found = true
+			rep := e.Session.Report()
+			resp = TraceResponse{
+				SessionInfo: sessionInfo(sh, e),
+				History:     rep.History,
+				GMERun:      rep.GMERun,
+				Outliers:    rep.Outliers,
+				Invocations: e.Trace(),
+			}
+		}); err != nil {
+			s.writeErr(w, http.StatusServiceUnavailable, err)
 			return
 		}
-		found = true
-		rep := e.Session.Report()
-		resp = TraceResponse{
-			SessionInfo: s.sessionInfo(e),
-			History:     rep.History,
-			GMERun:      rep.GMERun,
-			Outliers:    rep.Outliers,
-			Invocations: e.Trace(),
-		}
-	}); err != nil {
-		s.writeErr(w, http.StatusServiceUnavailable, err)
-		return
+		break
 	}
 	if !found {
 		s.writeErr(w, http.StatusNotFound, fmt.Errorf("unknown session %q", id))
@@ -600,7 +654,16 @@ func (s *Server) handleSessionTrace(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
-// StatsResponse is the GET /stats reply.
+// ShardStats is one shard's slice of the GET /stats reply.
+type ShardStats struct {
+	Shard        int             `json:"shard"`
+	VirtualNowNs float64         `json:"virtual_now_ns"`
+	PeakClients  int             `json:"peak_concurrent_clients"`
+	Cache        plancache.Stats `json:"cache"`
+}
+
+// StatsResponse is the GET /stats reply. Cache counters are aggregated
+// across shards; VirtualNowNs and PeakClients report the busiest shard.
 type StatsResponse struct {
 	UptimeSeconds float64         `json:"uptime_seconds"`
 	VirtualNowNs  float64         `json:"virtual_now_ns"`
@@ -611,7 +674,9 @@ type StatsResponse struct {
 	Admission     bool            `json:"admission"`
 	PeakClients   int             `json:"peak_concurrent_clients"`
 	Cores         int             `json:"logical_cores"`
+	Shards        int             `json:"shards"`
 	Cache         plancache.Stats `json:"cache"`
+	PerShard      []ShardStats    `json:"per_shard"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -629,17 +694,32 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		QueryRequests: queries,
 		Errors:        errs,
 		Admission:     s.cfg.Admission,
-		PeakClients:   s.adm.peakActive(),
-		Cores:         s.cfg.Engine.Machine().Config().LogicalCores(),
+		Cores:         s.shards[0].eng.Machine().Config().LogicalCores(),
+		Shards:        len(s.shards),
 	}
-	// The virtual clock belongs to the run-loop, and cache stats read
-	// session convergence state the loop mutates.
-	if err := s.do(func() {
-		resp.VirtualNowNs = s.cfg.Engine.Machine().Now()
-		resp.Cache = s.cache.Stats()
-	}); err != nil {
-		s.writeErr(w, http.StatusServiceUnavailable, err)
-		return
+	for _, sh := range s.shards {
+		st := ShardStats{Shard: sh.id, PeakClients: sh.adm.peakActive()}
+		// The virtual clock and cache stats read state that executions
+		// on this shard mutate; read them under the shard lock.
+		if err := s.do(sh, func() {
+			st.VirtualNowNs = sh.eng.Machine().Now()
+			st.Cache = sh.cache.Stats()
+		}); err != nil {
+			s.writeErr(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		resp.PerShard = append(resp.PerShard, st)
+		resp.Cache.Entries += st.Cache.Entries
+		resp.Cache.Hits += st.Cache.Hits
+		resp.Cache.Misses += st.Cache.Misses
+		resp.Cache.Evictions += st.Cache.Evictions
+		resp.Cache.Converged += st.Cache.Converged
+		if st.VirtualNowNs > resp.VirtualNowNs {
+			resp.VirtualNowNs = st.VirtualNowNs
+		}
+		if st.PeakClients > resp.PeakClients {
+			resp.PeakClients = st.PeakClients
+		}
 	}
 	writeJSON(w, resp)
 }

@@ -1,0 +1,29 @@
+package sim
+
+import "testing"
+
+// benchScenario is the standard event-core benchmark load: a 96-thread
+// FourSocket machine saturated by several jobs' worth of partition waves
+// with reduction chains — the shape a high-DOP adaptive plan produces.
+func benchScenario() (*Scenario, Config) {
+	mach := FourSocket()
+	sc := GenScenario("bench", ScenarioConfig{
+		Seed: 1, Jobs: 4, Roots: 400, MaxChain: 3, MaxFanout: 2, MemHeavy: 0.6, Budgets: true,
+	}, mach)
+	return sc, mach
+}
+
+func BenchmarkEventCoreOptimized(b *testing.B) {
+	sc, mach := benchScenario()
+	b.ReportMetric(float64(sc.NumTasks()), "tasks")
+	for i := 0; i < b.N; i++ {
+		sc.Play(NewMachine(mach))
+	}
+}
+
+func BenchmarkEventCoreReference(b *testing.B) {
+	sc, mach := benchScenario()
+	for i := 0; i < b.N; i++ {
+		sc.Play(NewReference(mach))
+	}
+}

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// goldenCases spans both paper machines, noise on and off, admission-style
+// job core budgets, and memory-bound pressure — the regimes in which the
+// optimized event core's dirty-socket and lazy-rate bookkeeping must not
+// change a single bit of the timeline.
+func goldenCases() []struct {
+	name string
+	mach Config
+	scen ScenarioConfig
+} {
+	return []struct {
+		name string
+		mach Config
+		scen ScenarioConfig
+	}{
+		{"two-socket/clean", TwoSocket(), ScenarioConfig{Seed: 1, Jobs: 2, Roots: 60, MaxChain: 3, MaxFanout: 2, MemHeavy: 0.5}},
+		{"two-socket/noise", withNoise(TwoSocket(), 7), ScenarioConfig{Seed: 2, Jobs: 3, Roots: 80, MaxChain: 3, MaxFanout: 2, MemHeavy: 0.6, Budgets: true}},
+		{"two-socket/budgets", TwoSocket(), ScenarioConfig{Seed: 3, Jobs: 5, Roots: 100, MaxChain: 2, MaxFanout: 3, MemHeavy: 0.4, Budgets: true}},
+		{"four-socket/clean", FourSocket(), ScenarioConfig{Seed: 4, Jobs: 2, Roots: 160, MaxChain: 3, MaxFanout: 2, MemHeavy: 0.5}},
+		{"four-socket/noise", withNoise(FourSocket(), 11), ScenarioConfig{Seed: 5, Jobs: 4, Roots: 200, MaxChain: 4, MaxFanout: 2, MemHeavy: 0.7, Budgets: true}},
+		{"four-socket/budgets-noise", withNoise(FourSocket(), 13), ScenarioConfig{Seed: 6, Jobs: 6, Roots: 120, MaxChain: 2, MaxFanout: 4, MemHeavy: 0.5, Budgets: true}},
+		{"smt1", smt1Config(), ScenarioConfig{Seed: 7, Jobs: 2, Roots: 40, MaxChain: 3, MaxFanout: 2, MemHeavy: 0.5, Budgets: true}},
+	}
+}
+
+func withNoise(c Config, seed int64) Config {
+	c.Noise = DefaultNoise()
+	c.Seed = seed
+	return c
+}
+
+func smt1Config() Config {
+	c := tinyConfig()
+	c.SMT = 1
+	c.NUMAFactor = 1.5
+	c.BWPerSocket = 1
+	return c
+}
+
+// TestGoldenTimelineEquivalence is the optimization's proof obligation: the
+// optimized Machine must produce bit-identical virtual timelines (placement,
+// start, end, final clock, busy accounting) to the seed event core preserved
+// as Reference. Equality is exact — no epsilon — because the optimized core
+// performs the same floating-point operations on the same values in the
+// same order.
+func TestGoldenTimelineEquivalence(t *testing.T) {
+	for _, tc := range goldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := GenScenario(tc.name, tc.scen, tc.mach)
+			opt := sc.Play(NewMachine(tc.mach))
+			ref := sc.Play(NewReference(tc.mach))
+			compareTimelines(t, sc, opt, ref)
+		})
+	}
+}
+
+func compareTimelines(t *testing.T, sc *Scenario, opt, ref *Timeline) {
+	t.Helper()
+	if got, want := len(opt.Events), len(ref.Events); got != want {
+		t.Fatalf("%s: %d events, reference has %d", sc.Name, got, want)
+	}
+	for i := range opt.Events {
+		o, r := opt.Events[i], ref.Events[i]
+		if o != r {
+			t.Fatalf("%s: event %d diverges:\n  optimized %+v\n  reference %+v", sc.Name, i, o, r)
+		}
+	}
+	if opt.FinalNs != ref.FinalNs {
+		t.Fatalf("%s: final clock %v != reference %v (delta %g)",
+			sc.Name, opt.FinalNs, ref.FinalNs, math.Abs(opt.FinalNs-ref.FinalNs))
+	}
+	if opt.BusyNs != ref.BusyNs {
+		t.Fatalf("%s: busy accounting %v != reference %v", sc.Name, opt.BusyNs, ref.BusyNs)
+	}
+}
+
+// TestGoldenEdgeCases covers the Submit clamps (zero-length tasks, MemFrac
+// outside [0,1]) and out-of-range home sockets on both cores.
+func TestGoldenEdgeCases(t *testing.T) {
+	sc := &Scenario{
+		Name:       "edges",
+		JobBudgets: []int{0, 1},
+		Tasks: []TaskSpec{
+			{Label: "zero", JobIdx: 0, BaseNs: 0},
+			{Label: "clamp-hi", JobIdx: 0, BaseNs: 10, MemFrac: 42, Bytes: 100, HomeSocket: 0},
+			{Label: "clamp-lo", JobIdx: 1, BaseNs: 10, MemFrac: -3, HomeSocket: 1},
+			{Label: "far-home", JobIdx: 0, BaseNs: 25, HomeSocket: 9,
+				Spawns: []TaskSpec{{Label: "chained", JobIdx: 1, BaseNs: 5}}},
+		},
+	}
+	cfg := tinyConfig()
+	compareTimelines(t, sc, sc.Play(NewMachine(cfg)), sc.Play(NewReference(cfg)))
+}
+
+// TestScenarioTaskCount pins the generator's determinism: the same seed must
+// generate the same scenario shape.
+func TestScenarioTaskCount(t *testing.T) {
+	cfg := ScenarioConfig{Seed: 42, Jobs: 2, Roots: 10, MaxChain: 2, MaxFanout: 2, MemHeavy: 0.5}
+	a := GenScenario("a", cfg, TwoSocket())
+	b := GenScenario("b", cfg, TwoSocket())
+	if a.NumTasks() != b.NumTasks() || a.NumTasks() < 10 {
+		t.Fatalf("generator not deterministic: %d vs %d tasks", a.NumTasks(), b.NumTasks())
+	}
+}

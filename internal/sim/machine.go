@@ -12,12 +12,45 @@
 // every event (task start or completion), and the clock jumps to the next
 // completion — a classic processor-sharing event simulation, deterministic
 // for a fixed seed and submission order.
+//
+// Event-core performance. The seed implementation (preserved verbatim as
+// Reference in reference.go) paid O(cores) several times per event: a fresh
+// per-socket demand array and a full two-pass rate recomputation, an
+// O(cores) idle-core scan per ready task, and full-array scans for the
+// minimum completion and progress accounting. Machine keeps the same model
+// but restructures the hot paths:
+//
+//   - pickCore uses bitset free-core indexes (idle cores, and idle cores
+//     with an idle SMT sibling, per socket) — a placement is a few word
+//     operations instead of an O(cores) scoring scan.
+//   - Per-socket bandwidth demand is recomputed only for sockets whose
+//     occupancy changed since the last event ("dirty" sockets), by scanning
+//     just that socket's core range in core order.
+//   - Task rates are recomputed only for tasks whose inputs changed: newly
+//     placed tasks, tasks whose SMT sibling occupancy flipped, and tasks on
+//     a socket whose demand value changed.
+//   - The minimum-completion scan and the progress decrement iterate a
+//     dense running-task list kept in core order, not the full core array.
+//
+// Equivalence is load-bearing, not aspirational: every floating-point
+// operation above happens on the same values in the same order as the seed
+// core (per-socket demand sums are re-summed in core order when dirty, the
+// rate formula is evaluated on identical inputs, the global decrement loop
+// is preserved), so virtual timelines are bit-identical to Reference. The
+// golden test asserts exactly that. Note this is also why the event core
+// deliberately does NOT replace the per-event progress decrement with
+// lazily projected completion times in a priority queue: the seed model
+// rounds every running task's remaining work at every event, so any scheme
+// that skips those per-event roundings produces (slightly) different
+// timelines and breaks reproducibility of every recorded experiment.
 package sim
 
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand"
+	"sort"
 )
 
 // Config describes a simulated machine. Byte capacities are scaled by the
@@ -93,6 +126,15 @@ func DefaultNoise() NoiseConfig {
 	return NoiseConfig{Enabled: true, Jitter: 0.03, SpikeProb: 0.004, SpikeMin: 4, SpikeMax: 10}
 }
 
+// TaskHooks is the allocation-free alternative to the OnStart/OnComplete
+// closures: a submitter embeds Task in a per-operator struct implementing
+// TaskHooks, so one allocation carries the task and both callbacks. Closure
+// fields win when both are set.
+type TaskHooks interface {
+	TaskStarted(now float64, core int)
+	TaskCompleted(now float64, core int)
+}
+
 // Task is one schedulable unit: an operator execution.
 type Task struct {
 	Label      string
@@ -103,10 +145,28 @@ type Task struct {
 	HomeSocket int     // socket owning the task's data partition
 	OnStart    func(now float64, core int)
 	OnComplete func(now float64, core int)
+	Hooks      TaskHooks
 
 	remaining float64
 	rate      float64
 	core      int
+	rateDirty bool // optimized core only: rate inputs changed since last refresh
+}
+
+func (t *Task) started(now float64, core int) {
+	if t.OnStart != nil {
+		t.OnStart(now, core)
+	} else if t.Hooks != nil {
+		t.Hooks.TaskStarted(now, core)
+	}
+}
+
+func (t *Task) completed(now float64, core int) {
+	if t.OnComplete != nil {
+		t.OnComplete(now, core)
+	} else if t.Hooks != nil {
+		t.Hooks.TaskCompleted(now, core)
+	}
 }
 
 // Job groups tasks for admission control: at most MaxCores of a job's tasks
@@ -118,7 +178,37 @@ type Job struct {
 	running  int
 }
 
-// Machine is the simulated multi-core machine.
+// coreSet is a bitset over core indices; with at most a few hundred logical
+// cores it is one or two machine words per lookup.
+type coreSet []uint64
+
+func newCoreSet(n int) coreSet { return make(coreSet, (n+63)/64) }
+
+func (s coreSet) set(i int)   { s[i>>6] |= 1 << (uint(i) & 63) }
+func (s coreSet) clear(i int) { s[i>>6] &^= 1 << (uint(i) & 63) }
+
+// firstIn returns the lowest index present in both s and mask, or -1.
+func (s coreSet) firstIn(mask coreSet) int {
+	for w, b := range s {
+		if b &= mask[w]; b != 0 {
+			return w<<6 + bits.TrailingZeros64(b)
+		}
+	}
+	return -1
+}
+
+// first returns the lowest index present in s, or -1.
+func (s coreSet) first() int {
+	for w, b := range s {
+		if b != 0 {
+			return w<<6 + bits.TrailingZeros64(b)
+		}
+	}
+	return -1
+}
+
+// Machine is the simulated multi-core machine (optimized event core; see the
+// package comment for the equivalence contract with Reference).
 type Machine struct {
 	cfg   Config
 	rng   *rand.Rand
@@ -132,6 +222,15 @@ type Machine struct {
 
 	// BusyNs accumulates core-busy virtual time for utilisation accounting.
 	BusyNs float64
+
+	tps      int     // hardware threads per socket
+	run      []*Task // running tasks in ascending core order
+	idle     coreSet // idle cores
+	idleSib  coreSet // idle cores whose SMT sibling is also idle (SMT=2 only)
+	homeMask []coreSet
+	noHome   coreSet   // empty mask for out-of-range home sockets
+	demand   []float64 // per-socket bandwidth demand, summed in core order
+	dirty    []bool    // socket occupancy changed since last rate refresh
 }
 
 // NewMachine builds a machine from cfg.
@@ -142,11 +241,31 @@ func NewMachine(cfg Config) *Machine {
 	if cfg.SpeedFactor <= 0 {
 		cfg.SpeedFactor = 1
 	}
-	return &Machine{
-		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(cfg.Seed)),
-		cores: make([]*Task, cfg.LogicalCores()),
+	n := cfg.LogicalCores()
+	m := &Machine{
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		cores:    make([]*Task, n),
+		tps:      cfg.PhysCoresPerSocket * cfg.SMT,
+		run:      make([]*Task, 0, n),
+		idle:     newCoreSet(n),
+		idleSib:  newCoreSet(n),
+		homeMask: make([]coreSet, cfg.Sockets),
+		noHome:   newCoreSet(n),
+		demand:   make([]float64, cfg.Sockets),
+		dirty:    make([]bool, cfg.Sockets),
 	}
+	for i := 0; i < n; i++ {
+		m.idle.set(i)
+		m.idleSib.set(i)
+	}
+	for s := 0; s < cfg.Sockets; s++ {
+		m.homeMask[s] = newCoreSet(n)
+		for c := s * m.tps; c < (s+1)*m.tps; c++ {
+			m.homeMask[s].set(c)
+		}
+	}
+	return m
 }
 
 // Config returns the machine configuration.
@@ -154,6 +273,9 @@ func (m *Machine) Config() Config { return m.cfg }
 
 // Now returns the current virtual time in nanoseconds.
 func (m *Machine) Now() float64 { return m.now }
+
+// Busy returns the accumulated core-busy virtual time.
+func (m *Machine) Busy() float64 { return m.BusyNs }
 
 // NewJob allocates a job handle. maxCores of 0 means unlimited.
 func (m *Machine) NewJob(maxCores int) *Job {
@@ -193,41 +315,63 @@ func (m *Machine) noiseFactor() float64 {
 	return f
 }
 
-func (m *Machine) socketOf(core int) int {
-	return core / (m.cfg.PhysCoresPerSocket * m.cfg.SMT)
-}
-
-func (m *Machine) siblingOf(core int) int {
-	if m.cfg.SMT == 1 {
-		return -1
-	}
-	return core ^ 1
-}
+func (m *Machine) socketOf(core int) int { return core / m.tps }
 
 // pickCore chooses an idle core for a task, preferring (1) an idle core with
 // an idle SMT sibling on the task's home socket, (2) such a core anywhere,
 // (3) any idle core on the home socket, (4) any idle core. Returns -1 when
-// the machine is saturated.
+// the machine is saturated. Ties break toward the lowest core index, exactly
+// like the seed's ascending first-best scan.
 func (m *Machine) pickCore(t *Task) int {
-	best := -1
-	bestScore := -1
-	for i, occ := range m.cores {
-		if occ != nil {
-			continue
-		}
-		score := 0
-		if sib := m.siblingOf(i); sib < 0 || m.cores[sib] == nil {
-			score += 2
-		}
-		if m.socketOf(i) == t.HomeSocket%m.cfg.Sockets {
-			score++
-		}
-		if score > bestScore {
-			bestScore = score
-			best = i
+	sib := m.idleSib
+	if m.cfg.SMT == 1 {
+		sib = m.idle // every idle core trivially has an "idle sibling"
+	}
+	home := m.noHome
+	if hs := t.HomeSocket % m.cfg.Sockets; hs >= 0 {
+		home = m.homeMask[hs]
+	}
+	if c := sib.firstIn(home); c >= 0 {
+		return c
+	}
+	if c := sib.first(); c >= 0 {
+		return c
+	}
+	if c := m.idle.firstIn(home); c >= 0 {
+		return c
+	}
+	return m.idle.first()
+}
+
+// insertRun adds t to the running list, keeping ascending core order so the
+// progress/completion pass visits tasks exactly as the seed's core scan did.
+func (m *Machine) insertRun(t *Task) {
+	i := sort.Search(len(m.run), func(i int) bool { return m.run[i].core > t.core })
+	m.run = append(m.run, nil)
+	copy(m.run[i+1:], m.run[i:])
+	m.run[i] = t
+}
+
+// place puts t on core, updating the free-core indexes and marking the
+// affected socket (and any SMT sibling occupant) for rate refresh.
+func (m *Machine) place(t *Task, core int) {
+	t.core = core
+	t.rateDirty = true
+	m.cores[core] = t
+	m.running++
+	t.Job.running++
+	m.idle.clear(core)
+	m.dirty[core/m.tps] = true
+	if m.cfg.SMT == 2 {
+		sib := core ^ 1
+		m.idleSib.clear(core)
+		m.idleSib.clear(sib)
+		if st := m.cores[sib]; st != nil {
+			st.rateDirty = true // sibling loses its solo SMT rate
 		}
 	}
-	return best
+	m.insertRun(t)
+	t.started(m.now, core)
 }
 
 // dispatch moves ready tasks onto idle cores, respecting job core budgets.
@@ -243,44 +387,61 @@ func (m *Machine) dispatch() {
 			kept = append(kept, t)
 			continue
 		}
-		t.core = core
-		m.cores[core] = t
-		m.running++
-		t.Job.running++
-		if t.OnStart != nil {
-			t.OnStart(m.now, core)
-		}
+		m.place(t, core)
 	}
 	m.ready = kept
 }
 
-// recomputeRates refreshes every running task's progress rate from the
-// current SMT occupancy and per-socket bandwidth saturation.
-func (m *Machine) recomputeRates() {
-	// Per-socket bandwidth demand of the memory-bound parts.
-	demand := make([]float64, m.cfg.Sockets)
-	for core, t := range m.cores {
-		if t == nil {
+// refreshRates re-derives per-socket bandwidth demand for sockets whose
+// occupancy changed, then recomputes rates for exactly the tasks whose
+// inputs changed. Demand is re-summed over the socket's core range in
+// ascending core order — the same floating-point additions in the same
+// order as the seed's full recomputation — and a socket whose re-summed
+// demand is unchanged triggers no rate work at all, which is sound because
+// the rate formula is a pure function of (sibling occupancy, socket demand,
+// task constants).
+func (m *Machine) refreshRates() {
+	for sock := range m.dirty {
+		if !m.dirty[sock] {
 			continue
 		}
-		bw := 0.0
-		if t.BaseNs > 0 {
-			bw = t.Bytes / t.BaseNs * t.MemFrac
+		m.dirty[sock] = false
+		d := 0.0
+		lo, hi := sock*m.tps, (sock+1)*m.tps
+		for core := lo; core < hi; core++ {
+			t := m.cores[core]
+			if t == nil {
+				continue
+			}
+			bw := 0.0
+			if t.BaseNs > 0 {
+				bw = t.Bytes / t.BaseNs * t.MemFrac
+			}
+			d += bw
 		}
-		demand[m.socketOf(core)] += bw
+		if d != m.demand[sock] {
+			m.demand[sock] = d
+			for core := lo; core < hi; core++ {
+				if t := m.cores[core]; t != nil {
+					t.rateDirty = true
+				}
+			}
+		}
 	}
-	for core, t := range m.cores {
-		if t == nil {
+	for _, t := range m.run {
+		if !t.rateDirty {
 			continue
 		}
+		t.rateDirty = false
+		core := t.core
 		rate := m.cfg.SpeedFactor
-		if sib := m.siblingOf(core); sib >= 0 && m.cores[sib] != nil {
+		if m.cfg.SMT == 2 && m.cores[core^1] != nil {
 			rate *= m.cfg.SMTFactor
 		}
-		sock := m.socketOf(core)
+		sock := core / m.tps
 		bwFactor := 1.0
-		if demand[sock] > m.cfg.BWPerSocket && demand[sock] > 0 {
-			bwFactor = m.cfg.BWPerSocket / demand[sock]
+		if m.demand[sock] > m.cfg.BWPerSocket && m.demand[sock] > 0 {
+			bwFactor = m.cfg.BWPerSocket / m.demand[sock]
 		}
 		numa := 1.0
 		if m.cfg.Sockets > 1 && sock != t.HomeSocket%m.cfg.Sockets && m.cfg.NUMAFactor > 1 {
@@ -301,36 +462,53 @@ func (m *Machine) step() bool {
 	if m.running == 0 {
 		return false
 	}
-	m.recomputeRates()
-	// Find the earliest completion.
+	m.refreshRates()
+	// Find the earliest completion among running tasks.
 	dt := math.Inf(1)
-	for _, t := range m.cores {
-		if t == nil {
-			continue
-		}
+	for _, t := range m.run {
 		if d := t.remaining / t.rate; d < dt {
 			dt = d
 		}
 	}
 	m.now += dt
 	// Progress everyone; complete all tasks that finish at this instant, in
-	// core order for determinism.
-	for core, t := range m.cores {
-		if t == nil {
+	// core order for determinism. Completion callbacks may Submit new work
+	// (touching only the ready queue), never the running list.
+	kept := m.run[:0]
+	for _, t := range m.run {
+		t.remaining -= dt * t.rate
+		if t.remaining > 1e-9 {
+			kept = append(kept, t)
 			continue
 		}
-		t.remaining -= dt * t.rate
-		if t.remaining <= 1e-9 {
-			m.cores[core] = nil
-			m.running--
-			t.Job.running--
-			m.BusyNs += t.BaseNs / m.cfg.SpeedFactor // busy time at nominal rate
-			if t.OnComplete != nil {
-				t.OnComplete(m.now, core)
+		core := t.core
+		m.cores[core] = nil
+		m.running--
+		t.Job.running--
+		m.idle.set(core)
+		m.dirty[core/m.tps] = true
+		if m.cfg.SMT == 2 {
+			sib := core ^ 1
+			if st := m.cores[sib]; st == nil {
+				m.idleSib.set(core)
+				m.idleSib.set(sib)
+			} else {
+				st.rateDirty = true // sibling regains its solo SMT rate
 			}
 		}
+		m.BusyNs += t.BaseNs / m.cfg.SpeedFactor // busy time at nominal rate
+		t.completed(m.now, core)
 	}
+	m.run = kept
 	return true
+}
+
+// reportDeadlock panics when ready tasks remain that no core budget will
+// ever admit — the machine drained with work still queued.
+func (m *Machine) reportDeadlock() {
+	if len(m.ready) > 0 {
+		panic(fmt.Sprintf("sim: %d tasks remain undispatchable (job core budgets deadlocked?)", len(m.ready)))
+	}
 }
 
 // Run processes events until the machine drains: no running tasks and no
@@ -338,16 +516,21 @@ func (m *Machine) step() bool {
 func (m *Machine) Run() {
 	for m.step() {
 	}
-	if len(m.ready) > 0 {
-		panic(fmt.Sprintf("sim: %d tasks remain undispatchable (job core budgets deadlocked?)", len(m.ready)))
-	}
+	m.reportDeadlock()
 }
 
 // RunUntil processes events until done() reports true or the machine
 // drains. It lets a caller wait for one job while unrelated work (e.g. a
-// background load generator) keeps the machine busy.
+// background load generator) keeps the machine busy. If the machine drains
+// with undispatchable ready tasks before done() is satisfied, RunUntil
+// surfaces the same core-budget-deadlock panic as Run instead of returning
+// silently with the waited-for work permanently stuck.
 func (m *Machine) RunUntil(done func() bool) {
-	for !done() && m.step() {
+	for !done() {
+		if !m.step() {
+			m.reportDeadlock()
+			return
+		}
 	}
 }
 

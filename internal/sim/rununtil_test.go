@@ -38,6 +38,27 @@ func TestRunUntilDrainsWhenConditionNeverTrue(t *testing.T) {
 	}
 }
 
+// TestRunUntilReportsBudgetDeadlock: when the machine drains with ready
+// tasks no core budget will ever admit, RunUntil must surface the same
+// deadlock panic as Run — not return silently with the waited-for work
+// permanently stuck (the seed behavior, which made such bugs invisible).
+func TestRunUntilReportsBudgetDeadlock(t *testing.T) {
+	m := NewMachine(tinyConfig())
+	job := m.NewJob(1)
+	job.running = 1 // wedge the budget, as a leaked accounting bug would
+	done := 0
+	m.Submit(&Task{Job: job, BaseNs: 10, OnComplete: func(now float64, core int) { done++ }})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunUntil returned silently with undispatchable ready tasks")
+		}
+		if done != 0 {
+			t.Fatalf("deadlocked task ran %d times", done)
+		}
+	}()
+	m.RunUntil(func() bool { return done > 0 })
+}
+
 func TestZeroLengthTaskStillSchedules(t *testing.T) {
 	m := NewMachine(tinyConfig())
 	job := m.NewJob(0)

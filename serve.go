@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"time"
 
+	"repro/internal/exec"
 	"repro/internal/plancache"
 	"repro/internal/server"
 )
@@ -29,29 +31,51 @@ type ServerConfig struct {
 	// Admission enables Vectorwise-style admission control for concurrent
 	// clients (VectorwiseAdmissionMaxCores, §4.2.4 of the paper).
 	Admission bool
-	// CacheSize bounds the plan-session cache (0 = unlimited). When full,
-	// least-recently-used sessions are evicted, converged ones first.
+	// CacheSize bounds each shard's plan-session cache (0 = unlimited).
+	// When full, least-recently-used sessions are evicted, converged ones
+	// first.
 	CacheSize int
-	// EngineOptions tune the engine (noise model, cost calibration, seed).
+	// Shards is the engine-pool width: independent engine replicas, each
+	// with its own simulated machine behind its own engine-ownership lock
+	// over the shared read-only catalog. Queries are pinned to shards by fingerprint hash,
+	// so distinct queries execute concurrently on distinct host cores while
+	// each session's convergence stays deterministic and single-threaded.
+	// 0 derives the width from GOMAXPROCS; 1 reproduces the single-engine
+	// daemon.
+	Shards int
+	// EngineOptions tune the engines (noise model, cost calibration, seed).
 	EngineOptions []Option
 }
 
-// Server is the query-service core: HTTP handlers over one engine, one
-// plan-session cache, and one admission controller. The single-threaded
-// virtual-time engine is owned by the server's run-loop; all executions are
-// serialized behind it, so the handler set is safe for concurrent clients.
+// Server is the query-service core: HTTP handlers over a pool of engine
+// shards, each with its own plan-session cache and admission controller.
+// Every single-threaded virtual-time engine is owned by its shard's
+// engine-ownership lock, so the handler set is safe for concurrent clients
+// while distinct queries execute concurrently on distinct shards.
 type Server struct {
 	inner *server.Server
 }
 
-// NewServer creates a query service. Close it to stop the engine run-loop.
+// NewServer creates a query service. Close it when done serving.
 func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.DB == nil {
 		return nil, errors.New("apq: ServerConfig.DB is required")
 	}
-	eng := NewEngine(cfg.DB, cfg.Machine, cfg.EngineOptions...)
+	shards := cfg.Shards
+	if shards == 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("apq: ServerConfig.Shards %d invalid", cfg.Shards)
+	}
+	engines := make([]*exec.Engine, shards)
+	for i := range engines {
+		// Each shard replica owns its own simulated machine; the catalog
+		// underneath is shared and read-only.
+		engines[i] = NewEngine(cfg.DB, cfg.Machine, cfg.EngineOptions...).inner
+	}
 	inner, err := server.New(server.Config{
-		Engine:     eng.inner,
+		Engines:    engines,
 		DBIdentity: cfg.DBIdentity,
 		Benchmark:  cfg.Benchmark,
 		Admission:  cfg.Admission,
@@ -63,11 +87,14 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	return &Server{inner: inner}, nil
 }
 
+// Shards reports the engine-pool width the server is running with.
+func (s *Server) Shards() int { return s.inner.Shards() }
+
 // Handler returns the HTTP handler tree: POST /query, GET /sessions,
 // GET /sessions/{id}/trace, GET /stats, GET /healthz.
 func (s *Server) Handler() http.Handler { return s.inner.Handler() }
 
-// Close drains in-flight requests and stops the engine run-loop. Requests
+// Close drains in-flight requests and retires the engine shards. Requests
 // arriving afterwards fail with 503.
 func (s *Server) Close() { s.inner.Close() }
 
