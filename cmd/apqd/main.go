@@ -162,6 +162,11 @@ type benchPhase struct {
 	WallMs        float64 `json:"wall_ms"`
 	ThroughputRPS float64 `json:"throughput_rps"`
 	VirtualMeanNs float64 `json:"virtual_mean_ns"`
+	// AllocsPerRequest / AllocKBPerRequest are process-wide heap deltas over
+	// the phase divided by requests served — the hot-path allocation budget
+	// the zero-copy exchange targets (ISSUE 3 acceptance metric).
+	AllocsPerRequest  float64 `json:"allocs_per_request"`
+	AllocKBPerRequest float64 `json:"alloc_kb_per_request"`
 }
 
 // shardPoint is one shard-count sample of the scaling sweep.
@@ -199,10 +204,11 @@ type benchReport struct {
 	Sweep      []shardPoint `json:"sweep"`
 	// HotBeatsColdAtShards is the smallest swept shard count at which hot
 	// adaptive wall-clock throughput exceeds the same run's cold serial
-	// throughput, or -1. On a single-CPU host this stays -1: a converged
-	// parallel plan inherently costs more host CPU per request than the
-	// serial plan (partition materialization), and with no idle cores the
-	// shard pool cannot convert hot's latency advantage into throughput.
+	// throughput, or -1. Before the zero-copy exchange this stayed -1 on a
+	// single-CPU host — a converged parallel plan paid an extra
+	// materialize-then-concatenate cycle per exchange; with shared result
+	// buffers and the recycling arena the hot path allocates an order of
+	// magnitude less per request and wins within-run even on one core.
 	HotBeatsColdAtShards int `json:"hot_beats_cold_at_shards"`
 	// SeedBaseline quotes the seed daemon's recorded BENCH_serve.json
 	// (single run-loop engine, seed event core, TPC-H q6 at sf=1): the
@@ -244,8 +250,9 @@ func runSelfbench(cfg apq.ServerConfig, queries, n int) error {
 		SeedBaseline:         seedBaseline{HotRPS: seedHotRPS, ColdRPS: seedColdRPS, HotBeatsSeedColdAtShards: -1},
 		Notes: []string{
 			"hot_adaptive = converged plan-cache sessions over the shard pool; cold_serial = per-request plan build + serial execution on the same pool",
-			"shard scaling converts idle host cores into throughput; with host_cpus=1 the curve is bounded by one core and hot (parallel plans, more per-request materialization) cannot out-run cold serial in the same run",
-			"seed_baseline quotes the seed daemon's recorded numbers (single channel run-loop, seed event core): the ISSUE 2 regression is hot < cold there",
+			"zero-copy exchange (ISSUE 3): partition clones write one shared result buffer, pack is a view, and the per-plan arena recycles buffers across invocations — allocs/request and KB/request record the hot path's footprint",
+			"hot_beats_cold_at_shards reports the within-run wall-clock crossover; the pre-zero-copy runs never crossed on a 1-CPU host (extra materialization per exchange), the seed inverted even against its own cold baseline",
+			"seed_baseline quotes the seed daemon's recorded numbers (single channel run-loop, seed event core)",
 		},
 	}
 	// Admission control throttles later concurrent clients toward serial,
@@ -363,6 +370,8 @@ func benchShardCount(cfg apq.ServerConfig, queries, n int) (shardPoint, int, err
 		if perClient < 1 {
 			perClient = 1 // never a zero-request phase (NaN means and 0/0 rps)
 		}
+		var m0 runtime.MemStats
+		runtime.ReadMemStats(&m0)
 		start := time.Now()
 		for c := 0; c < clients; c++ {
 			wg.Add(1)
@@ -390,14 +399,18 @@ func benchShardCount(cfg apq.ServerConfig, queries, n int) (shardPoint, int, err
 		}
 		wg.Wait()
 		wall := time.Since(start)
+		var m1 runtime.MemStats
+		runtime.ReadMemStats(&m1)
 		if firstErr != nil {
 			return benchPhase{}, firstErr
 		}
 		return benchPhase{
-			Requests:      served,
-			WallMs:        float64(wall.Microseconds()) / 1e3,
-			ThroughputRPS: float64(served) / wall.Seconds(),
-			VirtualMeanNs: virt / float64(served),
+			Requests:          served,
+			WallMs:            float64(wall.Microseconds()) / 1e3,
+			ThroughputRPS:     float64(served) / wall.Seconds(),
+			VirtualMeanNs:     virt / float64(served),
+			AllocsPerRequest:  float64(m1.Mallocs-m0.Mallocs) / float64(served),
+			AllocKBPerRequest: float64(m1.TotalAlloc-m0.TotalAlloc) / float64(served) / 1024,
 		}, nil
 	}
 

@@ -56,48 +56,62 @@ func (op CalcOp) apply(a, b int64) int64 {
 // CalcVV applies op element-wise over two equally long column views and
 // materializes the result with a fresh zero-based head.
 func CalcVV(op CalcOp, a, b *storage.Column) (*storage.Column, Work) {
-	av, bv := a.Values(), b.Values()
-	if len(av) != len(bv) {
-		panic(fmt.Sprintf("algebra: CalcVV length mismatch %d vs %d (%s %s %s)", len(av), len(bv), a.Name(), op, b.Name()))
-	}
-	out := make([]int64, len(av))
-	for i := range av {
-		out[i] = op.apply(av[i], bv[i])
-	}
-	w := Work{
-		BytesSeqRead:  a.Bytes() + b.Bytes(),
-		BytesWritten:  int64(len(out)) * 8,
-		TuplesIn:      int64(len(av)) * 2,
-		TuplesOut:     int64(len(out)),
-		MemClaimBytes: int64(len(out)) * 8,
-	}
+	out := make([]int64, a.Len())
+	w := CalcVVInto(out, op, a, b)
 	// The result is positionally aligned with its inputs, so it inherits
 	// the view's head sequence: a partitioned calc over a column slice
 	// stays aligned on the base column (§2.3).
 	return storage.NewColumn(fmt.Sprintf("(%s%s%s)", a.Name(), op, b.Name()), a.Seq(), vec.NewInt64(out)), w
 }
 
+// CalcVVInto is CalcVV writing into a caller-owned destination of length
+// a.Len() — the range variant the zero-copy exchange uses to let sibling
+// calc clones fill disjoint slices of one shared result buffer. The Work
+// record is identical to CalcVV's.
+func CalcVVInto(dst []int64, op CalcOp, a, b *storage.Column) Work {
+	av, bv := a.Values(), b.Values()
+	if len(av) != len(bv) {
+		panic(fmt.Sprintf("algebra: CalcVV length mismatch %d vs %d (%s %s %s)", len(av), len(bv), a.Name(), op, b.Name()))
+	}
+	for i := range av {
+		dst[i] = op.apply(av[i], bv[i])
+	}
+	return Work{
+		BytesSeqRead:  a.Bytes() + b.Bytes(),
+		BytesWritten:  int64(len(av)) * 8,
+		TuplesIn:      int64(len(av)) * 2,
+		TuplesOut:     int64(len(av)),
+		MemClaimBytes: int64(len(av)) * 8,
+	}
+}
+
 // CalcSV applies op with a scalar operand: scalar op v[i] when scalarLeft,
 // v[i] op scalar otherwise.
 func CalcSV(op CalcOp, scalar int64, v *storage.Column, scalarLeft bool) (*storage.Column, Work) {
+	out := make([]int64, v.Len())
+	w := CalcSVInto(out, op, scalar, v, scalarLeft)
+	// Positionally aligned with the input view; see CalcVV.
+	return storage.NewColumn(fmt.Sprintf("(calc%s%s)", op, v.Name()), v.Seq(), vec.NewInt64(out)), w
+}
+
+// CalcSVInto is CalcSV writing into a caller-owned destination of length
+// v.Len(); see CalcVVInto.
+func CalcSVInto(dst []int64, op CalcOp, scalar int64, v *storage.Column, scalarLeft bool) Work {
 	in := v.Values()
-	out := make([]int64, len(in))
 	if scalarLeft {
 		for i, x := range in {
-			out[i] = op.apply(scalar, x)
+			dst[i] = op.apply(scalar, x)
 		}
 	} else {
 		for i, x := range in {
-			out[i] = op.apply(x, scalar)
+			dst[i] = op.apply(x, scalar)
 		}
 	}
-	w := Work{
+	return Work{
 		BytesSeqRead:  v.Bytes(),
-		BytesWritten:  int64(len(out)) * 8,
+		BytesWritten:  int64(len(in)) * 8,
 		TuplesIn:      int64(len(in)),
-		TuplesOut:     int64(len(out)),
-		MemClaimBytes: int64(len(out)) * 8,
+		TuplesOut:     int64(len(in)),
+		MemClaimBytes: int64(len(in)) * 8,
 	}
-	// Positionally aligned with the input view; see CalcVV.
-	return storage.NewColumn(fmt.Sprintf("(calc%s%s)", op, v.Name()), v.Seq(), vec.NewInt64(out)), w
 }

@@ -1,9 +1,35 @@
 package algebra
 
 import (
+	"fmt"
+
 	"repro/internal/storage"
 	"repro/internal/vec"
 )
+
+// fetchWork is the shared cost accounting for tuple reconstruction. The oid
+// list is scanned once sequentially. For ascending row ids (the common
+// case: selection vectors) the driven target accesses are one fused forward
+// skip-scan riding the same stream — the prefetcher serves both, so the
+// model charges that stream once rather than once per array; the seed
+// charged it twice (base Work plus the ascending branch), making ascending
+// fetches cost as much sequential I/O as two full scans. Shuffled ids (join
+// sides) genuinely touch a second region per value and pay random access.
+// Pinned by TestFetchWorkAccounting.
+func fetchWork(oids, aligned []int64, footprint int64) Work {
+	w := Work{
+		BytesSeqRead:   int64(len(oids)) * 8,
+		BytesWritten:   int64(len(aligned)) * 8,
+		TuplesIn:       int64(len(oids)),
+		TuplesOut:      int64(len(aligned)),
+		FootprintBytes: footprint,
+		MemClaimBytes:  int64(len(aligned)) * 8,
+	}
+	if !isAscending(aligned) {
+		w.BytesRandRead += int64(len(aligned)) * 8
+	}
+	return w
+}
 
 // Fetch performs tuple reconstruction (MonetDB's algebra.leftfetchjoin, §2.3
 // Figure 10): for every row id in oids it fetches the value at that head oid
@@ -17,32 +43,37 @@ import (
 func Fetch(oids []int64, target *storage.Column) (*storage.Column, Work, int) {
 	aligned, dropped := storage.AlignOids(oids, target.Seq(), target.EndSeq())
 	out := make([]int64, len(aligned))
-	for i, oid := range aligned {
-		out[i] = target.ValueAtOid(oid)
-	}
+	n, w := fetchAligned(out, oids, aligned, target)
 	var data *vec.Vector
 	if d := target.Dict(); d != nil {
-		data = vec.NewDictCoded(out, d)
+		data = vec.NewDictCoded(out[:n], d)
 	} else {
-		data = vec.NewInt64(out)
-	}
-	w := Work{
-		BytesSeqRead:   int64(len(oids)) * 8,
-		BytesWritten:   int64(len(out)) * 8,
-		TuplesIn:       int64(len(oids)),
-		TuplesOut:      int64(len(out)),
-		FootprintBytes: target.Bytes(),
-		MemClaimBytes:  int64(len(out)) * 8,
-	}
-	// Ascending row ids (the common case: selection vectors) fetch in a
-	// forward skip-scan, effectively sequential; shuffled ids (join sides)
-	// pay random-access cost.
-	if isAscending(aligned) {
-		w.BytesSeqRead += int64(len(aligned)) * 8
-	} else {
-		w.BytesRandRead += int64(len(aligned)) * 8
+		data = vec.NewInt64(out[:n])
 	}
 	return storage.NewColumn(target.Name(), 0, data), w, dropped
+}
+
+// FetchInto is Fetch writing into a caller-owned destination — the range
+// variant the zero-copy exchange uses: each partition clone fetches into its
+// disjoint slice of one shared result buffer. It returns the number of
+// values written (≤ len(oids); boundary-misaligned row ids are dropped like
+// Fetch does) plus the identical Work record, so shared-buffer and
+// materializing executions cost the same. dst must hold at least the aligned
+// oid count; len(oids) always suffices.
+func FetchInto(dst []int64, oids []int64, target *storage.Column) (int, Work, int) {
+	aligned, dropped := storage.AlignOids(oids, target.Seq(), target.EndSeq())
+	if len(dst) < len(aligned) {
+		panic(fmt.Sprintf("algebra: FetchInto dst %d too small for %d aligned oids", len(dst), len(aligned)))
+	}
+	n, w := fetchAligned(dst, oids, aligned, target)
+	return n, w, dropped
+}
+
+func fetchAligned(dst []int64, oids, aligned []int64, target *storage.Column) (int, Work) {
+	for i, oid := range aligned {
+		dst[i] = target.ValueAtOid(oid)
+	}
+	return len(aligned), fetchWork(oids, aligned, target.Bytes())
 }
 
 // FetchPositions gathers values of col at the given zero-based positions of
@@ -50,24 +81,30 @@ func Fetch(oids []int64, target *storage.Column) (*storage.Column, Work, int) {
 // positions into its own output space, e.g. join result sides.
 func FetchPositions(pos []int64, col *storage.Column) (*storage.Column, Work) {
 	out := make([]int64, len(pos))
-	vals := col.Values()
-	for i, p := range pos {
-		out[i] = vals[p]
-	}
+	w := FetchPositionsInto(out, pos, col)
 	var data *vec.Vector
 	if d := col.Dict(); d != nil {
 		data = vec.NewDictCoded(out, d)
 	} else {
 		data = vec.NewInt64(out)
 	}
-	w := Work{
+	return storage.NewColumn(col.Name(), 0, data), w
+}
+
+// FetchPositionsInto is FetchPositions writing into a caller-owned
+// destination of length len(pos) (the zero-copy exchange range variant).
+func FetchPositionsInto(dst []int64, pos []int64, col *storage.Column) Work {
+	vals := col.Values()
+	for i, p := range pos {
+		dst[i] = vals[p]
+	}
+	return Work{
 		BytesSeqRead:   int64(len(pos)) * 8,
 		BytesRandRead:  int64(len(pos)) * 8,
-		BytesWritten:   int64(len(out)) * 8,
+		BytesWritten:   int64(len(pos)) * 8,
 		TuplesIn:       int64(len(pos)),
-		TuplesOut:      int64(len(out)),
+		TuplesOut:      int64(len(pos)),
 		FootprintBytes: col.Bytes(),
-		MemClaimBytes:  int64(len(out)) * 8,
+		MemClaimBytes:  int64(len(pos)) * 8,
 	}
-	return storage.NewColumn(col.Name(), 0, data), w
 }

@@ -34,12 +34,42 @@ func PackColumns(parts []*storage.Column) (*storage.Column, Work) {
 	return storage.NewColumn(name, 0, data), w
 }
 
+// PackColumnsView is the zero-copy exchange fast path: when the executor had
+// the pack's sibling partition clones write their disjoint ranges of one
+// shared result buffer, the pack is an O(1) view over that buffer with a
+// fresh dense head — "read only slices ... no data copying involved" (§2.3)
+// applied to the union side of the exchange. data must be the fully written
+// shared buffer, in partition order. The Work record reflects that no data
+// moves: the cost model charges only dispatch (plus per-tuple exchange
+// overhead on comparator calibrations), so adaptation sees the exchange for
+// what it now costs.
+func PackColumnsView(name string, data *vec.Vector, tuplesIn int64) (*storage.Column, Work) {
+	w := Work{
+		TuplesIn:  tuplesIn,
+		TuplesOut: int64(data.Len()),
+	}
+	return storage.NewColumn(name, 0, data), w
+}
+
 // PackOids concatenates partition oid vectors in partition order.
 func PackOids(parts [][]int64) ([]int64, Work) {
-	out := vec.ConcatInt64(parts...)
+	return PackOidsInto(nil, parts)
+}
+
+// PackOidsInto is PackOids appending into dst's storage (dst[:0]); the
+// executor passes the previous invocation's output buffer of the same cached
+// instruction. A nil dst reproduces PackOids' allocation exactly.
+func PackOidsInto(dst []int64, parts [][]int64) ([]int64, Work) {
 	var tuplesIn int64
 	for _, p := range parts {
 		tuplesIn += int64(len(p))
+	}
+	out := dst[:0]
+	if cap(out) < int(tuplesIn) {
+		out = make([]int64, 0, tuplesIn)
+	}
+	for _, p := range parts {
+		out = append(out, p...)
 	}
 	w := Work{
 		BytesSeqRead:  tuplesIn * 8,
@@ -53,15 +83,24 @@ func PackOids(parts [][]int64) ([]int64, Work) {
 
 // PackScalars packs partial scalar aggregates into a small column, the shape
 // MonetDB's Q14 plan uses (mat.pack of partial aggr.sum results, Figure 7).
+// It copies partials defensively: callers may reuse the slice afterwards.
 func PackScalars(name string, partials []int64) (*storage.Column, Work) {
 	out := make([]int64, len(partials))
 	copy(out, partials)
+	return PackScalarsOwned(name, out)
+}
+
+// PackScalarsOwned is PackScalars taking ownership of partials: the caller
+// transfers the slice and must not write it afterwards (the column aliases
+// it). The executor uses this for its freshly gathered partials so the hot
+// aggregate-merge path copies the values once, not twice.
+func PackScalarsOwned(name string, partials []int64) (*storage.Column, Work) {
 	w := Work{
 		BytesSeqRead:  int64(len(partials)) * 8,
-		BytesWritten:  int64(len(out)) * 8,
+		BytesWritten:  int64(len(partials)) * 8,
 		TuplesIn:      int64(len(partials)),
-		TuplesOut:     int64(len(out)),
-		MemClaimBytes: int64(len(out)) * 8,
+		TuplesOut:     int64(len(partials)),
+		MemClaimBytes: int64(len(partials)) * 8,
 	}
-	return storage.NewIntColumn(name, out), w
+	return storage.NewIntColumn(name, partials), w
 }

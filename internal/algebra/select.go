@@ -69,9 +69,20 @@ func (r Range) Matches(v int64) bool {
 // algebra.subselect). The oids are absolute so that partitioned selects over
 // sibling views concatenate into exactly the serial result.
 func Select(col *storage.Column, pred Range) ([]int64, Work) {
+	return SelectInto(nil, col, pred)
+}
+
+// SelectInto is Select appending into dst's storage (dst[:0]): the executor
+// passes the previous invocation's output buffer of the same cached
+// instruction, so steady-state serving allocates nothing here. A nil dst
+// reproduces Select's allocation exactly.
+func SelectInto(dst []int64, col *storage.Column, pred Range) ([]int64, Work) {
 	vals := col.Values()
 	seq := col.Seq()
-	out := make([]int64, 0, len(vals)/4+1)
+	out := dst[:0]
+	if cap(out) == 0 {
+		out = make([]int64, 0, len(vals)/4+1)
+	}
 	for i, v := range vals {
 		if pred.Matches(v) {
 			out = append(out, seq+int64(i))
@@ -93,8 +104,17 @@ func Select(col *storage.Column, pred Range) ([]int64, Work) {
 // output"). Candidates outside the view's oid span are aligned away first
 // (§2.3) so partitioned refinement stays a valid access.
 func SelectWithCands(col *storage.Column, pred Range, cands []int64) ([]int64, Work, int) {
+	return SelectWithCandsInto(nil, col, pred, cands)
+}
+
+// SelectWithCandsInto is SelectWithCands appending into dst's storage; see
+// SelectInto for the buffer-reuse contract.
+func SelectWithCandsInto(dst []int64, col *storage.Column, pred Range, cands []int64) ([]int64, Work, int) {
 	aligned, dropped := storage.AlignOids(cands, col.Seq(), col.EndSeq())
-	out := make([]int64, 0, len(aligned)/2+1)
+	out := dst[:0]
+	if cap(out) == 0 {
+		out = make([]int64, 0, len(aligned)/2+1)
+	}
 	for _, oid := range aligned {
 		if pred.Matches(col.ValueAtOid(oid)) {
 			out = append(out, oid)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/plan"
 	"repro/internal/sim"
 	"repro/internal/storage"
+	"repro/internal/vec"
 )
 
 // Engine hosts plan executions on one simulated machine. Multiple plans may
@@ -35,16 +36,71 @@ func NewEngine(cat *storage.Catalog, machineCfg sim.Config, params cost.Params) 
 	}
 }
 
+// Per-instruction output-buffer classes the arena recycles. bufNone marks
+// instructions whose outputs either escape (query results), are owned by a
+// pack group's shared buffer, or have no recyclable Into kernel.
+const (
+	bufNone uint8 = iota
+	bufOids       // ret 0 is an oid vector (select / selectcand / oid pack)
+	bufCol        // ret 0 is a column payload (fetch / calc / scalar pack)
+)
+
+// schedGroup is one planned pack group (plan.PackGroup resolved against the
+// dependency graph): the exchange union whose clones write disjoint ranges
+// of one shared result buffer so the pack becomes a view.
+type schedGroup struct {
+	pack      int32
+	clones    []int32
+	sliced    bool
+	anchorArg int8
+	// recycle reports that neither the pack's nor any clone's result is a
+	// query result, so the shared buffer may return to the arena and be
+	// rewritten by the next invocation.
+	recycle bool
+	parts   []plan.Part // per clone, for sliced-shape offsets
+	// anchorVar / anchorProducer / anchorRet locate each clone's anchor
+	// value for propagated-shape offsets (prefix sums of anchor lengths,
+	// resolvable once every anchor's producer has evaluated).
+	anchorVar      []plan.VarID
+	anchorProducer []int32
+	anchorRet      []int8
+}
+
 // planSchedule is the per-plan execution scaffolding that is identical
 // across runs of the same (immutable) plan object: validation outcome, the
-// argument-dependency graph, and initial unresolved-producer counts. The
+// argument-dependency graph, initial unresolved-producer counts, the
+// zero-copy exchange plan (pack groups and recyclable output buffers), and
+// the arena of run-state buffers the next invocation reuses. The
 // plan-session cache executes one plan object per request once a query
-// converges, so caching this turns the per-run O(instrs × args) graph
-// rebuild into a single slice copy.
+// converges, so caching this removes both the per-run O(instrs × args)
+// graph rebuild and the hot path's result-buffer allocations.
 type planSchedule struct {
 	pending []int32   // unresolved argument-producer count per instruction
 	waiters [][]int32 // waiters[i] = instructions waiting on producer i
 	roots   []int32   // instructions with no unresolved producers
+
+	groups    []schedGroup
+	cloneOf   []int32 // instr -> pack-group index it is a clone of, or -1
+	memberOf  []int32 // instr -> clone position within its group
+	packGroup []int32 // instr -> pack-group index it is the pack of, or -1
+	outBuf    []uint8 // instr -> recyclable output-buffer class
+
+	arenaMu sync.Mutex
+	arena   *jobArena // idle arena of the last completed invocation
+}
+
+func (s *planSchedule) takeArena() *jobArena {
+	s.arenaMu.Lock()
+	a := s.arena
+	s.arena = nil
+	s.arenaMu.Unlock()
+	return a
+}
+
+func (s *planSchedule) putArena(a *jobArena) {
+	s.arenaMu.Lock()
+	s.arena = a
+	s.arenaMu.Unlock()
 }
 
 // maxCachedSchedules bounds the schedule cache; adaptive sessions retire
@@ -64,14 +120,21 @@ func (e *Engine) scheduleFor(p *plan.Plan) (*planSchedule, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	n := len(p.Instrs)
 	s := &planSchedule{
-		pending: make([]int32, len(p.Instrs)),
-		waiters: make([][]int32, len(p.Instrs)),
+		pending:   make([]int32, n),
+		waiters:   make([][]int32, n),
+		cloneOf:   make([]int32, n),
+		memberOf:  make([]int32, n),
+		packGroup: make([]int32, n),
+		outBuf:    make([]uint8, n),
 	}
 	producer := make(map[plan.VarID]int32)
+	retIndex := make(map[plan.VarID]int8)
 	for i, in := range p.Instrs {
-		for _, r := range in.Rets {
+		for ri, r := range in.Rets {
 			producer[r] = int32(i)
+			retIndex[r] = int8(ri)
 		}
 	}
 	for i, in := range p.Instrs {
@@ -99,6 +162,7 @@ func (e *Engine) scheduleFor(p *plan.Plan) (*planSchedule, error) {
 			s.roots = append(s.roots, int32(i))
 		}
 	}
+	s.planBuffers(p, producer, retIndex)
 	e.schedMu.Lock()
 	if len(e.schedFifo) >= maxCachedSchedules {
 		for _, old := range e.schedFifo[:maxCachedSchedules/2] {
@@ -110,6 +174,185 @@ func (e *Engine) scheduleFor(p *plan.Plan) (*planSchedule, error) {
 	e.schedFifo = append(e.schedFifo, p)
 	e.schedMu.Unlock()
 	return s, nil
+}
+
+// planBuffers computes the zero-copy exchange plan: the plan's pack groups
+// (shared clone buffers, view packs) and the per-instruction output buffers
+// the arena may recycle across invocations. Anything whose output reaches
+// the query result is excluded — result values escape to callers, so their
+// buffers must stay immutable forever and are allocated fresh each run.
+func (s *planSchedule) planBuffers(p *plan.Plan, producer map[plan.VarID]int32, retIndex map[plan.VarID]int8) {
+	for i := range s.cloneOf {
+		s.cloneOf[i], s.memberOf[i], s.packGroup[i] = -1, -1, -1
+	}
+	resultArg := make(map[plan.VarID]bool)
+	for _, in := range p.Instrs {
+		if in.Op == plan.OpResult {
+			for _, a := range in.Args {
+				resultArg[a] = true
+			}
+		}
+	}
+	for _, g := range p.PackGroups() {
+		pk := p.Instrs[g.Pack]
+		sg := schedGroup{
+			pack:    int32(g.Pack),
+			sliced:  g.Sliced,
+			recycle: !resultArg[pk.Rets[0]],
+		}
+		proto := p.Instrs[g.Clones[0]]
+		sg.anchorArg = int8(plan.SliceArgs(proto.Op)[0])
+		for _, ci := range g.Clones {
+			c := p.Instrs[ci]
+			if resultArg[c.Rets[0]] {
+				sg.recycle = false
+			}
+			av := c.Args[sg.anchorArg]
+			prod := int32(-1)
+			if pi, ok := producer[av]; ok {
+				prod = pi
+			}
+			sg.clones = append(sg.clones, int32(ci))
+			sg.parts = append(sg.parts, c.Part)
+			sg.anchorVar = append(sg.anchorVar, av)
+			sg.anchorProducer = append(sg.anchorProducer, prod)
+			sg.anchorRet = append(sg.anchorRet, retIndex[av])
+		}
+		gi := int32(len(s.groups))
+		s.groups = append(s.groups, sg)
+		s.packGroup[g.Pack] = gi
+		for m, ci := range g.Clones {
+			s.cloneOf[ci] = gi
+			s.memberOf[ci] = int32(m)
+		}
+	}
+	for i, in := range p.Instrs {
+		if s.cloneOf[i] >= 0 {
+			continue // group clones write the shared buffer instead
+		}
+		if len(in.Rets) == 0 || resultArg[in.Rets[0]] {
+			continue
+		}
+		switch in.Op {
+		case plan.OpSelect, plan.OpSelectCand:
+			s.outBuf[i] = bufOids
+		case plan.OpFetch, plan.OpFetchPos, plan.OpCalcVV, plan.OpCalcSV, plan.OpCalcSSV:
+			s.outBuf[i] = bufCol
+		case plan.OpPack:
+			switch p.KindOf(in.Rets[0]) {
+			case plan.KindOids:
+				s.outBuf[i] = bufOids
+			case plan.KindColumn:
+				if p.KindOf(in.Args[0]) == plan.KindScalar {
+					// Scalar partial packs own their gathered slice
+					// (PackScalarsOwned); column packs either become views
+					// (group) or concatenate into a fresh vector.
+					s.outBuf[i] = bufCol
+				}
+			}
+		}
+	}
+}
+
+// groupRun is the per-invocation state of one pack group: the shared buffer
+// builder, each clone's write offset, and how much each clone wrote. A group
+// is disabled for the run when its offsets cannot be resolved at first use
+// (an anchor not evaluated yet); its members then materialize privately and
+// the pack falls back to copying — results are identical either way.
+type groupRun struct {
+	bld      *vec.Builder
+	offs     []int // len = clones+1; clone m writes [offs[m], offs[m+1])
+	written  []int // values actually written per clone; -1 = pending
+	total    int
+	disabled bool
+}
+
+// jobArena holds every run-state buffer of one plan invocation. It is
+// checked out of the plan's schedule at submit and returned at completion,
+// so repeated invocations of a cached plan (the converged serving path)
+// allocate almost nothing: dependency counters, the task slab, kernel
+// output buffers and shared exchange buffers are all rewritten in place.
+// Failed jobs never return their arena (their simulated tasks may still
+// drain), so a fresh one is built on the next invocation.
+type jobArena struct {
+	env       []Value
+	pending   []int32
+	evald     []bool // instruction evaluated (results exist in its task slab)
+	tasks     []instrTask
+	args      []Value    // resolveArgs scratch
+	bufs      [][]int64  // per-instruction recycled output buffers
+	groupBufs [][]int64  // per-group shared exchange buffers
+	groupRuns []groupRun // per-group run state
+	oidParts  [][]int64  // evalPack scratch
+	colParts  []*storage.Column
+}
+
+// prepare sizes the arena for the plan and resets per-run state.
+func (a *jobArena) prepare(s *planSchedule, p *plan.Plan) {
+	n := len(p.Instrs)
+	if cap(a.env) < p.NVars() {
+		a.env = make([]Value, p.NVars())
+	}
+	a.env = a.env[:p.NVars()]
+	if cap(a.pending) < n {
+		a.pending = make([]int32, n)
+	}
+	a.pending = a.pending[:n]
+	copy(a.pending, s.pending)
+	if cap(a.evald) < n {
+		a.evald = make([]bool, n)
+	}
+	a.evald = a.evald[:n]
+	for i := range a.evald {
+		a.evald[i] = false
+	}
+	if cap(a.tasks) < n {
+		a.tasks = make([]instrTask, n)
+	}
+	a.tasks = a.tasks[:n]
+	if cap(a.bufs) < n {
+		a.bufs = make([][]int64, n)
+	}
+	a.bufs = a.bufs[:n]
+	if len(a.groupBufs) < len(s.groups) {
+		a.groupBufs = make([][]int64, len(s.groups))
+	}
+	if cap(a.groupRuns) < len(s.groups) {
+		a.groupRuns = make([]groupRun, len(s.groups))
+	}
+	a.groupRuns = a.groupRuns[:len(s.groups)]
+	for i := range a.groupRuns {
+		gr := &a.groupRuns[i]
+		gr.bld = nil
+		gr.offs = gr.offs[:0]
+		gr.written = gr.written[:0]
+		gr.total = 0
+		gr.disabled = false
+	}
+}
+
+// release drops the run's value references (so an idle arena does not pin
+// intermediate columns) and hands the arena back to the schedule.
+func (a *jobArena) release(s *planSchedule) {
+	for i := range a.env {
+		a.env[i] = Value{}
+	}
+	for i := range a.tasks {
+		// The whole slab entry: retv holds result values and j keeps the
+		// dead PlanJob (and through it the run's results and profile)
+		// reachable for as long as the schedule stays cached.
+		a.tasks[i] = instrTask{}
+	}
+	for i := range a.args {
+		a.args[i] = Value{}
+	}
+	for i := range a.colParts {
+		a.colParts[i] = nil
+	}
+	for i := range a.oidParts {
+		a.oidParts[i] = nil
+	}
+	s.putArena(a)
 }
 
 // Machine exposes the simulated machine (for workload drivers that inject
@@ -131,15 +374,17 @@ type PlanJob struct {
 	// OnDone, when set, fires at virtual completion time.
 	OnDone func(*PlanJob)
 
-	eng        *Engine
-	simJob     *sim.Job
-	env        []Value
-	pending    []int32 // unresolved argument-producer count per instruction
-	waiters    [][]int32
-	results    []Value
-	costParams cost.Params
-	completed  int
-	argScratch []Value // reused per evalInstr call; never retained by kernels
+	eng          *Engine
+	sched        *planSchedule
+	arena        *jobArena
+	simJob       *sim.Job
+	env          []Value
+	pending      []int32 // unresolved argument-producer count per instruction
+	waiters      [][]int32
+	results      []Value
+	costParams   cost.Params
+	completed    int
+	copyExchange bool
 }
 
 // JobOptions configures a plan submission.
@@ -150,28 +395,41 @@ type JobOptions struct {
 	// CostParams overrides the engine's cost model for this job (used by
 	// the Vectorwise comparator). Nil uses the engine default.
 	CostParams *cost.Params
+	// CopyExchange forces exchange unions to materialize concatenated
+	// copies (the seed behavior) even where a zero-copy pack group is
+	// planned. Equivalence tests and A/B benchmarks use it; production
+	// paths leave it false and get the shared-buffer exchange.
+	CopyExchange bool
 }
 
 // Submit schedules p for execution starting at the machine's current virtual
 // time. Call Engine.Run (or Machine().Run()) to drive the simulation. The
-// plan's validation and dependency graph are cached per plan object, so
-// repeated submissions of a cached plan (the converged serving path) pay
-// only a counter-slice copy.
+// plan's validation, dependency graph and buffer plan are cached per plan
+// object, so repeated submissions of a cached plan (the converged serving
+// path) pay only a counter-slice copy and reuse the previous invocation's
+// arena buffers.
 func (e *Engine) Submit(p *plan.Plan, opts JobOptions) (*PlanJob, error) {
 	sched, err := e.scheduleFor(p)
 	if err != nil {
 		return nil, err
 	}
-	j := &PlanJob{
-		Plan:    p,
-		Profile: &Profile{StartNs: e.mach.Now(), Machine: e.mach.Config(), Ops: make([]OpExec, 0, len(p.Instrs))},
-		eng:     e,
-		simJob:  e.mach.NewJob(opts.MaxCores),
-		env:     make([]Value, p.NVars()),
-		pending: make([]int32, len(p.Instrs)),
-		waiters: sched.waiters,
+	a := sched.takeArena()
+	if a == nil {
+		a = &jobArena{}
 	}
-	copy(j.pending, sched.pending)
+	a.prepare(sched, p)
+	j := &PlanJob{
+		Plan:         p,
+		Profile:      &Profile{StartNs: e.mach.Now(), Machine: e.mach.Config(), Ops: make([]OpExec, 0, len(p.Instrs))},
+		eng:          e,
+		sched:        sched,
+		arena:        a,
+		simJob:       e.mach.NewJob(opts.MaxCores),
+		env:          a.env,
+		pending:      a.pending,
+		waiters:      sched.waiters,
+		copyExchange: opts.CopyExchange,
+	}
 	params := e.params
 	if opts.CostParams != nil {
 		params = *opts.CostParams
@@ -196,7 +454,11 @@ func (j *PlanJob) fail(err error) {
 
 // instrTask carries one scheduled instruction through the simulator: the
 // sim task, its evaluated results, and the profiling state, in a single
-// allocation (it implements sim.TaskHooks, so no per-task closures).
+// slab entry of the job's arena (it implements sim.TaskHooks, so no
+// per-task closures, and results live inline, so no per-task ret slices).
+// retv's capacity bounds an opcode's result count; submitInstr enforces it
+// so an overflow can never silently re-allocate the slice away from the
+// slab.
 type instrTask struct {
 	sim.Task
 	j       *PlanJob
@@ -204,7 +466,7 @@ type instrTask struct {
 	core    int32
 	startNs float64
 	work    algebra.Work
-	rets    []Value
+	retv    [2]Value
 }
 
 // TaskStarted implements sim.TaskHooks.
@@ -223,7 +485,7 @@ func (it *instrTask) TaskCompleted(now float64, core int) {
 		Instr: idx, Op: in.Op, StartNs: it.startNs, EndNs: now, Core: int(it.core), Work: it.work,
 	})
 	for k, r := range in.Rets {
-		j.env[r] = it.rets[k]
+		j.env[r] = it.retv[k]
 	}
 	if in.Op == plan.OpResult {
 		j.results = make([]Value, len(in.Args))
@@ -245,6 +507,11 @@ func (it *instrTask) TaskCompleted(now float64, core int) {
 			j.OnDone(j)
 			j.OnDone = nil
 		}
+		if j.arena != nil {
+			a := j.arena
+			j.arena = nil
+			a.release(j.sched)
+		}
 	}
 }
 
@@ -255,11 +522,21 @@ func (j *PlanJob) submitInstr(idx int) {
 		return
 	}
 	in := j.Plan.Instrs[idx]
-	rets, w, everr := evalInstr(j, j.Plan, in)
+	it := &j.arena.tasks[idx]
+	*it = instrTask{j: j, idx: int32(idx)}
+	rets, w, everr := evalInstr(j, j.Plan, idx, in, it.retv[:0])
 	if everr != nil {
 		j.fail(everr)
 		return
 	}
+	if len(rets) > len(it.retv) {
+		// Appending past retv's capacity would have silently moved the
+		// results off the slab; no current opcode returns more than two.
+		j.fail(fmt.Errorf("exec: %s returned %d values, slab holds %d", in.Op, len(rets), len(it.retv)))
+		return
+	}
+	it.work = w
+	j.arena.evald[idx] = true
 	est := j.costParams.ForWork(in.Op, w, j.eng.mach.L3SharePerSocket())
 	home := 0
 	if sockets := j.eng.mach.Config().Sockets; sockets > 1 {
@@ -277,7 +554,6 @@ func (j *PlanJob) submitInstr(idx int) {
 			home = idx % sockets
 		}
 	}
-	it := &instrTask{j: j, idx: int32(idx), work: w, rets: rets}
 	it.Task = sim.Task{
 		Label:      in.Op.String(),
 		Job:        j.simJob,

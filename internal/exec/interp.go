@@ -6,6 +6,7 @@ import (
 	"repro/internal/algebra"
 	"repro/internal/plan"
 	"repro/internal/storage"
+	"repro/internal/vec"
 )
 
 // sliceValue restricts a value to the positional range [lo,hi) — the runtime
@@ -23,15 +24,16 @@ func sliceValue(v Value, lo, hi int) Value {
 // resolveArgs returns the instruction's argument values with its Part
 // applied to the slice-able anchors. All sliced anchors of one instruction
 // share the Part (they are positionally co-aligned by construction). The
-// returned slice aliases the job's scratch buffer: it is valid only until
+// returned slice aliases the job's arena scratch: it is valid only until
 // the next evalInstr call, which is fine because kernels never retain it.
 func resolveArgs(j *PlanJob, in *plan.Instr, env []Value) []Value {
-	if cap(j.argScratch) < len(in.Args) {
-		j.argScratch = make([]Value, len(in.Args)+8)
+	a := j.arena
+	if cap(a.args) < len(in.Args) {
+		a.args = make([]Value, len(in.Args)+8)
 	}
-	args := j.argScratch[:len(in.Args)]
-	for i, a := range in.Args {
-		args[i] = env[a]
+	args := a.args[:len(in.Args)]
+	for i, ai := range in.Args {
+		args[i] = env[ai]
 	}
 	if in.Part.IsFull() {
 		return args
@@ -58,10 +60,165 @@ func reseqPartitioned(col *storage.Column, in *plan.Instr, anchor Value) *storag
 	return storage.NewColumn(col.Name(), int64(lo), col.Data())
 }
 
+// reseqBase returns the head sequence reseqPartitioned would assign, without
+// building an intermediate column — the shared-buffer clone path constructs
+// its view column directly.
+func reseqBase(in *plan.Instr, anchor Value) int64 {
+	if in.Part.IsFull() {
+		return 0
+	}
+	lo, _ := in.Part.Resolve(anchor.Len())
+	return int64(lo)
+}
+
+// cloneShared resolves the shared write window for instruction idx when it
+// is a clone member of an active pack group. On first use per run it sizes
+// the group's shared buffer: sliced groups resolve their Parts against the
+// common anchor, propagated groups take prefix sums of the sibling anchors'
+// lengths (possible only once every anchor's producer has evaluated —
+// otherwise the group is disabled for this run and every member
+// materializes privately, which the pack then concatenates as before).
+func (j *PlanJob) cloneShared(idx int) (gr *groupRun, m, lo, hi int, ok bool) {
+	if j.copyExchange {
+		return nil, 0, 0, 0, false
+	}
+	gi := j.sched.cloneOf[idx]
+	if gi < 0 {
+		return nil, 0, 0, 0, false
+	}
+	gr = &j.arena.groupRuns[gi]
+	if gr.bld == nil && !gr.disabled {
+		j.initGroup(gi, gr)
+	}
+	if gr.disabled {
+		return nil, 0, 0, 0, false
+	}
+	m = int(j.sched.memberOf[idx])
+	return gr, m, gr.offs[m], gr.offs[m+1], true
+}
+
+func (j *PlanJob) initGroup(gi int32, gr *groupRun) {
+	sg := &j.sched.groups[gi]
+	members := len(sg.clones)
+	offs := gr.offs[:0]
+	if sg.sliced {
+		// All clones share the anchor variable; it is an argument of every
+		// clone, so its producer has virtually completed and env holds it.
+		n := j.env[sg.anchorVar[0]].Len()
+		for m := 0; m < members; m++ {
+			lo, _ := sg.parts[m].Resolve(n)
+			offs = append(offs, lo)
+		}
+		offs = append(offs, n)
+	} else {
+		total := 0
+		for m := 0; m < members; m++ {
+			pr := sg.anchorProducer[m]
+			if pr < 0 || !j.arena.evald[pr] {
+				gr.disabled = true
+				return
+			}
+			offs = append(offs, total)
+			// The anchor may be evaluated but not yet virtually complete;
+			// its value then lives in the producer's task slab, not env.
+			total += j.arena.tasks[pr].retv[sg.anchorRet[m]].Len()
+		}
+		offs = append(offs, total)
+	}
+	gr.offs = offs
+	gr.total = offs[members]
+	if cap(gr.written) < members {
+		gr.written = make([]int, members)
+	}
+	gr.written = gr.written[:members]
+	for m := range gr.written {
+		gr.written[m] = -1
+	}
+	var buf []int64
+	if sg.recycle {
+		buf = j.arena.groupBufs[gi]
+	}
+	if cap(buf) < gr.total {
+		buf = make([]int64, gr.total)
+	}
+	buf = buf[:gr.total]
+	if sg.recycle {
+		j.arena.groupBufs[gi] = buf
+	}
+	gr.bld = vec.NewBuilderOver(buf)
+}
+
+// packView returns the group's shared buffer as the pack output when every
+// clone wrote its range densely; otherwise the caller concatenates the
+// clones' (view) columns exactly like the copying path.
+func (j *PlanJob) packView(idx int, args []Value) (*storage.Column, algebra.Work, bool) {
+	if j.copyExchange {
+		return nil, algebra.Work{}, false
+	}
+	gi := j.sched.packGroup[idx]
+	if gi < 0 {
+		return nil, algebra.Work{}, false
+	}
+	gr := &j.arena.groupRuns[gi]
+	if gr.bld == nil || gr.disabled {
+		return nil, algebra.Work{}, false
+	}
+	for m := range gr.written {
+		if gr.written[m] != gr.offs[m+1]-gr.offs[m] {
+			return nil, algebra.Work{}, false // boundary drop: fall back to copy
+		}
+	}
+	col, w := algebra.PackColumnsView(args[0].Col.Name(), gr.bld.Publish(), int64(gr.total))
+	return col, w, true
+}
+
+// colBuf returns the arena-recycled output buffer for instruction idx sized
+// to n values, or nil when the instruction's output must be freshly
+// allocated (it escapes as a query result, or no buffer was planned).
+func (j *PlanJob) colBuf(idx, n int) []int64 {
+	if j.sched.outBuf[idx] != bufCol {
+		return nil
+	}
+	buf := j.arena.bufs[idx]
+	if cap(buf) < n {
+		buf = make([]int64, n)
+		j.arena.bufs[idx] = buf
+	}
+	return buf[:n]
+}
+
+// oidBufIn / oidBufOut thread the arena's oid buffer through appending
+// kernels (SelectInto and friends), which may grow it; the grown slice is
+// stored back so the next invocation reuses the final capacity.
+func (j *PlanJob) oidBufIn(idx int) []int64 {
+	if j.sched.outBuf[idx] != bufOids {
+		return nil
+	}
+	return j.arena.bufs[idx]
+}
+
+func (j *PlanJob) oidBufOut(idx int, out []int64) {
+	if j.sched.outBuf[idx] == bufOids {
+		j.arena.bufs[idx] = out
+	}
+}
+
+// wrapCol builds the output column of a materializing kernel over vals.
+func wrapCol(name string, seq int64, vals []int64, d *vec.Dict) *storage.Column {
+	if d != nil {
+		return storage.NewColumn(name, seq, vec.NewDictCoded(vals, d))
+	}
+	return storage.NewColumn(name, seq, vec.NewInt64(vals))
+}
+
 // evalInstr executes one instruction: it resolves arguments (applying the
 // partition range), dispatches to the algebra kernel, and returns the result
-// values aligned with in.Rets plus the Work performed.
-func evalInstr(j *PlanJob, p *plan.Plan, in *plan.Instr) ([]Value, algebra.Work, error) {
+// values (appended to dst, which aliases the instruction's task slab) plus
+// the Work performed. Materializing instructions write into shared exchange
+// buffers (pack-group clones), arena-recycled buffers (cached hot path), or
+// fresh allocations (results and unplanned shapes) — the values and Work
+// are identical in all three cases; only buffer ownership differs.
+func evalInstr(j *PlanJob, p *plan.Plan, idx int, in *plan.Instr, dst []Value) ([]Value, algebra.Work, error) {
 	cat, env := j.eng.cat, j.env
 	args := resolveArgs(j, in, env)
 	switch in.Op {
@@ -75,51 +232,96 @@ func evalInstr(j *PlanJob, p *plan.Plan, in *plan.Instr) ([]Value, algebra.Work,
 		if err != nil {
 			return nil, algebra.Work{}, err
 		}
-		return []Value{ColValue(c)}, algebra.Work{}, nil
+		return append(dst, ColValue(c)), algebra.Work{}, nil
 
 	case plan.OpConst:
-		return []Value{ScalarValue(in.Aux.(plan.ConstAux).Value)}, algebra.Work{}, nil
+		return append(dst, ScalarValue(in.Aux.(plan.ConstAux).Value)), algebra.Work{}, nil
 
 	case plan.OpSelect:
-		oids, w := algebra.Select(args[0].Col, in.Aux.(plan.SelectAux).Pred)
-		return []Value{OidsValue(oids)}, w, nil
+		oids, w := algebra.SelectInto(j.oidBufIn(idx), args[0].Col, in.Aux.(plan.SelectAux).Pred)
+		j.oidBufOut(idx, oids)
+		return append(dst, OidsValue(oids)), w, nil
 
 	case plan.OpSelectCand:
-		oids, w, _ := algebra.SelectWithCands(args[0].Col, in.Aux.(plan.SelectAux).Pred, args[1].Oids)
-		return []Value{OidsValue(oids)}, w, nil
+		oids, w, _ := algebra.SelectWithCandsInto(j.oidBufIn(idx), args[0].Col, in.Aux.(plan.SelectAux).Pred, args[1].Oids)
+		j.oidBufOut(idx, oids)
+		return append(dst, OidsValue(oids)), w, nil
 
 	case plan.OpLikeSelect:
 		aux := in.Aux.(plan.LikeAux)
 		oids, w := algebra.SelectLike(args[0].Col, aux.Pattern, aux.Kind, aux.Anti)
-		return []Value{OidsValue(oids)}, w, nil
+		return append(dst, OidsValue(oids)), w, nil
 
 	case plan.OpFetch:
-		col, w, _ := algebra.Fetch(args[0].Oids, args[1].Col)
+		target := args[1].Col
+		if gr, m, lo, hi, ok := j.cloneShared(idx); ok {
+			n, w, _ := algebra.FetchInto(gr.bld.WriteRange(lo, hi), args[0].Oids, target)
+			if d := target.Dict(); d != nil {
+				gr.bld.BindDict(d)
+			}
+			gr.written[m] = n
+			col := storage.NewBuilderColumn(target.Name(), reseqBase(in, env[in.Args[0]]), gr.bld, lo, lo+n)
+			return append(dst, ColValue(col)), w, nil
+		}
+		if buf := j.colBuf(idx, len(args[0].Oids)); buf != nil {
+			n, w, _ := algebra.FetchInto(buf, args[0].Oids, target)
+			col := wrapCol(target.Name(), reseqBase(in, env[in.Args[0]]), buf[:n], target.Dict())
+			return append(dst, ColValue(col)), w, nil
+		}
+		col, w, _ := algebra.Fetch(args[0].Oids, target)
 		col = reseqPartitioned(col, in, env[in.Args[0]])
-		return []Value{ColValue(col)}, w, nil
+		return append(dst, ColValue(col)), w, nil
 
 	case plan.OpFetchPos:
-		col, w := algebra.FetchPositions(args[0].Oids, args[1].Col)
+		src := args[1].Col
+		if gr, m, lo, hi, ok := j.cloneShared(idx); ok {
+			w := algebra.FetchPositionsInto(gr.bld.WriteRange(lo, hi), args[0].Oids, src)
+			if d := src.Dict(); d != nil {
+				gr.bld.BindDict(d)
+			}
+			gr.written[m] = hi - lo
+			col := storage.NewBuilderColumn(src.Name(), reseqBase(in, env[in.Args[0]]), gr.bld, lo, hi)
+			return append(dst, ColValue(col)), w, nil
+		}
+		if buf := j.colBuf(idx, len(args[0].Oids)); buf != nil {
+			w := algebra.FetchPositionsInto(buf, args[0].Oids, src)
+			col := wrapCol(src.Name(), reseqBase(in, env[in.Args[0]]), buf, src.Dict())
+			return append(dst, ColValue(col)), w, nil
+		}
+		col, w := algebra.FetchPositions(args[0].Oids, src)
 		col = reseqPartitioned(col, in, env[in.Args[0]])
-		return []Value{ColValue(col)}, w, nil
+		return append(dst, ColValue(col)), w, nil
 
 	case plan.OpJoin:
 		lo, ro, w := algebra.HashJoin(args[0].Col, args[1].Col)
-		return []Value{OidsValue(lo), OidsValue(ro)}, w, nil
+		return append(dst, OidsValue(lo), OidsValue(ro)), w, nil
 
 	case plan.OpCalcVV:
-		col, w := algebra.CalcVV(in.Aux.(plan.CalcAux).Op, args[0].Col, args[1].Col)
-		return []Value{ColValue(col)}, w, nil
+		aux := in.Aux.(plan.CalcAux)
+		a, b := args[0].Col, args[1].Col
+		if gr, m, lo, hi, ok := j.cloneShared(idx); ok {
+			w := algebra.CalcVVInto(gr.bld.WriteRange(lo, hi), aux.Op, a, b)
+			gr.written[m] = hi - lo
+			col := storage.NewBuilderColumn(fmt.Sprintf("(%s%s%s)", a.Name(), aux.Op, b.Name()), a.Seq(), gr.bld, lo, hi)
+			return append(dst, ColValue(col)), w, nil
+		}
+		if buf := j.colBuf(idx, a.Len()); buf != nil {
+			w := algebra.CalcVVInto(buf, aux.Op, a, b)
+			col := wrapCol(fmt.Sprintf("(%s%s%s)", a.Name(), aux.Op, b.Name()), a.Seq(), buf, nil)
+			return append(dst, ColValue(col)), w, nil
+		}
+		col, w := algebra.CalcVV(aux.Op, a, b)
+		return append(dst, ColValue(col)), w, nil
 
 	case plan.OpCalcSV:
 		aux := in.Aux.(plan.CalcAux)
-		col, w := algebra.CalcSV(aux.Op, aux.Scalar, args[0].Col, aux.ScalarLeft)
-		return []Value{ColValue(col)}, w, nil
+		col, w := j.evalCalcScalar(idx, in, aux.Op, aux.Scalar, args[0].Col, aux.ScalarLeft)
+		return append(dst, ColValue(col)), w, nil
 
 	case plan.OpCalcSSV:
 		aux := in.Aux.(plan.CalcAux)
-		col, w := algebra.CalcSV(aux.Op, args[0].Scalar, args[1].Col, aux.ScalarLeft)
-		return []Value{ColValue(col)}, w, nil
+		col, w := j.evalCalcScalar(idx, in, aux.Op, args[0].Scalar, args[1].Col, aux.ScalarLeft)
+		return append(dst, ColValue(col)), w, nil
 
 	case plan.OpCalcSS:
 		aux := in.Aux.(plan.CalcAux)
@@ -138,77 +340,119 @@ func evalInstr(j *PlanJob, p *plan.Plan, in *plan.Instr) ([]Value, algebra.Work,
 				out = args[0].Scalar / args[1].Scalar
 			}
 		}
-		return []Value{ScalarValue(out)}, algebra.Work{TuplesIn: 2, TuplesOut: 1}, nil
+		return append(dst, ScalarValue(out)), algebra.Work{TuplesIn: 2, TuplesOut: 1}, nil
 
 	case plan.OpGroupBy:
 		g, w := algebra.GroupBy(args[0].Col)
-		return []Value{GroupsValue(g)}, w, nil
+		return append(dst, GroupsValue(g)), w, nil
 
 	case plan.OpGroupKeys:
 		g := args[0].Groups
 		w := algebra.Work{BytesSeqRead: g.Keys.Bytes(), TuplesIn: int64(g.NGroups()), TuplesOut: int64(g.NGroups())}
-		return []Value{ColValue(g.Keys)}, w, nil
+		return append(dst, ColValue(g.Keys)), w, nil
 
 	case plan.OpAggrGrouped:
 		col, w := algebra.AggrGrouped(in.Aux.(plan.AggrAux).Func, args[0].Col, args[1].Groups)
-		return []Value{ColValue(col)}, w, nil
+		return append(dst, ColValue(col)), w, nil
 
 	case plan.OpAggr:
 		s, w := algebra.Aggr(in.Aux.(plan.AggrAux).Func, args[0].Col)
-		return []Value{ScalarValue(s)}, w, nil
+		return append(dst, ScalarValue(s)), w, nil
 
 	case plan.OpMergeAggr:
 		s, w := algebra.MergeScalars(in.Aux.(plan.AggrAux).Func, args[0].Col)
-		return []Value{ScalarValue(s)}, w, nil
+		return append(dst, ScalarValue(s)), w, nil
 
 	case plan.OpGroupMerge:
 		keys, aggs, w := algebra.GroupMerge(in.Aux.(plan.AggrAux).Func, args[0].Col, args[1].Col)
-		return []Value{ColValue(keys), ColValue(aggs)}, w, nil
+		return append(dst, ColValue(keys), ColValue(aggs)), w, nil
 
 	case plan.OpPack:
-		return evalPack(p, in, args)
+		return evalPack(j, idx, in, args, dst)
 
 	case plan.OpSort:
 		sorted, perm, w := algebra.Sort(args[0].Col, in.Aux.(plan.SortAux).Desc)
-		return []Value{ColValue(sorted), OidsValue(perm)}, w, nil
+		return append(dst, ColValue(sorted), OidsValue(perm)), w, nil
 
 	case plan.OpMergeSorted:
-		cols := make([]*storage.Column, len(args))
+		cols := j.colPartsScratch(len(args))
 		for i, a := range args {
 			cols[i] = a.Col
 		}
 		merged, w := algebra.MergeSortedRuns(cols, in.Aux.(plan.SortAux).Desc)
-		return []Value{ColValue(merged)}, w, nil
+		return append(dst, ColValue(merged)), w, nil
 
 	case plan.OpResult:
-		return nil, algebra.Work{}, nil
+		return dst, algebra.Work{}, nil
 	}
 	return nil, algebra.Work{}, fmt.Errorf("exec: unknown opcode %s", in.Op)
 }
 
-func evalPack(p *plan.Plan, in *plan.Instr, args []Value) ([]Value, algebra.Work, error) {
+// evalCalcScalar dispatches the scalar-operand calcs (OpCalcSV / OpCalcSSV)
+// through the three buffer-ownership paths.
+func (j *PlanJob) evalCalcScalar(idx int, in *plan.Instr, op algebra.CalcOp, scalar int64, v *storage.Column, scalarLeft bool) (*storage.Column, algebra.Work) {
+	if gr, m, lo, hi, ok := j.cloneShared(idx); ok {
+		w := algebra.CalcSVInto(gr.bld.WriteRange(lo, hi), op, scalar, v, scalarLeft)
+		gr.written[m] = hi - lo
+		return storage.NewBuilderColumn(fmt.Sprintf("(calc%s%s)", op, v.Name()), v.Seq(), gr.bld, lo, hi), w
+	}
+	if buf := j.colBuf(idx, v.Len()); buf != nil {
+		w := algebra.CalcSVInto(buf, op, scalar, v, scalarLeft)
+		return wrapCol(fmt.Sprintf("(calc%s%s)", op, v.Name()), v.Seq(), buf, nil), w
+	}
+	return algebra.CalcSV(op, scalar, v, scalarLeft)
+}
+
+// colPartsScratch / oidPartsScratch return the arena's variadic-argument
+// gather buffers (kernels never retain them).
+func (j *PlanJob) colPartsScratch(n int) []*storage.Column {
+	a := j.arena
+	if cap(a.colParts) < n {
+		a.colParts = make([]*storage.Column, n)
+	}
+	return a.colParts[:n]
+}
+
+func (j *PlanJob) oidPartsScratch(n int) [][]int64 {
+	a := j.arena
+	if cap(a.oidParts) < n {
+		a.oidParts = make([][]int64, n)
+	}
+	return a.oidParts[:n]
+}
+
+func evalPack(j *PlanJob, idx int, in *plan.Instr, args []Value, dst []Value) ([]Value, algebra.Work, error) {
 	switch args[0].Kind {
 	case plan.KindOids:
-		parts := make([][]int64, len(args))
+		parts := j.oidPartsScratch(len(args))
 		for i, a := range args {
 			parts[i] = a.Oids
 		}
-		out, w := algebra.PackOids(parts)
-		return []Value{OidsValue(out)}, w, nil
+		out, w := algebra.PackOidsInto(j.oidBufIn(idx), parts)
+		j.oidBufOut(idx, out)
+		return append(dst, OidsValue(out)), w, nil
 	case plan.KindColumn:
-		cols := make([]*storage.Column, len(args))
+		if col, w, ok := j.packView(idx, args); ok {
+			return append(dst, ColValue(col)), w, nil
+		}
+		cols := j.colPartsScratch(len(args))
 		for i, a := range args {
 			cols[i] = a.Col
 		}
 		out, w := algebra.PackColumns(cols)
-		return []Value{ColValue(out)}, w, nil
+		return append(dst, ColValue(out)), w, nil
 	case plan.KindScalar:
-		partials := make([]int64, len(args))
+		partials := j.colBuf(idx, len(args))
+		if partials == nil {
+			partials = make([]int64, len(args))
+		}
 		for i, a := range args {
 			partials[i] = a.Scalar
 		}
-		out, w := algebra.PackScalars("partials", partials)
-		return []Value{ColValue(out)}, w, nil
+		// The gathered slice is owned by this instruction (arena or fresh),
+		// so the pack may alias it instead of copying again.
+		out, w := algebra.PackScalarsOwned("partials", partials)
+		return append(dst, ColValue(out)), w, nil
 	}
 	return nil, algebra.Work{}, fmt.Errorf("exec: pack over %s", args[0].Kind)
 }

@@ -83,6 +83,15 @@ func TestPartitionedIntermediateAlignment(t *testing.T) {
 	if want[0].Scalar == 0 {
 		t.Fatal("degenerate test: empty selection")
 	}
+	// The same split plan through the copying exchange (seed behavior) must
+	// agree with the zero-copy default bit for bit.
+	gotCopy, _, err := eng.ExecuteOpts(build(true), JobOptions{CopyExchange: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ResultsEqual(want, gotCopy) {
+		t.Fatalf("copying exchange misaligned: %v vs %v", gotCopy, want)
+	}
 }
 
 func TestProfileOpTotals(t *testing.T) {

@@ -1,0 +1,220 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/cost"
+	"repro/internal/plan"
+)
+
+// partitionedFetchPlan builds the basic-mutation shape: one select feeding
+// nParts sliced fetch clones whose pack feeds an aggregate. The pack's
+// inputs are exactly the sibling partitions of one instruction — a sliced
+// pack group.
+func partitionedFetchPlan(nParts int) *plan.Plan {
+	p := plan.New()
+	col := p.NewVar(plan.KindColumn, "col")
+	p.Append(&plan.Instr{Op: plan.OpBind, Aux: plan.BindAux{Table: "lineitem", Column: "l_extendedprice"},
+		Rets: []plan.VarID{col}, Part: plan.FullPart()})
+	oids := p.NewVar(plan.KindOids, "oids")
+	p.Append(&plan.Instr{Op: plan.OpSelect, Aux: plan.SelectAux{Pred: algebra.AtLeast(300)},
+		Args: []plan.VarID{col}, Rets: []plan.VarID{oids}, Part: plan.FullPart()})
+	parts := plan.FullPart().SplitN(nParts)
+	cloneRets := make([]plan.VarID, nParts)
+	for i, pt := range parts {
+		cloneRets[i] = p.NewVar(plan.KindColumn, "")
+		p.Append(&plan.Instr{Op: plan.OpFetch, Args: []plan.VarID{oids, col},
+			Rets: []plan.VarID{cloneRets[i]}, Part: pt})
+	}
+	packed := p.NewVar(plan.KindColumn, "packed")
+	p.Append(&plan.Instr{Op: plan.OpPack, Args: cloneRets, Rets: []plan.VarID{packed}, Part: plan.FullPart()})
+	sum := p.NewVar(plan.KindScalar, "sum")
+	p.Append(&plan.Instr{Op: plan.OpAggr, Aux: plan.AggrAux{Func: algebra.AggrSum},
+		Args: []plan.VarID{packed}, Rets: []plan.VarID{sum}, Part: plan.FullPart()})
+	p.Append(&plan.Instr{Op: plan.OpResult, Args: []plan.VarID{sum}, Part: plan.FullPart()})
+	return p
+}
+
+// propagatedFetchPlan builds the medium-mutation residue: sliced select
+// clones each feeding a full-range fetch clone, packed in partition order —
+// a propagated pack group whose offsets are only known at run time.
+func propagatedFetchPlan(nParts int) *plan.Plan {
+	p := plan.New()
+	col := p.NewVar(plan.KindColumn, "col")
+	p.Append(&plan.Instr{Op: plan.OpBind, Aux: plan.BindAux{Table: "lineitem", Column: "l_extendedprice"},
+		Rets: []plan.VarID{col}, Part: plan.FullPart()})
+	parts := plan.FullPart().SplitN(nParts)
+	cloneRets := make([]plan.VarID, nParts)
+	for i, pt := range parts {
+		oids := p.NewVar(plan.KindOids, "")
+		p.Append(&plan.Instr{Op: plan.OpSelect, Aux: plan.SelectAux{Pred: algebra.AtLeast(300)},
+			Args: []plan.VarID{col}, Rets: []plan.VarID{oids}, Part: pt})
+		cloneRets[i] = p.NewVar(plan.KindColumn, "")
+		p.Append(&plan.Instr{Op: plan.OpFetch, Args: []plan.VarID{oids, col},
+			Rets: []plan.VarID{cloneRets[i]}, Part: plan.FullPart()})
+	}
+	packed := p.NewVar(plan.KindColumn, "packed")
+	p.Append(&plan.Instr{Op: plan.OpPack, Args: cloneRets, Rets: []plan.VarID{packed}, Part: plan.FullPart()})
+	sum := p.NewVar(plan.KindScalar, "sum")
+	p.Append(&plan.Instr{Op: plan.OpAggr, Aux: plan.AggrAux{Func: algebra.AggrSum},
+		Args: []plan.VarID{packed}, Rets: []plan.VarID{sum}, Part: plan.FullPart()})
+	p.Append(&plan.Instr{Op: plan.OpResult, Args: []plan.VarID{sum}, Part: plan.FullPart()})
+	return p
+}
+
+func workByInstr(prof *Profile) map[int]algebra.Work {
+	out := make(map[int]algebra.Work, len(prof.Ops))
+	for _, o := range prof.Ops {
+		out[o.Instr] = o.Work
+	}
+	return out
+}
+
+// The zero-copy exchange must be invisible in values and in every non-pack
+// operator's Work; the pack itself must report zero data movement where the
+// copying path reported full movement.
+func TestZeroCopyExchangeEquivalence(t *testing.T) {
+	cat := testCatalog(10_000)
+	for name, build := range map[string]func() *plan.Plan{
+		"sliced":     func() *plan.Plan { return partitionedFetchPlan(4) },
+		"propagated": func() *plan.Plan { return propagatedFetchPlan(4) },
+	} {
+		p := build()
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		shared := NewEngine(cat, testMachine(), cost.Default())
+		copying := NewEngine(cat, testMachine(), cost.Default())
+
+		sres, sprof, err := shared.ExecuteOpts(p, JobOptions{})
+		if err != nil {
+			t.Fatalf("%s shared: %v", name, err)
+		}
+		cres, cprof, err := copying.ExecuteOpts(p, JobOptions{CopyExchange: true})
+		if err != nil {
+			t.Fatalf("%s copying: %v", name, err)
+		}
+		if !ResultsEqual(sres, cres) {
+			t.Fatalf("%s: zero-copy results %v != copying results %v", name, sres, cres)
+		}
+		if sres[0].Scalar == 0 {
+			t.Fatalf("%s: degenerate plan (empty selection)", name)
+		}
+
+		sw, cw := workByInstr(sprof), workByInstr(cprof)
+		packSeen := false
+		for i, in := range p.Instrs {
+			if in.Op == plan.OpPack {
+				packSeen = true
+				if sw[i].BytesSeqRead != 0 || sw[i].BytesWritten != 0 || sw[i].MemClaimBytes != 0 {
+					t.Fatalf("%s: view pack moved data: %+v", name, sw[i])
+				}
+				if cw[i].BytesWritten == 0 {
+					t.Fatalf("%s: copying pack reported no movement: %+v", name, cw[i])
+				}
+				if sw[i].TuplesIn != cw[i].TuplesIn || sw[i].TuplesOut != cw[i].TuplesOut {
+					t.Fatalf("%s: pack tuple counts diverge: %+v vs %+v", name, sw[i], cw[i])
+				}
+				continue
+			}
+			if sw[i] != cw[i] {
+				t.Fatalf("%s: instr %d (%s) Work diverges: %+v vs %+v", name, i, in.Op, sw[i], cw[i])
+			}
+		}
+		if !packSeen {
+			t.Fatalf("%s: no pack profiled", name)
+		}
+		if sprof.Makespan() > cprof.Makespan() {
+			t.Fatalf("%s: zero-copy makespan %f exceeds copying %f", name, sprof.Makespan(), cprof.Makespan())
+		}
+	}
+}
+
+// Repeated invocations of one cached plan must produce identical virtual
+// timelines: arena recycling and shared buffers change ownership, never the
+// Work-derived schedule.
+func TestZeroCopyDeterministicTimelines(t *testing.T) {
+	cat := testCatalog(10_000)
+	p := propagatedFetchPlan(4)
+	eng := NewEngine(cat, testMachine(), cost.Default())
+	_, first, err := eng.Execute(p) // cold: builds schedule + arena
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 3; run++ {
+		res, prof, err := eng.Execute(p) // hot: recycled arena, view pack
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 1 || res[0].Scalar == 0 {
+			t.Fatalf("run %d results: %v", run, res)
+		}
+		if prof.Makespan() != first.Makespan() {
+			t.Fatalf("run %d makespan %f != first %f", run, prof.Makespan(), first.Makespan())
+		}
+		if len(prof.Ops) != len(first.Ops) {
+			t.Fatalf("run %d ops %d != first %d", run, len(prof.Ops), len(first.Ops))
+		}
+		for k := range prof.Ops {
+			a, b := prof.Ops[k], first.Ops[k]
+			if a.Instr != b.Instr || a.Work != b.Work || a.Duration() != b.Duration() || a.Core != b.Core {
+				t.Fatalf("run %d op %d diverges: %+v vs %+v", run, k, a, b)
+			}
+		}
+	}
+}
+
+// Partitioned fetch clones keep their global head alignment when writing the
+// shared buffer: a select over the packed value must see absolute row ids
+// (the §2.3 invariant the reseq test pins for the copying path).
+func TestZeroCopyPreservesAlignment(t *testing.T) {
+	cat := testCatalog(8_000)
+	serial := q6Plan()
+	eng := NewEngine(cat, testMachine(), cost.Default())
+	want, _, err := eng.Execute(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{2, 4, 8} {
+		got, _, err := eng.Execute(partitionedFetchPlan(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got2, _, err := eng.Execute(propagatedFetchPlan(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ResultsEqual(got, got2) {
+			t.Fatalf("n=%d: sliced %v != propagated %v", n, got, got2)
+		}
+	}
+	_ = want
+}
+
+// The fetch→pack hot path of a cached plan must not allocate per request
+// once its arena is warm: the seed materialized every clone output and the
+// pack copy (hundreds of KB and dozens of allocations per execution).
+func TestFetchPackHotPathAllocations(t *testing.T) {
+	cat := testCatalog(20_000)
+	eng := NewEngine(cat, testMachine(), cost.Default())
+	p := partitionedFetchPlan(8)
+	for i := 0; i < 3; i++ { // warm schedule + arena
+		if _, _, err := eng.Execute(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, _, err := eng.Execute(p); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The plan has 13 instructions; the seed path allocated clone outputs,
+	// the pack concatenation, per-task objects and scheduling state on top
+	// (≈70 allocations for this shape). The budget leaves room for the
+	// small per-run residue (job, profile, results) without letting buffer
+	// allocation creep back in.
+	if allocs > 30 {
+		t.Fatalf("fetch→pack hot path allocates %.1f objects per run (budget 30)", allocs)
+	}
+}

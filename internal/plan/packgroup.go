@@ -1,0 +1,156 @@
+package plan
+
+// Pack-group identification for the zero-copy exchange.
+//
+// A pack group is an exchange union whose inputs are exactly the sibling
+// clones of one materializing instruction — the shapes the two mutation
+// schemes produce. For such a pack the executor can pre-size one shared
+// result buffer, let each clone write its disjoint range in place, and serve
+// the pack as an O(1) view with a dense head instead of a concatenating
+// copy. Only materializing operators with positionally determined output
+// ranges qualify: fetches and calcs, whose output length equals their
+// (sliced) anchor input length. Selects do not — their output size is
+// data-dependent, so oid packs keep copying (and keep their §2.3 cost, which
+// is what drives the medium mutation).
+
+// PackGroupMaterializing reports whether op is a materializing operator
+// whose clones may share one exchange result buffer.
+func PackGroupMaterializing(op OpCode) bool {
+	switch op {
+	case OpFetch, OpFetchPos, OpCalcVV, OpCalcSV, OpCalcSSV:
+		return true
+	}
+	return false
+}
+
+// PackGroup describes one safe-to-share exchange union.
+type PackGroup struct {
+	// Pack is the instruction index of the exchange union.
+	Pack int
+	// Clones are the instruction indices of the sibling clones, in pack
+	// argument order (= partition order, the §2.3 ordering invariant).
+	Clones []int
+	// Sliced distinguishes the two clone shapes. True: the clones share all
+	// arguments and their Parts tile the full anchor range (the basic
+	// mutation, Figure 3) — write offsets follow from Part.Resolve on the
+	// shared anchor. False: every clone covers its own full anchor (the
+	// propagated clones the medium mutation leaves behind, Figure 5) —
+	// write offsets are the runtime prefix sums of the anchor lengths.
+	Sliced bool
+}
+
+// PackGroups identifies every pack group in the plan. Packs that mix clone
+// families, consume non-materializing producers, or whose partitions do not
+// tile the full range are not groups — the executor packs them by copying,
+// exactly as before.
+func (p *Plan) PackGroups() []PackGroup {
+	producer := make(map[VarID]int, len(p.Instrs))
+	for i, in := range p.Instrs {
+		for _, r := range in.Rets {
+			producer[r] = i
+		}
+	}
+	var out []PackGroup
+	claimed := make(map[int]bool) // clone instruction already in a group
+	for k, in := range p.Instrs {
+		if in.Op != OpPack || len(in.Args) < 2 {
+			continue
+		}
+		if len(in.Rets) != 1 || p.KindOf(in.Rets[0]) != KindColumn || p.KindOf(in.Args[0]) != KindColumn {
+			continue
+		}
+		g, ok := p.packGroupAt(k, in, producer, claimed)
+		if !ok {
+			continue
+		}
+		for _, c := range g.Clones {
+			claimed[c] = true
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+func (p *Plan) packGroupAt(k int, pk *Instr, producer map[VarID]int, claimed map[int]bool) (PackGroup, bool) {
+	clones := make([]int, 0, len(pk.Args))
+	seen := make(map[VarID]bool, len(pk.Args))
+	var proto *Instr
+	for _, a := range pk.Args {
+		if seen[a] {
+			return PackGroup{}, false // duplicated input: ranges would overlap
+		}
+		seen[a] = true
+		ci, ok := producer[a]
+		if !ok || claimed[ci] {
+			return PackGroup{}, false
+		}
+		c := p.Instrs[ci]
+		if len(c.Rets) != 1 || !PackGroupMaterializing(c.Op) {
+			return PackGroup{}, false
+		}
+		if proto == nil {
+			proto = c
+		} else if c.Op != proto.Op || c.Aux != proto.Aux {
+			return PackGroup{}, false
+		}
+		clones = append(clones, ci)
+	}
+
+	// Sliced shape: identical argument lists, Parts tiling the full range in
+	// pack-argument order.
+	if sameArgs(p.Instrs[clones[0]], p.Instrs, clones) {
+		prev := p.Instrs[clones[0]].Part
+		if prev.LoNum != 0 {
+			return PackGroup{}, false
+		}
+		for _, ci := range clones[1:] {
+			cur := p.Instrs[ci].Part
+			// prev.Hi == cur.Lo under cross-multiplication: contiguous, in
+			// partition order.
+			if prev.HiNum*cur.Den != cur.LoNum*prev.Den {
+				return PackGroup{}, false
+			}
+			prev = cur
+		}
+		if prev.HiNum != prev.Den {
+			return PackGroup{}, false
+		}
+		return PackGroup{Pack: k, Clones: clones, Sliced: true}, true
+	}
+
+	// Propagated shape: full-range clones whose non-anchor arguments agree
+	// (shared fetch target / calc operand), anchors per clone.
+	anchor := make(map[int]bool)
+	for _, ai := range SliceArgs(proto.Op) {
+		anchor[ai] = true
+	}
+	for _, ci := range clones {
+		c := p.Instrs[ci]
+		if !c.Part.IsFull() || len(c.Args) != len(proto.Args) {
+			return PackGroup{}, false
+		}
+		for ai, a := range c.Args {
+			if !anchor[ai] && a != proto.Args[ai] {
+				return PackGroup{}, false
+			}
+		}
+	}
+	return PackGroup{Pack: k, Clones: clones, Sliced: false}, true
+}
+
+// sameArgs reports whether every clone has the prototype's exact argument
+// list.
+func sameArgs(proto *Instr, instrs []*Instr, clones []int) bool {
+	for _, ci := range clones {
+		c := instrs[ci]
+		if len(c.Args) != len(proto.Args) {
+			return false
+		}
+		for i, a := range c.Args {
+			if a != proto.Args[i] {
+				return false
+			}
+		}
+	}
+	return true
+}

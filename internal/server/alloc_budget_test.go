@@ -1,0 +1,53 @@
+package server
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+type allocBaseline struct {
+	Benchmark        string  `json:"benchmark"`
+	MaxAllocsPerOp   float64 `json:"max_allocs_per_op"`
+	MeasuredAllocsOp float64 `json:"measured_allocs_per_op"`
+	SeedAllocsPerOp  float64 `json:"seed_allocs_per_op"`
+}
+
+// TestServeHotAllocBudget is the -benchmem smoke gate: it replays the
+// converged select_sum serve loop (the BenchmarkServeHot shape) and fails
+// when allocs/op regress past the recorded baseline. The baseline is checked
+// in as testdata/alloc_baseline.json so hot-path allocation creep breaks CI,
+// not production.
+func TestServeHotAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc budget measured in full (non -short) runs")
+	}
+	raw, err := os.ReadFile("testdata/alloc_baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var base allocBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatal(err)
+	}
+	if base.MaxAllocsPerOp <= 0 {
+		t.Fatal("baseline missing max_allocs_per_op")
+	}
+
+	s := newBenchServer(t)
+	body := []byte(`{"select_sum":{"table":"lineitem","column":"l_quantity","lo":1,"hi":24}}`)
+	convergeQuery(t, s, body)
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			serveOnce(b, s, body)
+		}
+	})
+	got := float64(res.AllocsPerOp())
+	t.Logf("hot serve loop: %.0f allocs/op (budget %.0f, seed %.0f)", got, base.MaxAllocsPerOp, base.SeedAllocsPerOp)
+	if got > base.MaxAllocsPerOp {
+		t.Fatalf("hot serve loop allocates %.0f/op, budget is %.0f/op (seed was %.0f/op) — "+
+			"either a hot-path allocation regressed or testdata/alloc_baseline.json needs a deliberate bump",
+			got, base.MaxAllocsPerOp, base.SeedAllocsPerOp)
+	}
+}

@@ -13,8 +13,8 @@ import (
 	"repro/internal/tpch"
 )
 
-func newBenchServer(b *testing.B) *Server {
-	b.Helper()
+func newBenchServer(tb testing.TB) *Server {
+	tb.Helper()
 	cat := tpch.Generate(tpch.Config{SF: 0.5, Seed: 42})
 	s, err := New(Config{
 		Engine:     exec.NewEngine(cat, sim.TwoSocket(), cost.Default()),
@@ -22,44 +22,68 @@ func newBenchServer(b *testing.B) *Server {
 		Benchmark:  "tpch",
 	})
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
-	b.Cleanup(s.Close)
+	tb.Cleanup(s.Close)
 	return s
 }
 
-func serveOnce(b *testing.B, s *Server, body []byte) QueryResponse {
-	b.Helper()
+func serveOnce(tb testing.TB, s *Server, body []byte) QueryResponse {
+	tb.Helper()
 	rec := httptest.NewRecorder()
 	req := httptest.NewRequest(http.MethodPost, "/query", bytes.NewReader(body))
 	s.Handler().ServeHTTP(rec, req)
 	if rec.Code != http.StatusOK {
-		b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		tb.Fatalf("status %d: %s", rec.Code, rec.Body.String())
 	}
 	var qr QueryResponse
 	if err := json.Unmarshal(rec.Body.Bytes(), &qr); err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	return qr
+}
+
+// convergeQuery drives one query body until its plan-cache session reports
+// convergence, so hot-path measurements serve the learned plan only.
+func convergeQuery(tb testing.TB, s *Server, body []byte) {
+	tb.Helper()
+	for i := 0; i < 600; i++ {
+		if serveOnce(tb, s, body).State == "converged" {
+			return
+		}
+	}
+	tb.Fatal("warmup never converged")
 }
 
 // BenchmarkServeHotRepeated measures serving a query whose plan-cache
 // session has already converged: every request executes the learned
 // global-minimum plan. The custom metric is the served query's virtual
-// latency — the quantity that improves with caching.
+// latency — the quantity that improves with caching; allocs/op is the
+// hot-path allocation budget the zero-copy exchange and pooled HTTP buffers
+// gutted.
 func BenchmarkServeHotRepeated(b *testing.B) {
 	s := newBenchServer(b)
 	body := []byte(`{"query":6}`)
-	var warm QueryResponse
-	for i := 0; i < 400; i++ {
-		warm = serveOnce(b, s, body)
-		if warm.State == "converged" {
-			break
-		}
+	convergeQuery(b, s, body)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var virt float64
+	for i := 0; i < b.N; i++ {
+		qr := serveOnce(b, s, body)
+		virt += qr.LatencyNs
 	}
-	if warm.State != "converged" {
-		b.Fatal("warmup never converged")
-	}
+	b.ReportMetric(virt/float64(b.N), "virtual-ns/query")
+}
+
+// BenchmarkServeHot is the acceptance benchmark for the zero-copy exchange:
+// the §4.1 select_sum micro-benchmark served through a converged session —
+// the workload ISSUE 3 requires to drop ≥50% in allocs/op versus the seed
+// (131 engine allocations plus HTTP framing per request at this shape).
+func BenchmarkServeHot(b *testing.B) {
+	s := newBenchServer(b)
+	body := []byte(`{"select_sum":{"table":"lineitem","column":"l_quantity","lo":1,"hi":24}}`)
+	convergeQuery(b, s, body)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var virt float64
 	for i := 0; i < b.N; i++ {
@@ -74,6 +98,7 @@ func BenchmarkServeHotRepeated(b *testing.B) {
 func BenchmarkServeColdSerial(b *testing.B) {
 	s := newBenchServer(b)
 	body := []byte(`{"query":6,"mode":"serial"}`)
+	b.ReportAllocs()
 	b.ResetTimer()
 	var virt float64
 	for i := 0; i < b.N; i++ {

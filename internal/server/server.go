@@ -25,12 +25,14 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
 	"net/http"
 	"slices"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -105,6 +107,12 @@ type Server struct {
 	queryCount int64
 	errCount   int64
 
+	// fpMu guards the fingerprint cache: resolving a request's cache key
+	// hashes and hex-encodes identity strings, which the hot serve loop
+	// would otherwise re-allocate on every request for the same query.
+	fpMu    sync.Mutex
+	fpCache map[string]fpEntry
+
 	// admitHook, when non-nil, runs between admission-slot acquisition and
 	// engine dispatch — a test seam that makes concurrent admission
 	// observable deterministically on single-CPU machines.
@@ -135,7 +143,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DBIdentity == "" {
 		cfg.DBIdentity = cfg.Benchmark
 	}
-	s := &Server{cfg: cfg, start: time.Now()}
+	s := &Server{cfg: cfg, start: time.Now(), fpCache: make(map[string]fpEntry)}
 	for i, eng := range engines {
 		prefix := "s"
 		if len(engines) > 1 {
@@ -296,15 +304,53 @@ func (sp *SelectSumSpec) pred() algebra.Range {
 
 // key renders the spec's canonical identity for fingerprinting — the spec
 // fields already determine the plan, so there is no need to build and
-// render a plan per request just to compute the cache key.
+// render a plan per request just to compute the cache key. Built with
+// append, not Sprintf: this runs on every select_sum request.
 func (sp *SelectSumSpec) key() string {
-	bound := func(p *int64) string {
-		if p == nil {
-			return "-"
-		}
-		return fmt.Sprintf("%d", *p)
+	buf := make([]byte, 0, 48+len(sp.Table)+len(sp.Column))
+	buf = append(buf, "select_sum:"...)
+	buf = append(buf, sp.Table...)
+	buf = append(buf, ':')
+	buf = append(buf, sp.Column...)
+	buf = append(buf, ':')
+	buf = appendBound(buf, sp.Lo)
+	buf = append(buf, ':')
+	buf = appendBound(buf, sp.Hi)
+	return string(buf)
+}
+
+func appendBound(buf []byte, p *int64) []byte {
+	if p == nil {
+		return append(buf, '-')
 	}
-	return fmt.Sprintf("select_sum:%s:%s:%s:%s", sp.Table, sp.Column, bound(sp.Lo), bound(sp.Hi))
+	return strconv.AppendInt(buf, *p, 10)
+}
+
+// fpEntry is one cached (display name, fingerprint) resolution.
+type fpEntry struct {
+	name, fp string
+}
+
+// maxFPCache bounds the fingerprint cache; ad-hoc specs are unbounded in
+// principle, so the cache resets rather than grow without limit.
+const maxFPCache = 4096
+
+// fingerprintFor memoizes the query-identity hash for a resolution key.
+func (s *Server) fingerprintFor(key string, derive func() fpEntry) fpEntry {
+	s.fpMu.Lock()
+	e, ok := s.fpCache[key]
+	s.fpMu.Unlock()
+	if ok {
+		return e
+	}
+	e = derive()
+	s.fpMu.Lock()
+	if len(s.fpCache) >= maxFPCache {
+		s.fpCache = make(map[string]fpEntry)
+	}
+	s.fpCache[key] = e
+	s.fpMu.Unlock()
+	return e
 }
 
 func (sp *SelectSumSpec) build() *plan.Plan {
@@ -352,18 +398,77 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// ioBuf is the pooled per-request I/O state: one buffer for draining the
+// request body before decoding and for staging the JSON reply, plus an
+// encoder bound to it. Request decoding dominates the serve hot path at
+// small scale factors (ROADMAP), and json.NewDecoder/NewEncoder per request
+// re-allocated both every time; the pool makes the HTTP framing
+// allocation-free in steady state.
+type ioBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var ioBufPool = sync.Pool{New: func() any {
+	b := &ioBuf{}
+	b.enc = json.NewEncoder(&b.buf)
+	return b
+}}
+
+// maxRequestBody bounds POST bodies (query specs are tiny); maxPooledBuf
+// keeps an oversized buffer (huge trace reply, rejected large body) from
+// being retained by the pool forever.
+const (
+	maxRequestBody = 1 << 20
+	maxPooledBuf   = 1 << 20
+)
+
+func getIOBuf() *ioBuf {
+	b := ioBufPool.Get().(*ioBuf)
+	b.buf.Reset()
+	return b
+}
+
+func putIOBuf(b *ioBuf) {
+	if b.buf.Cap() <= maxPooledBuf {
+		ioBufPool.Put(b)
+	}
+}
+
+// reply stages v through the pooled buffer and writes it in one call.
+func (b *ioBuf) reply(w http.ResponseWriter, code int, v any) {
+	b.buf.Reset()
+	if err := b.enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if code != http.StatusOK {
+		w.WriteHeader(code)
+	}
+	w.Write(b.buf.Bytes())
+}
+
 func (s *Server) writeErr(w http.ResponseWriter, code int, err error) {
+	b := getIOBuf()
+	defer putIOBuf(b)
+	s.writeErrBuf(b, w, code, err)
+}
+
+// writeErrBuf is writeErr over a caller-held ioBuf: handleQuery reuses its
+// body buffer for the reply instead of checking out a second one per
+// request.
+func (s *Server) writeErrBuf(b *ioBuf, w http.ResponseWriter, code int, err error) {
 	s.statMu.Lock()
 	s.errCount++
 	s.statMu.Unlock()
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+	b.reply(w, code, errorResponse{Error: err.Error()})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(v)
+	b := getIOBuf()
+	defer putIOBuf(b)
+	b.reply(w, http.StatusOK, v)
 }
 
 // resolve maps a request to (query name, fingerprint, plan builder). The
@@ -396,8 +501,13 @@ func (s *Server) resolve(req *QueryRequest) (name, fp string, build func() (*pla
 			return "", "", nil, err
 		}
 		spec := *req.SelectSum
-		name = fmt.Sprintf("select_sum(%s.%s)", spec.Table, spec.Column)
-		return name, plancache.Fingerprint(s.cfg.DBIdentity, spec.key()),
+		e := s.fingerprintFor(spec.key(), func() fpEntry {
+			return fpEntry{
+				name: fmt.Sprintf("select_sum(%s.%s)", spec.Table, spec.Column),
+				fp:   plancache.Fingerprint(s.cfg.DBIdentity, spec.key()),
+			}
+		})
+		return e.name, e.fp,
 			func() (*plan.Plan, error) { return spec.build(), nil }, nil
 	}
 	var (
@@ -419,8 +529,11 @@ func (s *Server) resolve(req *QueryRequest) (name, fp string, build func() (*pla
 	if !slices.Contains(numbers, n) {
 		return "", "", nil, fmt.Errorf("%s: query %d not implemented", bench, n)
 	}
-	name = fmt.Sprintf("%s:q%d", bench, n)
-	return name, plancache.Fingerprint(s.cfg.DBIdentity, name),
+	e := s.fingerprintFor(bench+":q"+strconv.Itoa(n), func() fpEntry {
+		name := fmt.Sprintf("%s:q%d", bench, n)
+		return fpEntry{name: name, fp: plancache.Fingerprint(s.cfg.DBIdentity, name)}
+	})
+	return e.name, e.fp,
 		func() (*plan.Plan, error) { return lookup(n) }, nil
 }
 
@@ -429,14 +542,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
 		return
 	}
+	b := getIOBuf()
+	defer putIOBuf(b)
+	if _, err := b.buf.ReadFrom(http.MaxBytesReader(w, r.Body, maxRequestBody)); err != nil {
+		code := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		s.writeErrBuf(b, w, code, fmt.Errorf("bad request body: %w", err))
+		return
+	}
 	var req QueryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+	if err := json.Unmarshal(b.buf.Bytes(), &req); err != nil {
+		s.writeErrBuf(b, w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
 	name, fp, build, err := s.resolve(&req)
 	if err != nil {
-		s.writeErr(w, http.StatusBadRequest, err)
+		s.writeErrBuf(b, w, http.StatusBadRequest, err)
 		return
 	}
 	s.statMu.Lock()
@@ -474,11 +598,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			}
 		})
 		if doErr != nil {
-			s.writeErr(w, http.StatusServiceUnavailable, doErr)
+			s.writeErrBuf(b, w, http.StatusServiceUnavailable, doErr)
 			return
 		}
 		if err != nil {
-			s.writeErr(w, http.StatusInternalServerError, err)
+			s.writeErrBuf(b, w, http.StatusInternalServerError, err)
 			return
 		}
 		resp := QueryResponse{
@@ -500,7 +624,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if res.Invocation.Converged {
 			resp.State = "converged"
 		}
-		writeJSON(w, resp)
+		b.reply(w, http.StatusOK, resp)
 	case "serial":
 		var (
 			vals []exec.Value
@@ -513,14 +637,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			}
 		})
 		if doErr != nil {
-			s.writeErr(w, http.StatusServiceUnavailable, doErr)
+			s.writeErrBuf(b, w, http.StatusServiceUnavailable, doErr)
 			return
 		}
 		if err != nil {
-			s.writeErr(w, http.StatusInternalServerError, err)
+			s.writeErrBuf(b, w, http.StatusInternalServerError, err)
 			return
 		}
-		writeJSON(w, QueryResponse{
+		b.reply(w, http.StatusOK, QueryResponse{
 			Query:     name,
 			Shard:     sh.id,
 			State:     "serial",
@@ -531,7 +655,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			NumValues: len(vals),
 		})
 	default:
-		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown mode %q", req.Mode))
+		s.writeErrBuf(b, w, http.StatusBadRequest, fmt.Errorf("unknown mode %q", req.Mode))
 	}
 }
 
@@ -729,9 +853,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	closed := s.closed
 	s.closeMu.RUnlock()
 	if closed {
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusServiceUnavailable)
-		json.NewEncoder(w).Encode(map[string]bool{"ok": false})
+		b := getIOBuf()
+		defer putIOBuf(b)
+		b.reply(w, http.StatusServiceUnavailable, map[string]bool{"ok": false})
 		return
 	}
 	writeJSON(w, map[string]bool{"ok": true})

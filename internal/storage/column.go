@@ -44,6 +44,15 @@ func NewIntColumn(name string, vals []int64) *Column {
 	return NewColumn(name, 0, vec.NewInt64(vals))
 }
 
+// NewBuilderColumn creates a column over positions [lo, hi) of a caller-owned
+// shared result buffer: the zero-copy exchange's partition clones publish
+// their output as views over one builder instead of materializing private
+// copies. The head starts at seq, so a clone writing buffer range [lo,hi) can
+// stay oid-aligned with the conceptual full intermediate (§2.3).
+func NewBuilderColumn(name string, seq int64, b *vec.Builder, lo, hi int) *Column {
+	return NewColumn(name, seq, b.View(lo, hi))
+}
+
 // Name returns the column name (view names inherit the base name).
 func (c *Column) Name() string { return c.name }
 

@@ -1,0 +1,78 @@
+package vec
+
+import "fmt"
+
+// Builder assembles a Vector in place over one owned int64 buffer before
+// publishing it as immutable. It exists for the zero-copy exchange: the
+// executor pre-sizes one result buffer for the sibling partition clones of a
+// materializing operator, each clone writes its disjoint [lo,hi) range
+// exactly once, and the downstream pack publishes the whole buffer as a view
+// instead of concatenating copies.
+//
+// The write-once discipline preserves the package's immutable-after-publish
+// contract: WriteRange hands out a writable window only while the builder is
+// unpublished, View freezes the written range it covers, and Publish freezes
+// the whole buffer. Writing to a range after a View over it, or calling
+// WriteRange after Publish, is a contract violation; the cheap-to-check
+// cases panic.
+type Builder struct {
+	vals      []int64
+	dict      *Dict
+	published bool
+}
+
+// NewBuilder allocates a builder for n values.
+func NewBuilder(n int) *Builder {
+	return &Builder{vals: make([]int64, n)}
+}
+
+// NewBuilderOver wraps a caller-owned buffer; len(buf) is the logical vector
+// length. The caller transfers ownership: it must not read or write buf
+// except through the builder until every vector published from it is dead
+// (the executor's arena relies on exactly this to recycle buffers across
+// invocations of a cached plan).
+func NewBuilderOver(buf []int64) *Builder {
+	return &Builder{vals: buf}
+}
+
+// Len reports the builder's logical length.
+func (b *Builder) Len() int { return len(b.vals) }
+
+// BindDict marks the buffer as carrying dictionary codes for d. All ranges
+// of one builder share the dictionary (pack inputs must, §2.3).
+func (b *Builder) BindDict(d *Dict) {
+	if b.dict != nil && b.dict != d {
+		panic("vec: Builder rebound to a different dictionary")
+	}
+	b.dict = d
+}
+
+// WriteRange returns the writable window for positions [lo, hi). Each range
+// must be written by exactly one owner, exactly once, before it is viewed.
+func (b *Builder) WriteRange(lo, hi int) []int64 {
+	if b.published {
+		panic("vec: WriteRange on a published Builder")
+	}
+	if lo < 0 || hi < lo || hi > len(b.vals) {
+		panic(fmt.Sprintf("vec: builder range [%d,%d) out of range for length %d", lo, hi, len(b.vals)))
+	}
+	return b.vals[lo:hi:hi]
+}
+
+// View publishes positions [lo, hi) as an immutable vector sharing the
+// builder's buffer. The range must already be fully written; the caller must
+// not write it again.
+func (b *Builder) View(lo, hi int) *Vector {
+	if lo < 0 || hi < lo || hi > len(b.vals) {
+		panic(fmt.Sprintf("vec: builder view [%d,%d) out of range for length %d", lo, hi, len(b.vals)))
+	}
+	return &Vector{vals: b.vals[lo:hi:hi], dict: b.dict}
+}
+
+// Publish freezes the builder and returns the whole buffer as an immutable
+// vector. Further WriteRange calls panic; Views taken earlier stay valid —
+// they alias the same now-immutable buffer.
+func (b *Builder) Publish() *Vector {
+	b.published = true
+	return &Vector{vals: b.vals, dict: b.dict}
+}

@@ -1,0 +1,62 @@
+package vec
+
+import "testing"
+
+func TestBuilderRangesAndPublish(t *testing.T) {
+	b := NewBuilder(5)
+	copy(b.WriteRange(0, 2), []int64{1, 2})
+	copy(b.WriteRange(2, 5), []int64{3, 4, 5})
+	part := b.View(0, 2)
+	if part.Len() != 2 || part.At(1) != 2 {
+		t.Fatalf("view = %v", part.Values())
+	}
+	whole := b.Publish()
+	for i := int64(0); i < 5; i++ {
+		if whole.At(int(i)) != i+1 {
+			t.Fatalf("published = %v", whole.Values())
+		}
+	}
+	// The published vector and earlier views alias one buffer: the pack
+	// output must be bit-identical to the concat of its parts.
+	if !Equal(whole, Concat(b.View(0, 2), b.View(2, 5))) {
+		t.Fatal("published buffer differs from concatenated views")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WriteRange after Publish did not panic")
+		}
+	}()
+	b.WriteRange(0, 1)
+}
+
+func TestBuilderOverReusesBuffer(t *testing.T) {
+	buf := make([]int64, 4)
+	b := NewBuilderOver(buf)
+	if b.Len() != 4 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	copy(b.WriteRange(0, 4), []int64{9, 8, 7, 6})
+	v := b.Publish()
+	if v.At(0) != 9 || &buf[0] != &v.Values()[0] {
+		t.Fatal("NewBuilderOver must publish over the caller's buffer")
+	}
+}
+
+func TestBuilderDict(t *testing.T) {
+	d := NewDict()
+	c := d.Code("x")
+	b := NewBuilder(1)
+	b.BindDict(d)
+	b.WriteRange(0, 1)[0] = c
+	if got := b.Publish().StringAt(0); got != "x" {
+		t.Fatalf("StringAt = %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rebinding a different dictionary did not panic")
+		}
+	}()
+	b2 := NewBuilder(1)
+	b2.BindDict(d)
+	b2.BindDict(NewDict())
+}
