@@ -89,11 +89,14 @@ func SelectInto(dst []int64, col *storage.Column, pred Range) ([]int64, Work) {
 		}
 	}
 	w := Work{
-		BytesSeqRead:  col.Bytes(),
-		BytesWritten:  int64(len(out)) * 8,
-		TuplesIn:      int64(len(vals)),
-		TuplesOut:     int64(len(out)),
-		MemClaimBytes: int64(cap(out)) * 8,
+		BytesSeqRead: col.Bytes(),
+		BytesWritten: int64(len(out)) * 8,
+		TuplesIn:     int64(len(vals)),
+		TuplesOut:    int64(len(out)),
+		// The logical claim is the emitted selection, not the buffer's
+		// happenstance capacity: recycled buffers (the engine pool) would
+		// otherwise make profiled Work depend on allocator history.
+		MemClaimBytes: int64(len(out)) * 8,
 	}
 	return out, w
 }
@@ -126,7 +129,7 @@ func SelectWithCandsInto(dst []int64, col *storage.Column, pred Range, cands []i
 		TuplesIn:       int64(len(cands)),
 		TuplesOut:      int64(len(out)),
 		FootprintBytes: col.Bytes(),
-		MemClaimBytes:  int64(cap(out)) * 8,
+		MemClaimBytes:  int64(len(out)) * 8,
 	}
 	// Candidate lists from selects are ascending, so the driven accesses are
 	// a forward skip-scan — effectively sequential for the prefetcher.
@@ -190,7 +193,7 @@ func SelectLike(col *storage.Column, pattern string, kind LikeKind, anti bool) (
 		TuplesIn:       int64(len(vals)),
 		TuplesOut:      int64(len(out)),
 		FootprintBytes: int64(len(member)),
-		MemClaimBytes:  int64(cap(out))*8 + int64(len(member)),
+		MemClaimBytes:  int64(len(out))*8 + int64(len(member)),
 	}
 	return out, w
 }

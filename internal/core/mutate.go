@@ -2,7 +2,7 @@ package core
 
 import (
 	"errors"
-	"sort"
+	"slices"
 
 	"repro/internal/exec"
 	"repro/internal/plan"
@@ -78,11 +78,19 @@ func (m *Mutator) MutateMostExpensive(p *plan.Plan, prof *exec.Profile) (*plan.P
 		dur      float64
 		tuplesIn int64
 	}
-	var cands []cand
+	cands := make([]cand, 0, len(prof.Ops))
 	for _, o := range prof.Ops {
 		cands = append(cands, cand{instr: o.Instr, dur: o.Duration(), tuplesIn: o.Work.TuplesIn})
 	}
-	sort.SliceStable(cands, func(a, b int) bool { return cands[a].dur > cands[b].dur })
+	slices.SortStableFunc(cands, func(a, b cand) int {
+		switch {
+		case a.dur > b.dur:
+			return -1
+		case a.dur < b.dur:
+			return 1
+		}
+		return 0
+	})
 
 	for _, c := range cands {
 		if c.instr < 0 || c.instr >= len(p.Instrs) {

@@ -10,7 +10,8 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
+	"strconv"
 
 	"repro/internal/plan"
 )
@@ -536,7 +537,7 @@ func RemovePack(p *plan.Plan, idx int, threshold int) (*plan.Plan, error) {
 				}
 			}
 		}
-		k := famKey{op: c.Op, aux: c.Aux, args: fmt.Sprint(c.Args)}
+		k := famKey{op: c.Op, aux: c.Aux, args: argsKey(c.Args)}
 		if _, seen := fams[k]; !seen {
 			famOrder = append(famOrder, k)
 		}
@@ -651,6 +652,17 @@ func RemovePack(p *plan.Plan, idx int, threshold int) (*plan.Plan, error) {
 	return cp, nil
 }
 
+// argsKey renders an argument list as a comparable map key without fmt's
+// boxing (RemovePack keys consumer families on it once per consumer).
+func argsKey(args []plan.VarID) string {
+	buf := make([]byte, 0, 4*len(args))
+	for _, a := range args {
+		buf = strconv.AppendInt(buf, int64(a), 10)
+		buf = append(buf, ',')
+	}
+	return string(buf)
+}
+
 // findSiblingPack returns the pack producing v when that pack's inputs are
 // co-partitioned one-to-one with the given inputs (same count, and each
 // pair of producing instructions shares its partition range and anchor
@@ -694,8 +706,14 @@ func partsCoverFull(members []*plan.Instr) bool {
 		return members[0].Part.IsFull()
 	}
 	ordered := append([]*plan.Instr(nil), members...)
-	sort.SliceStable(ordered, func(a, b int) bool {
-		return ordered[a].Part.Before(ordered[b].Part)
+	slices.SortStableFunc(ordered, func(a, b *plan.Instr) int {
+		switch {
+		case a.Part.Before(b.Part):
+			return -1
+		case b.Part.Before(a.Part):
+			return 1
+		}
+		return 0
 	})
 	prev := ordered[0].Part
 	if prev.LoNum != 0 {

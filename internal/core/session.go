@@ -47,6 +47,7 @@ type Session struct {
 	conv *Convergence
 
 	cur      *plan.Plan
+	parent   *plan.Plan // plan cur was mutated from; seeds incremental compilation
 	nextMut  Mutation
 	attempts []Attempt
 	best     *plan.Plan
@@ -96,6 +97,10 @@ func (s *Session) StepWith(opts exec.JobOptions) (bool, error) {
 	if s.done {
 		return false, nil
 	}
+	// Hand the parent compilation to the child: s.cur was produced by
+	// mutating s.parent, so the engine derives its schedule incrementally
+	// from the parent's cached one instead of recompiling the whole plan.
+	opts.DerivedFrom = s.parent
 	results, prof, err := s.eng.ExecuteOpts(s.cur, opts)
 	if err != nil {
 		return false, fmt.Errorf("core: run %d: %w", s.conv.Run(), err)
@@ -111,19 +116,56 @@ func (s *Session) StepWith(opts exec.JobOptions) (bool, error) {
 	}
 	cont := s.conv.Observe(execNs)
 	if _, run, ok := s.conv.GME(); ok && run == len(s.attempts)-1 {
+		if old := s.best; old != nil && old != s.cur && old != s.parent {
+			// The dethroned global minimum will never execute again.
+			s.eng.Retire(old)
+		}
 		s.best = s.cur
 	}
 	if !cont {
 		s.done = true
+		// Exploration over: only Best() executes from here on. Drop the
+		// tail plans' compilations back into the engine's buffer pool.
+		best := s.Best()
+		if s.parent != nil && s.parent != best {
+			s.eng.Retire(s.parent)
+		}
+		if s.cur != best {
+			s.eng.Retire(s.cur)
+		}
+		s.parent = nil
 		return false, nil
 	}
 	np, mut, err := s.mut.MutateMostExpensive(s.cur, prof)
 	if err != nil {
 		return false, fmt.Errorf("core: run %d mutation: %w", s.conv.Run(), err)
 	}
-	s.cur = np
+	if np != s.cur {
+		// The grandparent's schedule has served its purpose (cur's own
+		// compilation is cached now); retire it — its buffers feed the
+		// freshly mutated plan's first run — unless it is the best-so-far
+		// plan, which must stay executable.
+		if s.parent != nil && s.parent != s.best {
+			s.eng.Retire(s.parent)
+		}
+		s.parent = s.cur
+		s.cur = np
+	}
 	s.nextMut = mut
 	return true, nil
+}
+
+// Release hands the session's live plan compilations (current, parent, and
+// best) back to the engine. The plan-session cache calls it on eviction so a
+// long-gone session's arena buffers return to the engine pool instead of
+// lingering until schedule-cache overflow. The session object itself remains
+// readable (reports, attempts); executing it again just recompiles.
+func (s *Session) Release() {
+	for _, p := range []*plan.Plan{s.parent, s.cur, s.best} {
+		if p != nil {
+			s.eng.Retire(p)
+		}
+	}
 }
 
 // Converge drives Step until the convergence algorithm halts (or the safety

@@ -1,0 +1,199 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/cost"
+	"repro/internal/plan"
+)
+
+// resultFetchPlan builds a plan whose RESULT is a packed fetch column (plus
+// the aggregate over it): the escape-analysis shapes whose buffers must
+// never enter the recycler. sliced selects the basic-mutation clone shape,
+// else the medium-mutation propagated shape.
+func resultFetchPlan(nParts int, sliced bool) *plan.Plan {
+	if sliced {
+		p := partitionedFetchPlan(nParts)
+		return addPackedResult(p)
+	}
+	return addPackedResult(propagatedFetchPlan(nParts))
+}
+
+// addPackedResult rewrites the plan's result instruction to also export the
+// packed column itself.
+func addPackedResult(p *plan.Plan) *plan.Plan {
+	var packed plan.VarID = -1
+	for _, in := range p.Instrs {
+		if in.Op == plan.OpPack && p.KindOf(in.Rets[0]) == plan.KindColumn {
+			packed = in.Rets[0]
+		}
+	}
+	for _, in := range p.Instrs {
+		if in.Op == plan.OpResult {
+			in.Args = append(in.Args, packed)
+		}
+	}
+	return p
+}
+
+// snapshotValues deep-copies result values out of whatever buffers back
+// them, so later executions cannot silently rewrite the comparison basis.
+func snapshotValues(vals []Value) []Value {
+	out := make([]Value, len(vals))
+	for i, v := range vals {
+		switch v.Kind {
+		case plan.KindColumn:
+			cp := make([]int64, v.Col.Len())
+			for k := range cp {
+				cp[k] = v.Col.At(k)
+			}
+			out[i] = OidsValue(cp) // raw copy; compared element-wise below
+		case plan.KindOids:
+			out[i] = OidsValue(append([]int64(nil), v.Oids...))
+		default:
+			out[i] = v
+		}
+	}
+	return out
+}
+
+func valuesMatchSnapshot(t *testing.T, label string, vals []Value, snap []Value) {
+	t.Helper()
+	for i, v := range vals {
+		switch v.Kind {
+		case plan.KindColumn:
+			if v.Col.Len() != len(snap[i].Oids) {
+				t.Fatalf("%s: result %d length changed: %d != %d", label, i, v.Col.Len(), len(snap[i].Oids))
+			}
+			for k := 0; k < v.Col.Len(); k++ {
+				if v.Col.At(k) != snap[i].Oids[k] {
+					t.Fatalf("%s: result %d value %d mutated after recycling: %d != %d",
+						label, i, k, v.Col.At(k), snap[i].Oids[k])
+				}
+			}
+		case plan.KindOids:
+			if !v.Equal(snap[i]) {
+				t.Fatalf("%s: result %d oids mutated after recycling", label, i)
+			}
+		case plan.KindScalar:
+			if v.Scalar != snap[i].Scalar {
+				t.Fatalf("%s: result %d scalar mutated after recycling: %d != %d", label, i, v.Scalar, snap[i].Scalar)
+			}
+		}
+	}
+}
+
+// TestEscapeAnalysisSurvivesRecycling is the ISSUE 4 escape-analysis table:
+// for every result-reachable buffer class — the packed exchange column of
+// both mutation shapes, a direct fetch column, and the scalar aggregate —
+// execute, retire the plan into the engine recycler, execute a DIFFERENT
+// plan that draws from the pool, and verify the first plan's results are
+// bit-for-bit intact: result-reachable buffers must never have entered the
+// pool.
+func TestEscapeAnalysisSurvivesRecycling(t *testing.T) {
+	cat := testCatalog(20_000)
+	cases := []struct {
+		name  string
+		build func() *plan.Plan
+	}{
+		{"sliced-pack-result", func() *plan.Plan { return resultFetchPlan(4, true) }},
+		{"propagated-pack-result", func() *plan.Plan { return resultFetchPlan(4, false) }},
+		{"direct-fetch-result", func() *plan.Plan {
+			p := plan.New()
+			col := p.NewVar(plan.KindColumn, "col")
+			p.Append(&plan.Instr{Op: plan.OpBind, Aux: plan.BindAux{Table: "lineitem", Column: "l_extendedprice"},
+				Rets: []plan.VarID{col}, Part: plan.FullPart()})
+			oids := p.NewVar(plan.KindOids, "oids")
+			p.Append(&plan.Instr{Op: plan.OpSelect, Aux: plan.SelectAux{Pred: algebra.AtLeast(300)},
+				Args: []plan.VarID{col}, Rets: []plan.VarID{oids}, Part: plan.FullPart()})
+			vals := p.NewVar(plan.KindColumn, "vals")
+			p.Append(&plan.Instr{Op: plan.OpFetch, Args: []plan.VarID{oids, col},
+				Rets: []plan.VarID{vals}, Part: plan.FullPart()})
+			p.Append(&plan.Instr{Op: plan.OpResult, Args: []plan.VarID{oids, vals}, Part: plan.FullPart()})
+			return p
+		}},
+		{"scalar-aggregate-result", func() *plan.Plan { return partitionedFetchPlan(8) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			eng := NewEngine(cat, testMachine(), cost.Default())
+			p1 := tc.build()
+			if err := p1.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			res1, _, err := eng.Execute(p1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			snap := snapshotValues(res1)
+			// Retire p1: everything its arena held returns to the pool.
+			eng.Retire(p1)
+			// A different plan over another column now draws those buffers
+			// and rewrites them with different data, twice (warm + hot).
+			p2 := propagatedFetchPlan(8)
+			for i := 0; i < 2; i++ {
+				if _, _, err := eng.Execute(p2); err != nil {
+					t.Fatal(err)
+				}
+			}
+			valuesMatchSnapshot(t, tc.name, res1, snap)
+		})
+	}
+}
+
+// TestRecyclerNoStaleLeak is the zero-length-reset guard (ISSUE 4 satellite
+// bugfix): pooled buffers keep their contents — only their LENGTH is reset —
+// so a recycled buffer serving a shorter result must never surface values
+// from the previous query. Two queries with different predicates run back to
+// back on one engine (the wide one seeds the pool, the narrow one draws from
+// it); the narrow query's results must match a virgin engine's bit for bit.
+func TestRecyclerNoStaleLeak(t *testing.T) {
+	cat := testCatalog(20_000)
+
+	wide := plan.New()
+	{
+		col := wide.NewVar(plan.KindColumn, "col")
+		wide.Append(&plan.Instr{Op: plan.OpBind, Aux: plan.BindAux{Table: "lineitem", Column: "l_extendedprice"},
+			Rets: []plan.VarID{col}, Part: plan.FullPart()})
+		oids := wide.NewVar(plan.KindOids, "oids")
+		wide.Append(&plan.Instr{Op: plan.OpSelect, Aux: plan.SelectAux{Pred: algebra.AtLeast(100)}, // ~everything
+			Args: []plan.VarID{col}, Rets: []plan.VarID{oids}, Part: plan.FullPart()})
+		vals := wide.NewVar(plan.KindColumn, "vals")
+		wide.Append(&plan.Instr{Op: plan.OpFetch, Args: []plan.VarID{oids, col},
+			Rets: []plan.VarID{vals}, Part: plan.FullPart()})
+		sum := wide.NewVar(plan.KindScalar, "sum")
+		wide.Append(&plan.Instr{Op: plan.OpAggr, Aux: plan.AggrAux{Func: algebra.AggrSum},
+			Args: []plan.VarID{vals}, Rets: []plan.VarID{sum}, Part: plan.FullPart()})
+		wide.Append(&plan.Instr{Op: plan.OpResult, Args: []plan.VarID{sum}, Part: plan.FullPart()})
+	}
+	narrowBuild := func() *plan.Plan { return partitionedFetchPlan(4) } // AtLeast(300): strictly fewer rows
+
+	// Virgin engine: the ground truth for the narrow query.
+	virgin := NewEngine(cat, testMachine(), cost.Default())
+	want, _, err := virgin.Execute(narrowBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Shared engine: wide query first (pool seeded with long oid/value
+	// buffers holding its data), then the narrow query drawing from the
+	// pool. Any wholesale-length reuse or un-reset length would leak wide
+	// rows into the narrow result.
+	eng := NewEngine(cat, testMachine(), cost.Default())
+	pw := wide
+	if _, _, err := eng.Execute(pw); err != nil {
+		t.Fatal(err)
+	}
+	eng.Retire(pw)
+	got, _, err := eng.Execute(narrowBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ResultsEqual(want, got) {
+		t.Fatalf("recycled buffers leaked prior query state: narrow query got %v on a shared engine, want %v", got, want)
+	}
+	if st := eng.RecyclerStats(); st.BufferHits == 0 {
+		t.Fatalf("test exercised no pool hits (stats %+v); leak guard proved nothing", st)
+	}
+}

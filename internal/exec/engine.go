@@ -2,7 +2,9 @@ package exec
 
 import (
 	"fmt"
+	"slices"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/algebra"
 	"repro/internal/cost"
@@ -24,6 +26,13 @@ type Engine struct {
 	schedMu   sync.Mutex
 	sched     map[*plan.Plan]*planSchedule
 	schedFifo []*plan.Plan
+
+	// recycler is the engine-level size-classed buffer pool serving arenas
+	// of retired (mutated, one-shot) plans back to new ones — see
+	// recycler.go for the ownership discipline.
+	recycler bufRecycler
+
+	fullCompiles, derivedCompiles, retiredPlans atomic.Int64
 }
 
 // NewEngine creates an engine over the catalog with a fresh machine.
@@ -53,6 +62,10 @@ type schedGroup struct {
 	clones    []int32
 	sliced    bool
 	anchorArg int8
+	// parentGroup is the parent schedule's group this one was remapped from
+	// during incremental derivation (-1 otherwise); arena adoption uses it
+	// to hand the parent's shared exchange buffer to the child group.
+	parentGroup int32
 	// recycle reports that neither the pack's nor any clone's result is a
 	// query result, so the shared buffer may return to the arena and be
 	// rewritten by the next invocation.
@@ -110,63 +123,67 @@ const maxCachedSchedules = 256
 // scheduleFor returns the cached schedule for p, validating and building it
 // on first sight of the plan object. Plans must not be mutated in place
 // after submission (mutation always clones).
-func (e *Engine) scheduleFor(p *plan.Plan) (*planSchedule, error) {
+//
+// When opts names a DerivedFrom parent whose compilation is cached, the
+// schedule is derived incrementally: a structural diff against the parent
+// identifies the instructions the mutation left untouched, and their
+// validation, dependency edges and pack-group analysis are reused — only the
+// mutated subtree is recompiled. The derived schedule is bit-identical to a
+// full recompilation (pinned by core's A/B equivalence test against
+// JobOptions.FullRecompile).
+func (e *Engine) scheduleFor(p *plan.Plan, opts JobOptions) (*planSchedule, error) {
 	e.schedMu.Lock()
 	if s, ok := e.sched[p]; ok {
 		e.schedMu.Unlock()
 		return s, nil
 	}
-	e.schedMu.Unlock()
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	n := len(p.Instrs)
-	s := &planSchedule{
-		pending:   make([]int32, n),
-		waiters:   make([][]int32, n),
-		cloneOf:   make([]int32, n),
-		memberOf:  make([]int32, n),
-		packGroup: make([]int32, n),
-		outBuf:    make([]uint8, n),
-	}
-	producer := make(map[plan.VarID]int32)
-	retIndex := make(map[plan.VarID]int8)
-	for i, in := range p.Instrs {
-		for ri, r := range in.Rets {
-			producer[r] = int32(i)
-			retIndex[r] = int8(ri)
+	var parentPlan *plan.Plan
+	var parentSched *planSchedule
+	if opts.DerivedFrom != nil && opts.DerivedFrom != p && !opts.FullRecompile {
+		if ps, ok := e.sched[opts.DerivedFrom]; ok {
+			parentPlan, parentSched = opts.DerivedFrom, ps
 		}
 	}
-	for i, in := range p.Instrs {
-		seen := int32(-1)
-		for _, a := range in.Args {
-			if src, ok := producer[a]; ok && src != seen {
-				// Duplicate producers of one instruction are rare; dedupe
-				// against the full waiter set only when they occur.
-				dup := false
-				for _, w := range s.waiters[src] {
-					if w == int32(i) {
-						dup = true
-						break
-					}
-				}
-				if dup {
-					continue
-				}
-				seen = src
-				s.pending[i]++
-				s.waiters[src] = append(s.waiters[src], int32(i))
+	e.schedMu.Unlock()
+
+	var s *planSchedule
+	if parentSched != nil {
+		if d := plan.ComputeDiff(parentPlan, p); d.Matched > 0 {
+			ds, err := deriveSchedule(p, parentSched, d)
+			if err != nil {
+				return nil, err
+			}
+			s = ds
+			e.derivedCompiles.Add(1)
+			// Adopt the parent's idle arena: matched instructions inherit
+			// their settled kernel buffers index-for-index (no pool round
+			// trip, no append-regrowth on the child's first run); buffers
+			// the mutation orphaned go to the pool. The parent plan will
+			// typically be retired within a step or two; if it does run
+			// again it simply rebuilds an arena.
+			if a := parentSched.takeArena(); a != nil {
+				a.remapTo(s, &e.recycler, d)
+				s.putArena(a)
 			}
 		}
-		if s.pending[i] == 0 {
-			s.roots = append(s.roots, int32(i))
-		}
 	}
-	s.planBuffers(p, producer, retIndex)
+	if s == nil {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+		s = buildSchedule(p)
+		e.fullCompiles.Add(1)
+	}
+
 	e.schedMu.Lock()
 	if len(e.schedFifo) >= maxCachedSchedules {
 		for _, old := range e.schedFifo[:maxCachedSchedules/2] {
-			delete(e.sched, old)
+			if os, ok := e.sched[old]; ok {
+				delete(e.sched, old)
+				if a := os.takeArena(); a != nil {
+					e.recycler.putShell(a)
+				}
+			}
 		}
 		e.schedFifo = append(e.schedFifo[:0], e.schedFifo[maxCachedSchedules/2:]...)
 	}
@@ -176,16 +193,167 @@ func (e *Engine) scheduleFor(p *plan.Plan) (*planSchedule, error) {
 	return s, nil
 }
 
+// Retire drops p's cached compilation and recycles its arena — dependency
+// counters, task slab, kernel output buffers and shared exchange buffers —
+// into the engine's size-classed pool, where the next (typically freshly
+// mutated) plan's arena draws from. Adaptive sessions call it the moment a
+// mutated plan is superseded; the serving layer calls it after one-shot
+// serial executions. Retiring a plan that is later re-submitted is safe: it
+// just compiles again.
+func (e *Engine) Retire(p *plan.Plan) {
+	if p == nil {
+		return
+	}
+	e.schedMu.Lock()
+	s, ok := e.sched[p]
+	if ok {
+		delete(e.sched, p)
+		for i, q := range e.schedFifo {
+			if q == p {
+				e.schedFifo = append(e.schedFifo[:i], e.schedFifo[i+1:]...)
+				break
+			}
+		}
+	}
+	e.schedMu.Unlock()
+	if !ok {
+		return
+	}
+	e.retiredPlans.Add(1)
+	if a := s.takeArena(); a != nil {
+		e.recycler.putShell(a)
+	}
+}
+
+func newPlanSchedule(n int) *planSchedule {
+	return &planSchedule{
+		pending:   make([]int32, n),
+		waiters:   make([][]int32, n),
+		cloneOf:   make([]int32, n),
+		memberOf:  make([]int32, n),
+		packGroup: make([]int32, n),
+		outBuf:    make([]uint8, n),
+	}
+}
+
+// retIndexOf builds the per-variable result-position table (companion to
+// plan.Producers).
+func retIndexOf(p *plan.Plan) []int8 {
+	retIndex := make([]int8, p.NVars())
+	for _, in := range p.Instrs {
+		for ri, r := range in.Rets {
+			retIndex[r] = int8(ri)
+		}
+	}
+	return retIndex
+}
+
+// buildSchedule compiles p from scratch: the argument-dependency graph
+// (pending counts, waiter lists, roots) and the buffer plan.
+func buildSchedule(p *plan.Plan) *planSchedule {
+	s := newPlanSchedule(len(p.Instrs))
+	producer := p.Producers()
+	for i, in := range p.Instrs {
+		s.addDeps(int32(i), in, producer)
+		if s.pending[i] == 0 {
+			s.roots = append(s.roots, int32(i))
+		}
+	}
+	s.planBuffers(p, producer, retIndexOf(p), nil, nil)
+	return s
+}
+
+// addDeps wires instruction i's argument-producer edges into the graph.
+func (s *planSchedule) addDeps(i int32, in *plan.Instr, producer []int32) {
+	seen := int32(-1)
+	for _, a := range in.Args {
+		if src := producer[a]; src >= 0 && src != seen {
+			// Duplicate producers of one instruction are rare; dedupe
+			// against the full waiter set only when they occur.
+			dup := false
+			for _, w := range s.waiters[src] {
+				if w == i {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			seen = src
+			s.pending[i]++
+			s.waiters[src] = append(s.waiters[src], i)
+		}
+	}
+}
+
+// deriveSchedule compiles child incrementally against its parent's cached
+// compilation. Matched instructions (structurally identical, matched
+// producing subtree — see plan.ComputeDiff) reuse the parent's validation,
+// pending counts and dependency edges; only the mutated subtree is validated
+// and wired from scratch. The result is identical to buildSchedule's, edge
+// for edge: waiter lists are re-sorted into the consumer order the full
+// build emits, so the simulated timeline cannot diverge between the paths.
+func deriveSchedule(child *plan.Plan, parent *planSchedule, d *plan.Diff) (*planSchedule, error) {
+	if err := child.ValidateIncremental(d); err != nil {
+		return nil, err
+	}
+	n := len(child.Instrs)
+	s := newPlanSchedule(n)
+	producer := child.Producers()
+	// Surviving edges: a matched consumer keeps its pending count, a matched
+	// producer keeps its edges to consumers that also survived.
+	for ci := 0; ci < n; ci++ {
+		pi := d.ParentOf[ci]
+		if pi < 0 {
+			continue
+		}
+		s.pending[ci] = parent.pending[pi]
+		for _, w := range parent.waiters[pi] {
+			if cw := d.ChildOf[w]; cw >= 0 {
+				s.waiters[ci] = append(s.waiters[ci], cw)
+			}
+		}
+	}
+	// Mutated subtree: full dependency wiring (its edges may target matched
+	// producers — e.g. fresh clones fanning out of a surviving select).
+	for i, in := range child.Instrs {
+		if d.ParentOf[i] < 0 {
+			s.addDeps(int32(i), in, producer)
+		}
+	}
+	for i := range s.waiters {
+		slices.Sort(s.waiters[i])
+	}
+	for i := 0; i < n; i++ {
+		if s.pending[i] == 0 {
+			s.roots = append(s.roots, int32(i))
+		}
+	}
+	s.planBuffers(child, producer, retIndexOf(child), parent, d)
+	return s, nil
+}
+
 // planBuffers computes the zero-copy exchange plan: the plan's pack groups
 // (shared clone buffers, view packs) and the per-instruction output buffers
 // the arena may recycle across invocations. Anything whose output reaches
 // the query result is excluded — result values escape to callers, so their
 // buffers must stay immutable forever and are allocated fresh each run.
-func (s *planSchedule) planBuffers(p *plan.Plan, producer map[plan.VarID]int32, retIndex map[plan.VarID]int8) {
+//
+// With a parent compilation and diff, pack groups whose pack AND clones all
+// survived the mutation are remapped from the parent instead of re-derived;
+// the remap is exact because a matched pack's arguments — and hence its
+// clone set, their partitions and anchors — are structurally identical (only
+// the recycle flag is recomputed: result reachability may have changed).
+// Packs the mutation touched, and matched packs the parent found no group
+// for (claim state may differ), are evaluated from scratch in the same
+// greedy plan order PackGroups uses, so the derived grouping is identical to
+// a full recompilation's.
+func (s *planSchedule) planBuffers(p *plan.Plan, producer []int32, retIndex []int8, parent *planSchedule, d *plan.Diff) {
 	for i := range s.cloneOf {
 		s.cloneOf[i], s.memberOf[i], s.packGroup[i] = -1, -1, -1
 	}
-	resultArg := make(map[plan.VarID]bool)
+	resultArg := make([]bool, p.NVars())
 	for _, in := range p.Instrs {
 		if in.Op == plan.OpResult {
 			for _, a := range in.Args {
@@ -193,38 +361,39 @@ func (s *planSchedule) planBuffers(p *plan.Plan, producer map[plan.VarID]int32, 
 			}
 		}
 	}
-	for _, g := range p.PackGroups() {
-		pk := p.Instrs[g.Pack]
-		sg := schedGroup{
-			pack:    int32(g.Pack),
-			sliced:  g.Sliced,
-			recycle: !resultArg[pk.Rets[0]],
-		}
-		proto := p.Instrs[g.Clones[0]]
-		sg.anchorArg = int8(plan.SliceArgs(proto.Op)[0])
-		for _, ci := range g.Clones {
-			c := p.Instrs[ci]
-			if resultArg[c.Rets[0]] {
-				sg.recycle = false
-			}
-			av := c.Args[sg.anchorArg]
-			prod := int32(-1)
-			if pi, ok := producer[av]; ok {
-				prod = pi
-			}
-			sg.clones = append(sg.clones, int32(ci))
-			sg.parts = append(sg.parts, c.Part)
-			sg.anchorVar = append(sg.anchorVar, av)
-			sg.anchorProducer = append(sg.anchorProducer, prod)
-			sg.anchorRet = append(sg.anchorRet, retIndex[av])
-		}
+	claimed := make([]bool, len(p.Instrs))
+	addGroup := func(sg schedGroup) {
 		gi := int32(len(s.groups))
 		s.groups = append(s.groups, sg)
-		s.packGroup[g.Pack] = gi
-		for m, ci := range g.Clones {
+		s.packGroup[sg.pack] = gi
+		for m, ci := range sg.clones {
+			claimed[ci] = true
 			s.cloneOf[ci] = gi
 			s.memberOf[ci] = int32(m)
 		}
+	}
+	for k, in := range p.Instrs {
+		if in.Op != plan.OpPack {
+			continue
+		}
+		if parent != nil {
+			if pi := d.ParentOf[k]; pi >= 0 {
+				if pgi := parent.packGroup[pi]; pgi >= 0 {
+					if sg, ok := remapGroup(&parent.groups[pgi], pgi, int32(k), d, claimed, p, resultArg); ok {
+						addGroup(sg)
+						continue
+					}
+					// Blocked remap (a clone claimed earlier): fall through
+					// to fresh evaluation, which reaches the same verdict the
+					// full build would.
+				}
+			}
+		}
+		g, ok := p.PackGroupAt(k, producer, claimed)
+		if !ok {
+			continue
+		}
+		addGroup(buildGroup(p, g, producer, retIndex, resultArg))
 	}
 	for i, in := range p.Instrs {
 		if s.cloneOf[i] >= 0 {
@@ -252,6 +421,71 @@ func (s *planSchedule) planBuffers(p *plan.Plan, producer map[plan.VarID]int32, 
 			}
 		}
 	}
+}
+
+// buildGroup resolves a plan.PackGroup against the dependency indexes into
+// the executor's schedGroup form.
+func buildGroup(p *plan.Plan, g plan.PackGroup, producer []int32, retIndex []int8, resultArg []bool) schedGroup {
+	pk := p.Instrs[g.Pack]
+	sg := schedGroup{
+		pack:        int32(g.Pack),
+		sliced:      g.Sliced,
+		recycle:     !resultArg[pk.Rets[0]],
+		parentGroup: -1,
+	}
+	proto := p.Instrs[g.Clones[0]]
+	sg.anchorArg = int8(plan.SliceArgs(proto.Op)[0])
+	for _, ci := range g.Clones {
+		c := p.Instrs[ci]
+		if resultArg[c.Rets[0]] {
+			sg.recycle = false
+		}
+		av := c.Args[sg.anchorArg]
+		sg.clones = append(sg.clones, int32(ci))
+		sg.parts = append(sg.parts, c.Part)
+		sg.anchorVar = append(sg.anchorVar, av)
+		sg.anchorProducer = append(sg.anchorProducer, producer[av])
+		sg.anchorRet = append(sg.anchorRet, retIndex[av])
+	}
+	return sg
+}
+
+// remapGroup translates a parent pack group onto the child's instruction
+// indexes. All of the pack's clones are matched by construction (a matched
+// pack's argument producers are matched — ComputeDiff's subtree rule); the
+// remap fails only when a clone was already claimed by an earlier child
+// group, which is exactly when a fresh evaluation would refuse the group
+// too. recycle is recomputed: the mutation may have changed which values
+// reach the result.
+func remapGroup(pg *schedGroup, pgi, pack int32, d *plan.Diff, claimed []bool, p *plan.Plan, resultArg []bool) (schedGroup, bool) {
+	sg := schedGroup{
+		pack:        pack,
+		sliced:      pg.sliced,
+		anchorArg:   pg.anchorArg,
+		recycle:     !resultArg[p.Instrs[pack].Rets[0]],
+		parentGroup: pgi,
+		parts:       pg.parts,
+		anchorVar:   pg.anchorVar,
+		anchorRet:   pg.anchorRet,
+	}
+	sg.clones = make([]int32, len(pg.clones))
+	sg.anchorProducer = make([]int32, len(pg.clones))
+	for m, pci := range pg.clones {
+		ci := d.ChildOf[pci]
+		if ci < 0 || claimed[ci] {
+			return schedGroup{}, false
+		}
+		sg.clones[m] = ci
+		if resultArg[p.Instrs[ci].Rets[0]] {
+			sg.recycle = false
+		}
+		prod := pg.anchorProducer[m]
+		if prod >= 0 {
+			prod = d.ChildOf[prod]
+		}
+		sg.anchorProducer[m] = prod
+	}
+	return sg, true
 }
 
 // groupRun is the per-invocation state of one pack group: the shared buffer
@@ -285,6 +519,39 @@ type jobArena struct {
 	groupRuns []groupRun // per-group run state
 	oidParts  [][]int64  // evalPack scratch
 	colParts  []*storage.Column
+
+	// outCols / argViews memoize the per-instruction column wrappers:
+	// executing a cached plan is deterministic, so instruction idx wraps the
+	// same buffer range under the same head sequence every run — the Column
+	// and Vector objects can be reused instead of re-allocated. A cache hit
+	// requires exact slice identity with the instruction's current buffer
+	// (plus seq and dict), so a recycled or regrown buffer can never produce
+	// a false hit. The cached wrappers alias only arena-owned or immutable
+	// base storage, never result values.
+	outCols  []outColCache
+	argViews [][2]argViewCache
+}
+
+// outColCache memoizes one instruction's wrapped output column.
+type outColCache struct {
+	vals []int64
+	dict *vec.Dict
+	seq  int64
+	col  *storage.Column
+}
+
+// argViewCache memoizes one sliced argument view (instruction × slice-arg
+// position).
+type argViewCache struct {
+	src    *storage.Column
+	lo, hi int
+	col    *storage.Column
+}
+
+// sameInt64s reports exact slice identity (same backing position and
+// length) — the cache-hit condition that makes buffer recycling safe.
+func sameInt64s(a, b []int64) bool {
+	return len(a) == len(b) && (len(a) == 0 || &a[0] == &b[0])
 }
 
 // prepare sizes the arena for the plan and resets per-run state.
@@ -314,6 +581,14 @@ func (a *jobArena) prepare(s *planSchedule, p *plan.Plan) {
 		a.bufs = make([][]int64, n)
 	}
 	a.bufs = a.bufs[:n]
+	if cap(a.outCols) < n {
+		a.outCols = make([]outColCache, n)
+	}
+	a.outCols = a.outCols[:n]
+	if cap(a.argViews) < n {
+		a.argViews = make([][2]argViewCache, n)
+	}
+	a.argViews = a.argViews[:n]
 	if len(a.groupBufs) < len(s.groups) {
 		a.groupBufs = make([][]int64, len(s.groups))
 	}
@@ -329,6 +604,55 @@ func (a *jobArena) prepare(s *planSchedule, p *plan.Plan) {
 		gr.total = 0
 		gr.disabled = false
 	}
+}
+
+// remapTo rewires an idle parent arena onto a derived child schedule:
+// matched instructions keep their settled kernel output buffers (moved
+// index-for-index through the diff), remapped pack groups keep their shared
+// exchange buffers, and whatever the mutation orphaned is filed into the
+// engine recycler. Only dead intermediate state moves — result-reachable
+// values were never arena-backed in the first place (escape analysis).
+func (a *jobArena) remapTo(child *planSchedule, rec *bufRecycler, d *plan.Diff) {
+	bufs := make([][]int64, len(d.ParentOf))
+	outCols := make([]outColCache, len(d.ParentOf))
+	argViews := make([][2]argViewCache, len(d.ParentOf))
+	for ci, pi := range d.ParentOf {
+		if pi >= 0 && int(pi) < len(a.bufs) {
+			bufs[ci] = a.bufs[pi]
+			a.bufs[pi] = nil
+		}
+		// Matched instructions keep their memoized column wrappers too: a
+		// match means identical op/args/part over identical inputs, so the
+		// wrappers hit on the child's first run.
+		if pi >= 0 && int(pi) < len(a.outCols) {
+			outCols[ci] = a.outCols[pi]
+			argViews[ci] = a.argViews[pi]
+		}
+	}
+	for _, buf := range a.bufs {
+		if buf != nil {
+			rec.putBuf(buf)
+		}
+	}
+	a.bufs = bufs
+	a.outCols = outCols
+	a.argViews = argViews
+	groupBufs := make([][]int64, len(child.groups))
+	for gi := range child.groups {
+		sg := &child.groups[gi]
+		// A group that became result-reachable must allocate fresh; its
+		// inherited buffer is better off in the pool.
+		if sg.recycle && sg.parentGroup >= 0 && int(sg.parentGroup) < len(a.groupBufs) {
+			groupBufs[gi] = a.groupBufs[sg.parentGroup]
+			a.groupBufs[sg.parentGroup] = nil
+		}
+	}
+	for _, buf := range a.groupBufs {
+		if buf != nil {
+			rec.putBuf(buf)
+		}
+	}
+	a.groupBufs = groupBufs
 }
 
 // release drops the run's value references (so an idle arena does not pin
@@ -400,6 +724,16 @@ type JobOptions struct {
 	// planned. Equivalence tests and A/B benchmarks use it; production
 	// paths leave it false and get the shared-buffer exchange.
 	CopyExchange bool
+	// DerivedFrom names the plan this submission's plan was mutated from.
+	// When the parent's compilation is cached, the plan compiles
+	// incrementally: only the mutated subtree is re-validated and re-wired
+	// (adaptive sessions set this on every exploration step). Ignored when
+	// the plan's own compilation is already cached.
+	DerivedFrom *plan.Plan
+	// FullRecompile disables incremental derivation even when DerivedFrom
+	// is usable — the A/B switch the cold-path equivalence tests flip to
+	// prove derived and fully recompiled schedules behave identically.
+	FullRecompile bool
 }
 
 // Submit schedules p for execution starting at the machine's current virtual
@@ -409,13 +743,15 @@ type JobOptions struct {
 // path) pay only a counter-slice copy and reuse the previous invocation's
 // arena buffers.
 func (e *Engine) Submit(p *plan.Plan, opts JobOptions) (*PlanJob, error) {
-	sched, err := e.scheduleFor(p)
+	sched, err := e.scheduleFor(p, opts)
 	if err != nil {
 		return nil, err
 	}
 	a := sched.takeArena()
 	if a == nil {
-		a = &jobArena{}
+		// First invocation of this plan object: check a retired arena shell
+		// out of the engine recycler instead of growing everything from nil.
+		a = e.recycler.getShell()
 	}
 	a.prepare(sched, p)
 	j := &PlanJob{

@@ -26,7 +26,10 @@ func sliceValue(v Value, lo, hi int) Value {
 // share the Part (they are positionally co-aligned by construction). The
 // returned slice aliases the job's arena scratch: it is valid only until
 // the next evalInstr call, which is fine because kernels never retain it.
-func resolveArgs(j *PlanJob, in *plan.Instr, env []Value) []Value {
+// Column views are memoized per (instruction, slice-arg position) in the
+// arena: repeated runs of a cached plan slice the same source columns at the
+// same bounds, so the view objects are reused instead of re-allocated.
+func resolveArgs(j *PlanJob, idx int, in *plan.Instr, env []Value) []Value {
 	a := j.arena
 	if cap(a.args) < len(in.Args) {
 		a.args = make([]Value, len(in.Args)+8)
@@ -38,10 +41,19 @@ func resolveArgs(j *PlanJob, in *plan.Instr, env []Value) []Value {
 	if in.Part.IsFull() {
 		return args
 	}
-	for _, idx := range plan.SliceArgs(in.Op) {
-		n := args[idx].Len()
+	for si, ai := range plan.SliceArgs(in.Op) {
+		n := args[ai].Len()
 		lo, hi := in.Part.Resolve(n)
-		args[idx] = sliceValue(args[idx], lo, hi)
+		if args[ai].Kind == plan.KindColumn && si < 2 {
+			vc := &a.argViews[idx][si]
+			src := args[ai].Col
+			if vc.col == nil || vc.src != src || vc.lo != lo || vc.hi != hi {
+				*vc = argViewCache{src: src, lo: lo, hi: hi, col: src.View(lo, hi)}
+			}
+			args[ai] = ColValue(vc.col)
+			continue
+		}
+		args[ai] = sliceValue(args[ai], lo, hi)
 	}
 	return args
 }
@@ -139,7 +151,20 @@ func (j *PlanJob) initGroup(gi int32, gr *groupRun) {
 		buf = j.arena.groupBufs[gi]
 	}
 	if cap(buf) < gr.total {
-		buf = make([]int64, gr.total)
+		// The outgrown buffer backs only dead intermediates of a previous
+		// invocation; file it for another plan before drawing a larger one
+		// from the engine pool. Non-recycle (result-reachable) groups may
+		// also DRAW from the pool — the checkout permanently transfers
+		// ownership out (their buffer is never filed back), so published
+		// results cannot alias pooled memory.
+		if buf != nil {
+			j.eng.recycler.putBuf(buf)
+		}
+		if got := j.eng.recycler.getBuf(gr.total); got != nil {
+			buf = got
+		} else {
+			buf = make([]int64, gr.total)
+		}
 	}
 	buf = buf[:gr.total]
 	if sg.recycle {
@@ -174,14 +199,26 @@ func (j *PlanJob) packView(idx int, args []Value) (*storage.Column, algebra.Work
 
 // colBuf returns the arena-recycled output buffer for instruction idx sized
 // to n values, or nil when the instruction's output must be freshly
-// allocated (it escapes as a query result, or no buffer was planned).
+// allocated (it escapes as a query result, or no buffer was planned). Growth
+// goes through the engine's size-classed recycler: the outgrown buffer
+// (backing only dead intermediates of a previous invocation) is filed for
+// other plans, the replacement is drawn from the pool when one fits. The
+// pool hands buffers back zero-length; the kernel overwrites [0,n) fully, so
+// no stale values from a previous query can surface.
 func (j *PlanJob) colBuf(idx, n int) []int64 {
 	if j.sched.outBuf[idx] != bufCol {
 		return nil
 	}
 	buf := j.arena.bufs[idx]
 	if cap(buf) < n {
-		buf = make([]int64, n)
+		if buf != nil {
+			j.eng.recycler.putBuf(buf)
+		}
+		if got := j.eng.recycler.getBuf(n); got != nil {
+			buf = got[:n]
+		} else {
+			buf = make([]int64, n)
+		}
 		j.arena.bufs[idx] = buf
 	}
 	return buf[:n]
@@ -189,12 +226,24 @@ func (j *PlanJob) colBuf(idx, n int) []int64 {
 
 // oidBufIn / oidBufOut thread the arena's oid buffer through appending
 // kernels (SelectInto and friends), which may grow it; the grown slice is
-// stored back so the next invocation reuses the final capacity.
-func (j *PlanJob) oidBufIn(idx int) []int64 {
+// stored back so the next invocation reuses the final capacity. hint is the
+// kernel's own initial-capacity estimate: on an arena cold start (no buffer
+// yet — the mutated-plan path) a buffer of that class is drawn from the
+// engine recycler, zero-length — the kernels all append from length 0, so
+// residual contents of a pooled buffer are never read. A warm arena keeps
+// its settled buffer and never touches the pool again.
+func (j *PlanJob) oidBufIn(idx, hint int) []int64 {
 	if j.sched.outBuf[idx] != bufOids {
 		return nil
 	}
-	return j.arena.bufs[idx]
+	buf := j.arena.bufs[idx]
+	if buf == nil && hint > 0 {
+		if got := j.eng.recycler.getBuf(hint); got != nil {
+			buf = got
+			j.arena.bufs[idx] = buf
+		}
+	}
+	return buf
 }
 
 func (j *PlanJob) oidBufOut(idx int, out []int64) {
@@ -211,6 +260,23 @@ func wrapCol(name string, seq int64, vals []int64, d *vec.Dict) *storage.Column 
 	return storage.NewColumn(name, seq, vec.NewInt64(vals))
 }
 
+// cachedCol is wrapCol memoized in the arena per instruction: a cached
+// plan's instruction wraps the identical buffer range under the identical
+// head sequence every run, so the Column/Vector pair is reused. name is
+// built only on a miss (calc names are formatted strings). The hit
+// condition is exact slice identity, so recycled buffers cannot alias a
+// stale wrapper; names are deterministic per instruction, so they need no
+// comparison.
+func (j *PlanJob) cachedCol(idx int, seq int64, vals []int64, d *vec.Dict, name func() string) *storage.Column {
+	c := &j.arena.outCols[idx]
+	if c.col != nil && c.seq == seq && c.dict == d && sameInt64s(c.vals, vals) {
+		return c.col
+	}
+	col := wrapCol(name(), seq, vals, d)
+	*c = outColCache{vals: vals, dict: d, seq: seq, col: col}
+	return col
+}
+
 // evalInstr executes one instruction: it resolves arguments (applying the
 // partition range), dispatches to the algebra kernel, and returns the result
 // values (appended to dst, which aliases the instruction's task slab) plus
@@ -220,7 +286,7 @@ func wrapCol(name string, seq int64, vals []int64, d *vec.Dict) *storage.Column 
 // are identical in all three cases; only buffer ownership differs.
 func evalInstr(j *PlanJob, p *plan.Plan, idx int, in *plan.Instr, dst []Value) ([]Value, algebra.Work, error) {
 	cat, env := j.eng.cat, j.env
-	args := resolveArgs(j, in, env)
+	args := resolveArgs(j, idx, in, env)
 	switch in.Op {
 	case plan.OpBind:
 		aux := in.Aux.(plan.BindAux)
@@ -238,12 +304,14 @@ func evalInstr(j *PlanJob, p *plan.Plan, idx int, in *plan.Instr, dst []Value) (
 		return append(dst, ScalarValue(in.Aux.(plan.ConstAux).Value)), algebra.Work{}, nil
 
 	case plan.OpSelect:
-		oids, w := algebra.SelectInto(j.oidBufIn(idx), args[0].Col, in.Aux.(plan.SelectAux).Pred)
+		// Hints mirror the kernels' initial-capacity estimates, so a pooled
+		// buffer lands in the same size class a fresh allocation would.
+		oids, w := algebra.SelectInto(j.oidBufIn(idx, args[0].Col.Len()/4+1), args[0].Col, in.Aux.(plan.SelectAux).Pred)
 		j.oidBufOut(idx, oids)
 		return append(dst, OidsValue(oids)), w, nil
 
 	case plan.OpSelectCand:
-		oids, w, _ := algebra.SelectWithCandsInto(j.oidBufIn(idx), args[0].Col, in.Aux.(plan.SelectAux).Pred, args[1].Oids)
+		oids, w, _ := algebra.SelectWithCandsInto(j.oidBufIn(idx, len(args[1].Oids)/2+1), args[0].Col, in.Aux.(plan.SelectAux).Pred, args[1].Oids)
 		j.oidBufOut(idx, oids)
 		return append(dst, OidsValue(oids)), w, nil
 
@@ -265,7 +333,7 @@ func evalInstr(j *PlanJob, p *plan.Plan, idx int, in *plan.Instr, dst []Value) (
 		}
 		if buf := j.colBuf(idx, len(args[0].Oids)); buf != nil {
 			n, w, _ := algebra.FetchInto(buf, args[0].Oids, target)
-			col := wrapCol(target.Name(), reseqBase(in, env[in.Args[0]]), buf[:n], target.Dict())
+			col := j.cachedCol(idx, reseqBase(in, env[in.Args[0]]), buf[:n], target.Dict(), target.Name)
 			return append(dst, ColValue(col)), w, nil
 		}
 		col, w, _ := algebra.Fetch(args[0].Oids, target)
@@ -285,7 +353,7 @@ func evalInstr(j *PlanJob, p *plan.Plan, idx int, in *plan.Instr, dst []Value) (
 		}
 		if buf := j.colBuf(idx, len(args[0].Oids)); buf != nil {
 			w := algebra.FetchPositionsInto(buf, args[0].Oids, src)
-			col := wrapCol(src.Name(), reseqBase(in, env[in.Args[0]]), buf, src.Dict())
+			col := j.cachedCol(idx, reseqBase(in, env[in.Args[0]]), buf, src.Dict(), src.Name)
 			return append(dst, ColValue(col)), w, nil
 		}
 		col, w := algebra.FetchPositions(args[0].Oids, src)
@@ -307,7 +375,9 @@ func evalInstr(j *PlanJob, p *plan.Plan, idx int, in *plan.Instr, dst []Value) (
 		}
 		if buf := j.colBuf(idx, a.Len()); buf != nil {
 			w := algebra.CalcVVInto(buf, aux.Op, a, b)
-			col := wrapCol(fmt.Sprintf("(%s%s%s)", a.Name(), aux.Op, b.Name()), a.Seq(), buf, nil)
+			col := j.cachedCol(idx, a.Seq(), buf, nil, func() string {
+				return fmt.Sprintf("(%s%s%s)", a.Name(), aux.Op, b.Name())
+			})
 			return append(dst, ColValue(col)), w, nil
 		}
 		col, w := algebra.CalcVV(aux.Op, a, b)
@@ -398,7 +468,10 @@ func (j *PlanJob) evalCalcScalar(idx int, in *plan.Instr, op algebra.CalcOp, sca
 	}
 	if buf := j.colBuf(idx, v.Len()); buf != nil {
 		w := algebra.CalcSVInto(buf, op, scalar, v, scalarLeft)
-		return wrapCol(fmt.Sprintf("(calc%s%s)", op, v.Name()), v.Seq(), buf, nil), w
+		col := j.cachedCol(idx, v.Seq(), buf, nil, func() string {
+			return fmt.Sprintf("(calc%s%s)", op, v.Name())
+		})
+		return col, w
 	}
 	return algebra.CalcSV(op, scalar, v, scalarLeft)
 }
@@ -425,10 +498,12 @@ func evalPack(j *PlanJob, idx int, in *plan.Instr, args []Value, dst []Value) ([
 	switch args[0].Kind {
 	case plan.KindOids:
 		parts := j.oidPartsScratch(len(args))
+		total := 0
 		for i, a := range args {
 			parts[i] = a.Oids
+			total += len(a.Oids)
 		}
-		out, w := algebra.PackOidsInto(j.oidBufIn(idx), parts)
+		out, w := algebra.PackOidsInto(j.oidBufIn(idx, total), parts)
 		j.oidBufOut(idx, out)
 		return append(dst, OidsValue(out)), w, nil
 	case plan.KindColumn:

@@ -1,0 +1,165 @@
+package plan
+
+// Structural plan diffing for incremental compilation.
+//
+// A mutation clones its input plan, removes a few instructions, appends
+// their replacements (with freshly allocated result variables), and restores
+// topological order — so a mutated child shares almost all of its structure
+// with its parent. ComputeDiff recovers that sharing after the fact: it
+// matches child instructions to parent instructions that are structurally
+// identical AND whose whole producing subtree matched, so a matched
+// instruction is guaranteed to compute the same value over the same inputs
+// in both plans. Consumers of the diff (the execution engine) can then reuse
+// the parent's per-instruction compilation — validation, dependency edges,
+// pack-group analysis — and recompile only the mutated subtree.
+
+// Diff maps the instructions of a child plan onto a parent plan.
+type Diff struct {
+	// ParentOf[ci] is the parent instruction index child instruction ci is
+	// matched to, or -1 when ci is new or mutated (or consumes a mutated
+	// subtree).
+	ParentOf []int32
+	// ChildOf[pi] is the inverse mapping: the child index parent instruction
+	// pi survived as, or -1 when it was removed or mutated.
+	ChildOf []int32
+	// Matched counts the matched instruction pairs.
+	Matched int
+}
+
+// instrEqual reports structural identity: same opcode, aux parameters,
+// partition range, and identical argument/result variable lists. Comments
+// are cosmetic provenance and ignored. Variable identity is meaningful
+// because mutations clone the variable table: a child's variable v < parent
+// NVars IS the parent's v.
+func instrEqual(a, b *Instr) bool {
+	if a.Op != b.Op || a.Aux != b.Aux || a.Part != b.Part ||
+		len(a.Args) != len(b.Args) || len(a.Rets) != len(b.Rets) {
+		return false
+	}
+	for i, v := range a.Args {
+		if b.Args[i] != v {
+			return false
+		}
+	}
+	for i, v := range a.Rets {
+		if b.Rets[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// ComputeDiff matches child instructions against parent. The match is
+// subtree-deep: an instruction only matches when it is structurally
+// identical to a parent instruction and every argument is produced by a
+// matched instruction — the inductive fingerprint that makes a match mean
+// "same value at runtime". Both plans must be individually consistent
+// (child is validated by the engine before the diff is trusted); ComputeDiff
+// itself never panics on malformed input, it just matches less.
+//
+// Cost is O(instructions + edges) with no hashing: candidates are located
+// through the SSA result variable (unique per plan), result-less
+// instructions (OpResult) through the single result marker.
+func ComputeDiff(parent, child *Plan) *Diff {
+	d := &Diff{
+		ParentOf: make([]int32, len(child.Instrs)),
+		ChildOf:  make([]int32, len(parent.Instrs)),
+	}
+	for i := range d.ChildOf {
+		d.ChildOf[i] = -1
+	}
+	// Parent lookup: producing instruction per variable, and the result
+	// marker. Child variables are a superset of parent variables (Clone
+	// copies the table, mutations only append), so parent indices apply.
+	producerOf := make([]int32, parent.NVars())
+	for i := range producerOf {
+		producerOf[i] = -1
+	}
+	parentResult := int32(-1)
+	for i, in := range parent.Instrs {
+		for _, r := range in.Rets {
+			producerOf[r] = int32(i)
+		}
+		if in.Op == OpResult {
+			parentResult = int32(i)
+		}
+	}
+	// producerMatched[v] reports that child v's producer is a matched
+	// instruction — the inductive step. Child plans are topologically
+	// ordered (def before use), so producers are classified before their
+	// consumers are visited.
+	producerMatched := make([]bool, child.NVars())
+	for ci, in := range child.Instrs {
+		d.ParentOf[ci] = -1
+		pi := int32(-1)
+		switch {
+		case len(in.Rets) > 0:
+			if r := in.Rets[0]; int(r) < len(producerOf) {
+				pi = producerOf[r]
+			}
+		case in.Op == OpResult:
+			pi = parentResult
+		}
+		if pi < 0 || !instrEqual(in, parent.Instrs[pi]) {
+			continue
+		}
+		subtree := true
+		for _, a := range in.Args {
+			if int(a) >= len(producerMatched) || !producerMatched[a] {
+				subtree = false
+				break
+			}
+		}
+		if !subtree {
+			continue
+		}
+		d.ParentOf[ci] = pi
+		d.ChildOf[pi] = int32(ci)
+		d.Matched++
+		for _, r := range in.Rets {
+			producerMatched[r] = true
+		}
+	}
+	return d
+}
+
+// ValidateIncremental validates the child plan reusing d against its
+// validated parent: the global structural scan (def-before-use ordering, SSA
+// single assignment, partition sanity via checkInstr) still covers every
+// instruction, but the per-operator kind/aux checks run only for unmatched
+// instructions — a matched instruction is byte-identical to one the parent
+// validated over the same variable kinds.
+func (p *Plan) ValidateIncremental(d *Diff) error {
+	if d == nil || len(d.ParentOf) != len(p.Instrs) {
+		return p.Validate()
+	}
+	defined := make([]bool, p.NVars())
+	assigned := make([]bool, p.NVars())
+	for i, in := range p.Instrs {
+		for _, a := range in.Args {
+			if int(a) >= p.NVars() {
+				return errUnknownVar(i, in, int(a))
+			}
+			if !defined[a] {
+				return errUseBeforeDef(p, i, in, a)
+			}
+		}
+		for _, r := range in.Rets {
+			if int(r) >= p.NVars() {
+				return errUnknownRet(i, in, int(r))
+			}
+			if assigned[r] {
+				return errReassigned(p, i, in, r)
+			}
+			assigned[r] = true
+			defined[r] = true
+		}
+		if d.ParentOf[i] >= 0 {
+			continue // matched: parent ran checkInstr on the identical instr
+		}
+		if err := p.checkInstr(i, in); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -39,27 +39,32 @@ type PackGroup struct {
 	Sliced bool
 }
 
+// Producers returns the producing instruction index per variable (-1 for
+// unproduced variables). It is the slice-based lookup the compilation paths
+// share — a map would re-hash every variable on every (re)compile.
+func (p *Plan) Producers() []int32 {
+	producer := make([]int32, p.NVars())
+	for i := range producer {
+		producer[i] = -1
+	}
+	for i, in := range p.Instrs {
+		for _, r := range in.Rets {
+			producer[r] = int32(i)
+		}
+	}
+	return producer
+}
+
 // PackGroups identifies every pack group in the plan. Packs that mix clone
 // families, consume non-materializing producers, or whose partitions do not
 // tile the full range are not groups — the executor packs them by copying,
 // exactly as before.
 func (p *Plan) PackGroups() []PackGroup {
-	producer := make(map[VarID]int, len(p.Instrs))
-	for i, in := range p.Instrs {
-		for _, r := range in.Rets {
-			producer[r] = i
-		}
-	}
+	producer := p.Producers()
 	var out []PackGroup
-	claimed := make(map[int]bool) // clone instruction already in a group
-	for k, in := range p.Instrs {
-		if in.Op != OpPack || len(in.Args) < 2 {
-			continue
-		}
-		if len(in.Rets) != 1 || p.KindOf(in.Rets[0]) != KindColumn || p.KindOf(in.Args[0]) != KindColumn {
-			continue
-		}
-		g, ok := p.packGroupAt(k, in, producer, claimed)
+	claimed := make([]bool, len(p.Instrs)) // clone instruction already in a group
+	for k := range p.Instrs {
+		g, ok := p.PackGroupAt(k, producer, claimed)
 		if !ok {
 			continue
 		}
@@ -71,7 +76,24 @@ func (p *Plan) PackGroups() []PackGroup {
 	return out
 }
 
-func (p *Plan) packGroupAt(k int, pk *Instr, producer map[VarID]int, claimed map[int]bool) (PackGroup, bool) {
+// PackGroupAt evaluates whether the pack at instruction index k roots a pack
+// group, given the plan's producer index (see Producers) and the claim state
+// of earlier groups. It mirrors one step of PackGroups' greedy plan-order
+// scan: on success the CALLER must mark the returned clones claimed before
+// evaluating later packs. The incremental compiler uses it to re-evaluate
+// only the packs a mutation touched.
+func (p *Plan) PackGroupAt(k int, producer []int32, claimed []bool) (PackGroup, bool) {
+	pk := p.Instrs[k]
+	if pk.Op != OpPack || len(pk.Args) < 2 {
+		return PackGroup{}, false
+	}
+	if len(pk.Rets) != 1 || p.KindOf(pk.Rets[0]) != KindColumn || p.KindOf(pk.Args[0]) != KindColumn {
+		return PackGroup{}, false
+	}
+	return p.packGroupAt(k, pk, producer, claimed)
+}
+
+func (p *Plan) packGroupAt(k int, pk *Instr, producer []int32, claimed []bool) (PackGroup, bool) {
 	clones := make([]int, 0, len(pk.Args))
 	seen := make(map[VarID]bool, len(pk.Args))
 	var proto *Instr
@@ -80,8 +102,8 @@ func (p *Plan) packGroupAt(k int, pk *Instr, producer map[VarID]int, claimed map
 			return PackGroup{}, false // duplicated input: ranges would overlap
 		}
 		seen[a] = true
-		ci, ok := producer[a]
-		if !ok || claimed[ci] {
+		ci := int(producer[a])
+		if ci < 0 || claimed[ci] {
 			return PackGroup{}, false
 		}
 		c := p.Instrs[ci]

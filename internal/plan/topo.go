@@ -8,38 +8,88 @@ import "fmt"
 // use it to restore the def-before-use invariant after rewiring consumers;
 // stability keeps pack-argument partition order intact.
 //
+// The edge structures are flat slices (producer table indexed by variable,
+// dependent lists carved out of one counted slab): TopoSort runs once per
+// mutation on the adaptive cold path, where map-based bookkeeping was a
+// measurable allocator.
+//
 // It returns an error if the graph has a cycle (which would indicate a bug
 // in a mutation).
 func (p *Plan) TopoSort() error {
 	n := len(p.Instrs)
-	producer := make(map[VarID]int, n)
-	for i, in := range p.Instrs {
-		for _, r := range in.Rets {
-			producer[r] = i
+	producer := p.Producers()
+	indeg := make([]int32, n)
+	// Count edges per producer, then carve dependents out of one slab.
+	edgeCount := make([]int32, n+1)
+	countEdges := func(visit func(src, dst int32)) {
+		for i, in := range p.Instrs {
+			seen := int32(-1)
+			for _, a := range in.Args {
+				src := producer[a]
+				if src == seen {
+					continue // consecutive duplicate, cheap skip
+				}
+				seen = src
+				visit(src, int32(i))
+			}
 		}
 	}
-	indeg := make([]int, n)
-	dependents := make([][]int, n)
 	for i, in := range p.Instrs {
-		seen := map[int]bool{}
 		for _, a := range in.Args {
-			src, ok := producer[a]
-			if !ok {
+			src := producer[a]
+			if src < 0 {
 				return fmt.Errorf("plan: instr %d (%s) consumes unproduced var %s", i, in.Op, p.NameOf(a))
 			}
-			if src == i {
+			if src == int32(i) {
 				return fmt.Errorf("plan: instr %d (%s) consumes its own output", i, in.Op)
-			}
-			if !seen[src] {
-				seen[src] = true
-				indeg[i]++
-				dependents[src] = append(dependents[src], i)
 			}
 		}
 	}
-	// Stable Kahn's algorithm: a min-ordered ready list by original index.
-	var ready []int
+	countEdges(func(src, dst int32) {
+		if src == dst {
+			return
+		}
+		edgeCount[src+1]++
+	})
 	for i := 0; i < n; i++ {
+		edgeCount[i+1] += edgeCount[i]
+	}
+	edges := make([]int32, edgeCount[n])
+	fill := make([]int32, n)
+	countEdges(func(src, dst int32) {
+		if src == dst {
+			return
+		}
+		edges[edgeCount[src]+fill[src]] = dst
+		fill[src]++
+	})
+	// indeg counts DISTINCT producers per consumer; duplicate edges (one
+	// instruction consuming two results of the same producer through
+	// non-consecutive args) are deduplicated against the dependent list.
+	dependents := func(src int32) []int32 { return edges[edgeCount[src] : edgeCount[src]+fill[src]] }
+	for src := int32(0); src < int32(n); src++ {
+		deps := dependents(src)
+		w := 0
+		for _, d := range deps {
+			dup := false
+			for _, e := range deps[:w] {
+				if e == d {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				deps[w] = d
+				w++
+				indeg[d]++
+			}
+		}
+		fill[src] = int32(w)
+	}
+
+	// Stable Kahn's algorithm: a min-ordered ready list by original index.
+	var ready []int32
+	for i := int32(0); i < int32(n); i++ {
 		if indeg[i] == 0 {
 			ready = append(ready, i)
 		}
@@ -56,7 +106,7 @@ func (p *Plan) TopoSort() error {
 		idx := ready[min]
 		ready = append(ready[:min], ready[min+1:]...)
 		out = append(out, p.Instrs[idx])
-		for _, d := range dependents[idx] {
+		for _, d := range dependents(idx) {
 			indeg[d]--
 			if indeg[d] == 0 {
 				ready = append(ready, d)

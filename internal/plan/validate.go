@@ -15,18 +15,18 @@ func (p *Plan) Validate() error {
 	for i, in := range p.Instrs {
 		for _, a := range in.Args {
 			if int(a) >= p.NVars() {
-				return fmt.Errorf("plan: instr %d (%s) references unknown var %d", i, in.Op, a)
+				return errUnknownVar(i, in, int(a))
 			}
 			if !defined[a] {
-				return fmt.Errorf("plan: instr %d (%s) uses %s before definition", i, in.Op, p.NameOf(a))
+				return errUseBeforeDef(p, i, in, a)
 			}
 		}
 		for _, r := range in.Rets {
 			if int(r) >= p.NVars() {
-				return fmt.Errorf("plan: instr %d (%s) returns unknown var %d", i, in.Op, r)
+				return errUnknownRet(i, in, int(r))
 			}
 			if assigned[r] {
-				return fmt.Errorf("plan: instr %d (%s) reassigns %s (SSA violation)", i, in.Op, p.NameOf(r))
+				return errReassigned(p, i, in, r)
 			}
 			assigned[r] = true
 			defined[r] = true
@@ -36,6 +36,22 @@ func (p *Plan) Validate() error {
 		}
 	}
 	return nil
+}
+
+func errUnknownVar(i int, in *Instr, v int) error {
+	return fmt.Errorf("plan: instr %d (%s) references unknown var %d", i, in.Op, v)
+}
+
+func errUseBeforeDef(p *Plan, i int, in *Instr, v VarID) error {
+	return fmt.Errorf("plan: instr %d (%s) uses %s before definition", i, in.Op, p.NameOf(v))
+}
+
+func errUnknownRet(i int, in *Instr, v int) error {
+	return fmt.Errorf("plan: instr %d (%s) returns unknown var %d", i, in.Op, v)
+}
+
+func errReassigned(p *Plan, i int, in *Instr, v VarID) error {
+	return fmt.Errorf("plan: instr %d (%s) reassigns %s (SSA violation)", i, in.Op, p.NameOf(v))
 }
 
 func (p *Plan) checkInstr(i int, in *Instr) error {

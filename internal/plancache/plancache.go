@@ -294,6 +294,7 @@ func (c *Cache) dropEntry(e *Entry) {
 		delete(c.byFP, e.Fingerprint)
 		delete(c.byID, e.ID)
 		c.evictions++
+		e.Session.Release()
 	}
 }
 
@@ -314,6 +315,10 @@ func (c *Cache) evictOverflowLocked(keep *Entry) {
 		delete(c.byFP, victim.Fingerprint)
 		delete(c.byID, victim.ID)
 		c.evictions++
+		// The evicted session's plan compilations (and their arena buffers)
+		// go back to the engine pool instead of lingering until the
+		// engine's schedule-cache overflow.
+		victim.Session.Release()
 	}
 }
 
@@ -364,6 +369,7 @@ func (c *Cache) Evict(fp string) {
 		delete(c.byFP, fp)
 		delete(c.byID, e.ID)
 		c.evictions++
+		e.Session.Release()
 	}
 }
 

@@ -3,6 +3,7 @@ package server
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -91,6 +92,51 @@ func BenchmarkServeHot(b *testing.B) {
 		virt += qr.LatencyNs
 	}
 	b.ReportMetric(virt/float64(b.N), "virtual-ns/query")
+}
+
+// BenchmarkServeAdaptiveWarmup is the ISSUE 4 cold path: each iteration
+// drives a FRESH query fingerprint through its entire adaptive convergence,
+// so every measured request is a converging step — plan mutation,
+// (incremental) compilation, and a first-run execution drawing buffers from
+// the engine recycler. steps/convergence reports how many requests one
+// warmup costs; allocs/op is per CONVERGENCE (divide by steps for the
+// per-step cold budget TestServeColdAllocBudget enforces).
+func BenchmarkServeAdaptiveWarmup(b *testing.B) {
+	cat := tpch.Generate(tpch.Config{SF: 0.5, Seed: 42})
+	// CacheSize 2 evicts each finished session within two iterations: the
+	// (lo,hi) fingerprint space below is finite (320), so an unbounded
+	// cache would silently serve CONVERGED sessions once b.N exceeds it —
+	// eviction guarantees every iteration converges from scratch (and
+	// exercises the production eviction→Release→recycle path for free).
+	s, err := New(Config{
+		Engine:     exec.NewEngine(cat, sim.TwoSocket(), cost.Default()),
+		DBIdentity: "tpch:sf=0.5:seed=42",
+		Benchmark:  "tpch",
+		CacheSize:  2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(s.Close)
+	// Warm the shard (pool, schedules, HTTP buffers) with one convergence.
+	convergeQuery(b, s, []byte(`{"select_sum":{"table":"lineitem","column":"l_quantity","lo":2,"hi":3}}`))
+	b.ReportAllocs()
+	b.ResetTimer()
+	steps := 0
+	for i := 0; i < b.N; i++ {
+		// Distinct (lo,hi) per iteration = distinct fingerprint = fresh
+		// adaptive session.
+		lo := 1 + i%40
+		hi := lo + 2 + (i/40)%8
+		body := []byte(fmt.Sprintf(`{"select_sum":{"table":"lineitem","column":"l_quantity","lo":%d,"hi":%d}}`, lo, hi))
+		for r := 0; r < 600; r++ {
+			steps++
+			if serveOnce(b, s, body).State == "converged" {
+				break
+			}
+		}
+	}
+	b.ReportMetric(float64(steps)/float64(b.N), "steps/convergence")
 }
 
 // BenchmarkServeColdSerial is the baseline: every request executes the

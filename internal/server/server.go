@@ -634,6 +634,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			var p *plan.Plan
 			if p, err = build(); err == nil {
 				vals, prof, err = sh.eng.ExecuteOpts(p, opts)
+				// One-shot plan: retire it immediately so its compiled
+				// schedule doesn't churn the engine cache and its buffers
+				// feed the next cold request through the recycler.
+				sh.eng.Retire(p)
 			}
 		})
 		if doErr != nil {
@@ -784,6 +788,11 @@ type ShardStats struct {
 	VirtualNowNs float64         `json:"virtual_now_ns"`
 	PeakClients  int             `json:"peak_concurrent_clients"`
 	Cache        plancache.Stats `json:"cache"`
+	// Recycler reports the shard engine's size-classed buffer pool (hit and
+	// miss counters per size class); Compile counts full vs incremental
+	// plan compilations. Both are atomic-counter snapshots.
+	Recycler exec.RecyclerStats `json:"recycler"`
+	Compile  exec.CompileStats  `json:"compile"`
 }
 
 // StatsResponse is the GET /stats reply. Cache counters are aggregated
@@ -822,7 +831,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Shards:        len(s.shards),
 	}
 	for _, sh := range s.shards {
-		st := ShardStats{Shard: sh.id, PeakClients: sh.adm.peakActive()}
+		st := ShardStats{
+			Shard:       sh.id,
+			PeakClients: sh.adm.peakActive(),
+			// Atomic counters: readable without the engine-ownership lock.
+			Recycler: sh.eng.RecyclerStats(),
+			Compile:  sh.eng.CompileStats(),
+		}
 		// The virtual clock and cache stats read state that executions
 		// on this shard mutate; read them under the shard lock.
 		if err := s.do(sh, func() {

@@ -106,7 +106,17 @@ func Serve(ctx context.Context, addr string, cfg ServerConfig) error {
 		return err
 	}
 	defer s.Close()
-	hs := &http.Server{Addr: addr, Handler: s.Handler()}
+	// Keep-alive tuning: idle client connections are retained for two
+	// minutes so steady request streams skip TCP/TLS setup entirely (the
+	// serving benchmark showed connection churn dominating small-query
+	// latency), while ReadHeaderTimeout bounds slow-header clients so the
+	// daemon cannot be wedged by half-open connections.
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	select {
