@@ -10,16 +10,18 @@
 // Endpoints:
 //
 //	POST /query                 {"query":6} | {"query":6,"mode":"serial"} |
-//	                            {"select_sum":{"table":"lineitem","column":"l_quantity","lo":10,"hi":500}}
-//	GET  /sessions              live plan-cache sessions (all shards)
+//	                            {"select_sum":{"table":"lineitem","column":"l_quantity","lo":10,"hi":500}} |
+//	                            {"tenant":"acme","query":6}  (or the X-APQ-Tenant header)
+//	GET  /sessions[?tenant=]    live plan-cache sessions (all shards; optionally one tenant's)
 //	GET  /sessions/{id}/trace   per-run convergence trace (Figure 18)
-//	GET  /stats                 server, cache, and admission counters per shard
+//	GET  /stats                 server, cache, admission, and per-tenant counters per shard
 //	GET  /healthz               liveness
 //	GET  /debug/pprof/          host-side profiling (only with -pprof)
 //
 // Usage:
 //
 //	go run ./cmd/apqd -addr :8080 -bench tpch -sf 1 -machine 2s -shards 4
+//	go run ./cmd/apqd -tenant acme=tpch:0.5:7 -tenant globex=tpcds:1:9   # extra tenant datasets, one shard pool
 //	go run ./cmd/apqd -selfbench             # shard-sweep serving benchmark, JSON to stdout
 //	go run ./cmd/apqd -simbench              # event-core benchmark (optimized vs seed), JSON to stdout
 //
@@ -41,6 +43,8 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -48,6 +52,38 @@ import (
 	apq "repro"
 	"repro/internal/sim"
 )
+
+// tenantFlags collects repeatable -tenant flags: name=bench:sf:seed.
+type tenantFlags []apq.TenantConfig
+
+func (t *tenantFlags) String() string {
+	parts := make([]string, len(*t))
+	for i, tc := range *t {
+		parts[i] = fmt.Sprintf("%s=%s:%g:%d", tc.Name, tc.Benchmark, tc.SF, tc.Seed)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (t *tenantFlags) Set(v string) error {
+	name, spec, ok := strings.Cut(v, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=bench:sf:seed, got %q", v)
+	}
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return fmt.Errorf("want name=bench:sf:seed, got %q", v)
+	}
+	sf, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return fmt.Errorf("tenant %s: bad scale factor %q: %v", name, parts[1], err)
+	}
+	seed, err := strconv.ParseInt(parts[2], 10, 64)
+	if err != nil {
+		return fmt.Errorf("tenant %s: bad seed %q: %v", name, parts[2], err)
+	}
+	*t = append(*t, apq.TenantConfig{Name: name, Benchmark: parts[0], SF: sf, Seed: seed})
+	return nil
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -58,6 +94,10 @@ func main() {
 	shards := flag.Int("shards", 0, "engine shard-pool width (0 = derive from GOMAXPROCS)")
 	admission := flag.Bool("admission", true, "apply Vectorwise-style admission control to concurrent clients of a shard")
 	cacheSize := flag.Int("cache", 0, "max live plan-cache sessions per shard (0 = unlimited)")
+	var tenants tenantFlags
+	flag.Var(&tenants, "tenant", "serve an extra tenant dataset over the same shard pool: name=bench:sf:seed (repeatable)")
+	tenantSessions := flag.Int("tenant-sessions", 0, "per-tenant cached-session quota per shard (0 = unlimited)")
+	tenantInflight := flag.Int("tenant-inflight", 0, "per-tenant in-flight request quota (0 = unlimited)")
 	noise := flag.Bool("noise", false, "enable the OS-noise model")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	selfbench := flag.Bool("selfbench", false, "run the shard-sweep serving benchmark and print JSON (no listener)")
@@ -99,6 +139,10 @@ func main() {
 		log.Fatalf("unknown benchmark %q (want tpch or tpcds)", *bench)
 	}
 
+	for i := range tenants {
+		tenants[i].MaxSessions = *tenantSessions
+		tenants[i].MaxInFlight = *tenantInflight
+	}
 	cfg := apq.ServerConfig{
 		DB:         db,
 		Machine:    m,
@@ -107,13 +151,14 @@ func main() {
 		Admission:  *admission,
 		CacheSize:  *cacheSize,
 		Shards:     *shards,
+		Tenants:    tenants,
 	}
 	if *noise {
 		cfg.EngineOptions = append(cfg.EngineOptions, apq.WithNoise(apq.DefaultNoise()), apq.WithSeed(*seed))
 	}
 
 	if *selfbench {
-		if err := runSelfbench(cfg, *benchQueries, *benchN); err != nil {
+		if err := runSelfbench(cfg, *sf, *seed, *benchQueries, *benchN); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -137,8 +182,8 @@ func main() {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	log.Printf("apqd: serving %s sf=%g on %s (machine %s, %d shards, admission %v, pprof %v)",
-		*bench, *sf, *addr, *machine, s.Shards(), *admission, *pprofOn)
+	log.Printf("apqd: serving %s sf=%g on %s (machine %s, %d shards, %d tenants, admission %v, pprof %v)",
+		*bench, *sf, *addr, *machine, s.Shards(), 1+len(tenants), *admission, *pprofOn)
 	// Same keep-alive tuning as apq.Serve: retain idle client connections
 	// (steady clients skip TCP setup) but bound header reads.
 	hs := &http.Server{
@@ -228,6 +273,11 @@ type benchReport struct {
 	// sweep itself drives the handler in-process so it measures the engine,
 	// not TCP setup.
 	HTTPProbe *httpProbe `json:"http_keepalive_probe,omitempty"`
+	// MultiTenant records the multi-tenant serving phase: three tenant
+	// datasets (the default plus two generated with different seeds)
+	// converging and then hot-serving the same query shape over one shared
+	// shard pool, with the per-tenant /stats breakdown.
+	MultiTenant *mtProbe `json:"multi_tenant,omitempty"`
 	// SeedBaseline quotes the seed daemon's recorded BENCH_serve.json
 	// (single run-loop engine, seed event core, TPC-H q6 at sf=1): the
 	// regression this PR fixes is hot adaptive serving being SLOWER than
@@ -254,7 +304,7 @@ const (
 	seedColdRPS = 1938.522060313198
 )
 
-func runSelfbench(cfg apq.ServerConfig, queries, n int) error {
+func runSelfbench(cfg apq.ServerConfig, sf float64, seed int64, queries, n int) error {
 	counts := shardSweep()
 	rep := benchReport{
 		Benchmark:            cfg.Benchmark,
@@ -298,8 +348,14 @@ func runSelfbench(cfg apq.ServerConfig, queries, n int) error {
 		return err
 	}
 	rep.HTTPProbe = probe
+	mt, err := runMultiTenantProbe(cfg, sf, seed, n)
+	if err != nil {
+		return err
+	}
+	rep.MultiTenant = mt
 	rep.Notes = append(rep.Notes,
-		"http_keepalive_probe serves the converged hot workload over a real localhost listener in both client modes: keepalive_rps reuses pooled connections (the tuned IdleTimeout keeps them open), new_conn_rps opens a TCP connection per request — the sweep drives the handler in-process precisely so the engine, not connection setup, is what the shard scaling measures")
+		"http_keepalive_probe serves the converged hot workload over a real localhost listener in both client modes: keepalive_rps reuses pooled connections (the tuned IdleTimeout keeps them open), new_conn_rps opens a TCP connection per request — the sweep drives the handler in-process precisely so the engine, not connection setup, is what the shard scaling measures",
+		"multi_tenant converges the same select_sum shape on three tenant datasets (default + two generated with different seeds) over one shared 2-shard pool, then hot-serves all three concurrently; per_tenant is the /stats tenant breakdown — distinct sessions per tenant because fingerprints incorporate each tenant's dataset identity")
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
@@ -391,6 +447,152 @@ func runHTTPProbe(cfg apq.ServerConfig, n int) (*httpProbe, error) {
 	}
 	if p.NewConnRPS > 0 {
 		p.KeepAliveOverNew = p.KeepAliveRPS / p.NewConnRPS
+	}
+	return p, nil
+}
+
+// mtTenantStats is one tenant's slice of the multi-tenant phase, lifted from
+// the /stats tenant breakdown after the hot phase.
+type mtTenantStats struct {
+	Tenant     string `json:"tenant"`
+	DBIdentity string `json:"db_identity"`
+	Requests   int64  `json:"requests"`
+	Sessions   int    `json:"sessions"`
+	Converged  int    `json:"converged"`
+	CacheHits  int64  `json:"cache_hits"`
+}
+
+// mtProbe is the -selfbench multi-tenant serving measurement.
+type mtProbe struct {
+	Shards         int             `json:"shards"`
+	Tenants        int             `json:"tenants"`
+	WarmupRequests int             `json:"warmup_requests"`
+	Requests       int             `json:"requests"`
+	HotRPS         float64         `json:"hot_adaptive_rps"`
+	PerTenant      []mtTenantStats `json:"per_tenant"`
+}
+
+// runMultiTenantProbe serves the same select_sum shape for three tenants
+// (the default dataset plus two generated with different seeds) over one
+// 2-shard pool: convergence per tenant first, then a concurrent hot phase,
+// then the per-tenant /stats breakdown.
+func runMultiTenantProbe(cfg apq.ServerConfig, sf float64, seed int64, n int) (*mtProbe, error) {
+	cfg.Shards = 2
+	cfg.Tenants = []apq.TenantConfig{
+		{Name: "tenant-a", Benchmark: cfg.Benchmark, SF: sf, Seed: seed + 1},
+		{Name: "tenant-b", Benchmark: cfg.Benchmark, SF: sf, Seed: seed + 2},
+	}
+	s, err := apq.NewServer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	h := s.Handler()
+	serve := func(method, path, body string) (map[string]any, error) {
+		var rd *bytes.Reader
+		if body != "" {
+			rd = bytes.NewReader([]byte(body))
+		} else {
+			rd = bytes.NewReader(nil)
+		}
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(method, path, rd)
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			return nil, fmt.Errorf("selfbench multi-tenant: %s %s: status %d: %s", method, path, rec.Code, rec.Body.String())
+		}
+		var out map[string]any
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+
+	bodies := []string{
+		`{"select_sum":{"table":"lineitem","column":"l_quantity","lo":1,"hi":6}}`,
+		`{"tenant":"tenant-a","select_sum":{"table":"lineitem","column":"l_quantity","lo":1,"hi":6}}`,
+		`{"tenant":"tenant-b","select_sum":{"table":"lineitem","column":"l_quantity","lo":1,"hi":6}}`,
+	}
+	p := &mtProbe{Shards: cfg.Shards, Tenants: len(bodies)}
+	for i, body := range bodies {
+		converged := false
+		for r := 0; r < 4000 && !converged; r++ {
+			resp, err := serve(http.MethodPost, "/query", body)
+			if err != nil {
+				return nil, err
+			}
+			p.WarmupRequests++
+			converged = resp["state"] == "converged"
+		}
+		if !converged {
+			return nil, fmt.Errorf("selfbench multi-tenant: tenant %d did not converge within 4000 warmup requests", i)
+		}
+	}
+
+	clients := 4
+	perClient := n / clients
+	if perClient < 1 {
+		perClient = 1
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				if _, err := serve(http.MethodPost, "/query", bodies[(c+i)%len(bodies)]); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	p.Requests = clients * perClient
+	p.HotRPS = float64(p.Requests) / time.Since(start).Seconds()
+
+	// Lift the per-tenant breakdown out of /stats.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	if rec.Code != http.StatusOK {
+		return nil, fmt.Errorf("selfbench multi-tenant: /stats status %d", rec.Code)
+	}
+	var stats struct {
+		Tenants []struct {
+			Tenant     string `json:"tenant"`
+			DBIdentity string `json:"db_identity"`
+			Requests   int64  `json:"requests"`
+			Cache      struct {
+				Entries   int   `json:"entries"`
+				Hits      int64 `json:"hits"`
+				Converged int   `json:"converged"`
+			} `json:"cache"`
+		} `json:"tenants"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &stats); err != nil {
+		return nil, err
+	}
+	for _, t := range stats.Tenants {
+		p.PerTenant = append(p.PerTenant, mtTenantStats{
+			Tenant:     t.Tenant,
+			DBIdentity: t.DBIdentity,
+			Requests:   t.Requests,
+			Sessions:   t.Cache.Entries,
+			Converged:  t.Cache.Converged,
+			CacheHits:  t.Cache.Hits,
+		})
 	}
 	return p, nil
 }

@@ -17,7 +17,7 @@ func TestApqdSmoke(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("-selfbench exited %d:\n%s", code, out)
 	}
-	for _, want := range []string{`"sweep"`, `"hot_adaptive"`, `"cold_serial"`, `"virtual_speedup"`, `"hot_beats_cold_at_shards"`} {
+	for _, want := range []string{`"sweep"`, `"hot_adaptive"`, `"cold_serial"`, `"virtual_speedup"`, `"hot_beats_cold_at_shards"`, `"multi_tenant"`, `"tenant-a"`, `"tenant-b"`} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("selfbench output missing %s:\n%s", want, out)
 		}
@@ -54,6 +54,9 @@ func TestApqdSmoke(t *testing.T) {
 		{"-machine", "9s"},
 		{"-definitely-not-a-flag"},
 		{"-selfbench", "unexpected-positional"},
+		{"-tenant", "missing-spec"},
+		{"-tenant", "acme=tpch:notanumber:42"},
+		{"-tenant", "acme=tpch:1:42:extra"},
 	} {
 		if out, code := cmdtest.Run(t, bin, args...); code == 0 {
 			t.Fatalf("%v exited 0, want non-zero:\n%s", args, out)

@@ -699,6 +699,7 @@ type PlanJob struct {
 	OnDone func(*PlanJob)
 
 	eng          *Engine
+	cat          *storage.Catalog // bind-resolution catalog (tenant override or engine default)
 	sched        *planSchedule
 	arena        *jobArena
 	simJob       *sim.Job
@@ -734,6 +735,16 @@ type JobOptions struct {
 	// is usable — the A/B switch the cold-path equivalence tests flip to
 	// prove derived and fully recompiled schedules behave identically.
 	FullRecompile bool
+	// Catalog, when non-nil, resolves this job's binds against a different
+	// dataset than the engine's own — the multi-tenant serving path: one
+	// engine (one simulated machine, one schedule cache, one buffer
+	// recycler) executes plans over many independently-named catalogs.
+	// Everything except bind resolution is tenant-agnostic: plan objects
+	// are per-tenant (fingerprints incorporate the dataset identity), so the
+	// schedule cache never mixes tenants, and recycled buffers carry no data
+	// ownership — they are fully rewritten or appended from :0 by the next
+	// job regardless of which catalog it reads.
+	Catalog *storage.Catalog
 }
 
 // Submit schedules p for execution starting at the machine's current virtual
@@ -754,10 +765,15 @@ func (e *Engine) Submit(p *plan.Plan, opts JobOptions) (*PlanJob, error) {
 		a = e.recycler.getShell()
 	}
 	a.prepare(sched, p)
+	cat := e.cat
+	if opts.Catalog != nil {
+		cat = opts.Catalog
+	}
 	j := &PlanJob{
 		Plan:         p,
 		Profile:      &Profile{StartNs: e.mach.Now(), Machine: e.mach.Config(), Ops: make([]OpExec, 0, len(p.Instrs))},
 		eng:          e,
+		cat:          cat,
 		sched:        sched,
 		arena:        a,
 		simJob:       e.mach.NewJob(opts.MaxCores),

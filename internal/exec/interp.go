@@ -285,7 +285,7 @@ func (j *PlanJob) cachedCol(idx int, seq int64, vals []int64, d *vec.Dict, name 
 // fresh allocations (results and unplanned shapes) — the values and Work
 // are identical in all three cases; only buffer ownership differs.
 func evalInstr(j *PlanJob, p *plan.Plan, idx int, in *plan.Instr, dst []Value) ([]Value, algebra.Work, error) {
-	cat, env := j.eng.cat, j.env
+	cat, env := j.cat, j.env
 	args := resolveArgs(j, idx, in, env)
 	switch in.Op {
 	case plan.OpBind:

@@ -5,6 +5,24 @@
 // Execution happens on the simulated multi-core machine (internal/sim):
 // operator results are computed for real; durations come from the cost
 // model.
+//
+// Ownership invariants. Plans are immutable after submission (mutation
+// clones), so each plan object's compilation — validation, dependency
+// graph, zero-copy exchange plan — is cached once and reused every run.
+// Buffer ownership is strictly layered: values reachable from a plan's
+// result instruction escape to callers, are allocated fresh each run, and
+// are never pooled or rewritten; every other run-state buffer belongs to
+// exactly one layer at a time — the running job (arena checked out at
+// Submit), the plan's schedule (idle arena between runs), or the
+// engine-level size-classed recycler (after Engine.Retire) — with handoffs
+// only at submit, completion, incremental derivation, and retirement.
+// Recycled buffers are zero-length-reset, never zeroed: consumers append
+// from :0 or fully overwrite, so they carry no data ownership and may serve
+// any plan — including plans of other tenants (JobOptions.Catalog swaps
+// bind resolution per job; the engine itself is tenant-agnostic). Engines
+// are not goroutine-safe: the simulated machine is single-threaded, and
+// callers (the server's shard locks) must serialize all executions on one
+// engine.
 package exec
 
 import (

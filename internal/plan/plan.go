@@ -11,6 +11,13 @@
 // repeated splits stay aligned on the base column (Figure 8) no matter the
 // runtime input length: floor(n·k/2^m) boundaries of a coarse split always
 // coincide with boundaries of its refinements.
+//
+// Ownership invariants: a *Plan handed to the executor is immutable from
+// that point on — the execution engine caches compilation state keyed by
+// plan object identity, and ComputeDiff matches instructions structurally
+// between a parent and its mutated clone, both of which are only sound
+// because no instruction is ever rewritten in place after submission.
+// Clone slab-allocates its instructions; the clone owns the slab.
 package plan
 
 import (

@@ -19,6 +19,14 @@
 // internal/server shard owns one cache and serializes through its
 // engine-ownership lock); the cache documents rather than hides this
 // constraint so the engine-ownership boundary stays visible.
+//
+// Tenancy: one cache holds sessions from many tenants without collision —
+// fingerprints incorporate each tenant's dataset identity — so entries
+// carry a tenant tag purely for accounting: per-tenant quotas
+// (SetTenantQuota) scope an over-quota tenant's eviction to its own
+// sessions, and TenantStats breaks the counters down for /stats. Evicted
+// sessions always Release their plan compilations back to the engine's
+// buffer pool regardless of tenant.
 package plancache
 
 import (
@@ -103,6 +111,11 @@ type Entry struct {
 	Fingerprint string
 	// Query is the human-readable query identity used at creation.
 	Query string
+	// Tenant tags the entry with the tenant that created it ("" = the
+	// server's default dataset). Tenants never collide on fingerprints —
+	// the fingerprint incorporates the dataset identity — so the tag exists
+	// for quota accounting and tenant-scoped eviction, not correctness.
+	Tenant string
 	// Session is the live adaptation. Step it only via Cache.Invoke.
 	Session *core.Session
 
@@ -147,6 +160,14 @@ type Cache struct {
 	tick int64
 
 	hits, misses, evictions int64
+
+	// quotas bounds live sessions per tenant tag (missing or 0 = unlimited);
+	// tenantEntries tracks each tag's live session count (kept in step with
+	// byFP so quota checks are O(1), not map scans); tenantStats accumulates
+	// per-tenant counters for the /stats breakdown.
+	quotas        map[string]int
+	tenantEntries map[string]int
+	tenantStats   map[string]*Stats
 }
 
 // New creates a cache over eng. Zero-valued mutation/convergence configs
@@ -174,6 +195,19 @@ type Result struct {
 	Created bool
 }
 
+// SetTenantQuota bounds the number of live sessions the given tenant tag may
+// hold in this cache (0 removes the bound). When a tenant exceeds its quota,
+// the overflow evicts that tenant's own least-recently-used session
+// (converged first) — never another tenant's.
+func (c *Cache) SetTenantQuota(tenant string, maxSessions int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.quotas == nil {
+		c.quotas = map[string]int{}
+	}
+	c.quotas[tenant] = maxSessions
+}
+
 // Invoke serves one invocation of the query identified by fp. The builder is
 // called only when the fingerprint is new. While the session is adapting,
 // the invocation IS an adaptive run (executed under opts' core budget); once
@@ -182,6 +216,14 @@ type Result struct {
 // Invoke executes on the single-threaded virtual-time machine — callers
 // must serialize it (see the package comment).
 func (c *Cache) Invoke(fp, query string, build func() (*plan.Plan, error), opts exec.JobOptions) (*Result, error) {
+	return c.InvokeTenant("", fp, query, build, opts)
+}
+
+// InvokeTenant is Invoke with a tenant tag: the session created on a miss is
+// tagged with tenant for quota enforcement and the per-tenant stats
+// breakdown. opts carries the tenant's catalog when the engine's own dataset
+// is not the one being queried.
+func (c *Cache) InvokeTenant(tenant, fp, query string, build func() (*plan.Plan, error), opts exec.JobOptions) (*Result, error) {
 	c.mu.Lock()
 	e, ok := c.byFP[fp]
 	if !ok {
@@ -195,6 +237,7 @@ func (c *Cache) Invoke(fp, query string, build func() (*plan.Plan, error), opts 
 			ID:          fmt.Sprintf("%s%d", c.cfg.IDPrefix, c.seq),
 			Fingerprint: fp,
 			Query:       query,
+			Tenant:      tenant,
 			Session:     core.NewSession(c.eng, p, c.cfg.Mutation, c.cfg.Convergence),
 			cache:       c,
 			seq:         c.seq,
@@ -202,9 +245,15 @@ func (c *Cache) Invoke(fp, query string, build func() (*plan.Plan, error), opts 
 		c.byFP[fp] = e
 		c.byID[e.ID] = e
 		c.misses++
+		c.tenantCounterLocked(tenant).Misses++
+		if c.tenantEntries == nil {
+			c.tenantEntries = map[string]int{}
+		}
+		c.tenantEntries[tenant]++
 		c.evictOverflowLocked(e)
 	} else {
 		c.hits++
+		c.tenantCounterLocked(e.Tenant).Hits++
 	}
 	c.tick++
 	e.lastUsed = c.tick
@@ -286,46 +335,98 @@ func (c *Cache) Invoke(fp, query string, build func() (*plan.Plan, error), opts 
 	return &Result{Entry: e, Values: values, Profile: profile, Invocation: inv, Created: created}, nil
 }
 
+// tenantCounterLocked returns (creating if needed) the counter record for a
+// tenant tag. Only Hits/Misses/Evictions accumulate here; Entries and
+// Converged are computed on read.
+func (c *Cache) tenantCounterLocked(tenant string) *Stats {
+	if c.tenantStats == nil {
+		c.tenantStats = map[string]*Stats{}
+	}
+	st, ok := c.tenantStats[tenant]
+	if !ok {
+		st = &Stats{}
+		c.tenantStats[tenant] = st
+	}
+	return st
+}
+
 // dropEntry removes a failed entry (counted as an eviction).
 func (c *Cache) dropEntry(e *Entry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.byFP[e.Fingerprint] == e {
-		delete(c.byFP, e.Fingerprint)
-		delete(c.byID, e.ID)
-		c.evictions++
-		e.Session.Release()
+		c.removeLocked(e)
 	}
 }
 
-// evictOverflowLocked enforces MaxEntries after inserting keep, which is
-// never evicted. Converged LRU entries go first; still-adapting LRU second.
+// removeLocked unlinks an entry, counts the eviction (globally and for the
+// entry's tenant), and releases the session's compilations back to the
+// engine's buffer pool.
+func (c *Cache) removeLocked(e *Entry) {
+	delete(c.byFP, e.Fingerprint)
+	delete(c.byID, e.ID)
+	c.evictions++
+	c.tenantCounterLocked(e.Tenant).Evictions++
+	c.tenantEntries[e.Tenant]--
+	e.Session.Release()
+}
+
+// evictOverflowLocked enforces the eviction policy after inserting keep,
+// which is never evicted. Two bounds apply, in order:
+//
+//  1. The inserting tenant's quota: while keep's tenant holds more sessions
+//     than SetTenantQuota allows, that tenant's own LRU session goes
+//     (converged first). Other tenants' sessions are untouchable here — an
+//     over-quota tenant can only ever evict itself.
+//  2. The global MaxEntries bound, preferring victims from tenants that are
+//     over their own quota, then converged LRU entries, then LRU overall.
 func (c *Cache) evictOverflowLocked(keep *Entry) {
+	if q := c.quotas[keep.Tenant]; q > 0 {
+		for c.tenantEntries[keep.Tenant] > q {
+			victim := c.lruLocked(keep, true, func(e *Entry) bool { return e.Tenant == keep.Tenant })
+			if victim == nil {
+				victim = c.lruLocked(keep, false, func(e *Entry) bool { return e.Tenant == keep.Tenant })
+			}
+			if victim == nil {
+				return
+			}
+			c.removeLocked(victim)
+		}
+	}
 	if c.cfg.MaxEntries <= 0 {
 		return
 	}
 	for len(c.byFP) > c.cfg.MaxEntries {
-		victim := c.lruLocked(keep, true)
+		victim := c.lruLocked(keep, false, c.overQuotaLocked)
 		if victim == nil {
-			victim = c.lruLocked(keep, false)
+			victim = c.lruLocked(keep, true, nil)
+		}
+		if victim == nil {
+			victim = c.lruLocked(keep, false, nil)
 		}
 		if victim == nil {
 			return
 		}
-		delete(c.byFP, victim.Fingerprint)
-		delete(c.byID, victim.ID)
-		c.evictions++
 		// The evicted session's plan compilations (and their arena buffers)
 		// go back to the engine pool instead of lingering until the
 		// engine's schedule-cache overflow.
-		victim.Session.Release()
+		c.removeLocked(victim)
 	}
 }
 
-func (c *Cache) lruLocked(keep *Entry, convergedOnly bool) *Entry {
+// overQuotaLocked reports whether e's tenant currently exceeds its quota.
+func (c *Cache) overQuotaLocked(e *Entry) bool {
+	q := c.quotas[e.Tenant]
+	return q > 0 && c.tenantEntries[e.Tenant] > q
+}
+
+func (c *Cache) lruLocked(keep *Entry, convergedOnly bool, eligible func(*Entry) bool) *Entry {
 	var victim *Entry
 	for _, e := range c.byFP {
 		if e == keep || (convergedOnly && !e.Session.Done()) {
+			continue
+		}
+		if eligible != nil && !eligible(e) {
 			continue
 		}
 		if victim == nil || e.lastUsed < victim.lastUsed {
@@ -366,10 +467,7 @@ func (c *Cache) Evict(fp string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.byFP[fp]; ok {
-		delete(c.byFP, fp)
-		delete(c.byID, e.ID)
-		c.evictions++
-		e.Session.Release()
+		c.removeLocked(e)
 	}
 }
 
@@ -389,4 +487,25 @@ func (c *Cache) Stats() Stats {
 		}
 	}
 	return st
+}
+
+// TenantStats snapshots the per-tenant slice of the cache counters, keyed by
+// tenant tag. Every tenant that ever touched the cache appears, even with
+// zero live entries (its hit/miss/eviction history remains meaningful).
+func (c *Cache) TenantStats() map[string]Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]Stats, len(c.tenantStats))
+	for t, st := range c.tenantStats {
+		out[t] = *st
+	}
+	for _, e := range c.byFP {
+		st := out[e.Tenant]
+		st.Entries++
+		if e.Session.Done() {
+			st.Converged++
+		}
+		out[e.Tenant] = st
+	}
+	return out
 }

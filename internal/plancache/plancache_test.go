@@ -152,6 +152,73 @@ func TestMaxEntriesEvictsLRUPreferringConverged(t *testing.T) {
 	}
 }
 
+// TestTenantQuotaScopedEviction: an over-quota tenant evicts only its own
+// sessions (converged preferred), while another tenant's converged session —
+// the victim the tenant-blind global policy would pick — survives untouched.
+func TestTenantQuotaScopedEviction(t *testing.T) {
+	eng := newEngine(t)
+	c := New(eng, Config{})
+	c.SetTenantQuota("t1", 2)
+	build := func(n int) func() (*plan.Plan, error) {
+		return func() (*plan.Plan, error) { return tpch.Query(n) }
+	}
+	converge := func(tenant, fp, q string, n int) {
+		t.Helper()
+		for i := 0; i < 400; i++ {
+			r, err := c.InvokeTenant(tenant, fp, q, build(n), exec.JobOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Invocation.Converged {
+				return
+			}
+		}
+		t.Fatalf("%s/%s did not converge", tenant, q)
+	}
+
+	// Tenant t2 holds a fully converged session — the globally preferred
+	// victim if eviction were tenant-blind.
+	fpOther := Fingerprint("db-t2", "q6")
+	converge("t2", fpOther, "q6", 6)
+
+	// t1: a converged session plus an adapting one, then a third insert
+	// that pushes t1 over its quota of 2.
+	fpA, fpB, fpC := Fingerprint("db-t1", "q6"), Fingerprint("db-t1", "q14"), Fingerprint("db-t1", "q4")
+	converge("t1", fpA, "q6", 6)
+	if _, err := c.InvokeTenant("t1", fpB, "q14", build(14), exec.JobOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	// Touch t1's converged session so it is MRU: conversion preference must
+	// beat recency inside the tenant, exactly like the global policy.
+	if _, err := c.InvokeTenant("t1", fpA, "q6", build(6), exec.JobOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.InvokeTenant("t1", fpC, "q4", build(4), exec.JobOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	if c.GetFingerprint(fpA) != nil {
+		t.Fatal("t1's converged session should be its quota-overflow victim")
+	}
+	if c.GetFingerprint(fpB) == nil || c.GetFingerprint(fpC) == nil {
+		t.Fatal("t1's adapting sessions should survive its overflow")
+	}
+	if e := c.GetFingerprint(fpOther); e == nil || !e.Session.Done() {
+		t.Fatal("t2's converged session must never pay for t1's overflow")
+	}
+	ts := c.TenantStats()
+	if st := ts["t1"]; st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("t1 stats: %+v (want 2 entries, 1 eviction)", st)
+	}
+	if st := ts["t2"]; st.Entries != 1 || st.Evictions != 0 || st.Converged != 1 {
+		t.Fatalf("t2 stats: %+v (want untouched converged session)", st)
+	}
+	// Global counters fold the per-tenant ones.
+	if st := c.Stats(); st.Entries != 3 || st.Evictions != 1 {
+		t.Fatalf("global stats: %+v", st)
+	}
+}
+
 func TestThrottledInvocationsDoNotFeedConvergence(t *testing.T) {
 	eng := newEngine(t)
 	c := New(eng, Config{})

@@ -22,6 +22,21 @@
 // per-client core budget (vectorwise.AdmissionMaxCores, §4.2.4) — the first
 // client keeps that shard's whole machine, later ones degrade toward
 // serial.
+//
+// Multi-tenancy multiplexes independently-named datasets over that one shard
+// pool (the IB-DWB shape): every tenant shares the machines, buffer
+// recyclers, schedule caches and admission control, and a request differs
+// only in which catalog its binds resolve against (exec.JobOptions.Catalog).
+// Isolation is by fingerprint — cache keys incorporate the tenant's
+// DBIdentity, so one plan-session cache per shard holds sessions from many
+// tenants without collision — plus per-tenant quotas: a session-count quota
+// enforced inside the cache (an over-quota tenant evicts only itself) and an
+// in-flight quota that fails excess requests fast with 429. Ownership
+// invariants are untouched by tenancy: sessions stay pinned to shards by
+// fingerprint hash, engines are only touched under their shard's
+// engine-ownership lock, and retired plans feed the shared recycler
+// regardless of tenant (pooled buffers carry no data ownership — the next
+// job fully rewrites them).
 package server
 
 import (
@@ -70,6 +85,9 @@ type Config struct {
 	Admission bool
 	// CacheSize bounds each shard's plan-session cache (0 = unlimited).
 	CacheSize int
+	// Tenants are additional named datasets served over the same shard
+	// pool; the Engine/Engines catalog remains the default tenant.
+	Tenants []Tenant
 	// Mutation and Convergence tune adaptive sessions (zero = defaults).
 	Mutation    core.MutationConfig
 	Convergence core.ConvergenceConfig
@@ -98,6 +116,12 @@ type Server struct {
 	shards []*shard
 	mux    *http.ServeMux
 	start  time.Time
+
+	// tenants routes request tenant names; tenantList keeps /stats order
+	// (default first, then config order); defTenant is the primary dataset.
+	tenants    map[string]*tenantState
+	tenantList []*tenantState
+	defTenant  *tenantState
 
 	closeMu  sync.RWMutex
 	closed   bool
@@ -144,6 +168,50 @@ func New(cfg Config) (*Server, error) {
 		cfg.DBIdentity = cfg.Benchmark
 	}
 	s := &Server{cfg: cfg, start: time.Now(), fpCache: make(map[string]fpEntry)}
+	s.defTenant = &tenantState{
+		Tenant: Tenant{
+			Name:       "default",
+			Catalog:    engines[0].Catalog(),
+			DBIdentity: cfg.DBIdentity,
+			Benchmark:  cfg.Benchmark,
+		},
+		def: true,
+	}
+	s.tenants = map[string]*tenantState{}
+	s.tenantList = []*tenantState{s.defTenant}
+	// Identity uniqueness is load-bearing, not cosmetic: fingerprints
+	// incorporate DBIdentity, so two tenants sharing one identity would
+	// silently share cache sessions — merging their quotas, stats, and
+	// (with different catalogs) their adaptive state. Reject at startup.
+	identities := map[string]string{cfg.DBIdentity: "default"}
+	for _, t := range cfg.Tenants {
+		switch {
+		case t.Name == "" || t.Name == "default":
+			return nil, fmt.Errorf("server: tenant name %q reserved (the primary database is tenant \"default\")", t.Name)
+		case t.Catalog == nil:
+			return nil, fmt.Errorf("server: tenant %q has no catalog", t.Name)
+		}
+		if _, dup := s.tenants[t.Name]; dup {
+			return nil, fmt.Errorf("server: duplicate tenant %q", t.Name)
+		}
+		switch t.Benchmark {
+		case "":
+			t.Benchmark = "tpch"
+		case "tpch", "tpcds":
+		default:
+			return nil, fmt.Errorf("server: tenant %q: unknown benchmark %q (want tpch or tpcds)", t.Name, t.Benchmark)
+		}
+		if t.DBIdentity == "" {
+			t.DBIdentity = t.Name
+		}
+		if owner, dup := identities[t.DBIdentity]; dup {
+			return nil, fmt.Errorf("server: tenant %q shares DBIdentity %q with tenant %q — identities must be unique or fingerprints collide across tenants", t.Name, t.DBIdentity, owner)
+		}
+		identities[t.DBIdentity] = t.Name
+		tn := &tenantState{Tenant: t}
+		s.tenants[t.Name] = tn
+		s.tenantList = append(s.tenantList, tn)
+	}
 	for i, eng := range engines {
 		prefix := "s"
 		if len(engines) > 1 {
@@ -159,6 +227,14 @@ func New(cfg Config) (*Server, error) {
 				Mutation:    cfg.Mutation,
 				Convergence: cfg.Convergence,
 			}),
+		}
+		// Per-tenant session quotas live inside each shard's cache, tagged
+		// by tenant, so the eviction policy can scope an over-quota tenant's
+		// overflow to its own sessions.
+		for _, tn := range s.tenantList {
+			if tn.MaxSessions > 0 {
+				sh.cache.SetTenantQuota(tn.tag(), tn.MaxSessions)
+			}
 		}
 		s.shards = append(s.shards, sh)
 	}
@@ -268,7 +344,11 @@ func (a *admissionSlots) peakActive() int {
 // QueryRequest is the POST /query body. Exactly one of Query (a named
 // benchmark query) or SelectSum (an ad-hoc builder spec) must be set.
 type QueryRequest struct {
-	// Benchmark is "tpch" or "tpcds"; empty means the server's benchmark.
+	// Tenant routes the request to a named dataset (the X-APQ-Tenant header
+	// is the equivalent; the body field wins). Empty or "default" queries
+	// the server's primary database.
+	Tenant string `json:"tenant,omitempty"`
+	// Benchmark is "tpch" or "tpcds"; empty means the tenant's benchmark.
 	Benchmark string `json:"benchmark,omitempty"`
 	// Query is the named benchmark query number (e.g. 6 for TPC-H Q6).
 	Query int `json:"query,omitempty"`
@@ -368,6 +448,8 @@ type QueryResponse struct {
 	Session     string `json:"session,omitempty"`
 	Fingerprint string `json:"fingerprint,omitempty"`
 	Query       string `json:"query"`
+	// Tenant names the dataset served (omitted for the default tenant).
+	Tenant string `json:"tenant,omitempty"`
 	// Shard is the engine shard this query's fingerprint pins to.
 	Shard int `json:"shard"`
 	// State is "adapting", "converged", or "serial".
@@ -471,16 +553,26 @@ func writeJSON(w http.ResponseWriter, v any) {
 	b.reply(w, http.StatusOK, v)
 }
 
-// resolve maps a request to (query name, fingerprint, plan builder). The
-// builder is deferred: plancache only calls it on a fingerprint miss, so
-// the hot cached path never constructs a plan.
-func (s *Server) resolve(req *QueryRequest) (name, fp string, build func() (*plan.Plan, error), err error) {
+// fpCacheKey namespaces a fingerprint-cache key by tenant. The default
+// tenant keeps the bare key (no per-request concatenation on the
+// single-tenant hot path); named tenants prefix their name.
+func (s *Server) fpCacheKey(tn *tenantState, key string) string {
+	if tn.def {
+		return key
+	}
+	return tn.Name + "\x00" + key
+}
+
+// resolve maps a request to (query name, fingerprint, plan builder) against
+// its tenant's dataset. The builder is deferred: plancache only calls it on
+// a fingerprint miss, so the hot cached path never constructs a plan.
+func (s *Server) resolve(tn *tenantState, req *QueryRequest) (name, fp string, build func() (*plan.Plan, error), err error) {
 	bench := req.Benchmark
 	if bench == "" {
-		bench = s.cfg.Benchmark
+		bench = tn.Benchmark
 	}
-	if bench != s.cfg.Benchmark {
-		return "", "", nil, fmt.Errorf("this daemon serves %q, not %q", s.cfg.Benchmark, bench)
+	if bench != tn.Benchmark {
+		return "", "", nil, fmt.Errorf("tenant %q serves %q, not %q", tn.displayName(), tn.Benchmark, bench)
 	}
 	if req.SelectSum != nil {
 		if req.Query != 0 {
@@ -489,11 +581,11 @@ func (s *Server) resolve(req *QueryRequest) (name, fp string, build func() (*pla
 		if req.SelectSum.Table == "" || req.SelectSum.Column == "" {
 			return "", "", nil, errors.New("select_sum needs table and column")
 		}
-		// Validate against the catalog before the plan can reach the cache:
-		// a bad spec must be a 400, not a cache insertion (and possible
-		// eviction of a healthy session) followed by an execution failure.
-		// The catalog is shared and read-only, so shard 0 can answer.
-		tbl, err := s.shards[0].eng.Catalog().Table(req.SelectSum.Table)
+		// Validate against the tenant's catalog before the plan can reach
+		// the cache: a bad spec must be a 400, not a cache insertion (and
+		// possible eviction of a healthy session) followed by an execution
+		// failure. Catalogs are read-only, so no lock is needed.
+		tbl, err := tn.Catalog.Table(req.SelectSum.Table)
 		if err != nil {
 			return "", "", nil, err
 		}
@@ -501,10 +593,10 @@ func (s *Server) resolve(req *QueryRequest) (name, fp string, build func() (*pla
 			return "", "", nil, err
 		}
 		spec := *req.SelectSum
-		e := s.fingerprintFor(spec.key(), func() fpEntry {
+		e := s.fingerprintFor(s.fpCacheKey(tn, spec.key()), func() fpEntry {
 			return fpEntry{
 				name: fmt.Sprintf("select_sum(%s.%s)", spec.Table, spec.Column),
-				fp:   plancache.Fingerprint(s.cfg.DBIdentity, spec.key()),
+				fp:   plancache.Fingerprint(tn.DBIdentity, spec.key()),
 			}
 		})
 		return e.name, e.fp,
@@ -529,9 +621,9 @@ func (s *Server) resolve(req *QueryRequest) (name, fp string, build func() (*pla
 	if !slices.Contains(numbers, n) {
 		return "", "", nil, fmt.Errorf("%s: query %d not implemented", bench, n)
 	}
-	e := s.fingerprintFor(bench+":q"+strconv.Itoa(n), func() fpEntry {
+	e := s.fingerprintFor(s.fpCacheKey(tn, bench+":q"+strconv.Itoa(n)), func() fpEntry {
 		name := fmt.Sprintf("%s:q%d", bench, n)
-		return fpEntry{name: name, fp: plancache.Fingerprint(s.cfg.DBIdentity, name)}
+		return fpEntry{name: name, fp: plancache.Fingerprint(tn.DBIdentity, name)}
 	})
 	return e.name, e.fp,
 		func() (*plan.Plan, error) { return lookup(n) }, nil
@@ -558,8 +650,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeErrBuf(b, w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
-	name, fp, build, err := s.resolve(&req)
+	tn, err := s.tenantFor(r, req.Tenant)
 	if err != nil {
+		s.writeErrBuf(b, w, http.StatusNotFound, err)
+		return
+	}
+	// The in-flight quota rejects before any engine work queues: a tenant
+	// over its concurrency budget fails fast with 429 instead of stacking
+	// requests on shard locks other tenants are waiting for.
+	if err := tn.acquire(); err != nil {
+		tn.noteErr()
+		s.writeErrBuf(b, w, http.StatusTooManyRequests, err)
+		return
+	}
+	defer tn.release()
+	name, fp, build, err := s.resolve(tn, &req)
+	if err != nil {
+		tn.noteErr()
 		s.writeErrBuf(b, w, http.StatusBadRequest, err)
 		return
 	}
@@ -569,10 +676,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	// Shard pinning: the fingerprint decides the engine replica, so a
 	// session's adaptive state lives (and converges deterministically) on
-	// exactly one simulated machine.
+	// exactly one simulated machine. Tenants share the pool — the
+	// fingerprint already incorporates the tenant's dataset identity.
 	sh := s.shardFor(fp)
 
-	var opts exec.JobOptions
+	// Bind resolution happens against the tenant's catalog; everything else
+	// (machine, recycler, schedule cache, admission) is the shared shard.
+	opts := exec.JobOptions{Catalog: tn.jobCatalog()}
 	if s.cfg.Admission {
 		idx, active := sh.adm.acquire()
 		defer sh.adm.release(idx)
@@ -590,7 +700,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			sum core.Summary
 		)
 		doErr := s.do(sh, func() {
-			res, err = sh.cache.Invoke(fp, name, build, opts)
+			res, err = sh.cache.InvokeTenant(tn.tag(), fp, name, build, opts)
 			if err == nil {
 				// Snapshot under the shard lock: another request may step
 				// this session the moment we release it.
@@ -598,10 +708,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			}
 		})
 		if doErr != nil {
+			tn.noteErr()
 			s.writeErrBuf(b, w, http.StatusServiceUnavailable, doErr)
 			return
 		}
 		if err != nil {
+			tn.noteErr()
 			s.writeErrBuf(b, w, http.StatusInternalServerError, err)
 			return
 		}
@@ -609,6 +721,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			Session:         res.Entry.ID,
 			Fingerprint:     fp,
 			Query:           name,
+			Tenant:          tn.tag(),
 			Shard:           sh.id,
 			State:           "adapting",
 			Run:             res.Invocation.Run,
@@ -641,15 +754,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			}
 		})
 		if doErr != nil {
+			tn.noteErr()
 			s.writeErrBuf(b, w, http.StatusServiceUnavailable, doErr)
 			return
 		}
 		if err != nil {
+			tn.noteErr()
 			s.writeErrBuf(b, w, http.StatusInternalServerError, err)
 			return
 		}
 		b.reply(w, http.StatusOK, QueryResponse{
 			Query:     name,
+			Tenant:    tn.tag(),
 			Shard:     sh.id,
 			State:     "serial",
 			Run:       -1,
@@ -659,6 +775,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			NumValues: len(vals),
 		})
 	default:
+		tn.noteErr()
 		s.writeErrBuf(b, w, http.StatusBadRequest, fmt.Errorf("unknown mode %q", req.Mode))
 	}
 }
@@ -668,6 +785,7 @@ type SessionInfo struct {
 	Session     string  `json:"session"`
 	Fingerprint string  `json:"fingerprint"`
 	Query       string  `json:"query"`
+	Tenant      string  `json:"tenant,omitempty"`
 	Shard       int     `json:"shard"`
 	State       string  `json:"state"`
 	Runs        int     `json:"runs"`
@@ -684,6 +802,7 @@ func sessionInfo(sh *shard, e *plancache.Entry) SessionInfo {
 		Session:     e.ID,
 		Fingerprint: e.Fingerprint,
 		Query:       e.Query,
+		Tenant:      e.Tenant,
 		Shard:       sh.id,
 		State:       "adapting",
 		Runs:        rep.TotalRuns,
@@ -706,12 +825,33 @@ func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
 		return
 	}
+	// ?tenant= scopes the listing to one tenant's sessions ("default" = the
+	// primary database). Absent means every tenant; an unknown name is the
+	// same 404 POST /query would give it.
+	filter := ""
+	filtered := false
+	if v, ok := r.URL.Query()["tenant"]; ok {
+		filtered = true
+		name := ""
+		if len(v) > 0 {
+			name = v[0]
+		}
+		tn, err := s.tenantFor(r, name)
+		if err != nil {
+			s.writeErr(w, http.StatusNotFound, err)
+			return
+		}
+		filter = tn.tag()
+	}
 	out := []SessionInfo{}
 	for _, sh := range s.shards {
 		// Report() walks session state that executions on this shard
 		// mutate; read it under the shard lock.
 		if err := s.do(sh, func() {
 			for _, e := range sh.cache.List() {
+				if filtered && e.Tenant != filter {
+					continue
+				}
 				out = append(out, sessionInfo(sh, e))
 			}
 		}); err != nil {
@@ -810,6 +950,9 @@ type StatsResponse struct {
 	Shards        int             `json:"shards"`
 	Cache         plancache.Stats `json:"cache"`
 	PerShard      []ShardStats    `json:"per_shard"`
+	// Tenants breaks the serving counters down per tenant (default tenant
+	// first, then config order); cache counters aggregate across shards.
+	Tenants []TenantStatsInfo `json:"tenants"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -830,6 +973,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Cores:         s.shards[0].eng.Machine().Config().LogicalCores(),
 		Shards:        len(s.shards),
 	}
+	// Per-tenant rows start from the tenant request counters; shard-cache
+	// slices merge in below under each shard's lock.
+	tenantIdx := make(map[string]int, len(s.tenantList))
+	for i, tn := range s.tenantList {
+		resp.Tenants = append(resp.Tenants, tn.statsInfo())
+		tenantIdx[tn.tag()] = i
+	}
 	for _, sh := range s.shards {
 		st := ShardStats{
 			Shard:       sh.id,
@@ -838,14 +988,26 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Recycler: sh.eng.RecyclerStats(),
 			Compile:  sh.eng.CompileStats(),
 		}
+		var tstats map[string]plancache.Stats
 		// The virtual clock and cache stats read state that executions
 		// on this shard mutate; read them under the shard lock.
 		if err := s.do(sh, func() {
 			st.VirtualNowNs = sh.eng.Machine().Now()
 			st.Cache = sh.cache.Stats()
+			tstats = sh.cache.TenantStats()
 		}); err != nil {
 			s.writeErr(w, http.StatusServiceUnavailable, err)
 			return
+		}
+		for tag, tst := range tstats {
+			if i, ok := tenantIdx[tag]; ok {
+				tc := &resp.Tenants[i].Cache
+				tc.Entries += tst.Entries
+				tc.Hits += tst.Hits
+				tc.Misses += tst.Misses
+				tc.Evictions += tst.Evictions
+				tc.Converged += tst.Converged
+			}
 		}
 		resp.PerShard = append(resp.PerShard, st)
 		resp.Cache.Entries += st.Cache.Entries

@@ -116,7 +116,7 @@ func TestShardPinningIsStable(t *testing.T) {
 
 func fingerprintOf(t *testing.T, s *Server, req *QueryRequest) string {
 	t.Helper()
-	_, fp, _, err := s.resolve(req)
+	_, fp, _, err := s.resolve(s.defTenant, req)
 	if err != nil {
 		t.Fatal(err)
 	}

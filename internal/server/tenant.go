@@ -1,0 +1,165 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+
+	"repro/internal/storage"
+)
+
+// Tenant configures one named dataset served by the daemon alongside its
+// default database. Tenants multiplex over the same engine shard pool: the
+// same simulated machines, engine buffer recyclers, schedule caches and
+// per-shard admission control serve every tenant, and only bind resolution
+// (exec.JobOptions.Catalog) differs per request. Isolation comes from the
+// fingerprint: every cache key incorporates the tenant's DBIdentity, so one
+// plan-session cache per shard safely holds sessions from many tenants.
+type Tenant struct {
+	// Name routes requests ("tenant" field or X-APQ-Tenant header). It must
+	// be unique, non-empty, and not "default" (which names the server's
+	// primary database).
+	Name string
+	// Catalog is the tenant's loaded dataset.
+	Catalog *storage.Catalog
+	// DBIdentity names the dataset for fingerprinting (empty = Name). It
+	// must change when the tenant's data does.
+	DBIdentity string
+	// Benchmark is the tenant's named-query set ("tpch" or "tpcds"; empty =
+	// tpch). Requests for the other benchmark are rejected per tenant.
+	Benchmark string
+	// MaxSessions bounds the tenant's live cached sessions on each shard
+	// (0 = unlimited). The fingerprint hash spreads a tenant's queries
+	// across shards, so the pool-wide bound is MaxSessions × shards. An
+	// over-quota tenant evicts its own least-recently-used session
+	// (converged first) — never another tenant's.
+	MaxSessions int
+	// MaxInFlight bounds the tenant's concurrently executing requests
+	// across the whole pool (0 = unlimited); excess requests fail fast
+	// with 429 instead of queueing on shard locks.
+	MaxInFlight int
+}
+
+// tenantState is one tenant's runtime: its immutable config plus the
+// in-flight gate and request counters. def marks the server's primary
+// database, whose requests keep a nil JobOptions.Catalog (the engine's own
+// catalog) — the single-tenant serve path is byte-for-byte the pre-tenancy
+// one. Counters are atomics, not a mutex: every request of every shard
+// touches its tenant's state, and a lock here would be a pool-wide
+// serialization point on exactly the path the shard pool exists to spread.
+type tenantState struct {
+	Tenant
+	def bool
+
+	inFlight     atomic.Int64
+	peakInFlight atomic.Int64
+	requests     atomic.Int64
+	errors       atomic.Int64
+	rejected     atomic.Int64
+}
+
+// acquire takes one in-flight slot, or reports the over-quota rejection.
+func (tn *tenantState) acquire() error {
+	tn.requests.Add(1)
+	n := tn.inFlight.Add(1)
+	if tn.MaxInFlight > 0 && n > int64(tn.MaxInFlight) {
+		tn.inFlight.Add(-1)
+		tn.rejected.Add(1)
+		return fmt.Errorf("tenant %q over in-flight quota (%d)", tn.displayName(), tn.MaxInFlight)
+	}
+	for {
+		peak := tn.peakInFlight.Load()
+		if n <= peak || tn.peakInFlight.CompareAndSwap(peak, n) {
+			return nil
+		}
+	}
+}
+
+func (tn *tenantState) release() { tn.inFlight.Add(-1) }
+
+func (tn *tenantState) noteErr() { tn.errors.Add(1) }
+
+// tag is the plancache tenant tag: "" for the default tenant (so existing
+// single-tenant cache behavior and stats are unchanged), the name otherwise.
+func (tn *tenantState) tag() string {
+	if tn.def {
+		return ""
+	}
+	return tn.Name
+}
+
+// displayName is the external name: the default tenant reads "default".
+func (tn *tenantState) displayName() string {
+	if tn.def {
+		return "default"
+	}
+	return tn.Name
+}
+
+// jobCatalog is the per-job bind-resolution override: nil for the default
+// tenant (the engine's own catalog), the tenant's catalog otherwise.
+func (tn *tenantState) jobCatalog() *storage.Catalog {
+	if tn.def {
+		return nil
+	}
+	return tn.Catalog
+}
+
+// tenantFor routes a request to its tenant: the body's "tenant" field first,
+// then the X-APQ-Tenant header. Empty and "default" name the server's
+// primary database.
+func (s *Server) tenantFor(r *http.Request, name string) (*tenantState, error) {
+	if name == "" {
+		name = r.Header.Get("X-APQ-Tenant")
+	}
+	if name == "" || name == "default" {
+		return s.defTenant, nil
+	}
+	tn, ok := s.tenants[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown tenant %q", name)
+	}
+	return tn, nil
+}
+
+// TenantStatsInfo is one tenant's slice of the GET /stats reply. Cache
+// counters aggregate the tenant's sessions across every shard.
+type TenantStatsInfo struct {
+	Tenant     string `json:"tenant"`
+	Benchmark  string `json:"benchmark"`
+	DBIdentity string `json:"db_identity"`
+	// Requests counts every routed request (including rejected ones);
+	// Rejected counts 429s from the in-flight quota.
+	Requests     int64 `json:"requests"`
+	Errors       int64 `json:"errors"`
+	Rejected     int64 `json:"rejected_over_quota"`
+	PeakInFlight int   `json:"peak_in_flight"`
+	MaxInFlight  int   `json:"max_in_flight,omitempty"`
+	// MaxSessions echoes the per-shard session quota (0 = unlimited).
+	MaxSessions int `json:"max_sessions_per_shard,omitempty"`
+	// Cache aggregates the tenant's plan-session cache counters across
+	// shards: live sessions, hits, misses, evictions, converged.
+	Cache struct {
+		Entries   int   `json:"entries"`
+		Hits      int64 `json:"hits"`
+		Misses    int64 `json:"misses"`
+		Evictions int64 `json:"evictions"`
+		Converged int   `json:"converged"`
+	} `json:"cache"`
+}
+
+// statsInfo snapshots the tenant's request counters (cache counters are
+// merged in by handleStats, which holds the shard locks).
+func (tn *tenantState) statsInfo() TenantStatsInfo {
+	return TenantStatsInfo{
+		Tenant:       tn.displayName(),
+		Benchmark:    tn.Benchmark,
+		DBIdentity:   tn.DBIdentity,
+		Requests:     tn.requests.Load(),
+		Errors:       tn.errors.Load(),
+		Rejected:     tn.rejected.Load(),
+		PeakInFlight: int(tn.peakInFlight.Load()),
+		MaxInFlight:  tn.MaxInFlight,
+		MaxSessions:  tn.MaxSessions,
+	}
+}

@@ -43,6 +43,14 @@
 // rounds every running task's remaining work at every event, so any scheme
 // that skips those per-event roundings produces (slightly) different
 // timelines and breaks reproducibility of every recorded experiment.
+//
+// Ownership invariants. A Machine is single-threaded: its event queue,
+// clock, and core state may only be touched by one goroutine at a time
+// (the server serializes through per-shard engine-ownership locks).
+// Submitted Tasks are owned by the machine from Submit until their
+// completion hook fires — callers must not mutate a task in flight; the
+// exec layer embeds tasks in a per-plan slab and reuses an entry only after
+// its completion delivered results.
 package sim
 
 import (

@@ -8,6 +8,14 @@
 // in the paper (§2.3) is "creating read only slices on the base or the
 // intermediate column ... no data copying involved", and immutability is what
 // makes zero-copy slicing safe under simulated parallel execution.
+//
+// Ownership invariants: constructors take ownership of their value slice —
+// the caller must not modify it afterwards — and Builder is the write-once
+// bridge for shared result buffers: exchange-union clones write disjoint
+// ranges of one owned buffer, and Publish freezes it into an immutable
+// Vector (possibly a dense head view) that may alias the buffer forever;
+// the buffer may only be recycled if the published vector never escaped to
+// a query result (the executor's escape analysis enforces this).
 package vec
 
 import "fmt"

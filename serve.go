@@ -35,6 +35,15 @@ type ServerConfig struct {
 	// When full, least-recently-used sessions are evicted, converged ones
 	// first.
 	CacheSize int
+	// Tenants are additional named datasets served over the same engine
+	// shard pool. Each tenant generates its own database and catalog from
+	// (Benchmark, SF, Seed) with its own DBIdentity; requests route by the
+	// "tenant" body field or X-APQ-Tenant header. The primary DB above
+	// remains reachable as tenant "default". Tenants share everything but
+	// the data: machines, buffer recyclers, plan-schedule caches and
+	// admission control are the pool's, and isolation holds because every
+	// cache fingerprint incorporates the tenant's dataset identity.
+	Tenants []TenantConfig
 	// Shards is the engine-pool width: independent engine replicas, each
 	// with its own simulated machine behind its own engine-ownership lock
 	// over the shared read-only catalog. Queries are pinned to shards by fingerprint hash,
@@ -45,6 +54,27 @@ type ServerConfig struct {
 	Shards int
 	// EngineOptions tune the engines (noise model, cost calibration, seed).
 	EngineOptions []Option
+}
+
+// TenantConfig declares one named tenant dataset for the query service.
+type TenantConfig struct {
+	// Name routes requests to this tenant. Required, unique, and not
+	// "default" (the primary database's reserved name).
+	Name string
+	// Benchmark is the tenant's dataset generator and named-query set:
+	// "tpch" (default) or "tpcds".
+	Benchmark string
+	// SF is the generator scale factor (0 = 1).
+	SF float64
+	// Seed is the generator seed, part of the tenant's dataset identity.
+	Seed int64
+	// MaxSessions bounds the tenant's live cached plan-sessions on each
+	// shard (0 = unlimited). Over-quota tenants evict only their own
+	// least-recently-used sessions, converged first.
+	MaxSessions int
+	// MaxInFlight bounds the tenant's concurrently executing requests
+	// (0 = unlimited); excess requests fail fast with HTTP 429.
+	MaxInFlight int
 }
 
 // Server is the query-service core: HTTP handlers over a pool of engine
@@ -74,12 +104,44 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		// underneath is shared and read-only.
 		engines[i] = NewEngine(cfg.DB, cfg.Machine, cfg.EngineOptions...).inner
 	}
+	// Tenant datasets are generated once and shared read-only by every
+	// shard; requests resolve binds against their tenant's catalog while
+	// executing on the shared pool.
+	tenants := make([]server.Tenant, 0, len(cfg.Tenants))
+	for _, t := range cfg.Tenants {
+		bench := t.Benchmark
+		if bench == "" {
+			bench = "tpch"
+		}
+		sf := t.SF
+		if sf == 0 {
+			sf = 1
+		}
+		var db *DB
+		switch bench {
+		case "tpch":
+			db = LoadTPCH(sf, t.Seed)
+		case "tpcds":
+			db = LoadTPCDS(sf, t.Seed)
+		default:
+			return nil, fmt.Errorf("apq: tenant %q: unknown benchmark %q (want tpch or tpcds)", t.Name, bench)
+		}
+		tenants = append(tenants, server.Tenant{
+			Name:        t.Name,
+			Catalog:     db.cat,
+			DBIdentity:  DBIdentity(bench, sf, t.Seed),
+			Benchmark:   bench,
+			MaxSessions: t.MaxSessions,
+			MaxInFlight: t.MaxInFlight,
+		})
+	}
 	inner, err := server.New(server.Config{
 		Engines:    engines,
 		DBIdentity: cfg.DBIdentity,
 		Benchmark:  cfg.Benchmark,
 		Admission:  cfg.Admission,
 		CacheSize:  cfg.CacheSize,
+		Tenants:    tenants,
 	})
 	if err != nil {
 		return nil, err
