@@ -22,17 +22,23 @@
 //
 //	go run ./cmd/apqd -addr :8080 -bench tpch -sf 1 -machine 2s -shards 4
 //	go run ./cmd/apqd -tenant acme=tpch:0.5:7 -tenant globex=tpcds:1:9   # extra tenant datasets, one shard pool
+//	go run ./cmd/apqd -store plans.apqs      # persist converged plans; warm-restart from them next start
+//	go run ./cmd/apqd -store plans.apqs -export-plans plans.apqx   # export converged plans, then exit
+//	go run ./cmd/apqd -store other.apqs -import-plans plans.apqx   # import an export file, then exit
 //	go run ./cmd/apqd -selfbench             # shard-sweep serving benchmark, JSON to stdout
 //	go run ./cmd/apqd -simbench              # event-core benchmark (optimized vs seed), JSON to stdout
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
-// drain before the engine shards are retired.
+// drain before the engine shards are retired, and the convergence store's
+// write-behind queue is flushed and the store closed before the process
+// exits — on every exit path, including a failed listener shutdown.
 package main
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -42,6 +48,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -51,6 +58,7 @@ import (
 
 	apq "repro"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 // tenantFlags collects repeatable -tenant flags: name=bench:sf:seed.
@@ -94,6 +102,9 @@ func main() {
 	shards := flag.Int("shards", 0, "engine shard-pool width (0 = derive from GOMAXPROCS)")
 	admission := flag.Bool("admission", true, "apply Vectorwise-style admission control to concurrent clients of a shard")
 	cacheSize := flag.Int("cache", 0, "max live plan-cache sessions per shard (0 = unlimited)")
+	storePath := flag.String("store", "", "persistent convergence store path (created if missing): converged plans are persisted as they converge and rehydrated on restart")
+	exportPlans := flag.String("export-plans", "", "export the -store file's records to this self-describing file and exit (no database is loaded)")
+	importPlans := flag.String("import-plans", "", "import an export file's records into -store and exit (no database is loaded)")
 	var tenants tenantFlags
 	flag.Var(&tenants, "tenant", "serve an extra tenant dataset over the same shard pool: name=bench:sf:seed (repeatable)")
 	tenantSessions := flag.Int("tenant-sessions", 0, "per-tenant cached-session quota per shard (0 = unlimited)")
@@ -114,6 +125,13 @@ func main() {
 
 	if *simbench {
 		if err := runSimbench(*simbenchRounds); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *exportPlans != "" || *importPlans != "" {
+		if err := runPlanTransfer(*storePath, *exportPlans, *importPlans); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -152,6 +170,7 @@ func main() {
 		CacheSize:  *cacheSize,
 		Shards:     *shards,
 		Tenants:    tenants,
+		StorePath:  *storePath,
 	}
 	if *noise {
 		cfg.EngineOptions = append(cfg.EngineOptions, apq.WithNoise(apq.DefaultNoise()), apq.WithSeed(*seed))
@@ -170,6 +189,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Close is idempotent; the defer backstops panics while the explicit
+	// closes below guarantee the store is flushed before log.Fatal exits.
 	defer s.Close()
 	mux := http.NewServeMux()
 	mux.Handle("/", s.Handler())
@@ -182,8 +203,12 @@ func main() {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
-	log.Printf("apqd: serving %s sf=%g on %s (machine %s, %d shards, %d tenants, admission %v, pprof %v)",
-		*bench, *sf, *addr, *machine, s.Shards(), 1+len(tenants), *admission, *pprofOn)
+	storeNote := ""
+	if *storePath != "" {
+		storeNote = fmt.Sprintf(", store %s", *storePath)
+	}
+	log.Printf("apqd: serving %s sf=%g on %s (machine %s, %d shards, %d tenants, admission %v, pprof %v%s)",
+		*bench, *sf, *addr, *machine, s.Shards(), 1+len(tenants), *admission, *pprofOn, storeNote)
 	// Same keep-alive tuning as apq.Serve: retain idle client connections
 	// (steady clients skip TCP setup) but bound header reads.
 	hs := &http.Server{
@@ -197,16 +222,53 @@ func main() {
 	select {
 	case <-ctx.Done():
 		shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		if err := hs.Shutdown(shctx); err != nil {
-			log.Fatal(err)
+		err := hs.Shutdown(shctx)
+		cancel()
+		// Flush the write-behind persistence queue and close the store
+		// BEFORE any fatal exit: a log.Fatal here would skip the deferred
+		// Close and lose converged plans persisted but not yet synced.
+		s.Close()
+		if err != nil {
+			log.Fatalf("apqd: shutdown: %v", err)
 		}
 	case err := <-errc:
+		s.Close()
 		if err != nil && err != http.ErrServerClosed {
 			log.Fatal(err)
 		}
 	}
 	log.Print("apqd: shut down")
+}
+
+// runPlanTransfer handles -export-plans / -import-plans: both operate
+// directly on the -store file — no database is generated and no server
+// starts — so plans can be moved between hosts without warming anything.
+func runPlanTransfer(storePath, exportPath, importPath string) error {
+	if storePath == "" {
+		return errors.New("apqd: -export-plans and -import-plans require -store")
+	}
+	if exportPath != "" && importPath != "" {
+		return errors.New("apqd: -export-plans and -import-plans are mutually exclusive")
+	}
+	st, err := store.Open(storePath)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	if exportPath != "" {
+		n, err := st.Export(exportPath)
+		if err != nil {
+			return err
+		}
+		log.Printf("apqd: exported %d plan records from %s to %s", n, storePath, exportPath)
+		return nil
+	}
+	n, err := st.Import(importPath)
+	if err != nil {
+		return err
+	}
+	log.Printf("apqd: imported %d plan records from %s into %s", n, importPath, storePath)
+	return st.Close()
 }
 
 // benchPhase is one measured serving regime.
@@ -273,6 +335,11 @@ type benchReport struct {
 	// sweep itself drives the handler in-process so it measures the engine,
 	// not TCP setup.
 	HTTPProbe *httpProbe `json:"http_keepalive_probe,omitempty"`
+	// WarmRestart records the persistence phase: converge against a store,
+	// restart the server on the same store file, and compare the first
+	// request's virtual latency cold (adapting from scratch) vs rehydrated
+	// (served from the persisted converged plan).
+	WarmRestart *warmRestartProbe `json:"warm_restart,omitempty"`
 	// MultiTenant records the multi-tenant serving phase: three tenant
 	// datasets (the default plus two generated with different seeds)
 	// converging and then hot-serving the same query shape over one shared
@@ -327,7 +394,11 @@ func runSelfbench(cfg apq.ServerConfig, sf float64, seed int64, queries, n int) 
 	// Admission control throttles later concurrent clients toward serial,
 	// which is the right production default but would make the hot phase
 	// measure the throttle, not the serving path; the sweep disables it.
+	// The sweep's servers never share a store file (each phase would be
+	// polluted by the previous one's persisted plans); the warm-restart
+	// probe below uses its own temporary store.
 	cfg.Admission = false
+	cfg.StorePath = ""
 	for _, sc := range counts {
 		cfg.Shards = sc
 		pt, clients, err := benchShardCount(cfg, queries, n)
@@ -353,7 +424,13 @@ func runSelfbench(cfg apq.ServerConfig, sf float64, seed int64, queries, n int) 
 		return err
 	}
 	rep.MultiTenant = mt
+	wr, err := runWarmRestartProbe(cfg)
+	if err != nil {
+		return err
+	}
+	rep.WarmRestart = wr
 	rep.Notes = append(rep.Notes,
+		"warm_restart converges one query against a temporary -store file, restarts the server on the same file, and compares first-request virtual latency cold (first adaptive run from scratch) vs rehydrated (served converged from the persisted plan); rehydrated_sessions is the restarted server's /stats store counter",
 		"http_keepalive_probe serves the converged hot workload over a real localhost listener in both client modes: keepalive_rps reuses pooled connections (the tuned IdleTimeout keeps them open), new_conn_rps opens a TCP connection per request — the sweep drives the handler in-process precisely so the engine, not connection setup, is what the shard scaling measures",
 		"multi_tenant converges the same select_sum shape on three tenant datasets (default + two generated with different seeds) over one shared 2-shard pool, then hot-serves all three concurrently; per_tenant is the /stats tenant breakdown — distinct sessions per tenant because fingerprints incorporate each tenant's dataset identity")
 	enc := json.NewEncoder(os.Stdout)
@@ -593,6 +670,131 @@ func runMultiTenantProbe(cfg apq.ServerConfig, sf float64, seed int64, n int) (*
 			Converged:  t.Cache.Converged,
 			CacheHits:  t.Cache.Hits,
 		})
+	}
+	return p, nil
+}
+
+// warmRestartProbe is the -selfbench persistence measurement: the cost of
+// the first request on a cold server (one adaptive run from scratch) vs the
+// first request after a restart that rehydrated the converged session from
+// the store.
+type warmRestartProbe struct {
+	Shards int `json:"shards"`
+	// ConvergeRequests is how many adaptive runs the first server needed
+	// before the plan converged and was persisted.
+	ConvergeRequests int `json:"converge_requests"`
+	// StoreRecords / RehydratedSessions come from the restarted server's
+	// /stats store block: records on disk, sessions restored at startup.
+	StoreRecords       int `json:"store_records"`
+	RehydratedSessions int `json:"rehydrated_sessions"`
+	// ColdFirstVirtualNs is the first request's virtual latency on the
+	// fresh server (serial plan, first adaptive run); WarmFirstVirtualNs is
+	// the first request's virtual latency on the restarted server, served
+	// from the rehydrated converged plan.
+	ColdFirstVirtualNs float64 `json:"cold_first_virtual_ns"`
+	WarmFirstVirtualNs float64 `json:"warm_first_virtual_ns"`
+	// WarmFirstConverged records that the restarted server's FIRST request
+	// was already in the converged state — the warm-restart property.
+	WarmFirstConverged bool `json:"warm_first_converged"`
+	// VirtualSpeedup is cold-first over warm-first virtual latency: the
+	// restart win from persistence.
+	VirtualSpeedup float64 `json:"virtual_speedup"`
+	// Wall-clock first-request times (host ms). The warm number includes no
+	// convergence but does include the plan's one-time compilation.
+	ColdFirstWallMs float64 `json:"cold_first_wall_ms"`
+	WarmFirstWallMs float64 `json:"warm_first_wall_ms"`
+}
+
+// runWarmRestartProbe converges one query against a temporary store file,
+// closes the server (flushing the write-behind queue), restarts on the same
+// store, and measures the restarted server's first request.
+func runWarmRestartProbe(cfg apq.ServerConfig) (*warmRestartProbe, error) {
+	dir, err := os.MkdirTemp("", "apqd-selfbench-store-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	cfg.Shards = 1
+	cfg.Tenants = nil
+	cfg.StorePath = filepath.Join(dir, "conv.apqs")
+	body := `{"select_sum":{"table":"lineitem","column":"l_quantity","lo":1,"hi":6}}`
+
+	serve := func(h http.Handler, method, path, body string) (map[string]any, error) {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(method, path, bytes.NewReader([]byte(body)))
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			return nil, fmt.Errorf("selfbench warm-restart: %s %s: status %d: %s", method, path, rec.Code, rec.Body.String())
+		}
+		var out map[string]any
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+
+	p := &warmRestartProbe{Shards: cfg.Shards}
+
+	// Phase 1: fresh server on an empty store. The first request is the
+	// cold measurement; then drive to convergence so the session persists.
+	s1, err := apq.NewServer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	h1 := s1.Handler()
+	t0 := time.Now()
+	resp, err := serve(h1, http.MethodPost, "/query", body)
+	if err != nil {
+		s1.Close()
+		return nil, err
+	}
+	p.ColdFirstWallMs = float64(time.Since(t0).Microseconds()) / 1e3
+	p.ColdFirstVirtualNs, _ = resp["latency_ns"].(float64)
+	p.ConvergeRequests = 1
+	for r := 0; r < 4000 && resp["state"] != "converged"; r++ {
+		if resp, err = serve(h1, http.MethodPost, "/query", body); err != nil {
+			s1.Close()
+			return nil, err
+		}
+		p.ConvergeRequests++
+	}
+	converged := resp["state"] == "converged"
+	// Close flushes the write-behind queue and closes the store.
+	s1.Close()
+	if !converged {
+		return nil, fmt.Errorf("selfbench warm-restart: query did not converge within 4000 requests")
+	}
+
+	// Phase 2: restart on the same store file; the first request must be
+	// served from the rehydrated converged session.
+	s2, err := apq.NewServer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer s2.Close()
+	h2 := s2.Handler()
+	t0 = time.Now()
+	if resp, err = serve(h2, http.MethodPost, "/query", body); err != nil {
+		return nil, err
+	}
+	p.WarmFirstWallMs = float64(time.Since(t0).Microseconds()) / 1e3
+	p.WarmFirstVirtualNs, _ = resp["latency_ns"].(float64)
+	p.WarmFirstConverged = resp["state"] == "converged"
+	if p.WarmFirstVirtualNs > 0 {
+		p.VirtualSpeedup = p.ColdFirstVirtualNs / p.WarmFirstVirtualNs
+	}
+
+	stats, err := serve(h2, http.MethodGet, "/stats", "")
+	if err != nil {
+		return nil, err
+	}
+	if st, ok := stats["store"].(map[string]any); ok {
+		if v, ok := st["records"].(float64); ok {
+			p.StoreRecords = int(v)
+		}
+		if v, ok := st["rehydrated_sessions"].(float64); ok {
+			p.RehydratedSessions = int(v)
+		}
 	}
 	return p, nil
 }

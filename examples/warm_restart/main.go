@@ -1,0 +1,148 @@
+// Example warm_restart demonstrates the persistent convergence store: a
+// query service converges a query (each request one adaptive run), persists
+// the converged session to a single-file store, shuts down, and a second
+// service started on the same store file serves the query converged from its
+// very FIRST request — the learned plan survives the restart instead of
+// being re-discovered. The export/import path is shown too: the first
+// store's records round-trip through a self-describing export file into a
+// fresh store, which a third service rehydrates identically.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+
+	apq "repro"
+)
+
+type queryResponse struct {
+	Session   string  `json:"session"`
+	State     string  `json:"state"`
+	Run       int     `json:"run"`
+	CacheHit  bool    `json:"cache_hit"`
+	LatencyNs float64 `json:"latency_ns"`
+	Speedup   float64 `json:"speedup"`
+	DOP       int     `json:"dop"`
+}
+
+type storeStats struct {
+	Records            int   `json:"records"`
+	FileBytes          int64 `json:"file_bytes"`
+	RehydratedSessions int   `json:"rehydrated_sessions"`
+	RecordsWritten     int   `json:"records_written"`
+}
+
+func serve(srv *apq.Server, body string) queryResponse {
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", "/query", bytes.NewReader([]byte(body)))
+	srv.Handler().ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		log.Fatalf("POST /query: status %d: %s", rec.Code, rec.Body.String())
+	}
+	var qr queryResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &qr); err != nil {
+		log.Fatal(err)
+	}
+	return qr
+}
+
+func stats(srv *apq.Server) storeStats {
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/stats", nil))
+	var resp struct {
+		Store storeStats `json:"store"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		log.Fatal(err)
+	}
+	return resp.Store
+}
+
+func main() {
+	dir, err := os.MkdirTemp("", "apq-warm-restart-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	storePath := filepath.Join(dir, "plans.apqs")
+
+	db := apq.LoadTPCH(0.5, 42)
+	cfg := apq.ServerConfig{
+		DB:         db,
+		Machine:    apq.TwoSocketMachine(),
+		DBIdentity: apq.DBIdentity("tpch", 0.5, 42),
+		Benchmark:  "tpch",
+		Shards:     1,
+		StorePath:  storePath,
+	}
+	body := `{"query":6}`
+
+	// Service one: converge from scratch. The first request runs the serial
+	// plan; hundreds of adaptive runs later the global-minimum plan is
+	// found, and the converged session is persisted write-behind.
+	srv1, err := apq.NewServer(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	first := serve(srv1, body)
+	qr := first
+	runs := 1
+	for ; qr.State != "converged" && runs < 1000; runs++ {
+		qr = serve(srv1, body)
+	}
+	if qr.State != "converged" {
+		log.Fatal("q6 never converged")
+	}
+	fmt.Printf("service 1: converged q6 in %d requests (first %.3f ms, converged %.3f ms, %.2fx, dop %d)\n",
+		runs, first.LatencyNs/1e6, qr.LatencyNs/1e6, qr.Speedup, qr.DOP)
+	srv1.Close() // drains requests, flushes the write-behind queue, closes the store
+	fmt.Printf("service 1: closed; store persisted at %s\n\n", filepath.Base(storePath))
+
+	// Service two: same store file. The converged session is rehydrated at
+	// startup — identity-checked against the dataset — so request ONE is a
+	// cache hit on the converged plan.
+	srv2, err := apq.NewServer(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	warm := serve(srv2, body)
+	st := stats(srv2)
+	fmt.Printf("service 2: rehydrated %d session(s) from %d record(s) (%d bytes on disk)\n",
+		st.RehydratedSessions, st.Records, st.FileBytes)
+	fmt.Printf("service 2: FIRST request: state=%s cache_hit=%v run=%d, %.3f ms (vs %.3f ms cold first) — %.1fx\n\n",
+		warm.State, warm.CacheHit, warm.Run, warm.LatencyNs/1e6, first.LatencyNs/1e6, first.LatencyNs/warm.LatencyNs)
+	if warm.State != "converged" || !warm.CacheHit {
+		log.Fatalf("warm restart failed: first request %+v", warm)
+	}
+	srv2.Close()
+
+	// Export service one's plans and import them into a brand-new store: the
+	// same converged serving moves to a daemon that never learned anything.
+	exportPath := filepath.Join(dir, "plans.apqx")
+	freshPath := filepath.Join(dir, "fresh.apqs")
+	n, err := apq.ExportPlans(storePath, exportPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exported %d record(s) to %s, importing into %s\n", n, filepath.Base(exportPath), filepath.Base(freshPath))
+	if _, err := apq.ImportPlans(freshPath, exportPath); err != nil {
+		log.Fatal(err)
+	}
+	cfg.StorePath = freshPath
+	srv3, err := apq.NewServer(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv3.Close()
+	imported := serve(srv3, body)
+	fmt.Printf("service 3 (import of exported plans): FIRST request: state=%s cache_hit=%v, %.3f ms\n",
+		imported.State, imported.CacheHit, imported.LatencyNs/1e6)
+	if imported.State != "converged" {
+		log.Fatal("imported plans did not serve converged")
+	}
+}

@@ -75,6 +75,11 @@ func NewConvergence(cfg ConvergenceConfig) *Convergence {
 // Run returns the number of runs observed so far (the serial run is run 0).
 func (c *Convergence) Run() int { return c.run }
 
+// Config returns the configuration the state machine runs with, after
+// NewConvergence defaulting — the values a snapshot must persist so a replay
+// reproduces this machine exactly.
+func (c *Convergence) Config() ConvergenceConfig { return c.cfg }
+
 // GME returns the global-minimum execution time observed, the run at which
 // it occurred, and whether one exists yet.
 func (c *Convergence) GME() (ns float64, run int, ok bool) {

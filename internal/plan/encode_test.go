@@ -1,0 +1,130 @@
+package plan
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/algebra"
+)
+
+// testPlan builds a plan exercising every aux type, multi-ret instructions,
+// non-full parts, and comments — the surface the canonical form must cover.
+func testPlan() *Plan {
+	b := NewBuilder()
+	col := b.Bind("lineitem", "l_quantity")
+	sel := b.Select(col, algebra.Between(1, 24))
+	vals := b.Fetch(sel, col)
+	sum := b.Aggr(algebra.AggrSum, vals)
+	b.Result(sum)
+	p := b.Plan()
+	// Decorate with the features mutation produces: parts and comments.
+	lo, hi := FullPart().Split()
+	p.Instrs[1].Part = lo
+	p.Instrs[2].Part = hi
+	p.Instrs[2].Comment = "clone of fetch #2"
+	return p
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := testPlan()
+	enc := Encode(p)
+	q, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := q.String(), p.String(); got != want {
+		t.Fatalf("decoded plan differs:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	if q.NVars() != p.NVars() {
+		t.Fatalf("NVars: got %d, want %d", q.NVars(), p.NVars())
+	}
+	for v := 0; v < p.NVars(); v++ {
+		if q.KindOf(VarID(v)) != p.KindOf(VarID(v)) {
+			t.Fatalf("var %d kind: got %v, want %v", v, q.KindOf(VarID(v)), p.KindOf(VarID(v)))
+		}
+	}
+	for i, in := range p.Instrs {
+		qi := q.Instrs[i]
+		if qi.Op != in.Op || qi.Part != in.Part || qi.Comment != in.Comment {
+			t.Fatalf("instr %d: got %+v, want %+v", i, qi, in)
+		}
+		if qi.Aux != in.Aux {
+			t.Fatalf("instr %d aux: got %#v, want %#v", i, qi.Aux, in.Aux)
+		}
+	}
+	// Canonical: re-encoding the decoded plan is bit-identical.
+	if re := Encode(q); !bytes.Equal(re, enc) {
+		t.Fatalf("re-encode differs: %d vs %d bytes", len(re), len(enc))
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatalf("decoded plan fails validation: %v", err)
+	}
+}
+
+func TestEncodeCoversEveryAux(t *testing.T) {
+	p := New()
+	c1 := p.NewVar(KindColumn, "a")
+	c2 := p.NewVar(KindColumn, "b")
+	oids := p.NewVar(KindOids, "o")
+	sc := p.NewVar(KindScalar, "s")
+	gr := p.NewVar(KindGroups, "g")
+	p.Append(&Instr{Op: OpBind, Rets: []VarID{c1}, Part: FullPart(), Aux: BindAux{Table: "t", Column: "c"}})
+	p.Append(&Instr{Op: OpConst, Rets: []VarID{sc}, Part: FullPart(), Aux: ConstAux{Value: -7}})
+	p.Append(&Instr{Op: OpSelect, Args: []VarID{c1}, Rets: []VarID{oids}, Part: FullPart(),
+		Aux: SelectAux{Pred: algebra.Range{Lo: algebra.NoLow, Hi: 5, HiIncl: true}}})
+	p.Append(&Instr{Op: OpLikeSelect, Args: []VarID{c1}, Rets: []VarID{oids}, Part: FullPart(),
+		Aux: LikeAux{Pattern: "x%", Kind: algebra.LikePrefix, Anti: true}})
+	p.Append(&Instr{Op: OpCalcSV, Args: []VarID{c1}, Rets: []VarID{c2}, Part: FullPart(),
+		Aux: CalcAux{Op: algebra.CalcMul, Scalar: 3, ScalarLeft: true}})
+	p.Append(&Instr{Op: OpGroupBy, Args: []VarID{c1}, Rets: []VarID{gr}, Part: FullPart()})
+	p.Append(&Instr{Op: OpAggr, Args: []VarID{c2}, Rets: []VarID{sc}, Part: FullPart(),
+		Aux: AggrAux{Func: algebra.AggrMax}})
+	p.Append(&Instr{Op: OpSort, Args: []VarID{c1}, Rets: []VarID{c2, oids}, Part: FullPart(),
+		Aux: SortAux{Desc: true}})
+	enc := Encode(p)
+	q, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, in := range p.Instrs {
+		if q.Instrs[i].Aux != in.Aux {
+			t.Fatalf("instr %d aux: got %#v, want %#v", i, q.Instrs[i].Aux, in.Aux)
+		}
+	}
+	if re := Encode(q); !bytes.Equal(re, enc) {
+		t.Fatal("re-encode differs")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":       nil,
+		"bad magic":   []byte("NOTAPLAN"),
+		"bad version": append([]byte("APQP"), 99),
+		"truncated":   Encode(testPlan())[:10],
+		"trailing":    append(Encode(testPlan()), 0xFF),
+	}
+	for name, data := range cases {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("%s: Decode accepted invalid input", name)
+		}
+	}
+	// Flip every byte of a valid encoding one at a time: decoding must
+	// either fail cleanly or produce a structurally sane plan — never panic.
+	enc := Encode(testPlan())
+	for i := range enc {
+		mut := append([]byte(nil), enc...)
+		mut[i] ^= 0x40
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Decode panicked on corrupt byte %d: %v", i, r)
+				}
+			}()
+			p, err := Decode(mut)
+			if err == nil {
+				_ = p.String() // must at least be printable without panicking
+			}
+		}()
+	}
+}

@@ -70,6 +70,16 @@ type Config struct {
 	// Mutation and Convergence tune the sessions the cache creates.
 	Mutation    core.MutationConfig
 	Convergence core.ConvergenceConfig
+	// Persist, when set, is the write-behind persistence hook: it fires
+	// once when a session converges (from the invocation that observed the
+	// done transition) and again when a converged entry is evicted, so the
+	// persistent convergence store always holds the session's final state.
+	// It never fires on the converged serving path — persistence costs
+	// nothing on hot requests — and never for unconverged or failed
+	// sessions. The hook may be called with the cache's internal lock held:
+	// it must not call back into the cache, and should only hand the entry
+	// off (e.g. enqueue on a store.Synchronizer).
+	Persist func(*Entry)
 }
 
 // maxTraceInvocations bounds the per-entry invocation log: a long-lived
@@ -147,6 +157,10 @@ type Stats struct {
 	Misses    int64 `json:"misses"`
 	Evictions int64 `json:"evictions"`
 	Converged int   `json:"converged"`
+	// Rehydrated counts sessions restored from the persistent convergence
+	// store at startup (lifetime count; restored entries can still be
+	// evicted later).
+	Rehydrated int64 `json:"rehydrated,omitempty"`
 }
 
 // Cache maps query fingerprints to live adaptive sessions.
@@ -159,7 +173,7 @@ type Cache struct {
 	seq  int
 	tick int64
 
-	hits, misses, evictions int64
+	hits, misses, evictions, rehydrated int64
 
 	// quotas bounds live sessions per tenant tag (missing or 0 = unlimited);
 	// tenantEntries tracks each tag's live session count (kept in step with
@@ -299,6 +313,12 @@ func (c *Cache) InvokeTenant(tenant, fp, query string, build func() (*plan.Plan,
 			c.dropEntry(e)
 			return nil, err
 		}
+		if e.Session.Done() && c.cfg.Persist != nil {
+			// This invocation observed the done transition: the session's
+			// state is final from here on, so persist it now. Still on the
+			// cold path — converged serving below never reaches this.
+			c.cfg.Persist(e)
+		}
 		att := e.Session.Attempts()
 		last := att[len(att)-1]
 		values, profile = last.Results, last.Profile
@@ -335,6 +355,47 @@ func (c *Cache) InvokeTenant(tenant, fp, query string, build func() (*plan.Plan,
 	return &Result{Entry: e, Values: values, Profile: profile, Invocation: inv, Created: created}, nil
 }
 
+// Restore inserts an already-converged session rehydrated from the
+// persistent convergence store, so the first invocation of fp is a cache
+// hit served from the learned plan instead of a cold re-adaptation. The
+// caller is responsible for identity checks (the session must have been
+// built against this cache's engine dataset). Restores count as rehydrated
+// sessions, not as misses; a fingerprint already live in the cache wins
+// over the store and Restore returns nil. Restored entries participate in
+// eviction like any other entry, including tenant quotas.
+func (c *Cache) Restore(tenant, fp, query string, sess *core.Session) *Entry {
+	if sess == nil || !sess.Done() {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.byFP[fp]; ok {
+		return nil
+	}
+	c.seq++
+	e := &Entry{
+		ID:          fmt.Sprintf("%s%d", c.cfg.IDPrefix, c.seq),
+		Fingerprint: fp,
+		Query:       query,
+		Tenant:      tenant,
+		Session:     sess,
+		cache:       c,
+		seq:         c.seq,
+	}
+	c.byFP[fp] = e
+	c.byID[e.ID] = e
+	c.rehydrated++
+	c.tenantCounterLocked(tenant).Rehydrated++
+	if c.tenantEntries == nil {
+		c.tenantEntries = map[string]int{}
+	}
+	c.tenantEntries[tenant]++
+	c.tick++
+	e.lastUsed = c.tick
+	c.evictOverflowLocked(e)
+	return e
+}
+
 // tenantCounterLocked returns (creating if needed) the counter record for a
 // tenant tag. Only Hits/Misses/Evictions accumulate here; Entries and
 // Converged are computed on read.
@@ -350,24 +411,30 @@ func (c *Cache) tenantCounterLocked(tenant string) *Stats {
 	return st
 }
 
-// dropEntry removes a failed entry (counted as an eviction).
+// dropEntry removes a failed entry (counted as an eviction). A failed
+// entry's state is suspect, so it is never persisted on the way out.
 func (c *Cache) dropEntry(e *Entry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.byFP[e.Fingerprint] == e {
-		c.removeLocked(e)
+		c.removeLocked(e, false)
 	}
 }
 
 // removeLocked unlinks an entry, counts the eviction (globally and for the
 // entry's tenant), and releases the session's compilations back to the
-// engine's buffer pool.
-func (c *Cache) removeLocked(e *Entry) {
+// engine's buffer pool. With persist set, a converged entry is handed to
+// the persistence hook first (with c.mu held — see Config.Persist), so an
+// evicted-then-reinvoked query rehydrates hot after the next restart.
+func (c *Cache) removeLocked(e *Entry, persist bool) {
 	delete(c.byFP, e.Fingerprint)
 	delete(c.byID, e.ID)
 	c.evictions++
 	c.tenantCounterLocked(e.Tenant).Evictions++
 	c.tenantEntries[e.Tenant]--
+	if persist && c.cfg.Persist != nil && e.Session.Done() {
+		c.cfg.Persist(e)
+	}
 	e.Session.Release()
 }
 
@@ -390,7 +457,7 @@ func (c *Cache) evictOverflowLocked(keep *Entry) {
 			if victim == nil {
 				return
 			}
-			c.removeLocked(victim)
+			c.removeLocked(victim, true)
 		}
 	}
 	if c.cfg.MaxEntries <= 0 {
@@ -410,7 +477,7 @@ func (c *Cache) evictOverflowLocked(keep *Entry) {
 		// The evicted session's plan compilations (and their arena buffers)
 		// go back to the engine pool instead of lingering until the
 		// engine's schedule-cache overflow.
-		c.removeLocked(victim)
+		c.removeLocked(victim, true)
 	}
 }
 
@@ -467,7 +534,7 @@ func (c *Cache) Evict(fp string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.byFP[fp]; ok {
-		c.removeLocked(e)
+		c.removeLocked(e, true)
 	}
 }
 
@@ -476,10 +543,11 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := Stats{
-		Entries:   len(c.byFP),
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
+		Entries:    len(c.byFP),
+		Hits:       c.hits,
+		Misses:     c.misses,
+		Evictions:  c.evictions,
+		Rehydrated: c.rehydrated,
 	}
 	for _, e := range c.byFP {
 		if e.Session.Done() {

@@ -57,6 +57,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/plan"
 	"repro/internal/plancache"
+	"repro/internal/store"
 	"repro/internal/tpcds"
 	"repro/internal/tpch"
 	"repro/internal/vectorwise"
@@ -91,6 +92,13 @@ type Config struct {
 	// Mutation and Convergence tune adaptive sessions (zero = defaults).
 	Mutation    core.MutationConfig
 	Convergence core.ConvergenceConfig
+	// Store, when set, is the persistent convergence store: converged
+	// sessions are written behind (batched by a background synchronizer,
+	// never on the serving hot path) and rehydrated into the shard caches
+	// at startup, so the first request after a restart is already served
+	// from the learned plan. The server flushes the synchronizer on Close
+	// but does not close the store — the opener owns its lifetime.
+	Store *store.Store
 }
 
 // shard is one engine replica: a simulated machine, its plan-session cache,
@@ -141,6 +149,12 @@ type Server struct {
 	// engine dispatch — a test seam that makes concurrent admission
 	// observable deterministically on single-CPU machines.
 	admitHook func()
+
+	// sync is the write-behind path to cfg.Store (nil without a store);
+	// rehydrated/skippedRecords count startup rehydration outcomes.
+	sync           *store.Synchronizer
+	rehydrated     int
+	skippedRecords int
 }
 
 // New creates a Server over a pool of engine shards.
@@ -212,21 +226,43 @@ func New(cfg Config) (*Server, error) {
 		s.tenants[t.Name] = tn
 		s.tenantList = append(s.tenantList, tn)
 	}
+	if cfg.Store != nil {
+		s.sync = store.NewSynchronizer(cfg.Store)
+	}
 	for i, eng := range engines {
 		prefix := "s"
 		if len(engines) > 1 {
 			// Namespace ids per shard so /sessions/{id} stays unique.
 			prefix = fmt.Sprintf("s%d.", i)
 		}
+		ccfg := plancache.Config{
+			MaxEntries:  cfg.CacheSize,
+			IDPrefix:    prefix,
+			Mutation:    cfg.Mutation,
+			Convergence: cfg.Convergence,
+		}
+		if s.sync != nil {
+			// Write-behind persistence: the hook fires on convergence and
+			// converged eviction (cold events only — never the converged
+			// serving path) and just snapshots + enqueues; the synchronizer
+			// goroutine does the encoding batch-wise off the request path.
+			shardEng := eng
+			ccfg.Persist = func(e *plancache.Entry) {
+				tn := s.tenantByTag(e.Tenant)
+				if tn == nil {
+					return
+				}
+				snap, err := e.Session.Snapshot()
+				if err != nil {
+					return
+				}
+				s.sync.Enqueue(store.NewRecord(e.Fingerprint, tn.DBIdentity, e.Tenant, e.Query, snap, shardEng.Params()))
+			}
+		}
 		sh := &shard{
-			id:  i,
-			eng: eng,
-			cache: plancache.New(eng, plancache.Config{
-				MaxEntries:  cfg.CacheSize,
-				IDPrefix:    prefix,
-				Mutation:    cfg.Mutation,
-				Convergence: cfg.Convergence,
-			}),
+			id:    i,
+			eng:   eng,
+			cache: plancache.New(eng, ccfg),
 		}
 		// Per-tenant session quotas live inside each shard's cache, tagged
 		// by tenant, so the eviction policy can scope an over-quota tenant's
@@ -238,6 +274,9 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.shards = append(s.shards, sh)
 	}
+	if cfg.Store != nil {
+		s.rehydrate(cfg.Store)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/query", s.handleQuery)
 	s.mux.HandleFunc("/sessions", s.handleSessions)
@@ -245,6 +284,47 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	return s, nil
+}
+
+// tenantByTag resolves a cache tenant tag ("" = default) to its state.
+func (s *Server) tenantByTag(tag string) *tenantState {
+	if tag == "" {
+		return s.defTenant
+	}
+	return s.tenants[tag]
+}
+
+// rehydrate restores the persistent store's converged sessions into the
+// shard caches before the server starts taking requests. Every record is
+// identity-checked: its tenant must still exist, the tenant's DBIdentity
+// must match the record's (same data), and the engine's cost calibration
+// must match the one the history was measured under (same machine model).
+// A mismatched or unrestorable record is skipped and counted — never
+// merged, never fatal: the query it belonged to simply converges afresh.
+func (s *Server) rehydrate(st *store.Store) {
+	for _, rec := range st.Records() {
+		rec := rec
+		tn := s.tenantByTag(rec.Tenant)
+		if tn == nil || tn.DBIdentity != rec.DBIdentity {
+			s.skippedRecords++
+			continue
+		}
+		sh := s.shardFor(rec.Fingerprint)
+		if rec.HasCost && rec.CostParams != sh.eng.Params() {
+			s.skippedRecords++
+			continue
+		}
+		sess, err := rec.RestoreSession(sh.eng, s.cfg.Mutation)
+		if err != nil {
+			s.skippedRecords++
+			continue
+		}
+		if sh.cache.Restore(rec.Tenant, rec.Fingerprint, rec.Query, sess) == nil {
+			s.skippedRecords++
+			continue
+		}
+		s.rehydrated++
+	}
 }
 
 // Handler returns the HTTP handler tree.
@@ -264,6 +344,12 @@ func (s *Server) Close() {
 	s.closed = true
 	s.closeMu.Unlock()
 	s.inflight.Wait()
+	if s.sync != nil {
+		// Drain the write-behind queue so every session that converged
+		// before shutdown is durable. The store itself stays open — its
+		// opener closes it after us.
+		s.sync.Close()
+	}
 }
 
 // shardFor pins a fingerprint to a shard. The hash is stable for a given
@@ -953,6 +1039,26 @@ type StatsResponse struct {
 	// Tenants breaks the serving counters down per tenant (default tenant
 	// first, then config order); cache counters aggregate across shards.
 	Tenants []TenantStatsInfo `json:"tenants"`
+	// Store reports the persistent convergence store (absent when the
+	// server runs without one).
+	Store *StoreStatsInfo `json:"store,omitempty"`
+}
+
+// StoreStatsInfo is the /stats view of the persistent convergence store:
+// the store file's own counters plus the serving-side rehydration and
+// write-behind state.
+type StoreStatsInfo struct {
+	store.Stats
+	// RehydratedSessions counts sessions restored into the shard caches at
+	// startup; SkippedRecords counts records refused by the identity,
+	// calibration, or integrity checks.
+	RehydratedSessions int `json:"rehydrated_sessions"`
+	SkippedRecords     int `json:"skipped_records,omitempty"`
+	// WriteBehindQueueDepth is the synchronizer backlog (records accepted
+	// but not yet durable); RecordsWritten counts durable write-behind
+	// records since start.
+	WriteBehindQueueDepth int `json:"write_behind_queue_depth"`
+	RecordsWritten        int `json:"records_written"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -1007,6 +1113,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				tc.Misses += tst.Misses
 				tc.Evictions += tst.Evictions
 				tc.Converged += tst.Converged
+				tc.Rehydrated += tst.Rehydrated
 			}
 		}
 		resp.PerShard = append(resp.PerShard, st)
@@ -1015,11 +1122,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Cache.Misses += st.Cache.Misses
 		resp.Cache.Evictions += st.Cache.Evictions
 		resp.Cache.Converged += st.Cache.Converged
+		resp.Cache.Rehydrated += st.Cache.Rehydrated
 		if st.VirtualNowNs > resp.VirtualNowNs {
 			resp.VirtualNowNs = st.VirtualNowNs
 		}
 		if st.PeakClients > resp.PeakClients {
 			resp.PeakClients = st.PeakClients
+		}
+	}
+	if s.cfg.Store != nil {
+		resp.Store = &StoreStatsInfo{
+			Stats:                 s.cfg.Store.Stats(),
+			RehydratedSessions:    s.rehydrated,
+			SkippedRecords:        s.skippedRecords,
+			WriteBehindQueueDepth: s.sync.QueueDepth(),
+			RecordsWritten:        s.sync.Written(),
 		}
 	}
 	writeJSON(w, resp)

@@ -140,11 +140,12 @@ type TenantStatsInfo struct {
 	// Cache aggregates the tenant's plan-session cache counters across
 	// shards: live sessions, hits, misses, evictions, converged.
 	Cache struct {
-		Entries   int   `json:"entries"`
-		Hits      int64 `json:"hits"`
-		Misses    int64 `json:"misses"`
-		Evictions int64 `json:"evictions"`
-		Converged int   `json:"converged"`
+		Entries    int   `json:"entries"`
+		Hits       int64 `json:"hits"`
+		Misses     int64 `json:"misses"`
+		Evictions  int64 `json:"evictions"`
+		Converged  int   `json:"converged"`
+		Rehydrated int64 `json:"rehydrated,omitempty"`
 	} `json:"cache"`
 }
 

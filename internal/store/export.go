@@ -1,0 +1,129 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// Export files are the plan-shipping interchange format: a self-describing
+// snapshot of a store's live records that a second daemon imports to serve
+// another daemon's converged plans. Layout: 8-byte magic, uint32 record
+// format version, uint32 record count, then the records as CRC frames
+// sorted by fingerprint. The sort plus the deterministic record codec make
+// export → import → export reproduce the file bit-for-bit.
+var exportMagic = [8]byte{'A', 'P', 'Q', 'X', 'P', 'O', 'R', 'T'}
+
+const exportHeaderLen = 16 // magic + version + count
+
+// Export writes the store's live records to path, atomically (temp file +
+// rename). It returns the number of records written.
+func (s *Store) Export(path string) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, fmt.Errorf("store: %s is closed", s.path)
+	}
+	recs := s.sortedLocked()
+	var hdr [exportHeaderLen]byte
+	copy(hdr[:], exportMagic[:])
+	binary.LittleEndian.PutUint32(hdr[8:], CurrentFormat)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(recs)))
+	buf := hdr[:]
+	for i := range recs {
+		payload, err := encodeRecord(&recs[i], CurrentFormat)
+		if err != nil {
+			return 0, fmt.Errorf("store: export: %w", err)
+		}
+		var fh [frameLen]byte
+		binary.LittleEndian.PutUint32(fh[:], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(fh[4:], crc32.Checksum(payload, crcTable))
+		buf = append(buf, fh[:]...)
+		buf = append(buf, payload...)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return 0, fmt.Errorf("store: export: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("store: export: %w", err)
+	}
+	return len(recs), nil
+}
+
+// Import merges the records of an export file written by this build's
+// format version or any older one (older records are migrated on decode).
+// Unlike the append log, an export file is a finished document: any framing
+// or checksum damage is an error, never silently skipped or truncated.
+// Imported records supersede same-fingerprint records already in the store.
+// Returns the number of records imported.
+func (s *Store) Import(path string) (int, error) {
+	recs, err := ReadExport(path)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, fmt.Errorf("store: %s is closed", s.path)
+	}
+	for i := range recs {
+		if err := s.appendLocked(&recs[i]); err != nil {
+			return 0, err
+		}
+	}
+	if err := s.f.Sync(); err != nil {
+		return 0, fmt.Errorf("store: import: %w", err)
+	}
+	return len(recs), nil
+}
+
+// ReadExport parses an export file and returns its records, migrated to the
+// current format. It rejects files with foreign magic, format versions
+// newer than this build, corrupt frames, or record counts that do not match
+// the header — each with a distinct, actionable error.
+func ReadExport(path string) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: import %s: %w", path, err)
+	}
+	if len(data) < exportHeaderLen || [8]byte(data[:8]) != exportMagic {
+		return nil, fmt.Errorf("store: %s is not a plan export file (bad magic)", path)
+	}
+	version := int(binary.LittleEndian.Uint32(data[8:12]))
+	if version > CurrentFormat {
+		return nil, fmt.Errorf("store: %s is export format version %d, newer than this build supports (%d) — upgrade before importing", path, version, CurrentFormat)
+	}
+	if version < FormatV1 {
+		return nil, fmt.Errorf("store: %s carries invalid export format version %d", path, version)
+	}
+	count := int(binary.LittleEndian.Uint32(data[12:16]))
+	recs := make([]Record, 0, count)
+	off := exportHeaderLen
+	for i := 0; i < count; i++ {
+		if len(data)-off < frameLen {
+			return nil, fmt.Errorf("store: %s: truncated at record %d of %d", path, i+1, count)
+		}
+		plen := binary.LittleEndian.Uint32(data[off:])
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if plen > maxPayload || len(data)-off-frameLen < int(plen) {
+			return nil, fmt.Errorf("store: %s: truncated at record %d of %d", path, i+1, count)
+		}
+		payload := data[off+frameLen : off+frameLen+int(plen)]
+		if crc32.Checksum(payload, crcTable) != sum {
+			return nil, fmt.Errorf("store: %s: record %d of %d fails its checksum — file is corrupt", path, i+1, count)
+		}
+		rec, err := decodeRecord(payload, version)
+		if err != nil {
+			return nil, fmt.Errorf("store: %s: record %d of %d does not decode at format version %d: %w", path, i+1, count, version, err)
+		}
+		recs = append(recs, rec)
+		off += frameLen + int(plen)
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("store: %s: %d trailing bytes after %d records", path, len(data)-off, count)
+	}
+	return recs, nil
+}

@@ -1,0 +1,315 @@
+// Package store is the embedded, crash-safe convergence store behind warm
+// restarts (ROADMAP item 2). It persists one record per converged
+// plan-session — fingerprint, tenant dataset identity, the best plan in its
+// canonical serialized form, the convergence history, and the engine's cost
+// calibration — in a single append-log file with CRC-framed records,
+// truncate-to-last-valid crash recovery, and periodic compaction. Pure Go,
+// no cgo, no dependencies beyond the standard library and the repo's own
+// plan/cost packages.
+//
+// The on-disk schema carries an explicit format version. Version bumps
+// follow one discipline: old versions keep a decoder forever, Open migrates
+// old files forward by rewriting them at the current version, and unknown
+// (future) versions are rejected with an error, never guessed at. The
+// v1→v2 migration (v2 added per-record tenant names, outlier runs, and the
+// cost calibration) is the template.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/cost"
+)
+
+// Store format versions. CurrentFormat is what new files and new records
+// are written at; every older version listed here can still be read and is
+// migrated forward on Open.
+const (
+	// FormatV1 recorded {fingerprint, db identity, query, plan, history,
+	// convergence config}.
+	FormatV1 = 1
+	// FormatV2 added the tenant name, the outlier-run list, and the cost
+	// calibration the history was measured under.
+	FormatV2 = 2
+
+	CurrentFormat = FormatV2
+)
+
+// Record is one persisted converged session.
+type Record struct {
+	// Fingerprint is the plan-session cache key: hash of the tenant's
+	// dataset identity and the query.
+	Fingerprint string
+	// DBIdentity is the dataset identity the session converged against.
+	// Rehydration refuses records whose identity no longer matches the
+	// serving tenant's — a stale plan for different data is never merged.
+	DBIdentity string
+	// Tenant names the owning tenant ("" = the daemon's default tenant).
+	// Since v2.
+	Tenant string
+	// Query is the cached query in its cache-key form (named query or
+	// builder-spec JSON).
+	Query string
+	// PlanBytes is the best plan in canonical plan.Encode form.
+	PlanBytes []byte
+	// History is the per-run execution-time sequence; replaying it through
+	// the convergence algorithm reconstructs the session's state exactly.
+	History []float64
+	// Outliers are the runs convergence flagged as noise peaks. Since v2.
+	Outliers []int
+	// Cores, ExtraRuns, GMEThreshold are the session's ConvergenceConfig —
+	// the replay must run under the same calibration that produced History.
+	Cores        int
+	ExtraRuns    int
+	GMEThreshold float64
+	// HasCost marks whether CostParams was recorded. Records migrated from
+	// v1 have no calibration (HasCost=false) and rehydrate against any
+	// engine. Since v2.
+	HasCost bool
+	// CostParams is the engine cost calibration the history was measured
+	// under; rehydration skips records whose calibration differs from the
+	// serving engine's. Since v2.
+	CostParams cost.Params
+}
+
+// encodeRecord renders rec at the given format version. Encoding is
+// deterministic — identical records produce identical bytes — which is what
+// makes compaction and export output reproducible bit-for-bit.
+func encodeRecord(rec *Record, version int) ([]byte, error) {
+	switch version {
+	case FormatV1, FormatV2:
+	default:
+		return nil, fmt.Errorf("store: cannot encode record at unknown format version %d", version)
+	}
+	buf := make([]byte, 0, 64+len(rec.Fingerprint)+len(rec.DBIdentity)+len(rec.Query)+len(rec.PlanBytes)+8*len(rec.History))
+	buf = appendString(buf, rec.Fingerprint)
+	buf = appendString(buf, rec.DBIdentity)
+	if version >= FormatV2 {
+		buf = appendString(buf, rec.Tenant)
+	}
+	buf = appendString(buf, rec.Query)
+	buf = appendBytes(buf, rec.PlanBytes)
+	buf = binary.AppendUvarint(buf, uint64(len(rec.History)))
+	for _, h := range rec.History {
+		buf = appendFloat(buf, h)
+	}
+	if version >= FormatV2 {
+		buf = binary.AppendUvarint(buf, uint64(len(rec.Outliers)))
+		for _, o := range rec.Outliers {
+			buf = binary.AppendUvarint(buf, uint64(o))
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(rec.Cores))
+	buf = binary.AppendUvarint(buf, uint64(rec.ExtraRuns))
+	buf = appendFloat(buf, rec.GMEThreshold)
+	if version >= FormatV2 {
+		if rec.HasCost {
+			buf = append(buf, 1)
+			buf = appendCost(buf, rec.CostParams)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	return buf, nil
+}
+
+// decodeRecord parses a record payload written at the given format version
+// and migrates it to the current in-memory shape. Fields a version did not
+// record stay at their documented migration defaults: Tenant "" (default
+// tenant), Outliers nil (re-derived by replay on rehydration), HasCost
+// false (no calibration check).
+func decodeRecord(data []byte, version int) (Record, error) {
+	switch version {
+	case FormatV1, FormatV2:
+	default:
+		return Record{}, fmt.Errorf("store: cannot decode record at unknown format version %d", version)
+	}
+	d := &reader{buf: data}
+	var rec Record
+	var err error
+	if rec.Fingerprint, err = d.string(); err != nil {
+		return Record{}, err
+	}
+	if rec.DBIdentity, err = d.string(); err != nil {
+		return Record{}, err
+	}
+	if version >= FormatV2 {
+		if rec.Tenant, err = d.string(); err != nil {
+			return Record{}, err
+		}
+	}
+	if rec.Query, err = d.string(); err != nil {
+		return Record{}, err
+	}
+	if rec.PlanBytes, err = d.bytes(); err != nil {
+		return Record{}, err
+	}
+	nh, err := d.uvarint()
+	if err != nil {
+		return Record{}, err
+	}
+	if nh > uint64(len(data)) {
+		return Record{}, fmt.Errorf("history length %d exceeds payload", nh)
+	}
+	if nh > 0 {
+		rec.History = make([]float64, nh)
+		for i := range rec.History {
+			if rec.History[i], err = d.float(); err != nil {
+				return Record{}, err
+			}
+		}
+	}
+	if version >= FormatV2 {
+		no, err := d.uvarint()
+		if err != nil {
+			return Record{}, err
+		}
+		if no > uint64(len(data)) {
+			return Record{}, fmt.Errorf("outlier count %d exceeds payload", no)
+		}
+		if no > 0 {
+			rec.Outliers = make([]int, no)
+			for i := range rec.Outliers {
+				o, err := d.uvarint()
+				if err != nil {
+					return Record{}, err
+				}
+				rec.Outliers[i] = int(o)
+			}
+		}
+	}
+	cores, err := d.uvarint()
+	if err != nil {
+		return Record{}, err
+	}
+	rec.Cores = int(cores)
+	extra, err := d.uvarint()
+	if err != nil {
+		return Record{}, err
+	}
+	rec.ExtraRuns = int(extra)
+	if rec.GMEThreshold, err = d.float(); err != nil {
+		return Record{}, err
+	}
+	if version >= FormatV2 {
+		hb, err := d.byte()
+		if err != nil {
+			return Record{}, err
+		}
+		switch hb {
+		case 0:
+		case 1:
+			rec.HasCost = true
+			if rec.CostParams, err = d.cost(); err != nil {
+				return Record{}, err
+			}
+		default:
+			return Record{}, fmt.Errorf("invalid has-cost byte %d", hb)
+		}
+	}
+	if d.off != len(data) {
+		return Record{}, fmt.Errorf("%d trailing bytes after record", len(data)-d.off)
+	}
+	return rec, nil
+}
+
+// appendCost and (r *reader).cost serialize the cost calibration field by
+// field; adding a Params field is a format break and needs a version bump.
+func appendCost(buf []byte, p cost.Params) []byte {
+	for _, v := range costFields(&p) {
+		buf = appendFloat(buf, *v)
+	}
+	return buf
+}
+
+func (d *reader) cost() (cost.Params, error) {
+	var p cost.Params
+	for _, v := range costFields(&p) {
+		f, err := d.float()
+		if err != nil {
+			return cost.Params{}, err
+		}
+		*v = f
+	}
+	return p, nil
+}
+
+func costFields(p *cost.Params) []*float64 {
+	return []*float64{
+		&p.ScanNsPerByte, &p.WriteNsPerByte,
+		&p.RandNsL3, &p.RandNsMem,
+		&p.HashBuildNsPerTuple,
+		&p.HashProbeNsL3, &p.HashProbeNsMem,
+		&p.CompareNs, &p.PackNsPerByte,
+		&p.DispatchNs, &p.ExchangeNsPerTuple,
+	}
+}
+
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (d *reader) byte() (byte, error) {
+	if d.off >= len(d.buf) {
+		return 0, fmt.Errorf("truncated record at offset %d", d.off)
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b, nil
+}
+
+func (d *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("bad uvarint at offset %d", d.off)
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *reader) float() (float64, error) {
+	if len(d.buf)-d.off < 8 {
+		return 0, fmt.Errorf("truncated float at offset %d", d.off)
+	}
+	bits := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return math.Float64frombits(bits), nil
+}
+
+func (d *reader) string() (string, error) {
+	b, err := d.bytes()
+	return string(b), err
+}
+
+func (d *reader) bytes() ([]byte, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.buf)-d.off) {
+		return nil, fmt.Errorf("field length %d exceeds payload at offset %d", n, d.off)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := d.buf[d.off : d.off+int(n) : d.off+int(n)]
+	d.off += int(n)
+	return out, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func appendBytes(buf, b []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
+func appendFloat(buf []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+}

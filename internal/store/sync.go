@@ -1,0 +1,129 @@
+package store
+
+import "sync"
+
+// Synchronizer is the write-behind path between the plan-session caches and
+// the store. Persistence hooks run on the serving goroutines at convergence
+// and eviction time — both cold events — so all they may do is enqueue;
+// the synchronizer's single background goroutine drains the queue in
+// batches and fsyncs once per batch. Enqueue allocates at most the queue
+// append and never blocks on the disk.
+type Synchronizer struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	st     *Store
+	queue  []Record
+	busy   int // records handed to the worker, not yet written
+	closed bool
+	done   chan struct{}
+
+	written int
+	err     error // first async write error, surfaced by Close
+}
+
+// NewSynchronizer starts the background writer over st.
+func NewSynchronizer(st *Store) *Synchronizer {
+	sy := &Synchronizer{st: st, done: make(chan struct{})}
+	sy.cond = sync.NewCond(&sy.mu)
+	go sy.run()
+	return sy
+}
+
+// Enqueue schedules rec for persistence. After Close it is a no-op: a
+// record raced with shutdown is lost from the store (it will simply
+// re-converge after the next restart), never a panic.
+func (sy *Synchronizer) Enqueue(rec Record) {
+	sy.mu.Lock()
+	if !sy.closed {
+		sy.queue = append(sy.queue, rec)
+		sy.cond.Broadcast()
+	}
+	sy.mu.Unlock()
+}
+
+// QueueDepth reports records accepted but not yet durably written.
+func (sy *Synchronizer) QueueDepth() int {
+	sy.mu.Lock()
+	defer sy.mu.Unlock()
+	return len(sy.queue) + sy.busy
+}
+
+// Written reports records durably written since start.
+func (sy *Synchronizer) Written() int {
+	sy.mu.Lock()
+	defer sy.mu.Unlock()
+	return sy.written
+}
+
+// Flush blocks until every record enqueued before the call is written and
+// synced (or the synchronizer is closed).
+func (sy *Synchronizer) Flush() {
+	sy.mu.Lock()
+	for (len(sy.queue) > 0 || sy.busy > 0) && !sy.closed {
+		sy.cond.Wait()
+	}
+	sy.mu.Unlock()
+}
+
+// Close drains the queue, stops the background writer, and returns the
+// first write error encountered over the synchronizer's lifetime.
+// Idempotent. Close does not close the store itself.
+func (sy *Synchronizer) Close() error {
+	sy.mu.Lock()
+	if sy.closed {
+		sy.mu.Unlock()
+		<-sy.done
+		sy.mu.Lock()
+		err := sy.err
+		sy.mu.Unlock()
+		return err
+	}
+	sy.closed = true
+	sy.cond.Broadcast()
+	sy.mu.Unlock()
+	<-sy.done
+	sy.mu.Lock()
+	err := sy.err
+	sy.mu.Unlock()
+	return err
+}
+
+func (sy *Synchronizer) run() {
+	defer close(sy.done)
+	for {
+		sy.mu.Lock()
+		for len(sy.queue) == 0 && !sy.closed {
+			sy.cond.Wait()
+		}
+		if len(sy.queue) == 0 && sy.closed {
+			sy.mu.Unlock()
+			return
+		}
+		batch := sy.queue
+		sy.queue = nil
+		sy.busy = len(batch)
+		sy.mu.Unlock()
+
+		var batchErr error
+		wrote := 0
+		for i := range batch {
+			if err := sy.st.Put(batch[i]); err != nil {
+				batchErr = err
+				break
+			}
+			wrote++
+		}
+		if batchErr == nil {
+			batchErr = sy.st.Sync()
+		}
+
+		sy.mu.Lock()
+		sy.written += wrote
+		if batchErr != nil && sy.err == nil {
+			sy.err = batchErr
+		}
+		sy.busy = 0
+		sy.cond.Broadcast()
+		sy.mu.Unlock()
+	}
+}

@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/exec"
 	"repro/internal/plancache"
 	"repro/internal/server"
+	"repro/internal/store"
 )
 
 // ServerConfig configures the apqd query service (see cmd/apqd). The daemon
@@ -44,6 +46,14 @@ type ServerConfig struct {
 	// admission control are the pool's, and isolation holds because every
 	// cache fingerprint incorporates the tenant's dataset identity.
 	Tenants []TenantConfig
+	// StorePath, when set, opens (or creates) the persistent convergence
+	// store at that path: converged plan-sessions are written behind as
+	// they converge and rehydrated at startup, so the first request after a
+	// restart is served from the learned plan instead of re-adapting.
+	// Records are identity-checked on rehydration — a record whose dataset
+	// identity or cost calibration no longer matches is skipped, never
+	// merged. The server owns the store and closes it on Close.
+	StorePath string
 	// Shards is the engine-pool width: independent engine replicas, each
 	// with its own simulated machine behind its own engine-ownership lock
 	// over the shared read-only catalog. Queries are pinned to shards by fingerprint hash,
@@ -83,7 +93,9 @@ type TenantConfig struct {
 // engine-ownership lock, so the handler set is safe for concurrent clients
 // while distinct queries execute concurrently on distinct shards.
 type Server struct {
-	inner *server.Server
+	inner     *server.Server
+	st        *store.Store
+	closeOnce sync.Once
 }
 
 // NewServer creates a query service. Close it when done serving.
@@ -135,6 +147,13 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			MaxInFlight: t.MaxInFlight,
 		})
 	}
+	var st *store.Store
+	if cfg.StorePath != "" {
+		var err error
+		if st, err = store.Open(cfg.StorePath); err != nil {
+			return nil, err
+		}
+	}
 	inner, err := server.New(server.Config{
 		Engines:    engines,
 		DBIdentity: cfg.DBIdentity,
@@ -142,11 +161,15 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		Admission:  cfg.Admission,
 		CacheSize:  cfg.CacheSize,
 		Tenants:    tenants,
+		Store:      st,
 	})
 	if err != nil {
+		if st != nil {
+			st.Close()
+		}
 		return nil, err
 	}
-	return &Server{inner: inner}, nil
+	return &Server{inner: inner, st: st}, nil
 }
 
 // Shards reports the engine-pool width the server is running with.
@@ -156,9 +179,26 @@ func (s *Server) Shards() int { return s.inner.Shards() }
 // GET /sessions/{id}/trace, GET /stats, GET /healthz.
 func (s *Server) Handler() http.Handler { return s.inner.Handler() }
 
-// Close drains in-flight requests and retires the engine shards. Requests
-// arriving afterwards fail with 503.
-func (s *Server) Close() { s.inner.Close() }
+// Close drains in-flight requests, retires the engine shards, flushes the
+// write-behind persistence queue, and closes the convergence store (when
+// one is configured). Idempotent: later calls are no-ops. Requests arriving
+// afterwards fail with 503.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.inner.Close()
+		if s.st != nil {
+			s.st.Close()
+		}
+	})
+}
+
+// StorePath returns the configured convergence-store path ("" = none).
+func (s *Server) StorePath() string {
+	if s.st == nil {
+		return ""
+	}
+	return s.st.Path()
+}
 
 // Serve runs the query service on addr until ctx is cancelled, then shuts
 // down gracefully (in-flight requests drain before the engine stops).
@@ -189,6 +229,37 @@ func Serve(ctx context.Context, addr string, cfg ServerConfig) error {
 	case err := <-errc:
 		return err
 	}
+}
+
+// ExportPlans writes every record of the convergence store at storePath to
+// a self-describing versioned export file at exportPath, atomically. The
+// export is deterministic (records sorted by fingerprint), so identical
+// stores export bit-identical files. It returns the record count.
+func ExportPlans(storePath, exportPath string) (int, error) {
+	st, err := store.Open(storePath)
+	if err != nil {
+		return 0, err
+	}
+	defer st.Close()
+	return st.Export(exportPath)
+}
+
+// ImportPlans merges the records of an export file into the convergence
+// store at storePath (created if missing). Records supersede same-fingerprint
+// ones already present. A corrupt, foreign, or newer-versioned export file is
+// rejected with an error before anything is written. It returns the record
+// count imported.
+func ImportPlans(storePath, importPath string) (int, error) {
+	st, err := store.Open(storePath)
+	if err != nil {
+		return 0, err
+	}
+	n, err := st.Import(importPath)
+	if err != nil {
+		st.Close()
+		return 0, err
+	}
+	return n, st.Close()
 }
 
 // DBIdentity renders the canonical dataset identity for the built-in
