@@ -25,6 +25,8 @@
 //	go run ./cmd/apqd -store plans.apqs      # persist converged plans; warm-restart from them next start
 //	go run ./cmd/apqd -store plans.apqs -export-plans plans.apqx   # export converged plans, then exit
 //	go run ./cmd/apqd -store other.apqs -import-plans plans.apqx   # import an export file, then exit
+//	go run ./cmd/apqd -staleness -fault core-loss@5e6:socket=0:count=8   # chaos: scheduled core loss + re-convergence
+//	go run ./cmd/apqd -request-timeout 2s -max-shard-queue 64 -breaker-failures 5   # overload hardening
 //	go run ./cmd/apqd -selfbench             # shard-sweep serving benchmark, JSON to stdout
 //	go run ./cmd/apqd -simbench              # event-core benchmark (optimized vs seed), JSON to stdout
 //
@@ -93,6 +95,71 @@ func (t *tenantFlags) Set(v string) error {
 	return nil
 }
 
+// faultFlags collects repeatable -fault flags:
+// kind@ns[:socket=N][:count=N][:factor=F][:dur=ns] with kind one of
+// core-loss, throttle, interference.
+type faultFlags apq.FaultPlan
+
+func (f *faultFlags) String() string {
+	parts := make([]string, len(*f))
+	for i, ev := range *f {
+		parts[i] = fmt.Sprintf("%s@%g", ev.Kind, ev.AtNs)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f *faultFlags) Set(v string) error {
+	kindStr, rest, ok := strings.Cut(v, "@")
+	if !ok {
+		return fmt.Errorf("want kind@ns[:opt=val...], got %q", v)
+	}
+	var ev apq.FaultEvent
+	switch kindStr {
+	case "core-loss":
+		ev.Kind = apq.FaultCoreLoss
+	case "throttle":
+		ev.Kind = apq.FaultSocketThrottle
+	case "interference":
+		ev.Kind = apq.FaultInterference
+	default:
+		return fmt.Errorf("unknown fault kind %q (want core-loss, throttle, or interference)", kindStr)
+	}
+	parts := strings.Split(rest, ":")
+	at, err := strconv.ParseFloat(parts[0], 64)
+	if err != nil {
+		return fmt.Errorf("fault %s: bad virtual time %q: %v", kindStr, parts[0], err)
+	}
+	ev.AtNs = at
+	for _, opt := range parts[1:] {
+		key, val, ok := strings.Cut(opt, "=")
+		if !ok {
+			return fmt.Errorf("fault %s: want opt=val, got %q", kindStr, opt)
+		}
+		switch key {
+		case "socket":
+			if ev.Socket, err = strconv.Atoi(val); err != nil {
+				return fmt.Errorf("fault %s: bad socket %q: %v", kindStr, val, err)
+			}
+		case "count":
+			if ev.Count, err = strconv.Atoi(val); err != nil {
+				return fmt.Errorf("fault %s: bad count %q: %v", kindStr, val, err)
+			}
+		case "factor":
+			if ev.Factor, err = strconv.ParseFloat(val, 64); err != nil {
+				return fmt.Errorf("fault %s: bad factor %q: %v", kindStr, val, err)
+			}
+		case "dur":
+			if ev.DurationNs, err = strconv.ParseFloat(val, 64); err != nil {
+				return fmt.Errorf("fault %s: bad duration %q: %v", kindStr, val, err)
+			}
+		default:
+			return fmt.Errorf("fault %s: unknown option %q (want socket, count, factor, or dur)", kindStr, key)
+		}
+	}
+	*f = append(*f, ev)
+	return nil
+}
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	bench := flag.String("bench", "tpch", "benchmark database to load: tpch or tpcds")
@@ -109,6 +176,14 @@ func main() {
 	flag.Var(&tenants, "tenant", "serve an extra tenant dataset over the same shard pool: name=bench:sf:seed (repeatable)")
 	tenantSessions := flag.Int("tenant-sessions", 0, "per-tenant cached-session quota per shard (0 = unlimited)")
 	tenantInflight := flag.Int("tenant-inflight", 0, "per-tenant in-flight request quota (0 = unlimited)")
+	var faults faultFlags
+	flag.Var(&faults, "fault", "schedule a machine fault on every shard: kind@ns[:socket=N][:count=N][:factor=F][:dur=ns] with kind core-loss, throttle, or interference (repeatable)")
+	staleness := flag.Bool("staleness", false, "arm serving-time staleness detection: converged queries whose latency drifts out of band reopen convergence and re-adapt")
+	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline including the wait for the shard (0 = none); expired requests get 503")
+	maxShardQueue := flag.Int("max-shard-queue", 0, "bound on each shard's waiting line (0 = unbounded); excess requests are shed with 503 + Retry-After")
+	breakerFailures := flag.Int("breaker-failures", 0, "consecutive failed/slow requests that trip a shard's health breaker into degraded mode (0 = disabled)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 10*time.Second, "how long a tripped shard serves degraded before probing at full fidelity")
+	slowFactor := flag.Float64("slow-factor", 0, "breaker slowness bound: an adaptive request slower than this multiple of its serial baseline counts as a failure (0 = errors only)")
 	noise := flag.Bool("noise", false, "enable the OS-noise model")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	selfbench := flag.Bool("selfbench", false, "run the shard-sweep serving benchmark and print JSON (no listener)")
@@ -162,15 +237,24 @@ func main() {
 		tenants[i].MaxInFlight = *tenantInflight
 	}
 	cfg := apq.ServerConfig{
-		DB:         db,
-		Machine:    m,
-		DBIdentity: apq.DBIdentity(*bench, *sf, *seed),
-		Benchmark:  *bench,
-		Admission:  *admission,
-		CacheSize:  *cacheSize,
-		Shards:     *shards,
-		Tenants:    tenants,
-		StorePath:  *storePath,
+		DB:              db,
+		Machine:         m,
+		DBIdentity:      apq.DBIdentity(*bench, *sf, *seed),
+		Benchmark:       *bench,
+		Admission:       *admission,
+		CacheSize:       *cacheSize,
+		Shards:          *shards,
+		Tenants:         tenants,
+		StorePath:       *storePath,
+		Faults:          apq.FaultPlan(faults),
+		RequestTimeout:  *requestTimeout,
+		MaxShardQueue:   *maxShardQueue,
+		BreakerFailures: *breakerFailures,
+		BreakerCooldown: *breakerCooldown,
+		SlowFactor:      *slowFactor,
+	}
+	if *staleness {
+		cfg.Staleness = apq.DefaultStaleness()
 	}
 	if *noise {
 		cfg.EngineOptions = append(cfg.EngineOptions, apq.WithNoise(apq.DefaultNoise()), apq.WithSeed(*seed))
@@ -206,6 +290,12 @@ func main() {
 	storeNote := ""
 	if *storePath != "" {
 		storeNote = fmt.Sprintf(", store %s", *storePath)
+	}
+	if len(faults) > 0 {
+		storeNote += fmt.Sprintf(", %d scheduled faults", len(faults))
+	}
+	if *staleness {
+		storeNote += ", staleness armed"
 	}
 	log.Printf("apqd: serving %s sf=%g on %s (machine %s, %d shards, %d tenants, admission %v, pprof %v%s)",
 		*bench, *sf, *addr, *machine, s.Shards(), 1+len(tenants), *admission, *pprofOn, storeNote)
@@ -345,6 +435,10 @@ type benchReport struct {
 	// converging and then hot-serving the same query shape over one shared
 	// shard pool, with the per-tenant /stats breakdown.
 	MultiTenant *mtProbe `json:"multi_tenant,omitempty"`
+	// Chaos records the resilience phase: steady-state serving, mid-run core
+	// loss, the degradation depth on the stale plan, and the requests the
+	// staleness detector needed to re-converge on the shrunken machine.
+	Chaos *chaosProbe `json:"chaos,omitempty"`
 	// SeedBaseline quotes the seed daemon's recorded BENCH_serve.json
 	// (single run-loop engine, seed event core, TPC-H q6 at sf=1): the
 	// regression this PR fixes is hot adaptive serving being SLOWER than
@@ -429,7 +523,13 @@ func runSelfbench(cfg apq.ServerConfig, sf float64, seed int64, queries, n int) 
 		return err
 	}
 	rep.WarmRestart = wr
+	ch, err := runChaosProbe(cfg, n)
+	if err != nil {
+		return err
+	}
+	rep.Chaos = ch
 	rep.Notes = append(rep.Notes,
+		"chaos (ISSUE 7): converge one query with staleness detection armed, measure steady-state serving, then lose most of the machine mid-run via InjectFault — degradation_depth is the stale converged plan's latency blowout on the shrunken machine, reconverge_requests counts servings from the fault until the staleness detector reopened convergence and the session re-converged, and reconverged_virtual_ns shows the recovered plan beating the stale one",
 		"warm_restart converges one query against a temporary -store file, restarts the server on the same file, and compares first-request virtual latency cold (first adaptive run from scratch) vs rehydrated (served converged from the persisted plan); rehydrated_sessions is the restarted server's /stats store counter",
 		"http_keepalive_probe serves the converged hot workload over a real localhost listener in both client modes: keepalive_rps reuses pooled connections (the tuned IdleTimeout keeps them open), new_conn_rps opens a TCP connection per request — the sweep drives the handler in-process precisely so the engine, not connection setup, is what the shard scaling measures",
 		"multi_tenant converges the same select_sum shape on three tenant datasets (default + two generated with different seeds) over one shared 2-shard pool, then hot-serves all three concurrently; per_tenant is the /stats tenant breakdown — distinct sessions per tenant because fingerprints incorporate each tenant's dataset identity")
@@ -794,6 +894,154 @@ func runWarmRestartProbe(cfg apq.ServerConfig) (*warmRestartProbe, error) {
 		}
 		if v, ok := st["rehydrated_sessions"].(float64); ok {
 			p.RehydratedSessions = int(v)
+		}
+	}
+	return p, nil
+}
+
+// chaosProbe is the -selfbench resilience measurement (ISSUE 7): what a
+// mid-run loss of most of the machine costs a converged serving path, and
+// how quickly staleness detection wins the lost ground back.
+type chaosProbe struct {
+	Shards int `json:"shards"`
+	// Steady-state serving of the converged plan before the fault.
+	SteadyRPS       float64 `json:"steady_rps"`
+	SteadyVirtualNs float64 `json:"steady_virtual_ns"`
+	// CoresBefore / CoresAfter bracket the injected core loss.
+	CoresBefore int `json:"cores_before"`
+	CoresAfter  int `json:"cores_after"`
+	// DegradedVirtualNs is the first serving run after the fault — the stale
+	// converged plan executing on the shrunken machine — and
+	// DegradationDepth its blowout over steady state.
+	DegradedVirtualNs float64 `json:"degraded_virtual_ns"`
+	DegradationDepth  float64 `json:"degradation_depth"`
+	// ReconvergeRequests counts servings from the fault until the staleness
+	// detector reopened convergence AND the session re-converged on the
+	// shrunken machine (detection window + bounded re-exploration).
+	ReconvergeRequests int `json:"reconverge_requests"`
+	// Re-converged steady state, and what re-adaptation won back over
+	// serving the stale plan (degraded over re-converged virtual latency).
+	ReconvergedVirtualNs float64 `json:"reconverged_virtual_ns"`
+	ReconvergedRPS       float64 `json:"reconverged_rps"`
+	RecoveredSpeedup     float64 `json:"recovered_speedup"`
+	// FaultsInjected / CoresLost / Reconvergences echo the /stats resilience
+	// block after the run.
+	FaultsInjected int `json:"faults_injected"`
+	CoresLost      int `json:"cores_lost"`
+	Reconvergences int `json:"reconvergences"`
+}
+
+// runChaosProbe converges one query with staleness detection armed, measures
+// steady-state serving, then removes every core but four mid-run and
+// measures the degradation and the recovery.
+func runChaosProbe(cfg apq.ServerConfig, n int) (*chaosProbe, error) {
+	cfg.Shards = 1
+	cfg.Tenants = nil
+	cfg.StorePath = ""
+	cfg.Staleness = apq.DefaultStaleness()
+	// A full-range scan converges to a wide plan, so losing the machine out
+	// from under it actually hurts — a narrow probe would fit the survivors.
+	body := `{"select_sum":{"table":"lineitem","column":"l_quantity","lo":1,"hi":500}}`
+	s, err := apq.NewServer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	h := s.Handler()
+	serve := func(method, path, body string) (map[string]any, error) {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(method, path, bytes.NewReader([]byte(body)))
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			return nil, fmt.Errorf("selfbench chaos: %s %s: status %d: %s", method, path, rec.Code, rec.Body.String())
+		}
+		var out map[string]any
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+
+	var resp map[string]any
+	converged := false
+	for i := 0; i < 4000 && !converged; i++ {
+		if resp, err = serve(http.MethodPost, "/query", body); err != nil {
+			return nil, err
+		}
+		converged = resp["state"] == "converged"
+	}
+	if !converged {
+		return nil, errors.New("selfbench chaos: query did not converge within 4000 warmup requests")
+	}
+
+	p := &chaosProbe{Shards: 1, CoresBefore: cfg.Machine.LogicalCores(), CoresAfter: 2}
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if resp, err = serve(http.MethodPost, "/query", body); err != nil {
+			return nil, err
+		}
+	}
+	p.SteadyRPS = float64(n) / time.Since(start).Seconds()
+	p.SteadyVirtualNs, _ = resp["latency_ns"].(float64)
+
+	// The fault: every core except the first two, lost mid-run.
+	lost := make([]int, 0, p.CoresBefore-p.CoresAfter)
+	for c := p.CoresAfter; c < p.CoresBefore; c++ {
+		lost = append(lost, c)
+	}
+	if err := s.InjectFault(0, apq.FaultEvent{Kind: apq.FaultCoreLoss, Cores: lost}); err != nil {
+		return nil, err
+	}
+
+	if resp, err = serve(http.MethodPost, "/query", body); err != nil {
+		return nil, err
+	}
+	p.DegradedVirtualNs, _ = resp["latency_ns"].(float64)
+	if p.SteadyVirtualNs > 0 {
+		p.DegradationDepth = p.DegradedVirtualNs / p.SteadyVirtualNs
+	}
+	p.ReconvergeRequests = 1
+	reopened, reconverged := false, false
+	for i := 0; i < 4000 && !reconverged; i++ {
+		if resp, err = serve(http.MethodPost, "/query", body); err != nil {
+			return nil, err
+		}
+		p.ReconvergeRequests++
+		if resp["state"] == "adapting" {
+			reopened = true
+		}
+		reconverged = reopened && resp["state"] == "converged"
+	}
+	if !reconverged {
+		return nil, fmt.Errorf("selfbench chaos: session did not re-converge within 4000 requests of the fault (reopened %v, degradation %.2fx)",
+			reopened, p.DegradationDepth)
+	}
+
+	start = time.Now()
+	for i := 0; i < n; i++ {
+		if resp, err = serve(http.MethodPost, "/query", body); err != nil {
+			return nil, err
+		}
+	}
+	p.ReconvergedRPS = float64(n) / time.Since(start).Seconds()
+	p.ReconvergedVirtualNs, _ = resp["latency_ns"].(float64)
+	if p.ReconvergedVirtualNs > 0 {
+		p.RecoveredSpeedup = p.DegradedVirtualNs / p.ReconvergedVirtualNs
+	}
+
+	stats, err := serve(http.MethodGet, "/stats", "")
+	if err != nil {
+		return nil, err
+	}
+	if res, ok := stats["resilience"].(map[string]any); ok {
+		if v, ok := res["faults_injected"].(float64); ok {
+			p.FaultsInjected = int(v)
+		}
+		if v, ok := res["cores_lost"].(float64); ok {
+			p.CoresLost = int(v)
+		}
+		if v, ok := res["reconvergences"].(float64); ok {
+			p.Reconvergences = int(v)
 		}
 	}
 	return p, nil

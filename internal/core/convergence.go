@@ -80,6 +80,10 @@ func (c *Convergence) Run() int { return c.run }
 // reproduces this machine exactly.
 func (c *Convergence) Config() ConvergenceConfig { return c.cfg }
 
+// Serial returns the serial (run 0) baseline execution time, 0 before the
+// first Observe.
+func (c *Convergence) Serial() float64 { return c.serialExec }
+
 // GME returns the global-minimum execution time observed, the run at which
 // it occurred, and whether one exists yet.
 func (c *Convergence) GME() (ns float64, run int, ok bool) {

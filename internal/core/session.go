@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/exec"
 	"repro/internal/plan"
@@ -51,7 +52,25 @@ type Session struct {
 	nextMut  Mutation
 	attempts []Attempt
 	best     *plan.Plan
-	done     bool
+	// done is atomic so cache bookkeeping on other goroutines (eviction
+	// victim selection, /stats aggregation) can poll Done while the owning
+	// goroutine steps the session; every other field stays single-owner.
+	done atomic.Bool
+
+	// Staleness detection and reopened convergence (staleness.go). A reopen
+	// replaces conv with a fresh instance whose run counter restarts at 0;
+	// runBase maps its runs back to absolute attempt indices, and the
+	// prefixes carry the finished instances' traces for Report.
+	stale         StalenessConfig
+	staleRun      int        // consecutive out-of-band serving runs
+	reopenFrom    *plan.Plan // serial plan re-exploration restarts from (nil: restored session)
+	reopens       int
+	runBase       int
+	histPrefix    []float64
+	outlierPrefix []int
+	expectNs      float64 // converged serving expectation staleness is judged against
+	reopenBar     float64 // post-reopen: the stale serving level a new best must beat
+	dethroned     bool    // the current convergence instance produced s.best
 
 	// VerifyResults, when set, compares every run's results against the
 	// serial run's — the central mutation-correctness invariant. Intended
@@ -66,10 +85,11 @@ func NewSession(eng *exec.Engine, p *plan.Plan, mcfg MutationConfig, ccfg Conver
 		ccfg = DefaultConvergenceConfig(eng.Machine().Config().LogicalCores())
 	}
 	return &Session{
-		eng:  eng,
-		mut:  NewMutator(mcfg),
-		conv: NewConvergence(ccfg),
-		cur:  p,
+		eng:        eng,
+		mut:        NewMutator(mcfg),
+		conv:       NewConvergence(ccfg),
+		cur:        p,
+		reopenFrom: p,
 	}
 }
 
@@ -82,8 +102,9 @@ func (s *Session) Convergence() *Convergence { return s.conv }
 // Attempts returns the runs so far.
 func (s *Session) Attempts() []Attempt { return s.attempts }
 
-// Done reports whether the adaptation has converged.
-func (s *Session) Done() bool { return s.done }
+// Done reports whether the adaptation has converged. Safe to call from any
+// goroutine.
+func (s *Session) Done() bool { return s.done.Load() }
 
 // Step executes the current plan once, feeds the execution time to the
 // convergence algorithm, and (if adaptation continues) mutates the plan for
@@ -94,7 +115,7 @@ func (s *Session) Step() (bool, error) { return s.StepWith(exec.JobOptions{}) }
 // it to apply admission-control core budgets to adaptive runs happening on
 // the production request stream.
 func (s *Session) StepWith(opts exec.JobOptions) (bool, error) {
-	if s.done {
+	if s.done.Load() {
 		return false, nil
 	}
 	// Hand the parent compilation to the child: s.cur was produced by
@@ -115,15 +136,36 @@ func (s *Session) StepWith(opts exec.JobOptions) (bool, error) {
 		}
 	}
 	cont := s.conv.Observe(execNs)
-	if _, run, ok := s.conv.GME(); ok && run == len(s.attempts)-1 {
-		if old := s.best; old != nil && old != s.cur && old != s.parent {
-			// The dethroned global minimum will never execute again.
-			s.eng.Retire(old)
+	if _, run, ok := s.conv.GME(); ok && s.runBase+run == len(s.attempts)-1 {
+		// After a staleness reopen, beating the reopened instance's own
+		// baseline is not enough: the incumbent best only falls to a run
+		// that beats the stale serving level the reopen recorded.
+		if s.reopenBar == 0 || execNs < s.reopenBar {
+			if old := s.best; old != nil && old != s.cur && old != s.parent {
+				// The dethroned global minimum will never execute again.
+				s.eng.Retire(old)
+			}
+			s.best = s.cur
+			s.dethroned = true
 		}
-		s.best = s.cur
 	}
 	if !cont {
-		s.done = true
+		s.done.Store(true)
+		// Fix the serving expectation staleness detection will judge future
+		// runs against: the new global minimum when this instance produced
+		// the best plan, else (re-pinned old best after a fruitless reopen)
+		// the stale serving level itself, so the re-pin does not immediately
+		// re-trip the detector on a permanently degraded machine.
+		if gme, _, ok := s.conv.GME(); ok && s.dethroned {
+			s.expectNs = gme
+		} else if s.reopenBar > 0 {
+			s.expectNs = s.reopenBar
+		} else if ok {
+			s.expectNs = gme
+		} else {
+			s.expectNs = s.conv.Serial()
+		}
+		s.reopenBar = 0
 		// Exploration over: only Best() executes from here on. Drop the
 		// tail plans' compilations back into the engine's buffer pool.
 		best := s.Best()
@@ -186,9 +228,12 @@ func (s *Session) Converge() (*Report, error) {
 }
 
 // Best returns the plan a post-convergence invocation should execute: the
-// global-minimum plan once one exists, else the current plan. O(1).
+// global-minimum plan once one exists, else the current plan. O(1). After a
+// staleness reopen the previous global minimum keeps serving until the
+// reopened convergence dethrones it (or re-pins it, if bounded
+// re-exploration found nothing better).
 func (s *Session) Best() *plan.Plan {
-	if _, _, ok := s.conv.GME(); ok && s.best != nil {
+	if s.best != nil {
 		return s.best
 	}
 	return s.cur
@@ -222,7 +267,7 @@ func (s *Session) Summary() Summary {
 	if !ok {
 		gme = serial
 	}
-	return Summary{Runs: len(s.attempts), GMENs: gme, SerialNs: serial, Done: s.done}
+	return Summary{Runs: len(s.attempts), GMENs: gme, SerialNs: serial, Done: s.done.Load()}
 }
 
 // Report snapshots the adaptation outcome so far.
@@ -235,16 +280,29 @@ func (s *Session) Report() *Report {
 	best := s.best
 	if best == nil || !ok {
 		best = s.cur
-		gme, gmeRun = serial, 0
+		gme, gmeRun = serial, -s.runBase // absolute run 0 after the shift below
+	}
+	// A reopened session's convergence instance counts runs from its own
+	// baseline; the report stitches the finished instances' traces back on
+	// and shifts indices to absolute attempt positions.
+	history := s.conv.History()
+	outliers := s.conv.Outliers()
+	if s.runBase > 0 {
+		history = append(append([]float64(nil), s.histPrefix...), history...)
+		shifted := append([]int(nil), s.outlierPrefix...)
+		for _, o := range outliers {
+			shifted = append(shifted, o+s.runBase)
+		}
+		outliers = shifted
 	}
 	return &Report{
 		TotalRuns: len(s.attempts),
-		GMERun:    gmeRun,
+		GMERun:    s.runBase + gmeRun,
 		GMENs:     gme,
 		SerialNs:  serial,
 		BestPlan:  best,
-		History:   s.conv.History(),
-		Outliers:  s.conv.Outliers(),
+		History:   history,
+		Outliers:  outliers,
 		Attempts:  s.attempts,
 	}
 }

@@ -23,7 +23,7 @@ type Snapshot struct {
 // snapshot: an in-flight adaptation's next mutation depends on the last
 // run's profile, which is engine state we deliberately do not serialize.
 func (s *Session) Snapshot() (*Snapshot, error) {
-	if !s.done {
+	if !s.done.Load() {
 		return nil, fmt.Errorf("core: snapshot of unconverged session (run %d)", s.conv.Run())
 	}
 	best := s.Best()
@@ -71,13 +71,20 @@ func RestoreSession(eng *exec.Engine, mcfg MutationConfig, snap *Snapshot) (*Ses
 	for i, ns := range snap.History {
 		attempts[i] = Attempt{ExecNs: ns}
 	}
-	return &Session{
-		eng:      eng,
-		mut:      NewMutator(mcfg),
-		conv:     conv,
-		cur:      snap.BestPlan,
-		attempts: attempts,
-		best:     snap.BestPlan,
-		done:     true,
-	}, nil
+	expect := conv.Serial()
+	if gme, _, ok := conv.GME(); ok {
+		expect = gme
+	}
+	sess := &Session{
+		eng:       eng,
+		mut:       NewMutator(mcfg),
+		conv:      conv,
+		cur:       snap.BestPlan,
+		attempts:  attempts,
+		best:      snap.BestPlan,
+		expectNs:  expect,
+		dethroned: true,
+	}
+	sess.done.Store(true)
+	return sess, nil
 }

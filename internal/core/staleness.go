@@ -1,0 +1,165 @@
+package core
+
+import "math"
+
+// Staleness detection: the adaptivity claim under drift (ROADMAP item 5). A
+// converged session pins its best plan and serves it forever — which turns
+// the paper's headline artifact into a liability the moment the machine
+// changes underneath it (core loss, throttling, sustained interference). A
+// session with a StalenessConfig watches the execution times of its
+// post-convergence serving runs: when they deviate from the converged
+// expectation beyond the band for Window consecutive runs, the session
+// *reopens* convergence — a fresh, bounded credit/debit instance whose
+// serial baseline is the stale plan's performance on the machine as it now
+// is — and adapts again instead of pinning the stale plan. The persistent
+// store is updated only when the reopened instance converges (the
+// plan-session cache persists on done-transitions, and a reopened session is
+// not done).
+//
+// The band is symmetric: runs far *below* expectation also reopen, because a
+// machine that got faster (throttle lifted, interference ended) changes the
+// optimum too — the paper's adaptivity cuts both ways.
+
+// StalenessConfig parameterizes post-convergence staleness detection.
+type StalenessConfig struct {
+	// Band is the tolerated relative deviation of an observed serving run
+	// from the converged expectation (|observed − GME| / GME). 0.35 means a
+	// run 35% off expectation counts as stale. Band <= 0 disables detection.
+	Band float64
+	// Window is how many *consecutive* stale runs trigger a reopen
+	// (default 3) — single noise spikes are forgiven, sustained drift is not.
+	Window int
+	// ExtraRuns bounds the reopened convergence instance's post-threshold
+	// search (ConvergenceConfig.ExtraRuns semantics; default 6, slightly
+	// under the cold default of 8). The reopened instance is additionally
+	// sized to the post-fault machine — its Cores is the surviving core
+	// count — so both the leak threshold and the total bound shrink with
+	// the hardware.
+	ExtraRuns int
+}
+
+// DefaultStalenessConfig tolerates ±35% drift for up to 3 consecutive runs.
+// The band sits far above the noise floor (±3% jitter) but well below the
+// slowdown of losing cores or an SMT sibling's worth of throughput, and 3
+// consecutive spikes at DefaultNoise rates are a ~10^-7 event.
+func DefaultStalenessConfig() StalenessConfig {
+	return StalenessConfig{Band: 0.35, Window: 3, ExtraRuns: 6}
+}
+
+// enabled reports whether detection is active.
+func (c StalenessConfig) enabled() bool { return c.Band > 0 }
+
+// withDefaults fills the zero fields of an enabled config.
+func (c StalenessConfig) withDefaults() StalenessConfig {
+	if !c.enabled() {
+		return c
+	}
+	if c.Window <= 0 {
+		c.Window = 3
+	}
+	if c.ExtraRuns <= 0 {
+		c.ExtraRuns = 6
+	}
+	return c
+}
+
+// SetStaleness arms (or, with a zero Band, disarms) post-convergence
+// staleness detection on the session. Safe to call at any point; it applies
+// to subsequent ObserveServed calls.
+func (s *Session) SetStaleness(cfg StalenessConfig) {
+	s.stale = cfg.withDefaults()
+	s.staleRun = 0
+}
+
+// Staleness returns the session's staleness configuration (zero = disabled).
+func (s *Session) Staleness() StalenessConfig { return s.stale }
+
+// Reconvergences reports how many times staleness detection has reopened
+// this session's convergence.
+func (s *Session) Reconvergences() int { return s.reopens }
+
+// ObserveServed feeds the virtual execution time of one post-convergence
+// serving run (an execution of Best outside the adaptation loop) into
+// staleness detection. It reports whether the observation tripped the
+// detector and reopened convergence — after a true return the session is no
+// longer Done and the next Step re-explores from the previously-best plan.
+//
+// Not every serving run qualifies: runs executed under an admission-control
+// core budget below the plan's needs reflect the budget, not the machine,
+// and must not be fed here (the plan-session cache skips them).
+func (s *Session) ObserveServed(execNs float64) bool {
+	if !s.done.Load() || !s.stale.enabled() || execNs <= 0 {
+		return false
+	}
+	expect := s.expectNs
+	if expect <= 0 {
+		// Session converged before expectations were tracked (or was built
+		// by hand in a test): derive it from the convergence instance.
+		if gme, _, ok := s.conv.GME(); ok {
+			expect = gme
+		} else {
+			expect = s.conv.Serial()
+		}
+		s.expectNs = expect
+	}
+	if expect <= 0 {
+		return false
+	}
+	if math.Abs(execNs-expect)/expect <= s.stale.Band {
+		s.staleRun = 0
+		return false
+	}
+	s.staleRun++
+	if s.staleRun < s.stale.Window {
+		return false
+	}
+	s.reopen(execNs)
+	return true
+}
+
+// reopen restarts convergence: the finished credit/debit instance is folded
+// into the report prefix and a fresh bounded instance takes over. Exploration
+// restarts from the session's *serial* plan — the mutator only ever adds
+// parallelism, so regrowing from serial is the only trajectory that can land
+// on a lower-DOP optimum when the machine shrank (a session restored from a
+// snapshot has no serial plan and restarts from its best instead). The
+// previously-best plan stays in s.best and keeps serving via Best() until a
+// run *better than the stale serving level* (staleNs, the observation that
+// tripped the detector) dethrones it; if bounded re-exploration finds
+// nothing below that bar, the session re-pins the old best with its
+// expectation reset to the stale level — reopening never makes serving worse
+// than the stale plan was, and a re-pin does not re-trip the detector.
+//
+// The reopened instance is sized to the machine as it now is: its Cores is
+// the engine machine's post-fault available core count, so the leaking-debit
+// threshold — and with it the re-convergence bound — shrinks with the
+// machine.
+func (s *Session) reopen(staleNs float64) {
+	s.staleRun = 0
+	s.reopens++
+	// Fold the finished instance into the history prefix so Report keeps the
+	// full trace; outlier indices become absolute attempt indices.
+	hist := s.conv.history
+	s.histPrefix = append(s.histPrefix, hist...)
+	for _, o := range s.conv.outliers {
+		s.outlierPrefix = append(s.outlierPrefix, o+s.runBase)
+	}
+	s.runBase += len(hist)
+	ccfg := s.conv.Config()
+	ccfg.ExtraRuns = s.stale.ExtraRuns
+	if cores := s.eng.Machine().AvailableCores(); cores >= 1 {
+		ccfg.Cores = cores
+	}
+	s.conv = NewConvergence(ccfg)
+	if s.reopenFrom != nil {
+		s.cur = s.reopenFrom
+	} else if s.best != nil {
+		s.cur = s.best
+	}
+	s.parent = nil
+	s.nextMut = Mutation{}
+	s.reopenBar = staleNs
+	s.dethroned = false
+	s.expectNs = 0
+	s.done.Store(false)
+}

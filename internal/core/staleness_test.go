@@ -1,0 +1,210 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/exec"
+	"repro/internal/sim"
+)
+
+// TestStalenessDetectsCoreLossAndReconverges is the acceptance path: a
+// session converges, half the machine's cores are lost mid-flight, staleness
+// detection trips after Window consecutive out-of-band serving runs, the
+// session re-converges on the shrunken machine, and the re-converged
+// steady state beats continuing on the stale plan.
+func TestStalenessDetectsCoreLossAndReconverges(t *testing.T) {
+	cat := testCatalog(400_000)
+	eng := exec.NewEngine(cat, testMachine(), cost.Default())
+	s := NewSession(eng, selectPlan(), DefaultMutationConfig(), DefaultConvergenceConfig(8))
+	s.VerifyResults = true
+	if _, err := s.Converge(); err != nil {
+		t.Fatal(err)
+	}
+	s.SetStaleness(DefaultStalenessConfig())
+
+	serveBest := func() float64 {
+		_, prof, err := eng.ExecuteOpts(s.Best(), exec.JobOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return prof.Makespan()
+	}
+	preNs := serveBest()
+	if s.ObserveServed(preNs) || s.Reconvergences() != 0 {
+		t.Fatal("in-band serving run tripped staleness detection")
+	}
+
+	// Lose all of socket 1 — half the machine — mid-run.
+	eng.Machine().InjectFault(sim.FaultEvent{Kind: sim.FaultCoreLoss, Socket: 1, Count: 8})
+
+	var staleNs float64
+	trips := 0
+	for i := 0; i < 10 && s.Done(); i++ {
+		staleNs = serveBest()
+		trips++
+		if s.ObserveServed(staleNs) {
+			break
+		}
+	}
+	if s.Done() {
+		t.Fatalf("staleness never tripped in %d post-fault servings (stale %.0f vs pre %.0f)", trips, staleNs, preNs)
+	}
+	if want := s.Staleness().Window; trips != want {
+		t.Fatalf("reopened after %d servings, want the %d-run window", trips, want)
+	}
+	if s.Reconvergences() != 1 {
+		t.Fatalf("reconvergences = %d", s.Reconvergences())
+	}
+	if staleNs < preNs*1.35 {
+		t.Fatalf("core loss barely moved the stale plan: %.0f vs %.0f", staleNs, preNs)
+	}
+
+	// Re-exploration is bounded by the reopened instance sized to the 8
+	// surviving cores (8+1+6·8 = 57 runs at most; ~33 in practice).
+	reqs := 0
+	for !s.Done() {
+		cont, err := s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs++
+		if reqs > 60 {
+			t.Fatalf("re-convergence did not halt within 60 runs")
+		}
+		if !cont {
+			break
+		}
+	}
+	postNs := serveBest()
+	if postNs >= staleNs {
+		t.Fatalf("re-converged plan (%.0f ns) does not beat the stale plan (%.0f ns) after core loss", postNs, staleNs)
+	}
+	t.Logf("pre-fault %.0f ns, stale-on-degraded %.0f ns, re-converged %.0f ns in %d runs",
+		preNs, staleNs, postNs, reqs)
+
+	// The stitched report stays coherent across the reopen.
+	rep := s.Report()
+	if len(rep.History) != rep.TotalRuns {
+		t.Fatalf("history len %d != total runs %d", len(rep.History), rep.TotalRuns)
+	}
+	if rep.GMERun < 0 || rep.GMERun >= rep.TotalRuns {
+		t.Fatalf("GMERun = %d of %d", rep.GMERun, rep.TotalRuns)
+	}
+	if rep.History[rep.GMERun] != rep.GMENs {
+		t.Fatalf("GME %f != history[%d] = %f", rep.GMENs, rep.GMERun, rep.History[rep.GMERun])
+	}
+
+	// The re-converged session snapshots and restores like any converged one
+	// (the persistent store is updated only on the new convergence).
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreSession(eng, DefaultMutationConfig(), snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !restored.Done() {
+		t.Fatal("restored re-converged session not done")
+	}
+}
+
+// TestStalenessForgivesIsolatedSpikes: a single out-of-band run (an
+// interference spike) must not reopen convergence; the consecutive-run
+// window resets on the next in-band run.
+func TestStalenessForgivesIsolatedSpikes(t *testing.T) {
+	cat := testCatalog(200_000)
+	eng := exec.NewEngine(cat, testMachine(), cost.Default())
+	s := NewSession(eng, selectPlan(), DefaultMutationConfig(), DefaultConvergenceConfig(4))
+	if _, err := s.Converge(); err != nil {
+		t.Fatal(err)
+	}
+	s.SetStaleness(StalenessConfig{Band: 0.35, Window: 3})
+	gme := s.Summary().GMENs
+	for i := 0; i < 5; i++ {
+		if s.ObserveServed(gme * 5) {
+			t.Fatalf("spike %d alone reopened convergence", i)
+		}
+		if s.ObserveServed(gme) {
+			t.Fatal("in-band run reopened convergence")
+		}
+	}
+	if s.Reconvergences() != 0 || !s.Done() {
+		t.Fatalf("reopened after alternating spikes: %d", s.Reconvergences())
+	}
+	// Window consecutive spikes do trip it.
+	for i := 0; i < 3; i++ {
+		s.ObserveServed(gme * 5)
+	}
+	if s.Done() || s.Reconvergences() != 1 {
+		t.Fatalf("3 consecutive spikes did not reopen (reconv %d)", s.Reconvergences())
+	}
+}
+
+// TestStalenessDisabledIsInert: without SetStaleness (or with a zero band)
+// ObserveServed never reopens, whatever it sees.
+func TestStalenessDisabledIsInert(t *testing.T) {
+	cat := testCatalog(200_000)
+	eng := exec.NewEngine(cat, testMachine(), cost.Default())
+	s := NewSession(eng, selectPlan(), DefaultMutationConfig(), DefaultConvergenceConfig(4))
+	if _, err := s.Converge(); err != nil {
+		t.Fatal(err)
+	}
+	gme := s.Summary().GMENs
+	for i := 0; i < 10; i++ {
+		if s.ObserveServed(gme * 100) {
+			t.Fatal("disabled staleness reopened convergence")
+		}
+	}
+	if !s.Done() {
+		t.Fatal("session left done state with staleness disabled")
+	}
+	// Unconverged sessions ignore servings too.
+	s2 := NewSession(eng, selectPlan(), DefaultMutationConfig(), DefaultConvergenceConfig(4))
+	s2.SetStaleness(DefaultStalenessConfig())
+	if s2.ObserveServed(1e9) {
+		t.Fatal("unconverged session accepted a serving observation")
+	}
+}
+
+// TestStalenessRepinsWhenNothingBetterExists: when re-exploration cannot
+// improve on the old best (the machine did not actually change — the band
+// was just configured absurdly tight), the session re-pins the previous
+// best plan rather than serving something worse.
+func TestStalenessRepinsWhenNothingBetterExists(t *testing.T) {
+	cat := testCatalog(400_000)
+	eng := exec.NewEngine(cat, testMachine(), cost.Default())
+	s := NewSession(eng, selectPlan(), DefaultMutationConfig(), DefaultConvergenceConfig(8))
+	if _, err := s.Converge(); err != nil {
+		t.Fatal(err)
+	}
+	oldBest := s.Best()
+	oldGME := s.Summary().GMENs
+	// A 0.1% band with an unchanged machine: normal servings "look stale".
+	s.SetStaleness(StalenessConfig{Band: 0.001, Window: 1, ExtraRuns: 2})
+	if !s.ObserveServed(oldGME * 1.01) {
+		t.Fatal("tight band did not reopen")
+	}
+	if s.Done() {
+		t.Fatal("session still done after reopen")
+	}
+	for i := 0; !s.Done() && i < 60; i++ {
+		if _, err := s.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.Done() {
+		t.Fatal("re-convergence did not halt")
+	}
+	// The machine is unchanged, so the re-converged plan must serve at least
+	// as well as the old best did (same plan or an equivalent rediscovery).
+	_, prof, err := eng.ExecuteOpts(s.Best(), exec.JobOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prof.Makespan(); got > oldGME*1.05 {
+		t.Fatalf("re-pinned plan serves at %.0f ns, old best at %.0f ns", got, oldGME)
+	}
+	_ = oldBest
+}

@@ -70,6 +70,13 @@ type Config struct {
 	// Mutation and Convergence tune the sessions the cache creates.
 	Mutation    core.MutationConfig
 	Convergence core.ConvergenceConfig
+	// Staleness arms post-convergence staleness detection on every session
+	// the cache creates or restores: converged sessions whose serving runs
+	// drift out of the band reopen convergence instead of pinning a stale
+	// plan (core.StalenessConfig). The zero value disables detection.
+	// Throttled and frozen invocations never feed the detector — their
+	// latencies reflect the core budget or the breaker, not the plan.
+	Staleness core.StalenessConfig
 	// Persist, when set, is the write-behind persistence hook: it fires
 	// once when a session converges (from the invocation that observed the
 	// done transition) and again when a converged entry is evicted, so the
@@ -111,6 +118,12 @@ type Invocation struct {
 	// but did NOT count as an adaptive run — a throttled latency reflects
 	// the budget, not the plan, and would poison the convergence algorithm.
 	Throttled bool `json:"throttled,omitempty"`
+	// Frozen marks an invocation served in degraded (breaker-open) mode:
+	// the session was neither stepped nor fed to staleness detection.
+	Frozen bool `json:"frozen,omitempty"`
+	// Reopened marks the invocation whose serving observation tripped
+	// staleness detection and reopened the session's convergence.
+	Reopened bool `json:"reopened,omitempty"`
 }
 
 // Entry is one live adaptive session keyed by fingerprint.
@@ -134,6 +147,15 @@ type Entry struct {
 	hits        int64
 	lastUsed    int64 // logical clock ticks from the cache
 	invocations []Invocation
+
+	// inflight marks an invocation executing this entry's session outside
+	// the cache lock. An eviction that lands mid-flight unlinks the entry
+	// immediately but defers persistence and plan release to the
+	// invocation's completion (evictPending/persistPending) — releasing a
+	// session whose plans are mid-execution would race with the engine.
+	inflight       bool
+	evictPending   bool
+	persistPending bool
 }
 
 // Hits returns how many invocations the entry has served.
@@ -161,6 +183,9 @@ type Stats struct {
 	// store at startup (lifetime count; restored entries can still be
 	// evicted later).
 	Rehydrated int64 `json:"rehydrated,omitempty"`
+	// Reconvergences counts staleness-triggered convergence reopens across
+	// the cache's lifetime (including sessions since evicted).
+	Reconvergences int64 `json:"reconvergences,omitempty"`
 }
 
 // Cache maps query fingerprints to live adaptive sessions.
@@ -173,7 +198,7 @@ type Cache struct {
 	seq  int
 	tick int64
 
-	hits, misses, evictions, rehydrated int64
+	hits, misses, evictions, rehydrated, reconvergences int64
 
 	// quotas bounds live sessions per tenant tag (missing or 0 = unlimited);
 	// tenantEntries tracks each tag's live session count (kept in step with
@@ -238,6 +263,20 @@ func (c *Cache) Invoke(fp, query string, build func() (*plan.Plan, error), opts 
 // breakdown. opts carries the tenant's catalog when the engine's own dataset
 // is not the one being queried.
 func (c *Cache) InvokeTenant(tenant, fp, query string, build func() (*plan.Plan, error), opts exec.JobOptions) (*Result, error) {
+	return c.invoke(tenant, fp, query, build, opts, false)
+}
+
+// InvokeTenantFrozen serves one invocation in degraded mode: a converged
+// session executes its best plan but its latency is NOT fed to staleness
+// detection, and a still-adapting session executes its current plan without
+// stepping the adaptation. The per-shard health breaker uses this while
+// open — a degraded shard keeps answering queries from learned state but
+// stops all exploration and reopening until the breaker half-opens.
+func (c *Cache) InvokeTenantFrozen(tenant, fp, query string, build func() (*plan.Plan, error), opts exec.JobOptions) (*Result, error) {
+	return c.invoke(tenant, fp, query, build, opts, true)
+}
+
+func (c *Cache) invoke(tenant, fp, query string, build func() (*plan.Plan, error), opts exec.JobOptions, frozen bool) (*Result, error) {
 	c.mu.Lock()
 	e, ok := c.byFP[fp]
 	if !ok {
@@ -256,6 +295,7 @@ func (c *Cache) InvokeTenant(tenant, fp, query string, build func() (*plan.Plan,
 			cache:       c,
 			seq:         c.seq,
 		}
+		e.Session.SetStaleness(c.cfg.Staleness)
 		c.byFP[fp] = e
 		c.byID[e.ID] = e
 		c.misses++
@@ -272,6 +312,7 @@ func (c *Cache) InvokeTenant(tenant, fp, query string, build func() (*plan.Plan,
 	c.tick++
 	e.lastUsed = c.tick
 	e.hits++
+	e.inflight = true
 	created := !ok
 	c.mu.Unlock()
 
@@ -287,16 +328,19 @@ func (c *Cache) InvokeTenant(tenant, fp, query string, build func() (*plan.Plan,
 	)
 	cores := c.eng.Machine().Config().LogicalCores()
 	throttled := opts.MaxCores > 0 && opts.MaxCores < cores
+	reopened := false
 	switch {
-	case !e.Session.Done() && throttled:
+	case !e.Session.Done() && (throttled || frozen):
 		// Admission throttled this invocation while the session is still
-		// adapting: execute the current plan under the budget but do not
-		// step the session — the observed latency reflects the core
-		// budget, not the plan's quality, and feeding it to the
-		// convergence algorithm could converge the session prematurely
-		// onto a suboptimal plan. Adaptation advances on unthrottled
-		// invocations (under the Vectorwise admission policy the first
-		// active client always has the full machine).
+		// adapting — or the shard breaker froze adaptation: execute the
+		// current plan but do not step the session. A throttled latency
+		// reflects the core budget, not the plan's quality, and feeding
+		// it to the convergence algorithm could converge the session
+		// prematurely onto a suboptimal plan; a frozen invocation serves
+		// from learned state while the shard recovers. Adaptation
+		// advances on unthrottled, unfrozen invocations (under the
+		// Vectorwise admission policy the first active client always has
+		// the full machine).
 		cur := e.Session.Current()
 		var err error
 		values, profile, err = c.eng.ExecuteOpts(cur, opts)
@@ -335,22 +379,47 @@ func (c *Cache) InvokeTenant(tenant, fp, query string, build func() (*plan.Plan,
 			return nil, err
 		}
 		dop = best.MaxDOP()
+		if !frozen && !throttled {
+			// A full-budget converged serving run feeds staleness
+			// detection: sustained out-of-band latency reopens the
+			// session's convergence, and the next unfrozen invocation
+			// resumes adapting. (Throttled and frozen latencies reflect
+			// the budget or the breaker, not the plan, and are skipped.)
+			reopened = e.Session.ObserveServed(profile.Makespan())
+		}
 	}
 
 	inv := Invocation{
 		Run:       len(e.Session.Attempts()) - 1, // -1: throttled before the first adaptive run
 		LatencyNs: profile.Makespan(),
-		Converged: e.Session.Done(),
+		Converged: e.Session.Done() || reopened, // converged at serve time
 		MaxCores:  opts.MaxCores,
 		DOP:       dop,
-		Throttled: throttled && !e.Session.Done(),
+		Throttled: throttled && !e.Session.Done() && !reopened,
+		Frozen:    frozen,
+		Reopened:  reopened,
 	}
 	c.mu.Lock()
+	e.inflight = false
+	if reopened {
+		c.reconvergences++
+		c.tenantCounterLocked(e.Tenant).Reconvergences++
+	}
 	if len(e.invocations) >= maxTraceInvocations {
 		keep := maxTraceInvocations * 3 / 4
 		e.invocations = append(e.invocations[:0], e.invocations[len(e.invocations)-keep:]...)
 	}
 	e.invocations = append(e.invocations, inv)
+	if e.evictPending {
+		// An eviction unlinked the entry while this invocation was
+		// executing; its deferred half runs now that the session is idle.
+		e.evictPending = false
+		if e.persistPending && c.cfg.Persist != nil && e.Session.Done() {
+			c.cfg.Persist(e)
+		}
+		e.persistPending = false
+		e.Session.Release()
+	}
 	c.mu.Unlock()
 	return &Result{Entry: e, Values: values, Profile: profile, Invocation: inv, Created: created}, nil
 }
@@ -367,6 +436,7 @@ func (c *Cache) Restore(tenant, fp, query string, sess *core.Session) *Entry {
 	if sess == nil || !sess.Done() {
 		return nil
 	}
+	sess.SetStaleness(c.cfg.Staleness)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.byFP[fp]; ok {
@@ -412,10 +482,17 @@ func (c *Cache) tenantCounterLocked(tenant string) *Stats {
 }
 
 // dropEntry removes a failed entry (counted as an eviction). A failed
-// entry's state is suspect, so it is never persisted on the way out.
+// entry's state is suspect, so it is never persisted on the way out — even
+// when an eviction raced the failed run and left its persistence pending.
 func (c *Cache) dropEntry(e *Entry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	e.inflight = false
+	if e.evictPending {
+		e.evictPending, e.persistPending = false, false
+		e.Session.Release()
+		return
+	}
 	if c.byFP[e.Fingerprint] == e {
 		c.removeLocked(e, false)
 	}
@@ -432,6 +509,14 @@ func (c *Cache) removeLocked(e *Entry, persist bool) {
 	c.evictions++
 	c.tenantCounterLocked(e.Tenant).Evictions++
 	c.tenantEntries[e.Tenant]--
+	if e.inflight {
+		// The entry is mid-invocation on another goroutine: its session and
+		// the plans it executes are live. Unlink now, but leave persistence
+		// and plan release to the invocation's completion.
+		e.evictPending = true
+		e.persistPending = persist
+		return
+	}
 	if persist && c.cfg.Persist != nil && e.Session.Done() {
 		c.cfg.Persist(e)
 	}
@@ -543,11 +628,12 @@ func (c *Cache) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st := Stats{
-		Entries:    len(c.byFP),
-		Hits:       c.hits,
-		Misses:     c.misses,
-		Evictions:  c.evictions,
-		Rehydrated: c.rehydrated,
+		Entries:        len(c.byFP),
+		Hits:           c.hits,
+		Misses:         c.misses,
+		Evictions:      c.evictions,
+		Rehydrated:     c.rehydrated,
+		Reconvergences: c.reconvergences,
 	}
 	for _, e := range c.byFP {
 		if e.Session.Done() {

@@ -1,0 +1,278 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Overload hardening and failure isolation for the serve path (ROADMAP
+// item: robustness). Three mechanisms compose, all scoped per shard so one
+// sick engine replica cannot take the daemon down:
+//
+//   - Request deadlines: the request context flows into shard dispatch; a
+//     request whose deadline fires while it waits for the engine-ownership
+//     semaphore aborts with 503 instead of executing work the client has
+//     abandoned.
+//   - Load shedding: the waiting line in front of each shard is bounded
+//     (Config.MaxShardQueue); excess arrivals fail fast with 503 and a
+//     Retry-After header instead of stacking goroutines on the semaphore.
+//   - A per-shard health breaker: consecutive failed or anomalously slow
+//     invocations trip the shard into degraded mode, where it keeps serving
+//     last-converged plans (plancache frozen invocations — no exploration,
+//     no staleness feedback) until a cooldown elapses and a half-open probe
+//     request succeeds at full fidelity.
+
+// ErrOverloaded reports a request shed because its shard's queue was full.
+var ErrOverloaded = errors.New("server: shard queue full")
+
+// do runs f holding sh's engine-ownership semaphore: f is the only code
+// touching the shard's machine, cache sessions, and virtual clock while it
+// runs. Internal callers with no deadline of their own use it directly.
+func (s *Server) do(sh *shard, f func()) error {
+	return s.doCtx(context.Background(), sh, f)
+}
+
+// doCtx is do with a request context: acquisition of the engine-ownership
+// semaphore is abortable (deadline, client disconnect) and bounded by the
+// shard queue limit. Engine work, once started, always runs to completion —
+// the virtual machine cannot be preempted mid-run — so the deadline governs
+// the wait, and is re-checked once more between acquisition and dispatch.
+func (s *Server) doCtx(ctx context.Context, sh *shard, f func()) error {
+	s.closeMu.RLock()
+	if s.closed {
+		s.closeMu.RUnlock()
+		return ErrClosed
+	}
+	s.inflight.Add(1)
+	s.closeMu.RUnlock()
+	defer s.inflight.Done()
+	queued := sh.waiting.Add(1)
+	defer sh.waiting.Add(-1)
+	if max := s.cfg.MaxShardQueue; max > 0 && int(queued) > max {
+		s.res.shed.Add(1)
+		return ErrOverloaded
+	}
+	select {
+	case sh.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.res.deadlineExpiries.Add(1)
+		return fmt.Errorf("server: %w", ctx.Err())
+	}
+	defer func() { <-sh.sem }()
+	if err := ctx.Err(); err != nil {
+		// The deadline fired between acquisition and dispatch: don't start
+		// engine work for a client that has already given up.
+		s.res.deadlineExpiries.Add(1)
+		return fmt.Errorf("server: %w", err)
+	}
+	f()
+	return nil
+}
+
+// sheddable classifies a dispatch error for the HTTP reply: everything is a
+// 503, but shed requests additionally carry Retry-After — the client should
+// back off and come again, unlike a closed server.
+func sheddable(err error) bool { return errors.Is(err, ErrOverloaded) }
+
+// breakerState is one shard breaker's position in the closed → open →
+// half-open cycle.
+type breakerState int
+
+const (
+	brkClosed   breakerState = iota // healthy: invocations run at full fidelity
+	brkOpen                         // degraded: serve frozen until the cooldown elapses
+	brkHalfOpen                     // probing: one request runs normally; its outcome decides
+)
+
+func (st breakerState) String() string {
+	switch st {
+	case brkOpen:
+		return "open"
+	case brkHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// brkMode is the breaker's decision for one invocation.
+type brkMode int
+
+const (
+	brkNormal brkMode = iota // full fidelity: adapt, explore, feed staleness
+	brkFrozen                // degraded: serve learned state only
+	brkProbe                 // half-open probe: full fidelity, outcome closes or reopens
+)
+
+// breaker is one shard's health breaker. Failures are consecutive full-
+// fidelity invocations that errored or ran anomalously slowly; frozen
+// servings never count (they are the degraded mode itself, not evidence).
+type breaker struct {
+	mu       sync.Mutex
+	state    breakerState
+	failures int // consecutive, while closed
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+	trips    int64
+	nowFn    func() time.Time // test seam; nil = time.Now
+}
+
+func (b *breaker) now() time.Time {
+	if b.nowFn != nil {
+		return b.nowFn()
+	}
+	return time.Now()
+}
+
+// admit decides how the next invocation runs. Open breakers transition to
+// half-open once the cooldown has elapsed, admitting exactly one probe at a
+// time; everything else in the meantime serves frozen.
+func (b *breaker) admit(cooldown time.Duration) brkMode {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case brkClosed:
+		return brkNormal
+	case brkOpen:
+		if b.now().Sub(b.openedAt) < cooldown {
+			return brkFrozen
+		}
+		b.state = brkHalfOpen
+		b.probing = true
+		return brkProbe
+	default: // half-open
+		if b.probing {
+			return brkFrozen
+		}
+		b.probing = true
+		return brkProbe
+	}
+}
+
+// record feeds one invocation's outcome back. threshold is the consecutive-
+// failure count that trips a closed breaker open.
+func (b *breaker) record(mode brkMode, failed bool, threshold int) {
+	if mode == brkFrozen {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if failed {
+		if mode == brkProbe {
+			// The probe failed: back to fully open, cooldown restarted.
+			b.state = brkOpen
+			b.openedAt = b.now()
+			b.probing = false
+			b.trips++
+			return
+		}
+		b.failures++
+		if b.state == brkClosed && b.failures >= threshold {
+			b.state = brkOpen
+			b.openedAt = b.now()
+			b.failures = 0
+			b.trips++
+		}
+		return
+	}
+	if mode == brkProbe {
+		b.state = brkClosed
+		b.probing = false
+	}
+	b.failures = 0
+}
+
+// snapshot reads the breaker for /stats and /healthz.
+func (b *breaker) snapshot() (state breakerState, trips int64, failures int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.trips, b.failures
+}
+
+// InjectFault schedules a machine fault on one shard — the chaos entry point
+// the self-benchmark and tests drive mid-run core loss through. The event
+// reaches the simulated machine under the shard's engine-ownership boundary;
+// it takes effect at its virtual AtNs (a past AtNs means immediately, at the
+// start of the next run).
+func (s *Server) InjectFault(shard int, ev sim.FaultEvent) error {
+	if shard < 0 || shard >= len(s.shards) {
+		return fmt.Errorf("server: no shard %d (pool of %d)", shard, len(s.shards))
+	}
+	sh := s.shards[shard]
+	return s.do(sh, func() { sh.eng.Machine().InjectFault(ev) })
+}
+
+// withRecovery is the outermost middleware: a panic anywhere in a handler
+// becomes a 500 and a counter increment instead of a dead daemon. The
+// engine-ownership semaphore and in-flight counters release on the way up
+// (doCtx defers), so a recovered shard keeps serving.
+func (s *Server) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.res.panics.Add(1)
+				s.writeErr(w, http.StatusInternalServerError, fmt.Errorf("internal error: %v", rec))
+			}
+		}()
+		if s.panicHook != nil {
+			s.panicHook(r)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// BreakerInfo is one shard breaker's slice of the /stats resilience block.
+type BreakerInfo struct {
+	Shard int    `json:"shard"`
+	State string `json:"state"`
+	// Trips counts closed→open transitions (including failed probes).
+	Trips int64 `json:"trips"`
+	// Failures is the current consecutive-failure count while closed.
+	Failures int `json:"consecutive_failures,omitempty"`
+}
+
+// ResilienceStats is the GET /stats "resilience" block: fault-injection and
+// overload-hardening counters aggregated across the shard pool.
+type ResilienceStats struct {
+	// FaultsInjected and CoresLost aggregate the shard machines' fault
+	// counters (scheduled plans and InjectFault both land here).
+	FaultsInjected int `json:"faults_injected"`
+	CoresLost      int `json:"cores_lost"`
+	// Reconvergences counts staleness-triggered convergence reopens across
+	// all shard caches.
+	Reconvergences int64 `json:"reconvergences"`
+	// DeadlineExpiries counts requests aborted by their deadline while
+	// waiting for (or just after acquiring) a shard.
+	DeadlineExpiries int64 `json:"deadline_expiries"`
+	// ShedRequests counts requests refused because a shard queue was full.
+	ShedRequests int64 `json:"shed_requests"`
+	// PanicsRecovered counts handler panics converted to 500s.
+	PanicsRecovered int64 `json:"panics_recovered"`
+	// Breakers reports each shard's health breaker.
+	Breakers []BreakerInfo `json:"breakers,omitempty"`
+}
+
+// ShardHealth is one shard's row in the GET /healthz reply.
+type ShardHealth struct {
+	Shard   int    `json:"shard"`
+	Breaker string `json:"breaker"`
+	// Degraded is true while the breaker is not closed: the shard serves
+	// learned plans only.
+	Degraded bool `json:"degraded"`
+}
+
+// HealthResponse is the GET /healthz reply. OK (and a 200) requires the
+// server open and every shard breaker closed; a degraded shard flips the
+// status to 503 so load balancers rotate traffic away while it recovers.
+type HealthResponse struct {
+	OK     bool          `json:"ok"`
+	Shards []ShardHealth `json:"shards,omitempty"`
+	// StoreQueueDepth is the write-behind synchronizer backlog (absent
+	// without a persistent store).
+	StoreQueueDepth *int `json:"store_queue_depth,omitempty"`
+}

@@ -1,0 +1,367 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// TestRequestBodyTooLarge413: the /query body cap rejects oversized posts
+// with 413 before any decoding or engine work.
+func TestRequestBodyTooLarge413(t *testing.T) {
+	_, ts := newTestServer(t, Config{Benchmark: "tpch"})
+	big := bytes.Repeat([]byte("x"), maxRequestBody+1)
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413", resp.StatusCode)
+	}
+	// A normal request still works afterwards.
+	if _, code := postQuery(t, ts.URL, QueryRequest{Query: 6}); code != http.StatusOK {
+		t.Fatalf("post-413 status %d", code)
+	}
+}
+
+// TestDeadlineExpiryAborts503: a request whose deadline fires while it waits
+// for its shard's engine semaphore gets a 503 and counts as a deadline
+// expiry; the shard serves normally once free.
+func TestDeadlineExpiryAborts503(t *testing.T) {
+	s, ts := newTestServer(t, Config{Benchmark: "tpch", RequestTimeout: 100 * time.Millisecond})
+	sh := s.shards[0]
+	sh.sem <- struct{}{} // occupy the engine from outside
+	if _, code := postQuery(t, ts.URL, QueryRequest{Query: 6}); code != http.StatusServiceUnavailable {
+		t.Fatalf("status %d with the shard held, want 503", code)
+	}
+	<-sh.sem
+	if got := s.res.deadlineExpiries.Load(); got == 0 {
+		t.Fatal("deadline expiry not counted")
+	}
+	if _, code := postQuery(t, ts.URL, QueryRequest{Query: 6}); code != http.StatusOK {
+		t.Fatalf("post-release status %d", code)
+	}
+	var stats StatsResponse
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats.Resilience.DeadlineExpiries == 0 {
+		t.Fatal("/stats resilience block missing the deadline expiry")
+	}
+}
+
+// TestLoadSheddingRetryAfter: with the shard queue bounded, arrivals beyond
+// the bound fail fast with 503 + Retry-After instead of stacking up.
+func TestLoadSheddingRetryAfter(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Benchmark:      "tpch",
+		RequestTimeout: 2 * time.Second,
+		MaxShardQueue:  1,
+	})
+	sh := s.shards[0]
+	sh.sem <- struct{}{}
+	// First client queues (within the bound) and blocks on the semaphore.
+	done := make(chan int, 1)
+	go func() {
+		_, code := postQuery(t, ts.URL, QueryRequest{Query: 6})
+		done <- code
+	}()
+	for i := 0; sh.waiting.Load() == 0 && i < 200; i++ {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if sh.waiting.Load() == 0 {
+		t.Fatal("first client never queued")
+	}
+	// Second client exceeds the bound and is shed immediately.
+	body, _ := json.Marshal(QueryRequest{Query: 6})
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("shed status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	<-sh.sem // free the shard; the queued client completes normally
+	if code := <-done; code != http.StatusOK {
+		t.Fatalf("queued client finished with %d", code)
+	}
+	if s.res.shed.Load() == 0 {
+		t.Fatal("shed request not counted")
+	}
+}
+
+// TestBreakerCycle unit-tests the per-shard health breaker's full state
+// cycle with a fake clock: consecutive failures trip it open, frozen
+// outcomes never count, the cooldown admits exactly one probe, and the
+// probe's outcome closes or reopens it.
+func TestBreakerCycle(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := &breaker{nowFn: func() time.Time { return now }}
+	const threshold = 3
+	cooldown := time.Minute
+
+	for i := 0; i < threshold-1; i++ {
+		if m := b.admit(cooldown); m != brkNormal {
+			t.Fatalf("closed breaker admitted %v", m)
+		}
+		b.record(brkNormal, true, threshold)
+	}
+	// An intervening success resets the consecutive count.
+	b.record(brkNormal, false, threshold)
+	for i := 0; i < threshold-1; i++ {
+		b.record(brkNormal, true, threshold)
+	}
+	if st, trips, _ := b.snapshot(); st != brkClosed || trips != 0 {
+		t.Fatalf("breaker tripped early: %v trips %d", st, trips)
+	}
+	b.record(brkNormal, true, threshold)
+	if st, trips, _ := b.snapshot(); st != brkOpen || trips != 1 {
+		t.Fatalf("breaker did not trip: %v trips %d", st, trips)
+	}
+
+	// While open: frozen, and frozen outcomes are not evidence.
+	if m := b.admit(cooldown); m != brkFrozen {
+		t.Fatalf("open breaker admitted %v", m)
+	}
+	b.record(brkFrozen, true, threshold)
+	if st, _, _ := b.snapshot(); st != brkOpen {
+		t.Fatal("frozen failure moved the breaker")
+	}
+
+	// Cooldown elapses: one probe, everyone else stays frozen.
+	now = now.Add(cooldown + time.Second)
+	if m := b.admit(cooldown); m != brkProbe {
+		t.Fatal("cooldown did not admit a probe")
+	}
+	if m := b.admit(cooldown); m != brkFrozen {
+		t.Fatalf("second concurrent request got %v, want frozen", m)
+	}
+	// Probe fails: fully open again, cooldown restarted.
+	b.record(brkProbe, true, threshold)
+	if st, trips, _ := b.snapshot(); st != brkOpen || trips != 2 {
+		t.Fatalf("failed probe: %v trips %d", st, trips)
+	}
+	if m := b.admit(cooldown); m != brkFrozen {
+		t.Fatal("breaker half-opened again without a cooldown")
+	}
+
+	// Next probe succeeds: closed, failures reset.
+	now = now.Add(cooldown + time.Second)
+	if m := b.admit(cooldown); m != brkProbe {
+		t.Fatal("second cooldown did not admit a probe")
+	}
+	b.record(brkProbe, false, threshold)
+	if st, _, fails := b.snapshot(); st != brkClosed || fails != 0 {
+		t.Fatalf("successful probe did not close: %v failures %d", st, fails)
+	}
+}
+
+// TestBreakerDegradedServingHTTP trips a shard's breaker through the serve
+// path (SlowFactor marks early adaptive runs as anomalously slow), then
+// checks degraded serving, /healthz, and the /stats resilience block.
+func TestBreakerDegradedServingHTTP(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Benchmark:       "tpch",
+		BreakerFailures: 2,
+		BreakerCooldown: time.Hour,
+		SlowFactor:      0.3, // only a 3.3× speedup over serial counts as healthy
+	})
+	// Runs 0 and 1 serve at ≈serial latency — two consecutive "slow"
+	// outcomes trip the breaker.
+	for i := 0; i < 2; i++ {
+		if qr, code := postQuery(t, ts.URL, QueryRequest{Query: 6}); code != http.StatusOK || qr.Degraded {
+			t.Fatalf("run %d: code %d degraded %v", i, code, qr.Degraded)
+		}
+	}
+	qr, code := postQuery(t, ts.URL, QueryRequest{Query: 6})
+	if code != http.StatusOK || !qr.Degraded {
+		t.Fatalf("open breaker did not serve degraded: code %d, %+v", code, qr)
+	}
+
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health HealthResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz with a degraded shard: %d, want 503", hresp.StatusCode)
+	}
+	if health.OK || len(health.Shards) != 1 || !health.Shards[0].Degraded {
+		t.Fatalf("healthz body: %+v", health)
+	}
+	var stats StatsResponse
+	getJSON(t, ts.URL+"/stats", &stats)
+	br := stats.Resilience.Breakers
+	if len(br) != 1 || br[0].State != "open" || br[0].Trips != 1 {
+		t.Fatalf("resilience breakers: %+v", br)
+	}
+
+	// Jump past the cooldown: the next request is the half-open probe and
+	// runs at full fidelity (not degraded). Early in adaptation it is still
+	// slow, so the breaker reopens behind it.
+	s.shards[0].brk.nowFn = func() time.Time { return time.Now().Add(2 * time.Hour) }
+	if qr, _ := postQuery(t, ts.URL, QueryRequest{Query: 6}); qr.Degraded {
+		t.Fatalf("probe served degraded: %+v", qr)
+	}
+	if st, trips, _ := s.shards[0].brk.snapshot(); st != brkOpen || trips != 2 {
+		t.Fatalf("slow probe did not reopen: %v trips %d", st, trips)
+	}
+}
+
+// TestPanicRecoveryMiddleware: a handler panic becomes a 500 plus a counter,
+// not a dead daemon.
+func TestPanicRecoveryMiddleware(t *testing.T) {
+	s, ts := newTestServer(t, Config{Benchmark: "tpch"})
+	s.panicHook = func(r *http.Request) {
+		if r.URL.Path == "/query" {
+			panic("deliberate test panic")
+		}
+	}
+	if _, code := postQuery(t, ts.URL, QueryRequest{Query: 6}); code != http.StatusInternalServerError {
+		t.Fatalf("panicking handler returned %d, want 500", code)
+	}
+	s.panicHook = nil
+	if _, code := postQuery(t, ts.URL, QueryRequest{Query: 6}); code != http.StatusOK {
+		t.Fatalf("post-panic status %d — daemon did not recover", code)
+	}
+	var stats StatsResponse
+	getJSON(t, ts.URL+"/stats", &stats)
+	if stats.Resilience.PanicsRecovered != 1 {
+		t.Fatalf("panics_recovered = %d, want 1", stats.Resilience.PanicsRecovered)
+	}
+}
+
+// TestAdmissionSlotsConcurrentChurn hammers the admission slot allocator
+// from many goroutines: no two concurrent holders may share a slot index,
+// and the slot array must not grow past the true peak concurrency.
+func TestAdmissionSlotsConcurrentChurn(t *testing.T) {
+	var adm admissionSlots
+	const workers, iters = 16, 200
+	var held [workers * 2]atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				idx, active := adm.acquire()
+				if idx < 0 || idx >= len(held) {
+					errs <- fmt.Errorf("slot %d out of range", idx)
+					return
+				}
+				if active < 1 || active > workers {
+					errs <- fmt.Errorf("active %d out of range", active)
+					return
+				}
+				if !held[idx].CompareAndSwap(false, true) {
+					errs <- fmt.Errorf("slot %d double-acquired", idx)
+					return
+				}
+				held[idx].Store(false)
+				adm.release(idx)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if peak := adm.peakActive(); peak < 1 || peak > workers {
+		t.Fatalf("peak %d out of range", peak)
+	}
+	adm.mu.Lock()
+	slots := len(adm.slots)
+	adm.mu.Unlock()
+	if slots > workers {
+		t.Fatalf("slot array grew to %d for %d workers", slots, workers)
+	}
+}
+
+// TestServerChaosReconvergence is the end-to-end resilience path over HTTP:
+// converge a query, lose most of the machine mid-run via InjectFault, watch
+// the staleness detector reopen the session on the serving path, and verify
+// the /stats resilience block reports the faults and the re-convergence.
+func TestServerChaosReconvergence(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Benchmark: "tpch",
+		Staleness: core.DefaultStalenessConfig(),
+	})
+	post := func() QueryResponse {
+		t.Helper()
+		qr, code := postQuery(t, ts.URL, QueryRequest{Query: 6})
+		if code != http.StatusOK {
+			t.Fatalf("status %d", code)
+		}
+		return qr
+	}
+	var qr QueryResponse
+	for i := 0; i < 400; i++ {
+		if qr = post(); qr.State == "converged" {
+			break
+		}
+	}
+	if qr.State != "converged" {
+		t.Fatal("never converged")
+	}
+
+	// Chaos: take the machine from 32 threads down to 4 mid-run.
+	if err := s.InjectFault(0, sim.FaultEvent{Kind: sim.FaultCoreLoss, Socket: 0, Count: 16}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.InjectFault(0, sim.FaultEvent{Kind: sim.FaultCoreLoss, Socket: 1, Count: 12}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.InjectFault(2, sim.FaultEvent{}); err == nil {
+		t.Fatal("InjectFault accepted an out-of-range shard")
+	}
+
+	// Serving runs on the shrunken machine trip staleness detection and the
+	// session adapts again to a new convergence.
+	var staleNs float64
+	reconverged := false
+	for i := 0; i < 400; i++ {
+		qr = post()
+		if qr.State == "adapting" && staleNs == 0 {
+			staleNs = qr.LatencyNs // first re-exploration run ≈ the degraded serial
+		}
+		if staleNs > 0 && qr.State == "converged" {
+			reconverged = true
+			break
+		}
+	}
+	if !reconverged {
+		t.Fatal("session never re-converged after core loss")
+	}
+
+	var stats StatsResponse
+	getJSON(t, ts.URL+"/stats", &stats)
+	res := stats.Resilience
+	if res.FaultsInjected < 2 || res.CoresLost != 28 {
+		t.Fatalf("faults injected %d cores lost %d, want >=2 and 28", res.FaultsInjected, res.CoresLost)
+	}
+	if res.Reconvergences != 1 {
+		t.Fatalf("reconvergences = %d, want 1", res.Reconvergences)
+	}
+	// The breaker is disabled here, so chaos must not mark the shard down.
+	var health HealthResponse
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK || !health.OK {
+		t.Fatalf("healthz after re-convergence: %d %+v", code, health)
+	}
+}

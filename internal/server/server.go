@@ -41,6 +41,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -50,6 +51,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/algebra"
@@ -57,6 +59,7 @@ import (
 	"repro/internal/exec"
 	"repro/internal/plan"
 	"repro/internal/plancache"
+	"repro/internal/sim"
 	"repro/internal/store"
 	"repro/internal/tpcds"
 	"repro/internal/tpch"
@@ -99,31 +102,66 @@ type Config struct {
 	// from the learned plan. The server flushes the synchronizer on Close
 	// but does not close the store — the opener owns its lifetime.
 	Store *store.Store
+
+	// Staleness arms post-convergence staleness detection on every cached
+	// session: converged sessions whose full-budget serving latencies drift
+	// out of the band reopen convergence instead of pinning a stale plan
+	// (core.StalenessConfig semantics; zero = disabled).
+	Staleness core.StalenessConfig
+	// Faults is a deterministic fault schedule applied to every shard's
+	// simulated machine at startup (each shard has its own virtual clock, so
+	// each sees the same schedule relative to its own time axis). Chaos
+	// testing only; zero = no faults.
+	Faults sim.FaultPlan
+	// RequestTimeout bounds one /query request's wait for its shard plus
+	// dispatch; an expired deadline aborts with 503 before engine work
+	// starts (0 = no deadline beyond the client's own context).
+	RequestTimeout time.Duration
+	// MaxShardQueue bounds the number of requests waiting on (or holding)
+	// one shard's engine semaphore; arrivals beyond it are shed with 503 +
+	// Retry-After (0 = unbounded).
+	MaxShardQueue int
+	// BreakerFailures is the consecutive full-fidelity failure count (errors
+	// or anomalously slow runs) that trips a shard's health breaker into
+	// degraded mode (0 = breaker disabled).
+	BreakerFailures int
+	// BreakerCooldown is how long a tripped breaker serves frozen before
+	// admitting a half-open probe (0 = probe immediately).
+	BreakerCooldown time.Duration
+	// SlowFactor counts a converged invocation slower than SlowFactor × its
+	// session's serial baseline as a breaker failure (0 = only hard errors
+	// count).
+	SlowFactor float64
 }
 
 // shard is one engine replica: a simulated machine, its plan-session cache,
-// and its admission slots. The shard mutex is the engine-ownership boundary:
-// the single-threaded virtual-time machine is only ever touched while
-// holding it, so handler goroutines execute engine work inline (one
-// uncontended lock) instead of paying two channel handoffs to a dedicated
+// and its admission slots. The one-slot semaphore is the engine-ownership
+// boundary: the single-threaded virtual-time machine is only ever touched
+// while holding it, so handler goroutines execute engine work inline (one
+// uncontended channel send) instead of paying two handoffs to a dedicated
 // run-loop goroutine per request — the seed design's main fixed cost under
-// concurrent clients.
+// concurrent clients. A semaphore rather than a mutex because acquisition
+// must be abortable: request deadlines select against it, and the shed
+// policy bounds the line forming behind it (resilience.go).
 type shard struct {
 	id    int
 	eng   *exec.Engine
 	cache *plancache.Cache
 	adm   admissionSlots
 
-	mu sync.Mutex
+	sem     chan struct{} // 1-slot engine-ownership semaphore
+	waiting atomic.Int32  // requests holding or waiting on sem
+	brk     breaker       // per-shard health breaker
 }
 
 // Server is the query-service daemon core: an HTTP handler set over a pool
 // of engine shards.
 type Server struct {
-	cfg    Config
-	shards []*shard
-	mux    *http.ServeMux
-	start  time.Time
+	cfg     Config
+	shards  []*shard
+	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in the panic-recovery middleware
+	start   time.Time
 
 	// tenants routes request tenant names; tenantList keeps /stats order
 	// (default first, then config order); defTenant is the primary dataset.
@@ -147,8 +185,18 @@ type Server struct {
 
 	// admitHook, when non-nil, runs between admission-slot acquisition and
 	// engine dispatch — a test seam that makes concurrent admission
-	// observable deterministically on single-CPU machines.
+	// observable deterministically on single-CPU machines. panicHook runs
+	// inside the recovery middleware before routing — the seam panic-path
+	// tests trip deliberately.
 	admitHook func()
+	panicHook func(*http.Request)
+
+	// res holds the overload-hardening counters (resilience.go).
+	res struct {
+		deadlineExpiries atomic.Int64
+		shed             atomic.Int64
+		panics           atomic.Int64
+	}
 
 	// sync is the write-behind path to cfg.Store (nil without a store);
 	// rehydrated/skippedRecords count startup rehydration outcomes.
@@ -240,6 +288,7 @@ func New(cfg Config) (*Server, error) {
 			IDPrefix:    prefix,
 			Mutation:    cfg.Mutation,
 			Convergence: cfg.Convergence,
+			Staleness:   cfg.Staleness,
 		}
 		if s.sync != nil {
 			// Write-behind persistence: the hook fires on convergence and
@@ -263,6 +312,10 @@ func New(cfg Config) (*Server, error) {
 			id:    i,
 			eng:   eng,
 			cache: plancache.New(eng, ccfg),
+			sem:   make(chan struct{}, 1),
+		}
+		if len(cfg.Faults) > 0 {
+			eng.Machine().SetFaultPlan(cfg.Faults)
 		}
 		// Per-tenant session quotas live inside each shard's cache, tagged
 		// by tenant, so the eviction policy can scope an over-quota tenant's
@@ -283,6 +336,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/sessions/", s.handleSessionTrace)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.handler = s.withRecovery(s.mux)
 	return s, nil
 }
 
@@ -327,8 +381,8 @@ func (s *Server) rehydrate(st *store.Store) {
 	}
 }
 
-// Handler returns the HTTP handler tree.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler tree (panic recovery outermost).
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Shards reports the pool width.
 func (s *Server) Shards() int { return len(s.shards) }
@@ -362,23 +416,6 @@ func (s *Server) shardFor(fp string) *shard {
 	h := fnv.New32a()
 	h.Write([]byte(fp))
 	return s.shards[h.Sum32()%uint32(len(s.shards))]
-}
-
-// do runs f holding sh's engine-ownership lock: f is the only code touching
-// the shard's machine, cache sessions, and virtual clock while it runs.
-func (s *Server) do(sh *shard, f func()) error {
-	s.closeMu.RLock()
-	if s.closed {
-		s.closeMu.RUnlock()
-		return ErrClosed
-	}
-	s.inflight.Add(1)
-	s.closeMu.RUnlock()
-	defer s.inflight.Done()
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	f()
-	return nil
 }
 
 // admissionSlots hands out client indices for the admission policy: a
@@ -560,6 +597,10 @@ type QueryResponse struct {
 	// MaxCores is the admission-control budget applied (0 = unlimited).
 	MaxCores  int `json:"max_cores"`
 	NumValues int `json:"num_values"`
+	// Degraded marks an invocation served frozen by an open shard breaker:
+	// the learned plan executed, but no adaptation or staleness feedback
+	// happened.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 type errorResponse struct {
@@ -766,6 +807,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// fingerprint already incorporates the tenant's dataset identity.
 	sh := s.shardFor(fp)
 
+	// The request context carries the per-request deadline into shard
+	// dispatch: a request that cannot reach its engine in time 503s instead
+	// of queueing forever (the client's own cancellation flows through too).
+	ctx := r.Context()
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+
 	// Bind resolution happens against the tenant's catalog; everything else
 	// (machine, recycler, schedule cache, admission) is the shared shard.
 	opts := exec.JobOptions{Catalog: tn.jobCatalog()}
@@ -781,12 +832,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	switch req.Mode {
 	case "", "adaptive":
+		// The shard's health breaker decides the invocation's fidelity: a
+		// degraded shard serves frozen (learned plans, no exploration) until
+		// its cooldown admits a half-open probe.
+		mode := brkNormal
+		if s.cfg.BreakerFailures > 0 {
+			mode = sh.brk.admit(s.cfg.BreakerCooldown)
+		}
 		var (
 			res *plancache.Result
 			sum core.Summary
 		)
-		doErr := s.do(sh, func() {
-			res, err = sh.cache.InvokeTenant(tn.tag(), fp, name, build, opts)
+		doErr := s.doCtx(ctx, sh, func() {
+			if mode == brkFrozen {
+				res, err = sh.cache.InvokeTenantFrozen(tn.tag(), fp, name, build, opts)
+			} else {
+				res, err = sh.cache.InvokeTenant(tn.tag(), fp, name, build, opts)
+			}
 			if err == nil {
 				// Snapshot under the shard lock: another request may step
 				// this session the moment we release it.
@@ -794,14 +856,30 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			}
 		})
 		if doErr != nil {
+			if s.cfg.BreakerFailures > 0 {
+				// Shed, deadline-expired, or closed: the shard never answered
+				// at full fidelity — a probe that hit this stays open.
+				sh.brk.record(mode, true, s.cfg.BreakerFailures)
+			}
 			tn.noteErr()
+			if sheddable(doErr) {
+				w.Header().Set("Retry-After", "1")
+			}
 			s.writeErrBuf(b, w, http.StatusServiceUnavailable, doErr)
 			return
 		}
 		if err != nil {
+			if s.cfg.BreakerFailures > 0 {
+				sh.brk.record(mode, true, s.cfg.BreakerFailures)
+			}
 			tn.noteErr()
 			s.writeErrBuf(b, w, http.StatusInternalServerError, err)
 			return
+		}
+		if s.cfg.BreakerFailures > 0 {
+			slow := s.cfg.SlowFactor > 0 && sum.SerialNs > 0 &&
+				res.Invocation.LatencyNs > s.cfg.SlowFactor*sum.SerialNs
+			sh.brk.record(mode, slow, s.cfg.BreakerFailures)
 		}
 		resp := QueryResponse{
 			Session:         res.Entry.ID,
@@ -823,13 +901,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if res.Invocation.Converged {
 			resp.State = "converged"
 		}
+		resp.Degraded = res.Invocation.Frozen
 		b.reply(w, http.StatusOK, resp)
 	case "serial":
 		var (
 			vals []exec.Value
 			prof *exec.Profile
 		)
-		doErr := s.do(sh, func() {
+		doErr := s.doCtx(ctx, sh, func() {
 			var p *plan.Plan
 			if p, err = build(); err == nil {
 				vals, prof, err = sh.eng.ExecuteOpts(p, opts)
@@ -841,6 +920,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		})
 		if doErr != nil {
 			tn.noteErr()
+			if sheddable(doErr) {
+				w.Header().Set("Retry-After", "1")
+			}
 			s.writeErrBuf(b, w, http.StatusServiceUnavailable, doErr)
 			return
 		}
@@ -1019,6 +1101,8 @@ type ShardStats struct {
 	// plan compilations. Both are atomic-counter snapshots.
 	Recycler exec.RecyclerStats `json:"recycler"`
 	Compile  exec.CompileStats  `json:"compile"`
+	// Faults reports the shard machine's fault-injection counters.
+	Faults sim.FaultStats `json:"faults"`
 }
 
 // StatsResponse is the GET /stats reply. Cache counters are aggregated
@@ -1042,6 +1126,9 @@ type StatsResponse struct {
 	// Store reports the persistent convergence store (absent when the
 	// server runs without one).
 	Store *StoreStatsInfo `json:"store,omitempty"`
+	// Resilience aggregates fault-injection and overload-hardening counters
+	// (resilience.go).
+	Resilience ResilienceStats `json:"resilience"`
 }
 
 // StoreStatsInfo is the /stats view of the persistent convergence store:
@@ -1095,11 +1182,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Compile:  sh.eng.CompileStats(),
 		}
 		var tstats map[string]plancache.Stats
-		// The virtual clock and cache stats read state that executions
-		// on this shard mutate; read them under the shard lock.
+		// The virtual clock, cache stats, and fault counters read state that
+		// executions on this shard mutate; read them under the shard lock.
 		if err := s.do(sh, func() {
 			st.VirtualNowNs = sh.eng.Machine().Now()
 			st.Cache = sh.cache.Stats()
+			st.Faults = sh.eng.Machine().Faults()
 			tstats = sh.cache.TenantStats()
 		}); err != nil {
 			s.writeErr(w, http.StatusServiceUnavailable, err)
@@ -1114,6 +1202,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				tc.Evictions += tst.Evictions
 				tc.Converged += tst.Converged
 				tc.Rehydrated += tst.Rehydrated
+				tc.Reconvergences += tst.Reconvergences
 			}
 		}
 		resp.PerShard = append(resp.PerShard, st)
@@ -1123,13 +1212,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Cache.Evictions += st.Cache.Evictions
 		resp.Cache.Converged += st.Cache.Converged
 		resp.Cache.Rehydrated += st.Cache.Rehydrated
+		resp.Cache.Reconvergences += st.Cache.Reconvergences
 		if st.VirtualNowNs > resp.VirtualNowNs {
 			resp.VirtualNowNs = st.VirtualNowNs
 		}
 		if st.PeakClients > resp.PeakClients {
 			resp.PeakClients = st.PeakClients
 		}
+		resp.Resilience.FaultsInjected += st.Faults.Injected
+		resp.Resilience.CoresLost += st.Faults.CoresLost
+		brState, brTrips, brFails := sh.brk.snapshot()
+		resp.Resilience.Breakers = append(resp.Resilience.Breakers, BreakerInfo{
+			Shard: sh.id, State: brState.String(), Trips: brTrips, Failures: brFails,
+		})
 	}
+	resp.Resilience.Reconvergences = resp.Cache.Reconvergences
+	resp.Resilience.DeadlineExpiries = s.res.deadlineExpiries.Load()
+	resp.Resilience.ShedRequests = s.res.shed.Load()
+	resp.Resilience.PanicsRecovered = s.res.panics.Load()
 	if s.cfg.Store != nil {
 		resp.Store = &StoreStatsInfo{
 			Stats:                 s.cfg.Store.Stats(),
@@ -1146,11 +1246,26 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.closeMu.RLock()
 	closed := s.closed
 	s.closeMu.RUnlock()
-	if closed {
-		b := getIOBuf()
-		defer putIOBuf(b)
-		b.reply(w, http.StatusServiceUnavailable, map[string]bool{"ok": false})
-		return
+	resp := HealthResponse{OK: !closed}
+	for _, sh := range s.shards {
+		st, _, _ := sh.brk.snapshot()
+		degraded := st != brkClosed
+		if degraded {
+			resp.OK = false
+		}
+		resp.Shards = append(resp.Shards, ShardHealth{
+			Shard: sh.id, Breaker: st.String(), Degraded: degraded,
+		})
 	}
-	writeJSON(w, map[string]bool{"ok": true})
+	if s.sync != nil {
+		depth := s.sync.QueueDepth()
+		resp.StoreQueueDepth = &depth
+	}
+	code := http.StatusOK
+	if !resp.OK {
+		code = http.StatusServiceUnavailable
+	}
+	b := getIOBuf()
+	defer putIOBuf(b)
+	b.reply(w, code, resp)
 }

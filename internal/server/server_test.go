@@ -213,8 +213,8 @@ func TestServeConcurrentConvergence(t *testing.T) {
 		t.Fatalf("query_requests %d too low", stats.QueryRequests)
 	}
 
-	var health map[string]bool
-	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK || !health["ok"] {
+	var health HealthResponse
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusOK || !health.OK {
 		t.Fatalf("healthz: code %d, body %+v", code, health)
 	}
 }
@@ -305,9 +305,9 @@ func TestCloseRejectsRequests(t *testing.T) {
 		t.Fatalf("post-close status %d, want 503", code)
 	}
 	// A closed server must not look healthy to load balancers.
-	var health map[string]bool
-	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusServiceUnavailable {
-		t.Fatalf("post-close healthz status %d, want 503", code)
+	var health HealthResponse
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != http.StatusServiceUnavailable || health.OK {
+		t.Fatalf("post-close healthz status %d (ok=%v), want 503", code, health.OK)
 	}
 	s.Close() // idempotent
 }

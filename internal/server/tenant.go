@@ -140,12 +140,13 @@ type TenantStatsInfo struct {
 	// Cache aggregates the tenant's plan-session cache counters across
 	// shards: live sessions, hits, misses, evictions, converged.
 	Cache struct {
-		Entries    int   `json:"entries"`
-		Hits       int64 `json:"hits"`
-		Misses     int64 `json:"misses"`
-		Evictions  int64 `json:"evictions"`
-		Converged  int   `json:"converged"`
-		Rehydrated int64 `json:"rehydrated,omitempty"`
+		Entries        int   `json:"entries"`
+		Hits           int64 `json:"hits"`
+		Misses         int64 `json:"misses"`
+		Evictions      int64 `json:"evictions"`
+		Converged      int   `json:"converged"`
+		Rehydrated     int64 `json:"rehydrated,omitempty"`
+		Reconvergences int64 `json:"reconvergences,omitempty"`
 	} `json:"cache"`
 }
 

@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestFaultOffBitIdentical pins the gating contract: a machine with a fault
+// plan whose events never fire (scheduled beyond the workload's horizon)
+// produces a timeline bit-identical to a machine with no plan at all — the
+// fault paths are comparisons only until an event actually lands.
+func TestFaultOffBitIdentical(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Noise = DefaultNoise()
+	cfg.Seed = 7
+	sc := GenScenario("fault-off", ScenarioConfig{
+		Seed: 11, Jobs: 3, Roots: 24, MaxChain: 3, MaxFanout: 2, MemHeavy: 0.5, Budgets: true,
+	}, cfg)
+
+	base := sc.Play(NewMachine(cfg))
+	armed := NewMachine(cfg)
+	armed.SetFaultPlan(FaultPlan{{AtNs: 1e15, Kind: FaultCoreLoss, Count: 2}})
+	got := sc.Play(armed)
+
+	if base.FinalNs != got.FinalNs || base.BusyNs != got.BusyNs {
+		t.Fatalf("pending-but-unfired fault changed the clock: %v/%v vs %v/%v",
+			base.FinalNs, base.BusyNs, got.FinalNs, got.BusyNs)
+	}
+	if !reflect.DeepEqual(base.Events, got.Events) {
+		t.Fatal("pending-but-unfired fault changed the timeline")
+	}
+	if armed.Faults().Injected != 0 || armed.PendingFaults() != 1 {
+		t.Fatalf("stats = %+v pending = %d", armed.Faults(), armed.PendingFaults())
+	}
+}
+
+// TestCoreLossMigratesRunningTasks loses all of socket 0 mid-run: its two
+// running tasks migrate to socket 1 with progress preserved, everything
+// completes, and the lost cores never host work again.
+func TestCoreLossMigratesRunningTasks(t *testing.T) {
+	m := NewMachine(tinyConfig()) // 2 sockets × 2 phys × SMT2; socket 0 = cores 0–3
+	m.SetFaultPlan(FaultPlan{{AtNs: 50, Kind: FaultCoreLoss, Socket: 0, Count: 4}})
+	job := m.NewJob(0)
+	done := 0
+	submitN(m, job, 4, 100, &done) // placed on cores 0,2 (socket 0) and 4,6 (socket 1)
+	m.Run()
+	if done != 4 {
+		t.Fatalf("done = %d", done)
+	}
+	// 0–50: four solo physical cores at rate 1. At 50 the socket-0 pair
+	// migrates onto cores 5 and 7; all four threads now share SMT pairs at
+	// rate 0.5, so the remaining 50 ns of work takes 100 ns.
+	if math.Abs(m.Now()-150) > 1e-6 {
+		t.Fatalf("Now = %f, want 150", m.Now())
+	}
+	fs := m.Faults()
+	if fs.Injected != 1 || fs.CoresLost != 4 || fs.TasksMigrated != 2 {
+		t.Fatalf("stats = %+v", fs)
+	}
+	if m.LostCores() != 4 || m.AvailableCores() != 4 {
+		t.Fatalf("lost/avail = %d/%d", m.LostCores(), m.AvailableCores())
+	}
+	// Post-loss work must avoid the dead socket.
+	var cores []int
+	for i := 0; i < 6; i++ {
+		m.Submit(&Task{Job: job, BaseNs: 10, HomeSocket: 0,
+			OnStart: func(now float64, c int) { cores = append(cores, c) }})
+	}
+	m.Run()
+	for _, c := range cores {
+		if c < 4 {
+			t.Fatalf("task placed on lost core %d", c)
+		}
+	}
+}
+
+// TestCoreLossRefusesLastCore: the machine keeps one core alive no matter
+// what the plan asks for.
+func TestCoreLossRefusesLastCore(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Sockets = 1
+	cfg.PhysCoresPerSocket = 1
+	cfg.SMT = 1
+	m := NewMachine(cfg)
+	m.SetFaultPlan(FaultPlan{{AtNs: 0, Kind: FaultCoreLoss, Count: 1}})
+	job := m.NewJob(0)
+	done := 0
+	submitN(m, job, 2, 100, &done)
+	m.Run()
+	if done != 2 {
+		t.Fatalf("done = %d", done)
+	}
+	fs := m.Faults()
+	if fs.CoresLost != 0 || fs.Skipped == 0 {
+		t.Fatalf("stats = %+v", fs)
+	}
+}
+
+// TestSocketThrottleSlowsAndRestores: a 0.5× throttle over [0,40) makes a
+// 100 ns task take 120 ns (40 at half rate = 20 ns of progress, 80 at full).
+func TestSocketThrottleSlowsAndRestores(t *testing.T) {
+	m := NewMachine(tinyConfig())
+	m.SetFaultPlan(FaultPlan{{AtNs: 0, Kind: FaultSocketThrottle, Socket: 0, Factor: 0.5, DurationNs: 40}})
+	job := m.NewJob(0)
+	m.Submit(&Task{Job: job, BaseNs: 100, HomeSocket: 0})
+	m.Run()
+	if math.Abs(m.Now()-120) > 1e-6 {
+		t.Fatalf("Now = %f, want 120", m.Now())
+	}
+	if fs := m.Faults(); fs.SocketThrottles != 1 {
+		t.Fatalf("stats = %+v", fs)
+	}
+	// Permanent throttle: no restore, the task runs at half rate throughout.
+	m2 := NewMachine(tinyConfig())
+	m2.SetFaultPlan(FaultPlan{{AtNs: 0, Kind: FaultSocketThrottle, Socket: 0, Factor: 0.5}})
+	job2 := m2.NewJob(0)
+	m2.Submit(&Task{Job: job2, BaseNs: 100, HomeSocket: 0})
+	m2.Run()
+	if math.Abs(m2.Now()-200) > 1e-6 {
+		t.Fatalf("permanent throttle Now = %f, want 200", m2.Now())
+	}
+}
+
+// TestInterferenceBurstInflatesWork: the burst doubles the running task's
+// remaining work at 10 ns and doubles a task submitted inside the window.
+func TestInterferenceBurstInflatesWork(t *testing.T) {
+	m := NewMachine(tinyConfig())
+	m.SetFaultPlan(FaultPlan{{AtNs: 10, Kind: FaultInterference, Factor: 2, DurationNs: 50}})
+	job := m.NewJob(0)
+	var secondEnd float64
+	m.Submit(&Task{
+		Job: job, BaseNs: 20, HomeSocket: 0,
+		OnComplete: func(now float64, core int) {
+			// now = 30 (10 + inflated 2×10), inside the [10,60) window: the
+			// spawned 100 ns task is inflated on entry to 200 ns.
+			m.Submit(&Task{Job: job, BaseNs: 100, HomeSocket: 0,
+				OnComplete: func(now float64, core int) { secondEnd = now }})
+		},
+	})
+	m.Run()
+	if math.Abs(secondEnd-230) > 1e-6 {
+		t.Fatalf("second task end = %f, want 230", secondEnd)
+	}
+	if fs := m.Faults(); fs.InterferenceBursts != 1 {
+		t.Fatalf("stats = %+v", fs)
+	}
+}
+
+// TestInjectFaultClampsPastTimes: an event dated before the clock lands at
+// the machine's next step instead of being dropped.
+func TestInjectFaultClampsPastTimes(t *testing.T) {
+	m := NewMachine(tinyConfig())
+	job := m.NewJob(0)
+	done := 0
+	submitN(m, job, 2, 100, &done)
+	m.Run() // clock now at 100
+	m.InjectFault(FaultEvent{AtNs: 0, Kind: FaultCoreLoss, Socket: 0, Count: 2})
+	submitN(m, job, 2, 100, &done)
+	m.Run()
+	if done != 4 {
+		t.Fatalf("done = %d", done)
+	}
+	if m.LostCores() != 2 {
+		t.Fatalf("lost = %d", m.LostCores())
+	}
+}
+
+// TestFaultedRunDeterministic: the same seed, workload, and plan replay to
+// the identical virtual timeline.
+func TestFaultedRunDeterministic(t *testing.T) {
+	run := func() *Timeline {
+		cfg := tinyConfig()
+		cfg.Noise = DefaultNoise()
+		cfg.Seed = 42
+		sc := GenScenario("chaos", ScenarioConfig{
+			Seed: 5, Jobs: 2, Roots: 16, MaxChain: 2, MaxFanout: 2, MemHeavy: 0.4,
+		}, cfg)
+		m := NewMachine(cfg)
+		m.SetFaultPlan(GenFaultPlan(cfg, 99, 4, 200000))
+		return sc.Play(m)
+	}
+	a, b := run(), run()
+	if a.FinalNs != b.FinalNs || !reflect.DeepEqual(a.Events, b.Events) {
+		t.Fatalf("faulted run not deterministic: %f vs %f", a.FinalNs, b.FinalNs)
+	}
+}
+
+// TestGenFaultPlanDeterministic: same arguments, same plan; and the loss
+// budget never exceeds half the machine.
+func TestGenFaultPlanDeterministic(t *testing.T) {
+	cfg := TwoSocket()
+	a := GenFaultPlan(cfg, 1, 12, 1e6)
+	b := GenFaultPlan(cfg, 1, 12, 1e6)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("GenFaultPlan not deterministic")
+	}
+	loss := 0
+	for _, ev := range a {
+		if ev.Kind == FaultCoreLoss {
+			loss += ev.Count
+		}
+	}
+	if loss > cfg.LogicalCores()/2 {
+		t.Fatalf("plan loses %d of %d cores", loss, cfg.LogicalCores())
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].AtNs < a[i-1].AtNs {
+			t.Fatal("plan not sorted")
+		}
+	}
+}

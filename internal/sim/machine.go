@@ -192,8 +192,9 @@ type coreSet []uint64
 
 func newCoreSet(n int) coreSet { return make(coreSet, (n+63)/64) }
 
-func (s coreSet) set(i int)   { s[i>>6] |= 1 << (uint(i) & 63) }
-func (s coreSet) clear(i int) { s[i>>6] &^= 1 << (uint(i) & 63) }
+func (s coreSet) set(i int)      { s[i>>6] |= 1 << (uint(i) & 63) }
+func (s coreSet) clear(i int)    { s[i>>6] &^= 1 << (uint(i) & 63) }
+func (s coreSet) has(i int) bool { return s[i>>6]&(1<<(uint(i)&63)) != 0 }
 
 // firstIn returns the lowest index present in both s and mask, or -1.
 func (s coreSet) firstIn(mask coreSet) int {
@@ -239,6 +240,18 @@ type Machine struct {
 	noHome   coreSet   // empty mask for out-of-range home sockets
 	demand   []float64 // per-socket bandwidth demand, summed in core order
 	dirty    []bool    // socket occupancy changed since last rate refresh
+
+	// Fault-injection state (fault.go). All of it is nil/zero until a fault
+	// is scheduled, and every hot-path touch is gated on that, so a machine
+	// with no FaultPlan performs exactly the seed core's floating-point
+	// operations and stays bit-identical to Reference.
+	faults      []pendingFault // scheduled events, ascending time
+	lost        coreSet        // permanently removed cores (nil until first loss)
+	lostCount   int
+	sockSpeed   []float64 // per-socket throttle multiplier (nil = all 1)
+	burstFactor float64   // interference inflation on Submit while the window is open
+	burstUntil  float64
+	fstats      FaultStats
 }
 
 // NewMachine builds a machine from cfg.
@@ -308,6 +321,9 @@ func (m *Machine) Submit(t *Task) {
 		t.MemFrac = 1
 	}
 	t.remaining = t.BaseNs * m.noiseFactor()
+	if m.burstFactor != 0 && m.now < m.burstUntil {
+		t.remaining *= m.burstFactor // arriving inside an interference burst
+	}
 	m.ready = append(m.ready, t)
 }
 
@@ -447,6 +463,9 @@ func (m *Machine) refreshRates() {
 			rate *= m.cfg.SMTFactor
 		}
 		sock := core / m.tps
+		if m.sockSpeed != nil {
+			rate *= m.sockSpeed[sock] // fault-injection throttle (fault.go)
+		}
 		bwFactor := 1.0
 		if m.demand[sock] > m.cfg.BWPerSocket && m.demand[sock] > 0 {
 			bwFactor = m.cfg.BWPerSocket / m.demand[sock]
@@ -466,6 +485,9 @@ func (m *Machine) refreshRates() {
 // step advances the simulation by one event. It reports false when nothing
 // is running and nothing could be dispatched.
 func (m *Machine) step() bool {
+	if m.faults != nil {
+		m.applyFaultsDue() // before dispatch: a just-lost core is unplaceable
+	}
 	m.dispatch()
 	if m.running == 0 {
 		return false
@@ -476,6 +498,14 @@ func (m *Machine) step() bool {
 	for _, t := range m.run {
 		if d := t.remaining / t.rate; d < dt {
 			dt = d
+		}
+	}
+	if m.faults != nil {
+		// Never step past a scheduled fault: cap the advance at the fault
+		// instant (running tasks take partial progress, none complete) so the
+		// fault applies at exactly its scheduled virtual time next step.
+		if rem := m.faults[0].at - m.now; rem < dt {
+			dt = rem
 		}
 	}
 	m.now += dt
@@ -499,7 +529,9 @@ func (m *Machine) step() bool {
 			sib := core ^ 1
 			if st := m.cores[sib]; st == nil {
 				m.idleSib.set(core)
-				m.idleSib.set(sib)
+				if m.lost == nil || !m.lost.has(sib) {
+					m.idleSib.set(sib) // a lost sibling stays unplaceable
+				}
 			} else {
 				st.rateDirty = true // sibling regains its solo SMT rate
 			}
@@ -515,6 +547,9 @@ func (m *Machine) step() bool {
 // ever admit — the machine drained with work still queued.
 func (m *Machine) reportDeadlock() {
 	if len(m.ready) > 0 {
+		if m.lostCount > 0 {
+			panic(fmt.Sprintf("sim: %d tasks remain undispatchable (%d of %d cores lost to faults)", len(m.ready), m.lostCount, len(m.cores)))
+		}
 		panic(fmt.Sprintf("sim: %d tasks remain undispatchable (job core budgets deadlocked?)", len(m.ready)))
 	}
 }

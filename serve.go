@@ -9,11 +9,46 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/plancache"
 	"repro/internal/server"
+	"repro/internal/sim"
 	"repro/internal/store"
 )
+
+// FaultEvent is one scheduled machine fault for chaos testing: core loss,
+// socket throttling, or interference (see the Kind constants).
+type FaultEvent = sim.FaultEvent
+
+// FaultPlan is a deterministic schedule of machine faults, applied in
+// virtual-time order while the engine runs.
+type FaultPlan = sim.FaultPlan
+
+// FaultKind selects what a FaultEvent does to the simulated machine.
+type FaultKind = sim.FaultKind
+
+// Fault kinds for FaultEvent.Kind.
+const (
+	FaultCoreLoss       = sim.FaultCoreLoss
+	FaultSocketThrottle = sim.FaultSocketThrottle
+	FaultInterference   = sim.FaultInterference
+)
+
+// GenFaultPlan derives a deterministic random fault plan from a seed: n
+// mixed-kind events spread over [0, horizonNs) of virtual time, never losing
+// more than half the machine. Same arguments, same plan.
+func GenFaultPlan(m Machine, seed int64, n int, horizonNs float64) FaultPlan {
+	return sim.GenFaultPlan(m, seed, n, horizonNs)
+}
+
+// StalenessConfig arms re-convergence when a converged query's observed
+// serving latency drifts out of band (e.g. after mid-run core loss).
+type StalenessConfig = core.StalenessConfig
+
+// DefaultStaleness is the recommended staleness arming: reopen convergence
+// after 3 consecutive servings more than 35% off the converged expectation.
+func DefaultStaleness() StalenessConfig { return core.DefaultStalenessConfig() }
 
 // ServerConfig configures the apqd query service (see cmd/apqd). The daemon
 // keeps adaptive-parallelization state alive between requests: each request
@@ -64,6 +99,33 @@ type ServerConfig struct {
 	Shards int
 	// EngineOptions tune the engines (noise model, cost calibration, seed).
 	EngineOptions []Option
+	// Staleness arms serving-time staleness detection: a converged query
+	// whose observed latency drifts out of band reopens its convergence and
+	// re-adapts (the zero value disables it; DefaultStaleness() is the
+	// recommended arming).
+	Staleness StalenessConfig
+	// Faults schedules deterministic machine faults on every shard's
+	// simulated machine for chaos testing (empty = none). Faults land at
+	// their virtual AtNs as the shard's engine clock advances.
+	Faults FaultPlan
+	// RequestTimeout bounds each request end to end, including its wait for
+	// the shard's engine; expired requests abort with 503 (0 = no deadline).
+	RequestTimeout time.Duration
+	// MaxShardQueue bounds the waiting line in front of each shard; excess
+	// arrivals are shed with 503 + Retry-After (0 = unbounded).
+	MaxShardQueue int
+	// BreakerFailures arms the per-shard health breaker: that many
+	// consecutive failed or anomalously slow requests trip the shard into
+	// degraded mode, serving last-converged plans without exploration until
+	// BreakerCooldown elapses and a half-open probe succeeds (0 = disabled).
+	BreakerFailures int
+	// BreakerCooldown is how long a tripped shard stays degraded before it
+	// probes at full fidelity again.
+	BreakerCooldown time.Duration
+	// SlowFactor defines "anomalously slow" for the breaker: an adaptive
+	// request counting as a failure when its latency exceeds SlowFactor ×
+	// the query's serial baseline (0 = only errors count).
+	SlowFactor float64
 }
 
 // TenantConfig declares one named tenant dataset for the query service.
@@ -155,13 +217,20 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		}
 	}
 	inner, err := server.New(server.Config{
-		Engines:    engines,
-		DBIdentity: cfg.DBIdentity,
-		Benchmark:  cfg.Benchmark,
-		Admission:  cfg.Admission,
-		CacheSize:  cfg.CacheSize,
-		Tenants:    tenants,
-		Store:      st,
+		Engines:         engines,
+		DBIdentity:      cfg.DBIdentity,
+		Benchmark:       cfg.Benchmark,
+		Admission:       cfg.Admission,
+		CacheSize:       cfg.CacheSize,
+		Tenants:         tenants,
+		Store:           st,
+		Staleness:       cfg.Staleness,
+		Faults:          cfg.Faults,
+		RequestTimeout:  cfg.RequestTimeout,
+		MaxShardQueue:   cfg.MaxShardQueue,
+		BreakerFailures: cfg.BreakerFailures,
+		BreakerCooldown: cfg.BreakerCooldown,
+		SlowFactor:      cfg.SlowFactor,
 	})
 	if err != nil {
 		if st != nil {
@@ -174,6 +243,13 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 
 // Shards reports the engine-pool width the server is running with.
 func (s *Server) Shards() int { return s.inner.Shards() }
+
+// InjectFault schedules a machine fault on one shard mid-run — the chaos
+// entry point. The event takes effect at its virtual AtNs (past times mean
+// immediately, at the start of the shard's next run).
+func (s *Server) InjectFault(shard int, ev FaultEvent) error {
+	return s.inner.InjectFault(shard, ev)
+}
 
 // Handler returns the HTTP handler tree: POST /query, GET /sessions,
 // GET /sessions/{id}/trace, GET /stats, GET /healthz.
