@@ -57,6 +57,15 @@ func TwoSocketMachine() Machine { return sim.TwoSocket() }
 // E5-4657Lv2 server.
 func FourSocketMachine() Machine { return sim.FourSocket() }
 
+// TwoSocketAsymMachine is the two-socket machine with socket 1 power-capped
+// to 0.7× — an asymmetric-NUMA regime where adaptive parallelization should
+// learn a lopsided placement.
+func TwoSocketAsymMachine() Machine { return sim.TwoSocketAsym() }
+
+// FourSocketAsymMachine is the four-socket machine with a stepped clock
+// gradient (1.0/0.9/0.75/0.6×) across packages.
+func FourSocketAsymMachine() Machine { return sim.FourSocketAsym() }
+
 // DefaultNoise returns the calibrated OS-noise model.
 func DefaultNoise() NoiseConfig { return sim.DefaultNoise() }
 
@@ -121,6 +130,33 @@ func (b *TableBuilder) Done() error {
 		return b.err
 	}
 	return b.db.cat.Add(b.t)
+}
+
+// ColumnAppend carries the values appended to one column of a table: exactly
+// one of Ints or Strs, matching the column's payload type.
+type ColumnAppend = storage.ColumnAppend
+
+// AppendRows returns a new DB in which table has the given rows appended.
+// The mutation is copy-on-write: the receiver is unchanged, untouched tables
+// are shared, and readers of the old DB keep seeing an immutable snapshot.
+// cols must name every column of the table exactly once, all with the same
+// strictly positive number of appended rows.
+func (db *DB) AppendRows(table string, cols map[string]ColumnAppend) (*DB, error) {
+	ncat, err := db.cat.AppendRows(table, cols)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{cat: ncat}, nil
+}
+
+// DeleteTail returns a new DB in which table has its last n rows removed,
+// copy-on-write like AppendRows.
+func (db *DB) DeleteTail(table string, n int) (*DB, error) {
+	ncat, err := db.cat.DeleteTail(table, n)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{cat: ncat}, nil
 }
 
 // Query wraps an executable plan.

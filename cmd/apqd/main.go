@@ -14,8 +14,13 @@
 //	                            {"tenant":"acme","query":6}  (or the X-APQ-Tenant header)
 //	GET  /sessions[?tenant=]    live plan-cache sessions (all shards; optionally one tenant's)
 //	GET  /sessions/{id}/trace   per-run convergence trace (Figure 18)
-//	GET  /stats                 server, cache, admission, and per-tenant counters per shard
+//	GET  /stats                 server, cache, admission, lifecycle, and per-tenant counters per shard
 //	GET  /healthz               liveness
+//	POST /admin/append          append rows to a tenant table (bumps the dataset epoch,
+//	                            reopens the tenant's converged sessions warm)
+//	POST /admin/truncate        delete a tenant table's tail rows (same epoch semantics)
+//	POST /admin/tenants         add a tenant at runtime: {"name":"acme","sf":0.5,"seed":7}
+//	DELETE /admin/tenants?name= drain and remove a tenant with zero downtime
 //	GET  /debug/pprof/          host-side profiling (only with -pprof)
 //
 // Usage:
@@ -30,10 +35,14 @@
 //	go run ./cmd/apqd -selfbench             # shard-sweep serving benchmark, JSON to stdout
 //	go run ./cmd/apqd -simbench              # event-core benchmark (optimized vs seed), JSON to stdout
 //
-// The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
-// drain before the engine shards are retired, and the convergence store's
-// write-behind queue is flushed and the store closed before the process
-// exits — on every exit path, including a failed listener shutdown.
+// The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests —
+// including admin mutations and tenant lifecycle operations, which register
+// with the same in-flight tracker as queries — drain before the engine
+// shards are retired, and the convergence store's write-behind queue is
+// flushed and the store closed before the process exits — on every exit
+// path, including a failed listener shutdown. That ordering matters for
+// mutations: an /admin/append racing shutdown either completes its epoch
+// bump before the store flush or is rejected with 503, never half-applied.
 package main
 
 import (
@@ -165,7 +174,7 @@ func main() {
 	bench := flag.String("bench", "tpch", "benchmark database to load: tpch or tpcds")
 	sf := flag.Float64("sf", 1, "scale factor")
 	seed := flag.Int64("seed", 42, "generator seed")
-	machine := flag.String("machine", "2s", "machine config: 2s (2-socket/32HT) or 4s (4-socket/96HT)")
+	machine := flag.String("machine", "2s", "machine config: 2s (2-socket/32HT), 4s (4-socket/96HT), 2s-asym (socket 1 at 0.7×), or 4s-asym (stepped 1.0/0.9/0.75/0.6× clocks)")
 	shards := flag.Int("shards", 0, "engine shard-pool width (0 = derive from GOMAXPROCS)")
 	admission := flag.Bool("admission", true, "apply Vectorwise-style admission control to concurrent clients of a shard")
 	cacheSize := flag.Int("cache", 0, "max live plan-cache sessions per shard (0 = unlimited)")
@@ -179,6 +188,7 @@ func main() {
 	var faults faultFlags
 	flag.Var(&faults, "fault", "schedule a machine fault on every shard: kind@ns[:socket=N][:count=N][:factor=F][:dur=ns] with kind core-loss, throttle, or interference (repeatable)")
 	staleness := flag.Bool("staleness", false, "arm serving-time staleness detection: converged queries whose latency drifts out of band reopen convergence and re-adapt")
+	drift := flag.Bool("drift", false, "arm workload-drift detection: converged queries whose serve latency no longer matches the query mix they converged under reopen sized to their observed budget")
 	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline including the wait for the shard (0 = none); expired requests get 503")
 	maxShardQueue := flag.Int("max-shard-queue", 0, "bound on each shard's waiting line (0 = unbounded); excess requests are shed with 503 + Retry-After")
 	breakerFailures := flag.Int("breaker-failures", 0, "consecutive failed/slow requests that trip a shard's health breaker into degraded mode (0 = disabled)")
@@ -189,6 +199,7 @@ func main() {
 	selfbench := flag.Bool("selfbench", false, "run the shard-sweep serving benchmark and print JSON (no listener)")
 	benchN := flag.Int("selfbench-n", 400, "measured requests per phase for -selfbench")
 	benchQueries := flag.Int("selfbench-queries", 8, "distinct queries in the -selfbench workload")
+	benchPhase := flag.String("selfbench-phase", "all", "which -selfbench phases to run: all, or drift (drift probe only — the CI smoke target)")
 	simbench := flag.Bool("simbench", false, "run the event-core benchmark (optimized vs seed core) and print JSON")
 	simbenchRounds := flag.Int("simbench-rounds", 5, "repetitions per scenario for -simbench (min is reported)")
 	flag.Parse()
@@ -218,8 +229,12 @@ func main() {
 		m = apq.TwoSocketMachine()
 	case "4s":
 		m = apq.FourSocketMachine()
+	case "2s-asym":
+		m = apq.TwoSocketAsymMachine()
+	case "4s-asym":
+		m = apq.FourSocketAsymMachine()
 	default:
-		log.Fatalf("unknown machine %q (want 2s or 4s)", *machine)
+		log.Fatalf("unknown machine %q (want 2s, 4s, 2s-asym, or 4s-asym)", *machine)
 	}
 
 	var db *apq.DB
@@ -256,12 +271,15 @@ func main() {
 	if *staleness {
 		cfg.Staleness = apq.DefaultStaleness()
 	}
+	if *drift {
+		cfg.Drift = apq.DefaultDrift()
+	}
 	if *noise {
 		cfg.EngineOptions = append(cfg.EngineOptions, apq.WithNoise(apq.DefaultNoise()), apq.WithSeed(*seed))
 	}
 
 	if *selfbench {
-		if err := runSelfbench(cfg, *sf, *seed, *benchQueries, *benchN); err != nil {
+		if err := runSelfbench(cfg, *sf, *seed, *benchQueries, *benchN, *benchPhase); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -296,6 +314,9 @@ func main() {
 	}
 	if *staleness {
 		storeNote += ", staleness armed"
+	}
+	if *drift {
+		storeNote += ", drift armed"
 	}
 	log.Printf("apqd: serving %s sf=%g on %s (machine %s, %d shards, %d tenants, admission %v, pprof %v%s)",
 		*bench, *sf, *addr, *machine, s.Shards(), 1+len(tenants), *admission, *pprofOn, storeNote)
@@ -439,6 +460,12 @@ type benchReport struct {
 	// loss, the degradation depth on the stale plan, and the requests the
 	// staleness detector needed to re-converge on the shrunken machine.
 	Chaos *chaosProbe `json:"chaos,omitempty"`
+	// Drift records the workload-drift phase: a query converges as its
+	// tenant's dominant query, the mix rotates mid-run so it serves throttled
+	// as a minority query, the drift detector reopens it sized to its
+	// observed budget, and the warm re-convergence cost is compared to the
+	// cold convergence cost.
+	Drift *driftProbe `json:"workload_drift,omitempty"`
 	// SeedBaseline quotes the seed daemon's recorded BENCH_serve.json
 	// (single run-loop engine, seed event core, TPC-H q6 at sf=1): the
 	// regression this PR fixes is hot adaptive serving being SLOWER than
@@ -465,7 +492,38 @@ const (
 	seedColdRPS = 1938.522060313198
 )
 
-func runSelfbench(cfg apq.ServerConfig, sf float64, seed int64, queries, n int) error {
+func runSelfbench(cfg apq.ServerConfig, sf float64, seed int64, queries, n int, phase string) error {
+	switch phase {
+	case "all", "drift":
+	default:
+		return fmt.Errorf("apqd: unknown -selfbench-phase %q (want all or drift)", phase)
+	}
+	if phase == "drift" {
+		// The CI smoke target: only the drift probe, one shard, minimal
+		// wall time. The artifact is still a full benchReport so downstream
+		// tooling parses one shape.
+		cfg.Admission = false
+		cfg.StorePath = ""
+		dp, err := runDriftProbe(cfg)
+		if err != nil {
+			return err
+		}
+		rep := benchReport{
+			Benchmark:            cfg.Benchmark,
+			DBIdentity:           cfg.DBIdentity,
+			Machine:              cfg.Machine.Name,
+			Cores:                cfg.Machine.LogicalCores(),
+			HostCPUs:             runtime.NumCPU(),
+			GoMaxProcs:           runtime.GOMAXPROCS(0),
+			HotBeatsColdAtShards: -1,
+			SeedBaseline:         seedBaseline{HotRPS: seedHotRPS, ColdRPS: seedColdRPS, HotBeatsSeedColdAtShards: -1},
+			Drift:                dp,
+			Notes:                []string{driftNote},
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
 	counts := shardSweep()
 	rep := benchReport{
 		Benchmark:            cfg.Benchmark,
@@ -528,6 +586,12 @@ func runSelfbench(cfg apq.ServerConfig, sf float64, seed int64, queries, n int) 
 		return err
 	}
 	rep.Chaos = ch
+	dp, err := runDriftProbe(cfg)
+	if err != nil {
+		return err
+	}
+	rep.Drift = dp
+	rep.Notes = append(rep.Notes, driftNote)
 	rep.Notes = append(rep.Notes,
 		"chaos (ISSUE 7): converge one query with staleness detection armed, measure steady-state serving, then lose most of the machine mid-run via InjectFault — degradation_depth is the stale converged plan's latency blowout on the shrunken machine, reconverge_requests counts servings from the fault until the staleness detector reopened convergence and the session re-converged, and reconverged_virtual_ns shows the recovered plan beating the stale one",
 		"warm_restart converges one query against a temporary -store file, restarts the server on the same file, and compares first-request virtual latency cold (first adaptive run from scratch) vs rehydrated (served converged from the persisted plan); rehydrated_sessions is the restarted server's /stats store counter",
@@ -1043,6 +1107,141 @@ func runChaosProbe(cfg apq.ServerConfig, n int) (*chaosProbe, error) {
 		if v, ok := res["reconvergences"].(float64); ok {
 			p.Reconvergences = int(v)
 		}
+	}
+	return p, nil
+}
+
+const driftNote = "workload_drift: q6 converges as the tenant's only (unthrottled) query, the mix then rotates to 3:1 q14-dominant with q6 under a 2-core client budget (max_cores) — the minority-query regime; the drift detector reopens it sized to its observed budget and reconverge_requests counts q6 servings from the reopen back to converged — warm_over_cold_runs compares that against the cold convergence cost (the budget-sized reopened instance explores a far smaller plan space than the cold full-width one)"
+
+// driftProbe is the -selfbench workload-drift measurement (the `drift`
+// phase): what a mid-run query-mix rotation costs a converged serving path,
+// and how warm (budget-sized) re-convergence compares to cold convergence.
+type driftProbe struct {
+	Shards int `json:"shards"`
+	// ColdConvergeRequests is the servings q6 needed to converge from
+	// scratch as the tenant's only query.
+	ColdConvergeRequests int `json:"cold_converge_requests"`
+	// RotateRequests counts q6 servings after the mix rotated (3 concurrent
+	// q14 servings per q6 serving, admission control on) until the drift
+	// detector reopened the session.
+	RotateRequests int `json:"rotate_requests"`
+	// ReconvergeRequests counts q6 servings from the drift reopen until the
+	// session re-converged under its observed budget.
+	ReconvergeRequests int `json:"reconverge_requests"`
+	// WarmOverColdRuns is ReconvergeRequests over ColdConvergeRequests —
+	// below 1 means the budget-sized warm reopen re-converged cheaper than
+	// cold convergence did.
+	WarmOverColdRuns float64 `json:"warm_over_cold_runs"`
+	// DriftReopens echoes the /stats cache counter after the run.
+	DriftReopens int64 `json:"drift_reopens"`
+}
+
+// runDriftProbe converges q6 alone, rotates the mix to q14-dominant under
+// admission control so q6 serves throttled, waits for the drift detector to
+// reopen it, then measures the warm re-convergence.
+func runDriftProbe(cfg apq.ServerConfig) (*driftProbe, error) {
+	cfg.Shards = 1
+	cfg.Tenants = nil
+	cfg.StorePath = ""
+	cfg.Admission = false // the client budget below throttles deterministically
+	cfg.Staleness = apq.DefaultStaleness()
+	// A tight mix window makes the rotation visible quickly; the bands match
+	// DefaultDrift.
+	cfg.Drift = apq.DriftConfig{Band: 0.35, Window: 8, Trip: 6, MixWindow: 16, MixDelta: 0.2}
+	s, err := apq.NewServer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	h := s.Handler()
+	serve := func(body string) (map[string]any, error) {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/query", bytes.NewReader([]byte(body)))
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			return nil, fmt.Errorf("selfbench drift: status %d: %s", rec.Code, rec.Body.String())
+		}
+		var out map[string]any
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	q6, q14 := `{"query":6}`, `{"query":14}`
+
+	p := &driftProbe{Shards: 1}
+	converged := false
+	for i := 0; i < 4000 && !converged; i++ {
+		resp, err := serve(q6)
+		if err != nil {
+			return nil, err
+		}
+		p.ColdConvergeRequests++
+		converged = resp["state"] == "converged"
+	}
+	if !converged {
+		return nil, errors.New("selfbench drift: q6 did not converge within 4000 warmup requests")
+	}
+
+	// Rotate the mix: three q14 servings per q6 serving, with q6 now under
+	// a 2-core client budget — the minority-query regime. The throttled
+	// out-of-band latencies plus the mix-share shift trip the drift
+	// detector (staleness deliberately skips throttled runs).
+	q6Throttled := `{"query":6,"max_cores":2}`
+	rotate := func(onQ6 func(map[string]any) bool) error {
+		for i := 0; i < 4000; i++ {
+			for j := 0; j < 3; j++ {
+				if _, err := serve(q14); err != nil {
+					return err
+				}
+			}
+			resp, err := serve(q6Throttled)
+			if err != nil {
+				return err
+			}
+			if onQ6(resp) {
+				return nil
+			}
+		}
+		return errors.New("selfbench drift: phase did not complete within 4000 q6 servings")
+	}
+
+	// Phase 1 of the rotation: until the drift detector reopens (the
+	// converged session flips back to adapting — staleness skips throttled
+	// servings, so under this mix only the drift detector can reopen it).
+	if err := rotate(func(resp map[string]any) bool {
+		p.RotateRequests++
+		return resp["state"] == "adapting"
+	}); err != nil {
+		return nil, err
+	}
+	// Phase 2: until re-converged under the budget, mix still rotated.
+	if err := rotate(func(resp map[string]any) bool {
+		p.ReconvergeRequests++
+		return resp["state"] == "converged"
+	}); err != nil {
+		return nil, err
+	}
+	if p.ColdConvergeRequests > 0 {
+		p.WarmOverColdRuns = float64(p.ReconvergeRequests) / float64(p.ColdConvergeRequests)
+	}
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+	if rec.Code != http.StatusOK {
+		return nil, fmt.Errorf("selfbench drift: /stats status %d", rec.Code)
+	}
+	var stResp struct {
+		Cache struct {
+			DriftReopens int64 `json:"drift_reopens"`
+		} `json:"cache"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &stResp); err != nil {
+		return nil, err
+	}
+	p.DriftReopens = stResp.Cache.DriftReopens
+	if p.DriftReopens < 1 {
+		return nil, errors.New("selfbench drift: /stats shows no drift reopen")
 	}
 	return p, nil
 }

@@ -1,0 +1,155 @@
+package core
+
+// Warm re-convergence for mutation events (ROADMAP item 5a/5b): dataset
+// epochs and workload drift reuse the staleness-reopen machinery but differ
+// in what they seed from and what bar the new best must clear.
+//
+// A dataset epoch bump invalidates a session's *measurements*, not its plan:
+// plan partitions are binary-rational ranges over their anchor input (see
+// internal/plan), so a learned plan re-executed against appended or truncated
+// data still covers every tuple and produces correct results — only its cost
+// expectations go stale. ReopenForData therefore seeds the fresh convergence
+// instance from the learned best plan: run 0 re-baselines that plan on the
+// new data, and the bounded instance only keeps exploring while mutation
+// still pays. That is the "warm" in warm re-convergence — the session keeps
+// everything it learned and spends a handful of runs re-validating it,
+// instead of re-growing parallelism from the serial plan.
+//
+// Workload drift is the opposite case: the plan is the suspect, not the data.
+// A session that converged under one admission regime (its query's share of
+// the tenant mix) serves under another — wide plans throttled to small core
+// budgets run far off their converged expectation. ReopenForDrift restarts
+// from the serial plan, sized to the *observed* core budget, so bounded
+// re-exploration can land on a narrower optimum; exactly the machine-shrank
+// trajectory of staleness.reopen, with the budget standing in for lost cores.
+
+// foldInstance folds the current convergence instance's trace into the
+// report prefixes and advances runBase, so a fresh instance's run counter
+// maps back to absolute attempt indices.
+func (s *Session) foldInstance() {
+	hist := s.conv.history
+	s.histPrefix = append(s.histPrefix, hist...)
+	for _, o := range s.conv.outliers {
+		s.outlierPrefix = append(s.outlierPrefix, o+s.runBase)
+	}
+	s.runBase += len(hist)
+}
+
+// ExpectNs returns the converged serving expectation staleness and drift
+// detection judge serving runs against (0 until the first convergence).
+func (s *Session) ExpectNs() float64 { return s.expectNs }
+
+// DataReopens reports how many dataset epoch bumps have reopened this
+// session's convergence.
+func (s *Session) DataReopens() int { return s.dataReopens }
+
+// DriftReopens reports how many workload-drift trips have reopened this
+// session's convergence.
+func (s *Session) DriftReopens() int { return s.driftReopens }
+
+// ReopenForData marks the session's measurements stale after a dataset epoch
+// bump and reopens convergence warm, seeded from the learned best plan. It
+// works on converged and still-adapting sessions alike (an epoch can bump
+// mid-adaptation); a session that has never executed is already fresh and is
+// left untouched. extraRuns bounds the reopened instance's post-threshold
+// search (<= 0 uses the session's staleness ExtraRuns, or the default).
+//
+// Returns false only when the session has no plan to seed from — the caller
+// should drop such a session rather than serve it against data it has never
+// seen.
+func (s *Session) ReopenForData(extraRuns int) bool {
+	seed := s.Best()
+	if seed == nil {
+		return false
+	}
+	if len(s.attempts) == 0 {
+		// Never executed: nothing measured, nothing stale. The next Step
+		// runs against the new data as run 0.
+		return true
+	}
+	if extraRuns <= 0 {
+		if s.stale.enabled() {
+			extraRuns = s.stale.ExtraRuns
+		} else {
+			extraRuns = DefaultStalenessConfig().ExtraRuns
+		}
+	}
+	s.foldInstance()
+	ccfg := s.conv.Config()
+	ccfg.ExtraRuns = extraRuns
+	// A warm instance re-validates a learned plan rather than re-growing
+	// parallelism from serial, so it does not need the cold lower bound of
+	// cores+1 doubling runs: sizing it to a quarter of the machine starts
+	// the leaking debit almost immediately and shrinks the post-threshold
+	// budget, while leaving enough headroom to chase an optimum the
+	// mutation moved (one or two more doublings).
+	if cores := s.eng.Machine().AvailableCores(); cores >= 1 {
+		ccfg.Cores = cores / 4
+		if ccfg.Cores < 2 {
+			ccfg.Cores = 2
+		}
+	}
+	s.conv = NewConvergence(ccfg)
+	// The exploration tail of an interrupted adaptation will never execute
+	// again; only the seed survives.
+	if s.parent != nil && s.parent != seed {
+		s.eng.Retire(s.parent)
+	}
+	if s.cur != nil && s.cur != seed && s.cur != s.parent {
+		s.eng.Retire(s.cur)
+	}
+	s.cur = seed
+	s.parent = nil
+	s.nextMut = Mutation{}
+	// Old-epoch measurements are incomparable with the new data: no bar to
+	// beat — run 0 re-baselines the seed plan and GME tracking restarts.
+	s.reopenBar = 0
+	s.dethroned = false
+	s.expectNs = 0
+	s.staleRun = 0
+	s.dataReopens++
+	s.done.Store(false)
+	return true
+}
+
+// ReopenForDrift reopens a converged session whose serving conditions no
+// longer match what it converged under: observedNs is the serving latency
+// that tripped the drift detector, cores the admission core budget the
+// session actually serves with (<= 0 or above the machine uses the machine's
+// available cores). Exploration restarts from the serial plan sized to that
+// budget; the previously-best plan keeps serving until a run beats
+// observedNs, exactly as in a staleness reopen. Returns false when the
+// session is not converged (an adapting session will re-fit on its own).
+func (s *Session) ReopenForDrift(observedNs float64, cores int) bool {
+	if !s.done.Load() {
+		return false
+	}
+	s.foldInstance()
+	ccfg := s.conv.Config()
+	if s.stale.enabled() {
+		ccfg.ExtraRuns = s.stale.ExtraRuns
+	} else {
+		ccfg.ExtraRuns = DefaultStalenessConfig().ExtraRuns
+	}
+	if avail := s.eng.Machine().AvailableCores(); cores <= 0 || (avail >= 1 && cores > avail) {
+		cores = avail
+	}
+	if cores >= 1 {
+		ccfg.Cores = cores
+	}
+	s.conv = NewConvergence(ccfg)
+	if s.reopenFrom != nil {
+		s.cur = s.reopenFrom
+	} else if s.best != nil {
+		s.cur = s.best
+	}
+	s.parent = nil
+	s.nextMut = Mutation{}
+	s.reopenBar = observedNs
+	s.dethroned = false
+	s.expectNs = 0
+	s.staleRun = 0
+	s.driftReopens++
+	s.done.Store(false)
+	return true
+}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/exec"
+	"repro/internal/storage"
+)
+
+// appendTestRows grows the fixture lineitem table by n rows and returns the
+// mutated copy-on-write catalog.
+func appendTestRows(t *testing.T, cat *storage.Catalog, n int) *storage.Catalog {
+	t.Helper()
+	ship := make([]int64, n)
+	disc := make([]int64, n)
+	price := make([]int64, n)
+	key := make([]int64, n)
+	for i := 0; i < n; i++ {
+		ship[i] = int64((i * 13) % 365)
+		disc[i] = int64(i % 11)
+		price[i] = int64(150 + i%800)
+		key[i] = int64(i % 7)
+	}
+	ncat, err := cat.AppendRows("lineitem", map[string]storage.ColumnAppend{
+		"l_shipdate":      {Ints: ship},
+		"l_discount":      {Ints: disc},
+		"l_extendedprice": {Ints: price},
+		"l_key":           {Ints: key},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ncat
+}
+
+// TestReopenForDataWarmBeatsCold is the dataset-epoch acceptance path: a
+// converged session survives an append by re-converging warm — seeded from
+// its learned plan — in at most half the runs of a cold convergence on the
+// mutated data, and its post-churn results are bit-identical to a session
+// converged from scratch on that data.
+func TestReopenForDataWarmBeatsCold(t *testing.T) {
+	cat := testCatalog(400_000)
+	eng := exec.NewEngine(cat, testMachine(), cost.Default())
+	s := NewSession(eng, selectPlan(), DefaultMutationConfig(), ConvergenceConfig{})
+	if _, err := s.Converge(); err != nil {
+		t.Fatal(err)
+	}
+
+	ncat := appendTestRows(t, cat, 100_000)
+
+	pre := len(s.Attempts())
+	if !s.ReopenForData(0) {
+		t.Fatal("ReopenForData refused a converged session")
+	}
+	if s.Done() {
+		t.Fatal("session still done after data reopen")
+	}
+	if s.DataReopens() != 1 {
+		t.Fatalf("DataReopens = %d, want 1", s.DataReopens())
+	}
+	for !s.Done() {
+		if _, err := s.StepWith(exec.JobOptions{Catalog: ncat}); err != nil {
+			t.Fatal(err)
+		}
+		if len(s.Attempts())-pre > 60 {
+			t.Fatal("warm re-convergence did not halt within 60 runs")
+		}
+	}
+	warm := len(s.Attempts()) - pre
+
+	eng2 := exec.NewEngine(ncat, testMachine(), cost.Default())
+	cold := NewSession(eng2, selectPlan(), DefaultMutationConfig(), ConvergenceConfig{})
+	coldRep, err := cold.Converge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm*2 > coldRep.TotalRuns {
+		t.Fatalf("warm re-convergence took %d runs, cold took %d — want warm <= half", warm, coldRep.TotalRuns)
+	}
+
+	warmRes, _, err := eng.ExecuteOpts(s.Best(), exec.JobOptions{Catalog: ncat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRes, _, err := eng2.Execute(cold.Best())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exec.ResultsEqual(warmRes, coldRes) {
+		t.Fatal("post-churn results differ from a cold convergence on the mutated data")
+	}
+}
+
+// TestReopenForDataFreshSessionNoop: a session that has never executed has
+// nothing stale; the reopen must leave it untouched and valid.
+func TestReopenForDataFreshSessionNoop(t *testing.T) {
+	cat := testCatalog(10_000)
+	eng := exec.NewEngine(cat, testMachine(), cost.Default())
+	s := NewSession(eng, selectPlan(), DefaultMutationConfig(), ConvergenceConfig{})
+	if !s.ReopenForData(0) {
+		t.Fatal("fresh session rejected")
+	}
+	if s.DataReopens() != 0 {
+		t.Fatalf("fresh session counted a data reopen: %d", s.DataReopens())
+	}
+	if s.Done() {
+		t.Fatal("fresh session marked done")
+	}
+	if _, err := s.Converge(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReopenForDataMidAdaptation: an epoch bump that lands while a session is
+// still converging folds the partial instance and restarts from the best plan
+// so far; the session still converges and verifies results on the new data.
+func TestReopenForDataMidAdaptation(t *testing.T) {
+	cat := testCatalog(200_000)
+	eng := exec.NewEngine(cat, testMachine(), cost.Default())
+	s := NewSession(eng, selectPlan(), DefaultMutationConfig(), ConvergenceConfig{})
+	for i := 0; i < 5; i++ {
+		cont, err := s.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !cont {
+			t.Fatal("converged before the bump; fixture too small")
+		}
+	}
+	ncat := appendTestRows(t, cat, 50_000)
+	if !s.ReopenForData(0) {
+		t.Fatal("mid-adaptation reopen refused")
+	}
+	runs := 0
+	for !s.Done() {
+		if _, err := s.StepWith(exec.JobOptions{Catalog: ncat}); err != nil {
+			t.Fatal(err)
+		}
+		if runs++; runs > 60 {
+			t.Fatal("did not halt")
+		}
+	}
+	got, _, err := eng.ExecuteOpts(s.Best(), exec.JobOptions{Catalog: ncat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := exec.NewEngine(ncat, testMachine(), cost.Default()).Execute(selectPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exec.ResultsEqual(got, want) {
+		t.Fatal("results diverge from serial execution on the mutated data")
+	}
+}
+
+// TestReopenForDrift: a session converged unthrottled serves under a small
+// admission budget; the drift reopen restarts exploration from serial, sized
+// to the observed budget, and lands on a plan that serves the budget at least
+// as well as the throttled wide plan did.
+func TestReopenForDrift(t *testing.T) {
+	cat := testCatalog(400_000)
+	eng := exec.NewEngine(cat, testMachine(), cost.Default())
+	s := NewSession(eng, selectPlan(), DefaultMutationConfig(), ConvergenceConfig{})
+	if _, err := s.Converge(); err != nil {
+		t.Fatal(err)
+	}
+
+	budget := 2
+	_, prof, err := eng.ExecuteOpts(s.Best(), exec.JobOptions{MaxCores: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed := prof.Makespan()
+	if observed <= s.ExpectNs() {
+		t.Fatalf("throttled serving (%.0f) not slower than converged expectation (%.0f)", observed, s.ExpectNs())
+	}
+
+	if !s.ReopenForDrift(observed, budget) {
+		t.Fatal("drift reopen refused a converged session")
+	}
+	if s.DriftReopens() != 1 {
+		t.Fatalf("DriftReopens = %d, want 1", s.DriftReopens())
+	}
+	if got := s.Convergence().Config().Cores; got != budget {
+		t.Fatalf("reopened instance sized to %d cores, want the observed budget %d", got, budget)
+	}
+	runs := 0
+	for !s.Done() {
+		if _, err := s.StepWith(exec.JobOptions{MaxCores: budget}); err != nil {
+			t.Fatal(err)
+		}
+		if runs++; runs > 60 {
+			t.Fatal("drift re-convergence did not halt")
+		}
+	}
+	_, prof, err = eng.ExecuteOpts(s.Best(), exec.JobOptions{MaxCores: budget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if post := prof.Makespan(); post > observed*1.01 {
+		t.Fatalf("post-drift serving %.0f worse than the throttled wide plan %.0f", post, observed)
+	}
+
+	// A second reopen on the now-adapting session must refuse.
+	s2 := NewSession(eng, selectPlan(), DefaultMutationConfig(), ConvergenceConfig{})
+	if s2.ReopenForDrift(observed, budget) {
+		t.Fatal("drift reopen accepted an unconverged session")
+	}
+}

@@ -71,6 +71,8 @@ type Session struct {
 	expectNs      float64 // converged serving expectation staleness is judged against
 	reopenBar     float64 // post-reopen: the stale serving level a new best must beat
 	dethroned     bool    // the current convergence instance produced s.best
+	dataReopens   int     // reopens forced by dataset epoch bumps (reopen.go)
+	driftReopens  int     // reopens forced by the workload-drift detector (reopen.go)
 
 	// VerifyResults, when set, compares every run's results against the
 	// serial run's — the central mutation-correctness invariant. Intended

@@ -137,14 +137,7 @@ func (s *Session) ObserveServed(execNs float64) bool {
 func (s *Session) reopen(staleNs float64) {
 	s.staleRun = 0
 	s.reopens++
-	// Fold the finished instance into the history prefix so Report keeps the
-	// full trace; outlier indices become absolute attempt indices.
-	hist := s.conv.history
-	s.histPrefix = append(s.histPrefix, hist...)
-	for _, o := range s.conv.outliers {
-		s.outlierPrefix = append(s.outlierPrefix, o+s.runBase)
-	}
-	s.runBase += len(hist)
+	s.foldInstance()
 	ccfg := s.conv.Config()
 	ccfg.ExtraRuns = s.stale.ExtraRuns
 	if cores := s.eng.Machine().AvailableCores(); cores >= 1 {

@@ -1,0 +1,190 @@
+package plancache
+
+import "math"
+
+// Workload-drift detection (ROADMAP item 5b). Staleness detection
+// (core.StalenessConfig) deliberately ignores throttled servings: a converged
+// plan executed under an admission core budget below its width is slow
+// because of the budget, not the machine, so feeding those latencies to the
+// staleness detector would reopen sessions on every busy period. But when the
+// *workload mix* shifts — a query that converged as the tenant's dominant
+// (and therefore mostly unthrottled) query becomes a minority query that
+// mostly serves under small budgets — that throttled latency IS the session's
+// new reality, and the wide plan it converged on is the wrong plan for it.
+//
+// The drift detector fills exactly that gap. Per tenant, the cache tracks a
+// sliding query-mix signature (the share each fingerprint holds of the
+// tenant's recent invocations); per entry, it snapshots the entry's own share
+// at convergence time and watches a window of post-convergence servings —
+// throttled or not — against the converged expectation. When a sustained
+// fraction of the window is out of band AND the entry's mix share has moved
+// materially from its convergence-time share, the session reopens via
+// core.Session.ReopenForDrift, sized to the core budget it has actually been
+// serving under, and re-converges onto a plan that fits the new regime.
+//
+// Both gates are necessary: the out-of-band window alone would trip on any
+// transient busy burst (and a machine change is staleness detection's job);
+// the mix-share gate alone would trip on harmless mix shifts whose latencies
+// still meet expectations.
+
+// DriftConfig parameterizes per-tenant workload-drift detection.
+type DriftConfig struct {
+	// Band is the tolerated relative deviation of an observed converged
+	// serving run (throttled or not) from the converged expectation.
+	// Band <= 0 disables drift detection.
+	Band float64
+	// Window is how many recent converged servings of an entry are watched
+	// (default 8). Unlike staleness detection the rule is windowed, not
+	// consecutive: under admission interleaving, unthrottled servings of the
+	// wide plan stay in band and would reset any consecutive counter.
+	Window int
+	// Trip is how many of the Window servings must be out of band to trip a
+	// reopen (default 6).
+	Trip int
+	// MixWindow is the length of the per-tenant query-mix ring the share
+	// signature is computed over (default 64 invocations).
+	MixWindow int
+	// MixDelta is the minimum absolute change of the entry's mix share
+	// (current vs convergence-time) required to attribute out-of-band
+	// latency to workload drift (default 0.2).
+	MixDelta float64
+}
+
+// DefaultDriftConfig mirrors the staleness band with a 6-of-8 window over a
+// 64-invocation mix signature.
+func DefaultDriftConfig() DriftConfig {
+	return DriftConfig{Band: 0.35, Window: 8, Trip: 6, MixWindow: 64, MixDelta: 0.2}
+}
+
+// enabled reports whether drift detection is active.
+func (d DriftConfig) enabled() bool { return d.Band > 0 }
+
+// withDefaults fills the zero fields of an enabled config.
+func (d DriftConfig) withDefaults() DriftConfig {
+	if !d.enabled() {
+		return d
+	}
+	if d.Window <= 0 {
+		d.Window = 8
+	}
+	if d.Trip <= 0 || d.Trip > d.Window {
+		d.Trip = d.Window * 3 / 4
+		if d.Trip < 1 {
+			d.Trip = 1
+		}
+	}
+	if d.MixWindow <= 0 {
+		d.MixWindow = 64
+	}
+	if d.MixDelta <= 0 {
+		d.MixDelta = 0.2
+	}
+	return d
+}
+
+// mixWindow is one tenant's sliding query-mix signature: a ring of the last
+// MixWindow invocation fingerprints with per-fingerprint counts maintained
+// incrementally, so share lookups are O(1).
+type mixWindow struct {
+	ring   []string
+	next   int
+	filled int
+	counts map[string]int
+}
+
+func newMixWindow(n int) *mixWindow {
+	return &mixWindow{ring: make([]string, n), counts: make(map[string]int)}
+}
+
+// observe records one invocation of fp and returns fp's share of the window.
+func (m *mixWindow) observe(fp string) float64 {
+	if m.filled == len(m.ring) {
+		old := m.ring[m.next]
+		if m.counts[old] <= 1 {
+			delete(m.counts, old)
+		} else {
+			m.counts[old]--
+		}
+	} else {
+		m.filled++
+	}
+	m.ring[m.next] = fp
+	m.counts[fp]++
+	m.next = (m.next + 1) % len(m.ring)
+	return float64(m.counts[fp]) / float64(m.filled)
+}
+
+// observeMixLocked feeds one invocation of fp into tenant's mix signature and
+// returns fp's current share. Caller holds c.mu.
+func (c *Cache) observeMixLocked(tenant, fp string) float64 {
+	if c.mixes == nil {
+		c.mixes = make(map[string]*mixWindow)
+	}
+	m, ok := c.mixes[tenant]
+	if !ok {
+		m = newMixWindow(c.cfg.Drift.MixWindow)
+		c.mixes[tenant] = m
+	}
+	return m.observe(fp)
+}
+
+// observeDrift feeds one converged serving run into the entry's drift window
+// and reopens the session when both the latency and the mix-share gates
+// trip. ns is the serving latency, maxCores the admission budget it ran under
+// (0 = unlimited), logical the machine's logical core count, share the
+// entry's current mix share. Runs on the invocation path outside c.mu — the
+// drift fields are only ever touched by the (caller-serialized) invocation
+// stream, like the session itself.
+func (c *Cache) observeDrift(e *Entry, ns float64, maxCores, logical int, share float64) bool {
+	d := c.cfg.Drift
+	expect := e.Session.ExpectNs()
+	if expect <= 0 || ns <= 0 {
+		return false
+	}
+	if e.convShare < 0 {
+		// Restored (or pre-drift-era) session: no convergence-time share was
+		// recorded. Adopt the current share as the baseline — drift is then
+		// judged against the mix as it stood when serving resumed.
+		e.convShare = share
+	}
+	out := math.Abs(ns-expect)/expect > d.Band
+	if e.driftOut == nil {
+		e.driftOut = make([]bool, d.Window)
+	}
+	if e.driftLen == d.Window {
+		if e.driftOut[e.driftIdx] {
+			e.driftOuts--
+		}
+	} else {
+		e.driftLen++
+	}
+	e.driftOut[e.driftIdx] = out
+	e.driftIdx = (e.driftIdx + 1) % d.Window
+	if out {
+		e.driftOuts++
+		b := maxCores
+		if b <= 0 || b > logical {
+			b = logical
+		}
+		e.driftBudget = b
+	}
+	if e.driftOuts < d.Trip {
+		return false
+	}
+	if math.Abs(share-e.convShare) < d.MixDelta {
+		return false
+	}
+	if !e.Session.ReopenForDrift(ns, e.driftBudget) {
+		return false
+	}
+	e.resetDrift()
+	return true
+}
+
+// resetDrift clears the entry's drift window and convergence-time share; the
+// next done-transition records a fresh share.
+func (e *Entry) resetDrift() {
+	e.driftOut = nil
+	e.driftIdx, e.driftLen, e.driftOuts, e.driftBudget = 0, 0, 0, 0
+	e.convShare = -1
+}

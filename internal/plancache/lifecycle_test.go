@@ -1,0 +1,202 @@
+package plancache
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/exec"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/tpch"
+)
+
+// appendTail grows table by n rows recycling its own values, so the append is
+// schema-correct for any table.
+func appendTail(t *testing.T, cat *storage.Catalog, table string, n int) *storage.Catalog {
+	t.Helper()
+	tab := cat.MustTable(table)
+	cols := map[string]storage.ColumnAppend{}
+	for _, name := range tab.ColumnNames() {
+		col := tab.MustColumn(name)
+		if col.Data().IsString() {
+			vals := make([]string, n)
+			for i := range vals {
+				vals[i] = col.Data().StringAt((i * 7) % col.Len())
+			}
+			cols[name] = storage.ColumnAppend{Strs: vals}
+		} else {
+			vals := make([]int64, n)
+			for i := range vals {
+				vals[i] = col.At((i * 7) % col.Len())
+			}
+			cols[name] = storage.ColumnAppend{Ints: vals}
+		}
+	}
+	ncat, err := cat.AppendRows(table, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ncat
+}
+
+// TestReopenTenantForData: an epoch bump reopens only the bumped tenant's
+// sessions; they re-converge warm against the new catalog and results match
+// a fresh serial execution on the mutated data.
+func TestReopenTenantForData(t *testing.T) {
+	cat := tpch.Generate(tpch.Config{SF: 0.5, Seed: 42})
+	eng := exec.NewEngine(cat, sim.TwoSocket(), cost.Default())
+	c := New(eng, Config{Staleness: core.DefaultStalenessConfig()})
+	fpA := Fingerprint("db-a", "tpch:q6")
+	fpB := Fingerprint("db-b", "tpch:q6")
+	for i := 0; i < 400; i++ {
+		if _, err := c.InvokeTenant("a", fpA, "tpch:q6", q6(), exec.JobOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.InvokeTenant("b", fpB, "tpch:q6", q6(), exec.JobOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		if c.GetFingerprint(fpA).Session.Done() && c.GetFingerprint(fpB).Session.Done() {
+			break
+		}
+	}
+	if !c.GetFingerprint(fpA).Session.Done() || !c.GetFingerprint(fpB).Session.Done() {
+		t.Fatal("sessions did not converge")
+	}
+
+	ncat := appendTail(t, cat, "lineitem", 50_000)
+	reopened, dropped := c.ReopenTenantForData("a", 0)
+	if reopened != 1 || dropped != 0 {
+		t.Fatalf("reopened=%d dropped=%d, want 1/0", reopened, dropped)
+	}
+	if c.GetFingerprint(fpA).Session.Done() {
+		t.Fatal("tenant a session still done after epoch bump")
+	}
+	if !c.GetFingerprint(fpB).Session.Done() {
+		t.Fatal("tenant b session was collaterally reopened")
+	}
+	if st := c.Stats(); st.DataReopens != 1 {
+		t.Fatalf("Stats.DataReopens = %d, want 1", st.DataReopens)
+	}
+
+	var last *Result
+	for i := 0; i < 100; i++ {
+		r, err := c.InvokeTenant("a", fpA, "tpch:q6", q6(), exec.JobOptions{Catalog: ncat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = r
+		if r.Entry.Session.Done() {
+			break
+		}
+	}
+	if !c.GetFingerprint(fpA).Session.Done() {
+		t.Fatal("tenant a did not re-converge warm")
+	}
+	want, _, err := exec.NewEngine(ncat, sim.TwoSocket(), cost.Default()).Execute(tpch.MustQuery(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exec.ResultsEqual(last.Values, want) {
+		t.Fatal("post-churn results differ from serial execution on the mutated data")
+	}
+}
+
+// TestEvictTenantPersistsAndPurges: the tenant-removal drain flushes the
+// tenant's converged sessions through the persistence hook, releases its
+// entries and mix signature, and leaves other tenants alone.
+func TestEvictTenantPersistsAndPurges(t *testing.T) {
+	eng := newEngine(t)
+	persisted := map[string]int{}
+	c := New(eng, Config{
+		Drift:   DefaultDriftConfig(),
+		Persist: func(e *Entry) { persisted[e.Tenant]++ },
+	})
+	fpA := Fingerprint("db-a", "tpch:q6")
+	fpB := Fingerprint("db-b", "tpch:q6")
+	for i := 0; i < 400; i++ {
+		if _, err := c.InvokeTenant("a", fpA, "tpch:q6", q6(), exec.JobOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.InvokeTenant("b", fpB, "tpch:q6", q6(), exec.JobOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		if c.GetFingerprint(fpA).Session.Done() && c.GetFingerprint(fpB).Session.Done() {
+			break
+		}
+	}
+	base := persisted["a"] // done-transition persist
+
+	if n := c.EvictTenant("a", true); n != 1 {
+		t.Fatalf("EvictTenant removed %d entries, want 1", n)
+	}
+	if persisted["a"] != base+1 {
+		t.Fatalf("eviction persisted %d times, want %d", persisted["a"], base+1)
+	}
+	if c.GetFingerprint(fpA) != nil {
+		t.Fatal("tenant a entry survived eviction")
+	}
+	if c.GetFingerprint(fpB) == nil {
+		t.Fatal("tenant b entry was collaterally evicted")
+	}
+	if _, ok := c.mixes["a"]; ok {
+		t.Fatal("tenant a mix signature survived eviction")
+	}
+	if n := c.EvictTenant("a", true); n != 0 {
+		t.Fatalf("second eviction removed %d entries", n)
+	}
+}
+
+// TestRestoreWarmSeedsNonDoneSession: a store record whose epoch mismatches
+// rehydrates as a warm seed — a non-done session the request stream then
+// re-converges — and counts as a warm seed, not a rehydration.
+func TestRestoreWarmSeedsNonDoneSession(t *testing.T) {
+	eng := newEngine(t)
+
+	// Build a converged session out-of-band, snapshot, restore, reopen warm:
+	// the store rehydration path for an epoch-mismatched record.
+	donor := core.NewSession(eng, tpch.MustQuery(6), core.DefaultMutationConfig(), core.ConvergenceConfig{})
+	if _, err := donor.Converge(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := donor.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := core.RestoreSession(eng, core.DefaultMutationConfig(), snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sess.ReopenForData(0) {
+		t.Fatal("restored session refused data reopen")
+	}
+
+	c := New(eng, Config{})
+	fp := Fingerprint("test-db", "tpch:q6")
+	if e := c.RestoreWarm("", fp, "tpch:q6", sess); e == nil {
+		t.Fatal("RestoreWarm rejected the warm seed")
+	}
+	if c.RestoreWarm("", fp, "tpch:q6", sess) != nil {
+		t.Fatal("duplicate RestoreWarm succeeded")
+	}
+	st := c.Stats()
+	if st.WarmSeeds != 1 || st.Rehydrated != 0 {
+		t.Fatalf("WarmSeeds=%d Rehydrated=%d, want 1/0", st.WarmSeeds, st.Rehydrated)
+	}
+
+	// The warm seed serves immediately (cache hit) and re-converges on the
+	// request stream in bounded runs.
+	for i := 0; i < 100; i++ {
+		r, err := c.Invoke(fp, "tpch:q6", q6(), exec.JobOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Created {
+			t.Fatal("warm seed missed — invocation created a new session")
+		}
+		if r.Entry.Session.Done() {
+			return
+		}
+	}
+	t.Fatal("warm seed did not re-converge within 100 runs")
+}

@@ -108,7 +108,7 @@ func TestPersistRehydrateServeBitIdentical(t *testing.T) {
 			t.Errorf("snapshot %s: %v", e.Fingerprint, err)
 			return
 		}
-		sy.Enqueue(store.NewRecord(e.Fingerprint, testDB, e.Tenant, e.Query, snap, engA.Params()))
+		sy.Enqueue(store.NewRecord(e.Fingerprint, testDB, e.Tenant, e.Query, 0, snap, engA.Params()))
 	}
 
 	queries := map[string]int{"tpch:q6": 6, "tpch:q14": 14}

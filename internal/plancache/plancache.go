@@ -87,6 +87,11 @@ type Config struct {
 	// it must not call back into the cache, and should only hand the entry
 	// off (e.g. enqueue on a store.Synchronizer).
 	Persist func(*Entry)
+	// Drift arms per-tenant workload-drift detection (drift.go): converged
+	// sessions whose serving latency no longer matches the query mix they
+	// converged under reopen sized to their observed core budget. The zero
+	// value disables detection.
+	Drift DriftConfig
 }
 
 // maxTraceInvocations bounds the per-entry invocation log: a long-lived
@@ -124,6 +129,10 @@ type Invocation struct {
 	// Reopened marks the invocation whose serving observation tripped
 	// staleness detection and reopened the session's convergence.
 	Reopened bool `json:"reopened,omitempty"`
+	// DriftReopened marks the invocation whose serving observation tripped
+	// the workload-drift detector and reopened the session's convergence
+	// sized to its observed core budget.
+	DriftReopened bool `json:"drift_reopened,omitempty"`
 }
 
 // Entry is one live adaptive session keyed by fingerprint.
@@ -156,6 +165,16 @@ type Entry struct {
 	inflight       bool
 	evictPending   bool
 	persistPending bool
+
+	// Workload-drift state (drift.go). Touched only by the caller-serialized
+	// invocation stream (and lifecycle operations holding the same shard
+	// lock), like the session itself — not guarded by cache.mu.
+	driftOut    []bool  // ring: was each recent converged serving out of band
+	driftIdx    int     // next ring slot
+	driftLen    int     // filled ring slots
+	driftOuts   int     // out-of-band count within the ring
+	driftBudget int     // core budget of the most recent out-of-band serving
+	convShare   float64 // entry's mix share at convergence (-1 = unrecorded)
 }
 
 // Hits returns how many invocations the entry has served.
@@ -186,6 +205,15 @@ type Stats struct {
 	// Reconvergences counts staleness-triggered convergence reopens across
 	// the cache's lifetime (including sessions since evicted).
 	Reconvergences int64 `json:"reconvergences,omitempty"`
+	// DataReopens counts sessions reopened warm by dataset epoch bumps
+	// (lifecycle.go).
+	DataReopens int64 `json:"data_reopens,omitempty"`
+	// DriftReopens counts workload-drift-triggered convergence reopens
+	// (drift.go).
+	DriftReopens int64 `json:"drift_reopens,omitempty"`
+	// WarmSeeds counts sessions rehydrated as warm seeds from store records
+	// whose dataset epoch no longer matched the live dataset.
+	WarmSeeds int64 `json:"warm_seeds,omitempty"`
 }
 
 // Cache maps query fingerprints to live adaptive sessions.
@@ -199,6 +227,11 @@ type Cache struct {
 	tick int64
 
 	hits, misses, evictions, rehydrated, reconvergences int64
+	dataReopens, driftReopens, warmSeeds                int64
+
+	// mixes holds each tenant's sliding query-mix signature (drift.go),
+	// guarded by mu like the other maps.
+	mixes map[string]*mixWindow
 
 	// quotas bounds live sessions per tenant tag (missing or 0 = unlimited);
 	// tenantEntries tracks each tag's live session count (kept in step with
@@ -221,6 +254,7 @@ func New(eng *exec.Engine, cfg Config) *Cache {
 	if cfg.IDPrefix == "" {
 		cfg.IDPrefix = "s"
 	}
+	cfg.Drift = cfg.Drift.withDefaults()
 	return &Cache{eng: eng, cfg: cfg, byFP: map[string]*Entry{}, byID: map[string]*Entry{}}
 }
 
@@ -294,6 +328,7 @@ func (c *Cache) invoke(tenant, fp, query string, build func() (*plan.Plan, error
 			Session:     core.NewSession(c.eng, p, c.cfg.Mutation, c.cfg.Convergence),
 			cache:       c,
 			seq:         c.seq,
+			convShare:   -1,
 		}
 		e.Session.SetStaleness(c.cfg.Staleness)
 		c.byFP[fp] = e
@@ -314,6 +349,10 @@ func (c *Cache) invoke(tenant, fp, query string, build func() (*plan.Plan, error
 	e.hits++
 	e.inflight = true
 	created := !ok
+	share := -1.0
+	if c.cfg.Drift.enabled() {
+		share = c.observeMixLocked(e.Tenant, fp)
+	}
 	c.mu.Unlock()
 
 	// Engine execution happens outside the map lock so that Entry's
@@ -327,8 +366,19 @@ func (c *Cache) invoke(tenant, fp, query string, build func() (*plan.Plan, error
 		dop     int
 	)
 	cores := c.eng.Machine().Config().LogicalCores()
-	throttled := opts.MaxCores > 0 && opts.MaxCores < cores
+	// An invocation is throttled when its core budget is below what the
+	// session's convergence instance is sized to — not below the whole
+	// machine: a session reopened for drift (or on a shrunken machine) is
+	// sized to the budget it actually serves under, and runs at that budget
+	// are its full-fidelity reality, so they must step the adaptation and
+	// feed staleness detection.
+	target := cores
+	if cc := e.Session.Convergence().Config().Cores; cc > 0 && cc < target {
+		target = cc
+	}
+	throttled := opts.MaxCores > 0 && opts.MaxCores < target
 	reopened := false
+	drifted := false
 	switch {
 	case !e.Session.Done() && (throttled || frozen):
 		// Admission throttled this invocation while the session is still
@@ -357,11 +407,17 @@ func (c *Cache) invoke(tenant, fp, query string, build func() (*plan.Plan, error
 			c.dropEntry(e)
 			return nil, err
 		}
-		if e.Session.Done() && c.cfg.Persist != nil {
-			// This invocation observed the done transition: the session's
-			// state is final from here on, so persist it now. Still on the
-			// cold path — converged serving below never reaches this.
-			c.cfg.Persist(e)
+		if e.Session.Done() {
+			// This invocation observed the done transition: snapshot the
+			// entry's mix share so drift detection can later compare the
+			// serving mix against the one it converged under.
+			e.convShare = share
+			if c.cfg.Persist != nil {
+				// The session's state is final from here on, so persist it
+				// now. Still on the cold path — converged serving below
+				// never reaches this.
+				c.cfg.Persist(e)
+			}
 		}
 		att := e.Session.Attempts()
 		last := att[len(att)-1]
@@ -387,23 +443,35 @@ func (c *Cache) invoke(tenant, fp, query string, build func() (*plan.Plan, error
 			// the budget or the breaker, not the plan, and are skipped.)
 			reopened = e.Session.ObserveServed(profile.Makespan())
 		}
+		if !frozen && !reopened && c.cfg.Drift.enabled() {
+			// Every unfrozen converged serving — including throttled ones
+			// staleness detection must skip — feeds the workload-drift
+			// detector: a session mostly serving under a small budget with
+			// a shifted mix share reopens sized to that budget.
+			drifted = c.observeDrift(e, profile.Makespan(), opts.MaxCores, cores, share)
+		}
 	}
 
 	inv := Invocation{
-		Run:       len(e.Session.Attempts()) - 1, // -1: throttled before the first adaptive run
-		LatencyNs: profile.Makespan(),
-		Converged: e.Session.Done() || reopened, // converged at serve time
-		MaxCores:  opts.MaxCores,
-		DOP:       dop,
-		Throttled: throttled && !e.Session.Done() && !reopened,
-		Frozen:    frozen,
-		Reopened:  reopened,
+		Run:           len(e.Session.Attempts()) - 1, // -1: throttled before the first adaptive run
+		LatencyNs:     profile.Makespan(),
+		Converged:     e.Session.Done() || reopened || drifted, // converged at serve time
+		MaxCores:      opts.MaxCores,
+		DOP:           dop,
+		Throttled:     throttled && !e.Session.Done() && !reopened && !drifted,
+		Frozen:        frozen,
+		Reopened:      reopened,
+		DriftReopened: drifted,
 	}
 	c.mu.Lock()
 	e.inflight = false
 	if reopened {
 		c.reconvergences++
 		c.tenantCounterLocked(e.Tenant).Reconvergences++
+	}
+	if drifted {
+		c.driftReopens++
+		c.tenantCounterLocked(e.Tenant).DriftReopens++
 	}
 	if len(e.invocations) >= maxTraceInvocations {
 		keep := maxTraceInvocations * 3 / 4
@@ -451,6 +519,7 @@ func (c *Cache) Restore(tenant, fp, query string, sess *core.Session) *Entry {
 		Session:     sess,
 		cache:       c,
 		seq:         c.seq,
+		convShare:   -1,
 	}
 	c.byFP[fp] = e
 	c.byID[e.ID] = e
@@ -634,6 +703,9 @@ func (c *Cache) Stats() Stats {
 		Evictions:      c.evictions,
 		Rehydrated:     c.rehydrated,
 		Reconvergences: c.reconvergences,
+		DataReopens:    c.dataReopens,
+		DriftReopens:   c.driftReopens,
+		WarmSeeds:      c.warmSeeds,
 	}
 	for _, e := range c.byFP {
 		if e.Session.Done() {

@@ -1,0 +1,454 @@
+// Dataset mutation and zero-downtime tenant lifecycle — the /admin surface.
+//
+// Mutation model: catalogs are immutable. An append or tail-delete builds a
+// copy-on-write catalog (storage.Catalog.AppendRows / DeleteTail), then the
+// swap happens under EVERY shard's engine-ownership semaphore at once: the
+// tenant's live catalog pointer and epoch advance together, and each shard
+// cache reopens the tenant's sessions warm (plancache.ReopenTenantForData) —
+// seeded from their learned plans, so re-convergence costs a bounded handful
+// of runs instead of a cold restart. Requests already holding the old
+// catalog pointer finish against the old (still-valid, immutable) snapshot;
+// everything admitted after the swap sees the new data.
+//
+// Lifecycle model: tenants come and go without a restart. Addition builds
+// the dataset outside every lock (Config.TenantFactory), links the tenant,
+// and — when a persistent store is configured — rehydrates its surviving
+// records (epoch-checked: stale epochs come back as warm seeds). Removal is
+// a drain: mark draining (new traffic 404s at routing and at admission),
+// wait for in-flight requests to finish, flush the tenant's converged
+// sessions through the persistence hook under each shard's lock, make them
+// durable, then unlink. In-flight requests always complete; nothing 500s.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"slices"
+	"strings"
+	"time"
+
+	"repro/internal/storage"
+)
+
+// TenantSpec is the POST /admin/tenants body: what to call the tenant and
+// how to build its dataset. The server hands it to Config.TenantFactory.
+type TenantSpec struct {
+	// Name routes requests to the new tenant (required, unique, not
+	// "default").
+	Name string `json:"name"`
+	// Benchmark selects the dataset generator and named-query set: "tpch"
+	// (default) or "tpcds".
+	Benchmark string `json:"benchmark,omitempty"`
+	// SF and Seed parameterize the generator (SF 0 = 1).
+	SF   float64 `json:"sf,omitempty"`
+	Seed int64   `json:"seed,omitempty"`
+	// MaxSessions / MaxInFlight are the tenant quotas (0 = unlimited).
+	MaxSessions int `json:"max_sessions,omitempty"`
+	MaxInFlight int `json:"max_in_flight,omitempty"`
+}
+
+// ColumnAppendSpec is one column's slice of a POST /admin/append body:
+// exactly one of ints or strs, matching the column's type.
+type ColumnAppendSpec struct {
+	Ints []int64  `json:"ints,omitempty"`
+	Strs []string `json:"strs,omitempty"`
+}
+
+// appendRequest is the POST /admin/append body.
+type appendRequest struct {
+	Tenant  string                      `json:"tenant,omitempty"`
+	Table   string                      `json:"table"`
+	Columns map[string]ColumnAppendSpec `json:"columns"`
+}
+
+// truncateRequest is the POST /admin/truncate body: delete the last Rows
+// rows of Table.
+type truncateRequest struct {
+	Tenant string `json:"tenant,omitempty"`
+	Table  string `json:"table"`
+	Rows   int    `json:"rows"`
+}
+
+// MutationResponse reports one admin data mutation: the tenant's new epoch
+// and how many sessions the epoch bump reopened warm (or dropped, for
+// sessions that had no learned plan to seed from).
+type MutationResponse struct {
+	Tenant string `json:"tenant"`
+	Table  string `json:"table"`
+	Epoch  int64  `json:"epoch"`
+	Rows   int64  `json:"rows"`
+	// SessionsReopened counts cached sessions re-seeded warm across shards;
+	// SessionsDropped counts plan-less sessions evicted instead.
+	SessionsReopened int `json:"sessions_reopened"`
+	SessionsDropped  int `json:"sessions_dropped,omitempty"`
+}
+
+// TenantLifecycleResponse reports one tenant addition or removal.
+type TenantLifecycleResponse struct {
+	Tenant string `json:"tenant"`
+	// Epoch is the tenant's dataset epoch (additions only).
+	Epoch int64 `json:"epoch"`
+	// SessionsFlushed counts converged sessions persisted during removal;
+	// SessionsRehydrated / SessionsWarmSeeded count store records restored
+	// during addition.
+	SessionsFlushed    int   `json:"sessions_flushed,omitempty"`
+	SessionsRehydrated int64 `json:"sessions_rehydrated,omitempty"`
+	SessionsWarmSeeded int64 `json:"sessions_warm_seeded,omitempty"`
+}
+
+// errNoFactory reports a tenant addition without a configured factory.
+var errNoFactory = errors.New("server: no tenant factory configured")
+
+// beginAdmin registers an admin operation with the server's in-flight
+// tracking, so Close drains a mutation mid-flight before flushing the
+// write-behind store — a shutdown can never lose a mutation's session
+// flushes or tear down engines under a catalog swap. The returned func ends
+// the operation.
+func (s *Server) beginAdmin() (func(), error) {
+	s.closeMu.RLock()
+	if s.closed {
+		s.closeMu.RUnlock()
+		return nil, ErrClosed
+	}
+	s.inflight.Add(1)
+	s.closeMu.RUnlock()
+	return s.inflight.Done, nil
+}
+
+// lookupTenant resolves an admin request's tenant by display name.
+func (s *Server) lookupTenant(name string) (*tenantState, error) {
+	if name == "" || name == "default" {
+		return s.defTenant, nil
+	}
+	s.tenantMu.RLock()
+	tn, ok := s.tenants[name]
+	s.tenantMu.RUnlock()
+	if !ok || tn.draining.Load() {
+		return nil, fmt.Errorf("unknown tenant %q", name)
+	}
+	return tn, nil
+}
+
+// mutateTenant runs one data mutation end to end: build the new catalog
+// copy-on-write, then — holding every shard's engine-ownership semaphore at
+// once — swap the tenant's catalog, bump its epoch, and reopen its cached
+// sessions warm. Mutations of one tenant serialize on its mutMu; the build
+// step runs outside the engine locks so serving stalls only for the swap.
+func (s *Server) mutateTenant(name string, build func(*storage.Catalog) (*storage.Catalog, error)) (tn *tenantState, epoch int64, reopened, dropped int, err error) {
+	done, err := s.beginAdmin()
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	defer done()
+	if tn, err = s.lookupTenant(name); err != nil {
+		return nil, 0, 0, 0, err
+	}
+	tn.mutMu.Lock()
+	defer tn.mutMu.Unlock()
+	ncat, err := build(tn.curCatalog())
+	if err != nil {
+		return nil, 0, 0, 0, err
+	}
+	// Acquire shard semaphores in index order (every other path holds at
+	// most one, so a fixed total order cannot deadlock). While held, no
+	// request is executing anywhere: the catalog pointer, the epoch, and
+	// the session reopens move as one atomic step from serving's view.
+	for _, sh := range s.shards {
+		sh.sem <- struct{}{}
+	}
+	tn.catalog.Store(ncat)
+	tn.mutated.Store(true)
+	epoch = tn.epoch.Add(1)
+	for _, sh := range s.shards {
+		r, d := sh.cache.ReopenTenantForData(tn.tag(), 0)
+		reopened += r
+		dropped += d
+	}
+	for _, sh := range s.shards {
+		<-sh.sem
+	}
+	return tn, epoch, reopened, dropped, nil
+}
+
+// AppendRows appends rows to one table of a tenant's dataset ("" or
+// "default" = the primary database), bumping its epoch and reopening its
+// cached sessions warm. cols must cover every column of the table with
+// equal, positive lengths (storage.Catalog.AppendRows semantics).
+func (s *Server) AppendRows(tenant, table string, cols map[string]storage.ColumnAppend) (MutationResponse, error) {
+	var rows int64
+	tn, epoch, reopened, dropped, err := s.mutateTenant(tenant, func(cat *storage.Catalog) (*storage.Catalog, error) {
+		ncat, err := cat.AppendRows(table, cols)
+		if err != nil {
+			return nil, err
+		}
+		rows = int64(ncat.MustTable(table).Rows())
+		return ncat, nil
+	})
+	if err != nil {
+		return MutationResponse{}, err
+	}
+	s.life.appends.Add(1)
+	return MutationResponse{
+		Tenant: tn.displayName(), Table: table, Epoch: epoch, Rows: rows,
+		SessionsReopened: reopened, SessionsDropped: dropped,
+	}, nil
+}
+
+// DeleteTail deletes the last n rows of one table of a tenant's dataset,
+// bumping its epoch and reopening its cached sessions warm.
+func (s *Server) DeleteTail(tenant, table string, n int) (MutationResponse, error) {
+	var rows int64
+	tn, epoch, reopened, dropped, err := s.mutateTenant(tenant, func(cat *storage.Catalog) (*storage.Catalog, error) {
+		ncat, err := cat.DeleteTail(table, n)
+		if err != nil {
+			return nil, err
+		}
+		rows = int64(ncat.MustTable(table).Rows())
+		return ncat, nil
+	})
+	if err != nil {
+		return MutationResponse{}, err
+	}
+	s.life.deletes.Add(1)
+	return MutationResponse{
+		Tenant: tn.displayName(), Table: table, Epoch: epoch, Rows: rows,
+		SessionsReopened: reopened, SessionsDropped: dropped,
+	}, nil
+}
+
+// AddTenant links a factory-built tenant into the live server. The dataset
+// builds outside every lock; linking is one map insert. When a persistent
+// store is configured, the new tenant's surviving records rehydrate
+// (epoch-mismatched ones as warm seeds) so a re-added tenant comes back with
+// its learned plans.
+func (s *Server) AddTenant(spec TenantSpec) (TenantLifecycleResponse, error) {
+	done, err := s.beginAdmin()
+	if err != nil {
+		return TenantLifecycleResponse{}, err
+	}
+	defer done()
+	if s.cfg.TenantFactory == nil {
+		return TenantLifecycleResponse{}, errNoFactory
+	}
+	if spec.Name == "" || spec.Name == "default" {
+		return TenantLifecycleResponse{}, fmt.Errorf("server: tenant name %q reserved", spec.Name)
+	}
+	t, err := s.cfg.TenantFactory(spec)
+	if err != nil {
+		return TenantLifecycleResponse{}, err
+	}
+	switch {
+	case t.Name != spec.Name:
+		return TenantLifecycleResponse{}, fmt.Errorf("server: tenant factory renamed %q to %q", spec.Name, t.Name)
+	case t.Catalog == nil:
+		return TenantLifecycleResponse{}, fmt.Errorf("server: tenant %q has no catalog", t.Name)
+	}
+	switch t.Benchmark {
+	case "":
+		t.Benchmark = "tpch"
+	case "tpch", "tpcds":
+	default:
+		return TenantLifecycleResponse{}, fmt.Errorf("server: tenant %q: unknown benchmark %q (want tpch or tpcds)", t.Name, t.Benchmark)
+	}
+	if t.DBIdentity == "" {
+		t.DBIdentity = t.Name
+	}
+	tn := newTenantState(t, false)
+	s.tenantMu.Lock()
+	if _, dup := s.tenants[t.Name]; dup {
+		s.tenantMu.Unlock()
+		return TenantLifecycleResponse{}, fmt.Errorf("server: duplicate tenant %q", t.Name)
+	}
+	if t.DBIdentity == s.defTenant.DBIdentity {
+		s.tenantMu.Unlock()
+		return TenantLifecycleResponse{}, fmt.Errorf("server: tenant %q shares DBIdentity %q with tenant \"default\"", t.Name, t.DBIdentity)
+	}
+	for _, other := range s.tenantList {
+		if !other.def && other.DBIdentity == t.DBIdentity {
+			s.tenantMu.Unlock()
+			return TenantLifecycleResponse{}, fmt.Errorf("server: tenant %q shares DBIdentity %q with tenant %q", t.Name, t.DBIdentity, other.Name)
+		}
+	}
+	s.tenants[t.Name] = tn
+	s.tenantList = append(s.tenantList, tn)
+	s.tenantMu.Unlock()
+	if t.MaxSessions > 0 {
+		for _, sh := range s.shards {
+			shard := sh
+			s.do(shard, func() { shard.cache.SetTenantQuota(tn.tag(), t.MaxSessions) })
+		}
+	}
+	resp := TenantLifecycleResponse{Tenant: t.Name, Epoch: tn.epoch.Load()}
+	if s.cfg.Store != nil {
+		before, warmBefore := s.rehydrated.Load(), s.warmSeeded.Load()
+		s.rehydrate(s.cfg.Store, tn)
+		resp.SessionsRehydrated = s.rehydrated.Load() - before
+		resp.SessionsWarmSeeded = s.warmSeeded.Load() - warmBefore
+	}
+	s.life.tenantsAdded.Add(1)
+	return resp, nil
+}
+
+// RemoveTenant drains and unlinks a named tenant with zero downtime for
+// everyone else: new traffic 404s immediately, in-flight requests complete,
+// converged sessions flush to the persistent store, and only then do the
+// tenant's cache entries, plans, quotas, and fingerprint-cache lines go
+// away. The default tenant cannot be removed.
+func (s *Server) RemoveTenant(name string) (TenantLifecycleResponse, error) {
+	done, err := s.beginAdmin()
+	if err != nil {
+		return TenantLifecycleResponse{}, err
+	}
+	defer done()
+	if name == "" || name == "default" {
+		return TenantLifecycleResponse{}, errors.New("server: cannot remove the default tenant")
+	}
+	s.tenantMu.Lock()
+	tn, ok := s.tenants[name]
+	if !ok || tn.draining.Load() {
+		s.tenantMu.Unlock()
+		return TenantLifecycleResponse{}, fmt.Errorf("unknown tenant %q", name)
+	}
+	// Draining flips under the write lock: every later tenantFor (which
+	// reads under the same lock) sees it, so no new request is admitted
+	// from here on. The state stays linked until the flush is done —
+	// the persistence hook still needs to resolve the tenant's identity.
+	tn.draining.Store(true)
+	s.tenantMu.Unlock()
+
+	// Quiesce: requests admitted before the drain flag still hold in-flight
+	// slots; wait them out. acquire() increments before checking draining,
+	// so a racer either bounces (and decrements) or is visible here.
+	for tn.inFlight.Load() > 0 {
+		time.Sleep(200 * time.Microsecond)
+	}
+
+	// Flush and release per shard, under each shard's engine-ownership
+	// lock: converged sessions persist through the cache's hook, every
+	// entry (and its plans, via the cache's eviction path) is released.
+	flushed := 0
+	for _, sh := range s.shards {
+		shard := sh
+		if err := s.do(shard, func() {
+			flushed += shard.cache.EvictTenant(tn.tag(), s.sync != nil)
+		}); err != nil {
+			return TenantLifecycleResponse{}, err
+		}
+	}
+	// Make the flushed records durable before the tenant disappears from
+	// routing: after this, a re-add can rehydrate them.
+	if s.sync != nil {
+		s.sync.Flush()
+	}
+
+	s.tenantMu.Lock()
+	delete(s.tenants, name)
+	s.tenantList = slices.DeleteFunc(s.tenantList, func(e *tenantState) bool { return e == tn })
+	s.tenantMu.Unlock()
+
+	// Drop the tenant's fingerprint-cache lines (keys are prefixed
+	// name + NUL by fpCacheKey).
+	prefix := name + "\x00"
+	s.fpMu.Lock()
+	for k := range s.fpCache {
+		if strings.HasPrefix(k, prefix) {
+			delete(s.fpCache, k)
+		}
+	}
+	s.fpMu.Unlock()
+	s.life.tenantsRemoved.Add(1)
+	return TenantLifecycleResponse{Tenant: name, SessionsFlushed: flushed}, nil
+}
+
+// decodeAdminBody decodes one admin request's JSON body.
+func decodeAdminBody(w http.ResponseWriter, r *http.Request, v any) error {
+	defer r.Body.Close()
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	return dec.Decode(v)
+}
+
+// adminErrCode maps an admin-operation error to its HTTP status.
+func adminErrCode(err error) int {
+	msg := err.Error()
+	switch {
+	case errors.Is(err, ErrClosed), errors.Is(err, errNoFactory):
+		return http.StatusServiceUnavailable
+	case strings.HasPrefix(msg, "unknown tenant"):
+		return http.StatusNotFound
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Server) handleAppend(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var req appendRequest
+	if err := decodeAdminBody(w, r, &req); err != nil {
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	cols := make(map[string]storage.ColumnAppend, len(req.Columns))
+	for name, c := range req.Columns {
+		cols[name] = storage.ColumnAppend{Ints: c.Ints, Strs: c.Strs}
+	}
+	resp, err := s.AppendRows(req.Tenant, req.Table, cols)
+	if err != nil {
+		s.writeErr(w, adminErrCode(err), err)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleTruncate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	var req truncateRequest
+	if err := decodeAdminBody(w, r, &req); err != nil {
+		s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	resp, err := s.DeleteTail(req.Tenant, req.Table, req.Rows)
+	if err != nil {
+		s.writeErr(w, adminErrCode(err), err)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodPost:
+		var spec TenantSpec
+		if err := decodeAdminBody(w, r, &spec); err != nil {
+			s.writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+		resp, err := s.AddTenant(spec)
+		if err != nil {
+			s.writeErr(w, adminErrCode(err), err)
+			return
+		}
+		writeJSON(w, resp)
+	case http.MethodDelete:
+		name := r.URL.Query().Get("name")
+		if name == "" {
+			s.writeErr(w, http.StatusBadRequest, errors.New("missing ?name="))
+			return
+		}
+		resp, err := s.RemoveTenant(name)
+		if err != nil {
+			s.writeErr(w, adminErrCode(err), err)
+			return
+		}
+		writeJSON(w, resp)
+	default:
+		s.writeErr(w, http.StatusMethodNotAllowed, errors.New("POST or DELETE only"))
+	}
+}

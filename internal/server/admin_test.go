@@ -1,0 +1,370 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/exec"
+	"repro/internal/plancache"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/store"
+	"repro/internal/tpch"
+)
+
+// appendBodyFor builds a POST /admin/append body growing table by n rows,
+// recycling the table's own values so the append is schema-correct.
+func appendBodyFor(t *testing.T, cat *storage.Catalog, tenant, table string, n int) []byte {
+	t.Helper()
+	tab := cat.MustTable(table)
+	cols := map[string]ColumnAppendSpec{}
+	for _, name := range tab.ColumnNames() {
+		col := tab.MustColumn(name)
+		if col.Data().IsString() {
+			vals := make([]string, n)
+			for i := range vals {
+				vals[i] = col.Data().StringAt((i * 13) % col.Len())
+			}
+			cols[name] = ColumnAppendSpec{Strs: vals}
+		} else {
+			vals := make([]int64, n)
+			for i := range vals {
+				vals[i] = col.At((i * 13) % col.Len())
+			}
+			cols[name] = ColumnAppendSpec{Ints: vals}
+		}
+	}
+	body, err := json.Marshal(appendRequest{Tenant: tenant, Table: table, Columns: cols})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+// postJSON fires one request and returns the status code plus decoded body.
+func postJSON(t *testing.T, s *Server, method, path string, body []byte, out any) int {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(method, path, bytes.NewReader(body))
+	s.Handler().ServeHTTP(rec, req)
+	if out != nil && rec.Code == http.StatusOK {
+		if err := json.Unmarshal(rec.Body.Bytes(), out); err != nil {
+			t.Fatalf("%s %s: %v", method, path, err)
+		}
+	}
+	return rec.Code
+}
+
+// convergeCounting drives body until convergence, returning how many
+// requests (= adaptive runs) it took.
+func convergeCounting(t *testing.T, s *Server, body []byte) int {
+	t.Helper()
+	for i := 1; i <= 600; i++ {
+		if serveOnce(t, s, body).State == "converged" {
+			return i
+		}
+	}
+	t.Fatal("query never converged")
+	return 0
+}
+
+// bestPlanResults executes the converged session's learned plan for fp on
+// its home shard against the tenant's live catalog, returning the values.
+func bestPlanResults(t *testing.T, s *Server, fp string) []exec.Value {
+	t.Helper()
+	sh := s.shardFor(fp)
+	var vals []exec.Value
+	if err := s.do(sh, func() {
+		e := sh.cache.GetFingerprint(fp)
+		if e == nil || !e.Session.Done() {
+			t.Errorf("session for %s not converged", fp)
+			return
+		}
+		var err error
+		vals, _, err = sh.eng.ExecuteOpts(e.Session.Best(), exec.JobOptions{Catalog: s.defTenant.jobCatalog()})
+		if err != nil {
+			t.Errorf("best-plan execution: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return vals
+}
+
+// TestAppendChurnWarmReconvergence is the churn acceptance test: an
+// /admin/append bumps the default tenant's epoch and reopens its converged
+// session warm; re-convergence takes at most HALF the runs a cold server
+// needs on the mutated data, and the learned plan's results are
+// bit-identical to a fresh server's on that data.
+func TestAppendChurnWarmReconvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping churn e2e in -short mode")
+	}
+	cat := tpch.Generate(tpch.Config{SF: 0.5, Seed: 42})
+	srv := newStoreServer(t, cat, nil, nil)
+	defer srv.Close()
+	q6 := []byte(`{"query":6}`)
+	convergeQuery(t, srv, q6)
+
+	grow := cat.MustTable("lineitem").Rows() * 2 / 5
+	var mut MutationResponse
+	if code := postJSON(t, srv, http.MethodPost, "/admin/append",
+		appendBodyFor(t, cat, "", "lineitem", grow), &mut); code != http.StatusOK {
+		t.Fatalf("/admin/append status %d", code)
+	}
+	if mut.Epoch != 1 || mut.SessionsReopened != 1 {
+		t.Fatalf("append reply: %+v, want epoch 1 and 1 session reopened", mut)
+	}
+	st := statsOf(t, srv)
+	if st.Lifecycle.Appends != 1 || st.Cache.DataReopens != 1 {
+		t.Fatalf("stats after append: lifecycle=%+v data_reopens=%d", st.Lifecycle, st.Cache.DataReopens)
+	}
+	if len(st.Tenants) == 0 || st.Tenants[0].Epoch != 1 {
+		t.Fatalf("default tenant epoch not bumped: %+v", st.Tenants)
+	}
+
+	// Warm re-convergence on the request stream vs a cold server on the
+	// same mutated catalog.
+	warmRuns := convergeCounting(t, srv, q6)
+	ncat := srv.defTenant.curCatalog()
+	cold := newStoreServer(t, ncat, nil, nil)
+	defer cold.Close()
+	coldRuns := convergeCounting(t, cold, q6)
+	if warmRuns*2 > coldRuns {
+		t.Fatalf("warm re-convergence took %d runs, cold %d — want warm <= cold/2", warmRuns, coldRuns)
+	}
+
+	// Bit-identical results: warm-reconverged learned plan vs cold-learned
+	// plan vs the serial baseline, all on the mutated catalog.
+	fp := plancache.Fingerprint("tpch:sf=0.5:seed=42", "tpch:q6")
+	warmVals := bestPlanResults(t, srv, fp)
+	coldVals := bestPlanResults(t, cold, fp)
+	serial, _, err := exec.NewEngine(ncat, sim.TwoSocket(), cost.Default()).Execute(tpch.MustQuery(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exec.ResultsEqual(warmVals, serial) || !exec.ResultsEqual(coldVals, serial) {
+		t.Fatal("post-churn results differ from a fresh server on the mutated data")
+	}
+
+	// Truncate back down: another epoch, another warm re-convergence.
+	trunc, err := json.Marshal(truncateRequest{Table: "lineitem", Rows: grow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := postJSON(t, srv, http.MethodPost, "/admin/truncate", trunc, &mut); code != http.StatusOK {
+		t.Fatalf("/admin/truncate status %d", code)
+	}
+	if mut.Epoch != 2 {
+		t.Fatalf("truncate reply: %+v, want epoch 2", mut)
+	}
+	convergeQuery(t, srv, q6)
+	if got := statsOf(t, srv); got.Lifecycle.Deletes != 1 || got.Cache.DataReopens != 2 {
+		t.Fatalf("stats after truncate: lifecycle=%+v data_reopens=%d", got.Lifecycle, got.Cache.DataReopens)
+	}
+}
+
+// TestAdminAppendValidation: malformed mutations are 400s (or 404 for an
+// unknown tenant) and never bump an epoch.
+func TestAdminAppendValidation(t *testing.T) {
+	cat := tpch.Generate(tpch.Config{SF: 0.1, Seed: 42})
+	srv := newStoreServer(t, cat, nil, nil)
+	defer srv.Close()
+	for _, tc := range []struct {
+		name string
+		body string
+		code int
+	}{
+		{"bad json", `{"table":`, http.StatusBadRequest},
+		{"unknown table", `{"table":"nope","columns":{"x":{"ints":[1]}}}`, http.StatusBadRequest},
+		{"missing columns", `{"table":"lineitem","columns":{"l_shipdate":{"ints":[1]}}}`, http.StatusBadRequest},
+		{"unknown tenant", `{"tenant":"ghost","table":"lineitem","columns":{}}`, http.StatusNotFound},
+	} {
+		if code := postJSON(t, srv, http.MethodPost, "/admin/append", []byte(tc.body), nil); code != tc.code {
+			t.Errorf("%s: status %d, want %d", tc.name, code, tc.code)
+		}
+	}
+	if st := statsOf(t, srv); st.Tenants[0].Epoch != 0 || st.Lifecycle.Appends != 0 {
+		t.Fatalf("failed mutations moved state: %+v", st.Lifecycle)
+	}
+	srv.Close()
+	if _, err := srv.AppendRows("", "lineitem", nil); err != ErrClosed {
+		t.Fatalf("mutation after Close: %v, want ErrClosed", err)
+	}
+}
+
+// TestTenantLifecycleOverLiveTraffic is the zero-downtime acceptance test:
+// tenants are added and removed while request traffic hammers both the
+// default tenant and the churned one. No request may ever see a 5xx — valid
+// answers are 200 (served) and 404 (tenant gone at routing or admission).
+func TestTenantLifecycleOverLiveTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping lifecycle race test in -short mode")
+	}
+	cat := tpch.Generate(tpch.Config{SF: 0.1, Seed: 42})
+	srv, err := New(Config{
+		Engine:     exec.NewEngine(cat, sim.TwoSocket(), cost.Default()),
+		DBIdentity: "tpch:sf=0.1:seed=42",
+		TenantFactory: func(spec TenantSpec) (Tenant, error) {
+			return Tenant{
+				Name:        spec.Name,
+				Catalog:     tpch.Generate(tpch.Config{SF: 0.1, Seed: spec.Seed}),
+				DBIdentity:  fmt.Sprintf("tpch:sf=0.1:seed=%d", spec.Seed),
+				MaxSessions: spec.MaxSessions,
+				MaxInFlight: spec.MaxInFlight,
+			}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var bad atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	hammer := func(body []byte) {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rec := httptest.NewRecorder()
+			srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/query", bytes.NewReader(body)))
+			if rec.Code != http.StatusOK && rec.Code != http.StatusNotFound {
+				bad.Add(1)
+				t.Errorf("live traffic got status %d: %s", rec.Code, rec.Body.String())
+				return
+			}
+		}
+	}
+	wg.Add(3)
+	go hammer([]byte(`{"query":6}`))
+	go hammer([]byte(`{"tenant":"churn","query":6}`))
+	go hammer([]byte(`{"tenant":"churn","query":14}`))
+
+	// Churn the tenant through three add/remove cycles under that traffic.
+	for cycle := int64(0); cycle < 3 && bad.Load() == 0; cycle++ {
+		spec, _ := json.Marshal(TenantSpec{Name: "churn", Seed: 100 + cycle})
+		if code := postJSON(t, srv, http.MethodPost, "/admin/tenants", spec, nil); code != http.StatusOK {
+			t.Errorf("add cycle %d: status %d", cycle, code)
+			break
+		}
+		// Let some traffic land on the live tenant before tearing it down.
+		for i := 0; i < 25; i++ {
+			serveOnce(t, srv, []byte(`{"query":6}`))
+		}
+		var life TenantLifecycleResponse
+		if code := postJSON(t, srv, http.MethodDelete, "/admin/tenants?name=churn", nil, &life); code != http.StatusOK {
+			t.Errorf("remove cycle %d: status %d", cycle, code)
+			break
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	st := statsOf(t, srv)
+	if st.Lifecycle.TenantsAdded != 3 || st.Lifecycle.TenantsRemoved != 3 {
+		t.Fatalf("lifecycle counters: %+v, want 3 added / 3 removed", st.Lifecycle)
+	}
+	for _, row := range st.Tenants {
+		if row.Tenant == "churn" {
+			t.Fatal("removed tenant still present in /stats")
+		}
+	}
+	// Routing is clean after churn: the tenant 404s, the default serves.
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/query", bytes.NewReader([]byte(`{"tenant":"churn","query":6}`))))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("removed tenant answered %d", rec.Code)
+	}
+	serveOnce(t, srv, []byte(`{"query":6}`))
+}
+
+// TestTenantRemovalFlushesAndRehydrates: removing a tenant flushes its
+// converged sessions to the store; re-adding the same tenant (same identity,
+// same epoch) rehydrates them served-converged, while an epoch-mismatched
+// record comes back as a warm seed only.
+func TestTenantRemovalFlushesAndRehydrates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping store lifecycle test in -short mode")
+	}
+	cat := tpch.Generate(tpch.Config{SF: 0.1, Seed: 42})
+	tcat := tpch.Generate(tpch.Config{SF: 0.1, Seed: 7})
+	st, err := store.Open(filepath.Join(t.TempDir(), "conv.apqs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	epoch := int64(0)
+	srv, err := New(Config{
+		Engine:     exec.NewEngine(cat, sim.TwoSocket(), cost.Default()),
+		DBIdentity: "tpch:sf=0.1:seed=42",
+		Store:      st,
+		TenantFactory: func(spec TenantSpec) (Tenant, error) {
+			return Tenant{Name: spec.Name, Catalog: tcat, DBIdentity: "tpch:sf=0.1:seed=7", Epoch: epoch}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	if _, err := srv.AddTenant(TenantSpec{Name: "t1"}); err != nil {
+		t.Fatal(err)
+	}
+	body := []byte(`{"tenant":"t1","query":6}`)
+	convergeQuery(t, srv, body)
+	life, err := srv.RemoveTenant("t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if life.SessionsFlushed != 1 {
+		t.Fatalf("removal flushed %d sessions, want 1", life.SessionsFlushed)
+	}
+	if st.Len() != 1 {
+		t.Fatalf("store holds %d records after removal, want 1", st.Len())
+	}
+
+	// Same epoch: the record comes back served-converged on the first hit.
+	life, err = srv.AddTenant(TenantSpec{Name: "t1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if life.SessionsRehydrated != 1 || life.SessionsWarmSeeded != 0 {
+		t.Fatalf("re-add rehydrated=%d warm=%d, want 1/0", life.SessionsRehydrated, life.SessionsWarmSeeded)
+	}
+	if qr := serveOnce(t, srv, body); qr.State != "converged" || !qr.CacheHit {
+		t.Fatalf("first post-re-add request not served converged: %+v", qr)
+	}
+	if _, err := srv.RemoveTenant("t1"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Epoch mismatch: the tenant declares its dataset mutated since the
+	// record was written — the record must come back warm, never
+	// served-converged.
+	epoch = 1
+	life, err = srv.AddTenant(TenantSpec{Name: "t1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if life.SessionsRehydrated != 0 || life.SessionsWarmSeeded != 1 {
+		t.Fatalf("mismatched re-add rehydrated=%d warm=%d, want 0/1", life.SessionsRehydrated, life.SessionsWarmSeeded)
+	}
+	qr := serveOnce(t, srv, body)
+	if qr.State == "converged" || !qr.CacheHit {
+		t.Fatalf("epoch-mismatched record served converged: %+v", qr)
+	}
+	convergeQuery(t, srv, body)
+}

@@ -1,0 +1,102 @@
+package server
+
+import (
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestBreakerCooldownJitterBounds pins the jittered cooldown window: a
+// tripped breaker stays frozen for at least the configured cooldown and
+// admits its half-open probe no later than 1.5× it, with the scale drawn
+// once per trip (not per admit).
+func TestBreakerCooldownJitterBounds(t *testing.T) {
+	cooldown := time.Minute
+	for _, tc := range []struct {
+		r     float64
+		scale float64
+	}{
+		{0, 1},       // low edge: probe at exactly the cooldown
+		{0.999, 1.5}, // high edge: probe just under 1.5× the cooldown
+	} {
+		now := time.Unix(0, 0)
+		draws := 0
+		b := &breaker{
+			nowFn:  func() time.Time { return now },
+			randFn: func() float64 { draws++; return tc.r },
+		}
+		b.mu.Lock()
+		b.trip()
+		b.mu.Unlock()
+		window := time.Duration(float64(cooldown) * (1 + 0.5*tc.r))
+
+		// Strictly inside the jittered window: frozen, always.
+		now = now.Add(window - time.Millisecond)
+		if m := b.admit(cooldown); m != brkFrozen {
+			t.Fatalf("r=%v: breaker probed %v before its jittered cooldown", tc.r, window)
+		}
+		// At the window: the probe is admitted — never later than 1.5×.
+		if limit := time.Duration(1.5 * float64(cooldown)); window > limit {
+			t.Fatalf("r=%v: jittered window %v exceeds the 1.5× bound %v", tc.r, window, limit)
+		}
+		now = now.Add(time.Millisecond)
+		if m := b.admit(cooldown); m != brkProbe {
+			t.Fatalf("r=%v: breaker still frozen at its jittered cooldown (%v)", tc.r, window)
+		}
+		if draws != 1 {
+			t.Fatalf("r=%v: jitter drawn %d times, want once per trip", tc.r, draws)
+		}
+	}
+}
+
+// TestBreakerZeroValueJitter: a breaker that never drew a jitter (zero
+// value, as embedded in each shard) must treat the scale as 1, not 0 — an
+// unjittered breaker must not probe instantly.
+func TestBreakerZeroValueJitter(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := &breaker{nowFn: func() time.Time { return now }}
+	b.mu.Lock()
+	b.state = brkOpen // forced open without trip(): jitter stays 0
+	b.openedAt = now
+	b.mu.Unlock()
+	if m := b.admit(time.Minute); m != brkFrozen {
+		t.Fatal("zero-jitter open breaker probed before its cooldown")
+	}
+	now = now.Add(time.Minute)
+	if m := b.admit(time.Minute); m != brkProbe {
+		t.Fatal("zero-jitter open breaker never probed")
+	}
+}
+
+// TestRetryAfterJitterBounds pins the shed reply's backoff hint to 1–3
+// seconds across the whole jitter range.
+func TestRetryAfterJitterBounds(t *testing.T) {
+	s := &Server{}
+	for _, r := range []float64{0, 0.1, 0.33, 0.34, 0.5, 0.66, 0.67, 0.9, 0.999} {
+		r := r
+		s.randFn = func() float64 { return r }
+		v, err := strconv.Atoi(s.retryAfter())
+		if err != nil {
+			t.Fatalf("r=%v: non-numeric Retry-After: %v", r, err)
+		}
+		if v < 1 || v > 3 {
+			t.Fatalf("r=%v: Retry-After %d out of [1,3]", r, v)
+		}
+	}
+	// Edges: 0 maps to 1, the top of the range maps to 3.
+	s.randFn = func() float64 { return 0 }
+	if got := s.retryAfter(); got != "1" {
+		t.Fatalf("Retry-After at r=0: %s, want 1", got)
+	}
+	s.randFn = func() float64 { return 0.999 }
+	if got := s.retryAfter(); got != "3" {
+		t.Fatalf("Retry-After at r=0.999: %s, want 3", got)
+	}
+	// The default source (nil randFn) stays in bounds too.
+	s.randFn = nil
+	for i := 0; i < 100; i++ {
+		if v, _ := strconv.Atoi(s.retryAfter()); v < 1 || v > 3 {
+			t.Fatalf("default source produced Retry-After %d", v)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"sync"
 	"time"
@@ -119,7 +120,12 @@ type breaker struct {
 	openedAt time.Time
 	probing  bool // a half-open probe is in flight
 	trips    int64
-	nowFn    func() time.Time // test seam; nil = time.Now
+	// jitter scales this open period's cooldown, drawn from [1, 1.5) at
+	// trip time: shards tripped by one correlated event probe back at
+	// spread-out times instead of re-converging on the backend in lockstep.
+	jitter float64
+	nowFn  func() time.Time // test seam; nil = time.Now
+	randFn func() float64   // test seam; nil = math/rand
 }
 
 func (b *breaker) now() time.Time {
@@ -129,9 +135,25 @@ func (b *breaker) now() time.Time {
 	return time.Now()
 }
 
+func (b *breaker) rand() float64 {
+	if b.randFn != nil {
+		return b.randFn()
+	}
+	return rand.Float64()
+}
+
+// trip opens the breaker and draws the cooldown jitter for this open period.
+// Callers hold b.mu.
+func (b *breaker) trip() {
+	b.state = brkOpen
+	b.openedAt = b.now()
+	b.jitter = 1 + 0.5*b.rand()
+	b.trips++
+}
+
 // admit decides how the next invocation runs. Open breakers transition to
-// half-open once the cooldown has elapsed, admitting exactly one probe at a
-// time; everything else in the meantime serves frozen.
+// half-open once the jittered cooldown has elapsed, admitting exactly one
+// probe at a time; everything else in the meantime serves frozen.
 func (b *breaker) admit(cooldown time.Duration) brkMode {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -139,7 +161,11 @@ func (b *breaker) admit(cooldown time.Duration) brkMode {
 	case brkClosed:
 		return brkNormal
 	case brkOpen:
-		if b.now().Sub(b.openedAt) < cooldown {
+		scale := b.jitter
+		if scale < 1 {
+			scale = 1
+		}
+		if b.now().Sub(b.openedAt) < time.Duration(float64(cooldown)*scale) {
 			return brkFrozen
 		}
 		b.state = brkHalfOpen
@@ -164,19 +190,16 @@ func (b *breaker) record(mode brkMode, failed bool, threshold int) {
 	defer b.mu.Unlock()
 	if failed {
 		if mode == brkProbe {
-			// The probe failed: back to fully open, cooldown restarted.
-			b.state = brkOpen
-			b.openedAt = b.now()
+			// The probe failed: back to fully open, cooldown restarted
+			// (with a freshly drawn jitter).
 			b.probing = false
-			b.trips++
+			b.trip()
 			return
 		}
 		b.failures++
 		if b.state == brkClosed && b.failures >= threshold {
-			b.state = brkOpen
-			b.openedAt = b.now()
 			b.failures = 0
-			b.trips++
+			b.trip()
 		}
 		return
 	}

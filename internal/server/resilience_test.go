@@ -107,7 +107,10 @@ func TestLoadSheddingRetryAfter(t *testing.T) {
 // probe's outcome closes or reopens it.
 func TestBreakerCycle(t *testing.T) {
 	now := time.Unix(1000, 0)
-	b := &breaker{nowFn: func() time.Time { return now }}
+	// randFn pinned to 0: the jittered cooldown collapses to exactly
+	// cooldown, so the cycle's timing is deterministic (jitter bounds are
+	// pinned separately in TestBreakerCooldownJitterBounds).
+	b := &breaker{nowFn: func() time.Time { return now }, randFn: func() float64 { return 0 }}
 	const threshold = 3
 	cooldown := time.Minute
 

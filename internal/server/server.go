@@ -46,6 +46,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"math/rand"
 	"net/http"
 	"slices"
 	"strconv"
@@ -108,6 +109,16 @@ type Config struct {
 	// out of the band reopen convergence instead of pinning a stale plan
 	// (core.StalenessConfig semantics; zero = disabled).
 	Staleness core.StalenessConfig
+	// Drift arms workload-drift detection on every shard cache: converged
+	// sessions whose serve latency no longer matches the query mix they
+	// converged under proactively reopen at the observed budget
+	// (plancache.DriftConfig semantics; zero = disabled).
+	Drift plancache.DriftConfig
+	// TenantFactory builds the tenant (catalog included) for a runtime
+	// POST /admin/tenants request. nil disables runtime tenant addition —
+	// the endpoint replies 503. The hook runs outside every server lock:
+	// dataset generation may be slow.
+	TenantFactory func(TenantSpec) (Tenant, error)
 	// Faults is a deterministic fault schedule applied to every shard's
 	// simulated machine at startup (each shard has its own virtual clock, so
 	// each sees the same schedule relative to its own time axis). Chaos
@@ -164,10 +175,26 @@ type Server struct {
 	start   time.Time
 
 	// tenants routes request tenant names; tenantList keeps /stats order
-	// (default first, then config order); defTenant is the primary dataset.
+	// (default first, then config/addition order); defTenant is the primary
+	// dataset. tenantMu guards the map and list — the tenant lifecycle API
+	// mutates both at runtime. The tenantState values themselves are
+	// internally synchronized (atomics); only membership needs the lock.
+	tenantMu   sync.RWMutex
 	tenants    map[string]*tenantState
 	tenantList []*tenantState
 	defTenant  *tenantState
+
+	// life counts tenant-lifecycle and data-mutation admin operations.
+	life struct {
+		tenantsAdded   atomic.Int64
+		tenantsRemoved atomic.Int64
+		appends        atomic.Int64
+		deletes        atomic.Int64
+	}
+
+	// randFn is the jitter source for Retry-After hints and breaker
+	// cooldowns (nil = math/rand; tests pin it).
+	randFn func() float64
 
 	closeMu  sync.RWMutex
 	closed   bool
@@ -199,10 +226,13 @@ type Server struct {
 	}
 
 	// sync is the write-behind path to cfg.Store (nil without a store);
-	// rehydrated/skippedRecords count startup rehydration outcomes.
+	// rehydrated/warmSeeded/skippedRecords count rehydration outcomes
+	// (atomics: runtime tenant addition rehydrates concurrently with /stats
+	// reads).
 	sync           *store.Synchronizer
-	rehydrated     int
-	skippedRecords int
+	rehydrated     atomic.Int64
+	warmSeeded     atomic.Int64
+	skippedRecords atomic.Int64
 }
 
 // New creates a Server over a pool of engine shards.
@@ -230,15 +260,12 @@ func New(cfg Config) (*Server, error) {
 		cfg.DBIdentity = cfg.Benchmark
 	}
 	s := &Server{cfg: cfg, start: time.Now(), fpCache: make(map[string]fpEntry)}
-	s.defTenant = &tenantState{
-		Tenant: Tenant{
-			Name:       "default",
-			Catalog:    engines[0].Catalog(),
-			DBIdentity: cfg.DBIdentity,
-			Benchmark:  cfg.Benchmark,
-		},
-		def: true,
-	}
+	s.defTenant = newTenantState(Tenant{
+		Name:       "default",
+		Catalog:    engines[0].Catalog(),
+		DBIdentity: cfg.DBIdentity,
+		Benchmark:  cfg.Benchmark,
+	}, true)
 	s.tenants = map[string]*tenantState{}
 	s.tenantList = []*tenantState{s.defTenant}
 	// Identity uniqueness is load-bearing, not cosmetic: fingerprints
@@ -270,7 +297,7 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: tenant %q shares DBIdentity %q with tenant %q — identities must be unique or fingerprints collide across tenants", t.Name, t.DBIdentity, owner)
 		}
 		identities[t.DBIdentity] = t.Name
-		tn := &tenantState{Tenant: t}
+		tn := newTenantState(t, false)
 		s.tenants[t.Name] = tn
 		s.tenantList = append(s.tenantList, tn)
 	}
@@ -289,6 +316,7 @@ func New(cfg Config) (*Server, error) {
 			Mutation:    cfg.Mutation,
 			Convergence: cfg.Convergence,
 			Staleness:   cfg.Staleness,
+			Drift:       cfg.Drift,
 		}
 		if s.sync != nil {
 			// Write-behind persistence: the hook fires on convergence and
@@ -305,7 +333,12 @@ func New(cfg Config) (*Server, error) {
 				if err != nil {
 					return
 				}
-				s.sync.Enqueue(store.NewRecord(e.Fingerprint, tn.DBIdentity, e.Tenant, e.Query, snap, shardEng.Params()))
+				// The record carries the tenant's epoch AT PERSIST TIME: a
+				// session that converged against epoch-N data and is flushed
+				// after a bump to N+1 was reopened by that bump (non-done, not
+				// persisted) — so a done session's history always belongs to
+				// the live epoch.
+				s.sync.Enqueue(store.NewRecord(e.Fingerprint, tn.DBIdentity, e.Tenant, e.Query, tn.epoch.Load(), snap, shardEng.Params()))
 			}
 		}
 		sh := &shard{
@@ -328,7 +361,7 @@ func New(cfg Config) (*Server, error) {
 		s.shards = append(s.shards, sh)
 	}
 	if cfg.Store != nil {
-		s.rehydrate(cfg.Store)
+		s.rehydrate(cfg.Store, nil)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/query", s.handleQuery)
@@ -336,48 +369,88 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/sessions/", s.handleSessionTrace)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/admin/append", s.handleAppend)
+	s.mux.HandleFunc("/admin/truncate", s.handleTruncate)
+	s.mux.HandleFunc("/admin/tenants", s.handleTenants)
 	s.handler = s.withRecovery(s.mux)
 	return s, nil
 }
 
 // tenantByTag resolves a cache tenant tag ("" = default) to its state.
+// Draining tenants still resolve: their evicted sessions persist with the
+// right identity while the removal is in progress.
 func (s *Server) tenantByTag(tag string) *tenantState {
 	if tag == "" {
 		return s.defTenant
 	}
+	s.tenantMu.RLock()
+	defer s.tenantMu.RUnlock()
 	return s.tenants[tag]
 }
 
 // rehydrate restores the persistent store's converged sessions into the
-// shard caches before the server starts taking requests. Every record is
-// identity-checked: its tenant must still exist, the tenant's DBIdentity
+// shard caches — at startup (only == nil, before the server takes requests)
+// and when a runtime-added tenant comes back (only == that tenant). Every
+// record is identity-checked: its tenant must exist, the tenant's DBIdentity
 // must match the record's (same data), and the engine's cost calibration
-// must match the one the history was measured under (same machine model).
-// A mismatched or unrestorable record is skipped and counted — never
-// merged, never fatal: the query it belonged to simply converges afresh.
-func (s *Server) rehydrate(st *store.Store) {
+// must match the one the history was measured under (same machine model). A
+// record whose dataset epoch no longer matches the live tenant's was learned
+// on other data: its plan is still correct (partitions are binary-rational
+// ranges) but its measurements are stale, so it rehydrates as a warm seed —
+// a non-done session the request stream re-converges cheaply — never as
+// served-converged. A mismatched or unrestorable record is skipped and
+// counted — never merged, never fatal: the query it belonged to simply
+// converges afresh.
+func (s *Server) rehydrate(st *store.Store, only *tenantState) {
 	for _, rec := range st.Records() {
 		rec := rec
-		tn := s.tenantByTag(rec.Tenant)
-		if tn == nil || tn.DBIdentity != rec.DBIdentity {
-			s.skippedRecords++
+		var tn *tenantState
+		if only != nil {
+			if rec.Tenant != only.tag() {
+				continue
+			}
+			tn = only
+		} else if tn = s.tenantByTag(rec.Tenant); tn == nil {
+			s.skippedRecords.Add(1)
+			continue
+		}
+		if tn.DBIdentity != rec.DBIdentity {
+			s.skippedRecords.Add(1)
 			continue
 		}
 		sh := s.shardFor(rec.Fingerprint)
 		if rec.HasCost && rec.CostParams != sh.eng.Params() {
-			s.skippedRecords++
+			s.skippedRecords.Add(1)
 			continue
 		}
 		sess, err := rec.RestoreSession(sh.eng, s.cfg.Mutation)
 		if err != nil {
-			s.skippedRecords++
+			s.skippedRecords.Add(1)
 			continue
 		}
-		if sh.cache.Restore(rec.Tenant, rec.Fingerprint, rec.Query, sess) == nil {
-			s.skippedRecords++
-			continue
+		warm := rec.Epoch != tn.epoch.Load()
+		var ok bool
+		// Cache insertion under the shard's engine-ownership lock: at
+		// startup it is uncontended; for runtime tenant addition it
+		// serializes against live serving on that shard.
+		if s.do(sh, func() {
+			if warm {
+				ok = sess.ReopenForData(0) &&
+					sh.cache.RestoreWarm(rec.Tenant, rec.Fingerprint, rec.Query, sess) != nil
+			} else {
+				ok = sh.cache.Restore(rec.Tenant, rec.Fingerprint, rec.Query, sess) != nil
+			}
+		}) != nil {
+			return // server closing mid-rehydration
 		}
-		s.rehydrated++
+		switch {
+		case !ok:
+			s.skippedRecords.Add(1)
+		case warm:
+			s.warmSeeded.Add(1)
+		default:
+			s.rehydrated.Add(1)
+		}
 	}
 }
 
@@ -482,6 +555,12 @@ type QueryRequest struct {
 	// "serial" (execute the serial plan cold, bypassing the cache — the
 	// baseline the serving benchmark compares against).
 	Mode string `json:"mode,omitempty"`
+	// MaxCores is a client-declared core budget for this request (0 = no
+	// limit): the execution runs as if admitted under that many cores. When
+	// server-side admission control is on too, the smaller budget wins. A
+	// converged session served persistently under a small client budget is
+	// exactly the regime the workload-drift detector watches.
+	MaxCores int `json:"max_cores,omitempty"`
 }
 
 // SelectSumSpec is the ad-hoc builder spec the service accepts over JSON.
@@ -658,6 +737,21 @@ func (b *ioBuf) reply(w http.ResponseWriter, code int, v any) {
 	w.Write(b.buf.Bytes())
 }
 
+// retryAfter renders the shed reply's backoff hint: 1–3 seconds, jittered,
+// so clients shed in one burst don't all come back on the same tick and
+// re-create the overload they were shed from.
+func (s *Server) retryAfter() string {
+	r := s.randFn
+	if r == nil {
+		r = rand.Float64
+	}
+	secs := 1 + int(r()*3)
+	if secs > 3 {
+		secs = 3
+	}
+	return strconv.Itoa(secs)
+}
+
 func (s *Server) writeErr(w http.ResponseWriter, code int, err error) {
 	b := getIOBuf()
 	defer putIOBuf(b)
@@ -708,11 +802,12 @@ func (s *Server) resolve(tn *tenantState, req *QueryRequest) (name, fp string, b
 		if req.SelectSum.Table == "" || req.SelectSum.Column == "" {
 			return "", "", nil, errors.New("select_sum needs table and column")
 		}
-		// Validate against the tenant's catalog before the plan can reach
-		// the cache: a bad spec must be a 400, not a cache insertion (and
-		// possible eviction of a healthy session) followed by an execution
-		// failure. Catalogs are read-only, so no lock is needed.
-		tbl, err := tn.Catalog.Table(req.SelectSum.Table)
+		// Validate against the tenant's live catalog before the plan can
+		// reach the cache: a bad spec must be a 400, not a cache insertion
+		// (and possible eviction of a healthy session) followed by an
+		// execution failure. Catalogs are immutable once published, so the
+		// loaded pointer needs no lock.
+		tbl, err := tn.curCatalog().Table(req.SelectSum.Table)
 		if err != nil {
 			return "", "", nil, err
 		}
@@ -784,10 +879,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	// The in-flight quota rejects before any engine work queues: a tenant
 	// over its concurrency budget fails fast with 429 instead of stacking
-	// requests on shard locks other tenants are waiting for.
+	// requests on shard locks other tenants are waiting for. A tenant that
+	// started draining between routing and admission is 404 — to the client
+	// it no longer exists.
 	if err := tn.acquire(); err != nil {
 		tn.noteErr()
-		s.writeErrBuf(b, w, http.StatusTooManyRequests, err)
+		code := http.StatusTooManyRequests
+		if errors.Is(err, errTenantDraining) {
+			code = http.StatusNotFound
+		}
+		s.writeErrBuf(b, w, code, err)
 		return
 	}
 	defer tn.release()
@@ -829,6 +930,9 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			s.admitHook()
 		}
 	}
+	if req.MaxCores > 0 && (opts.MaxCores == 0 || req.MaxCores < opts.MaxCores) {
+		opts.MaxCores = req.MaxCores
+	}
 
 	switch req.Mode {
 	case "", "adaptive":
@@ -863,7 +967,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			}
 			tn.noteErr()
 			if sheddable(doErr) {
-				w.Header().Set("Retry-After", "1")
+				w.Header().Set("Retry-After", s.retryAfter())
 			}
 			s.writeErrBuf(b, w, http.StatusServiceUnavailable, doErr)
 			return
@@ -921,7 +1025,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if doErr != nil {
 			tn.noteErr()
 			if sheddable(doErr) {
-				w.Header().Set("Retry-After", "1")
+				w.Header().Set("Retry-After", s.retryAfter())
 			}
 			s.writeErrBuf(b, w, http.StatusServiceUnavailable, doErr)
 			return
@@ -1129,6 +1233,19 @@ type StatsResponse struct {
 	// Resilience aggregates fault-injection and overload-hardening counters
 	// (resilience.go).
 	Resilience ResilienceStats `json:"resilience"`
+	// Lifecycle counts admin mutations and tenant churn (admin.go).
+	Lifecycle LifecycleStats `json:"lifecycle"`
+}
+
+// LifecycleStats is the GET /stats "lifecycle" block: counters for the
+// /admin mutation and tenant-lifecycle surface.
+type LifecycleStats struct {
+	// TenantsAdded / TenantsRemoved count runtime tenant churn.
+	TenantsAdded   int64 `json:"tenants_added"`
+	TenantsRemoved int64 `json:"tenants_removed"`
+	// Appends / Deletes count dataset mutations (each bumped an epoch).
+	Appends int64 `json:"appends"`
+	Deletes int64 `json:"deletes"`
 }
 
 // StoreStatsInfo is the /stats view of the persistent convergence store:
@@ -1136,11 +1253,14 @@ type StatsResponse struct {
 // write-behind state.
 type StoreStatsInfo struct {
 	store.Stats
-	// RehydratedSessions counts sessions restored into the shard caches at
-	// startup; SkippedRecords counts records refused by the identity,
-	// calibration, or integrity checks.
-	RehydratedSessions int `json:"rehydrated_sessions"`
-	SkippedRecords     int `json:"skipped_records,omitempty"`
+	// RehydratedSessions counts sessions restored into the shard caches
+	// (startup plus runtime tenant additions); WarmSeededSessions counts
+	// records whose dataset epoch mismatched the live tenant's and came
+	// back as warm seeds instead of served-converged; SkippedRecords counts
+	// records refused by the identity, calibration, or integrity checks.
+	RehydratedSessions int64 `json:"rehydrated_sessions"`
+	WarmSeededSessions int64 `json:"warm_seeded_sessions,omitempty"`
+	SkippedRecords     int64 `json:"skipped_records,omitempty"`
 	// WriteBehindQueueDepth is the synchronizer backlog (records accepted
 	// but not yet durable); RecordsWritten counts durable write-behind
 	// records since start.
@@ -1167,9 +1287,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Shards:        len(s.shards),
 	}
 	// Per-tenant rows start from the tenant request counters; shard-cache
-	// slices merge in below under each shard's lock.
-	tenantIdx := make(map[string]int, len(s.tenantList))
-	for i, tn := range s.tenantList {
+	// slices merge in below under each shard's lock. The list is copied
+	// under tenantMu — lifecycle operations mutate it at runtime.
+	s.tenantMu.RLock()
+	tenantList := slices.Clone(s.tenantList)
+	s.tenantMu.RUnlock()
+	tenantIdx := make(map[string]int, len(tenantList))
+	for i, tn := range tenantList {
 		resp.Tenants = append(resp.Tenants, tn.statsInfo())
 		tenantIdx[tn.tag()] = i
 	}
@@ -1203,6 +1327,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				tc.Converged += tst.Converged
 				tc.Rehydrated += tst.Rehydrated
 				tc.Reconvergences += tst.Reconvergences
+				tc.DataReopens += tst.DataReopens
+				tc.DriftReopens += tst.DriftReopens
+				tc.WarmSeeds += tst.WarmSeeds
 			}
 		}
 		resp.PerShard = append(resp.PerShard, st)
@@ -1213,6 +1340,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Cache.Converged += st.Cache.Converged
 		resp.Cache.Rehydrated += st.Cache.Rehydrated
 		resp.Cache.Reconvergences += st.Cache.Reconvergences
+		resp.Cache.DataReopens += st.Cache.DataReopens
+		resp.Cache.DriftReopens += st.Cache.DriftReopens
+		resp.Cache.WarmSeeds += st.Cache.WarmSeeds
 		if st.VirtualNowNs > resp.VirtualNowNs {
 			resp.VirtualNowNs = st.VirtualNowNs
 		}
@@ -1233,11 +1363,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Store != nil {
 		resp.Store = &StoreStatsInfo{
 			Stats:                 s.cfg.Store.Stats(),
-			RehydratedSessions:    s.rehydrated,
-			SkippedRecords:        s.skippedRecords,
+			RehydratedSessions:    s.rehydrated.Load(),
+			WarmSeededSessions:    s.warmSeeded.Load(),
+			SkippedRecords:        s.skippedRecords.Load(),
 			WriteBehindQueueDepth: s.sync.QueueDepth(),
 			RecordsWritten:        s.sync.Written(),
 		}
+	}
+	resp.Lifecycle = LifecycleStats{
+		TenantsAdded:   s.life.tenantsAdded.Load(),
+		TenantsRemoved: s.life.tenantsRemoved.Load(),
+		Appends:        s.life.appends.Load(),
+		Deletes:        s.life.deletes.Load(),
 	}
 	writeJSON(w, resp)
 }

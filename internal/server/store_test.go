@@ -219,7 +219,7 @@ func TestServerExportImportAcrossServers(t *testing.T) {
 	}
 	srvB := newStoreServer(t, cat, stB, nil)
 	defer srvB.Close()
-	if stats := statsOf(t, srvB); stats.Store == nil || stats.Store.RehydratedSessions != len(bodies) {
+	if stats := statsOf(t, srvB); stats.Store == nil || stats.Store.RehydratedSessions != int64(len(bodies)) {
 		t.Fatalf("store stats after import: %+v", stats.Store)
 	}
 	for _, body := range bodies {

@@ -1,12 +1,20 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/storage"
 )
+
+// errTenantDraining reports a request routed to a tenant mid-removal. The
+// HTTP layer maps it to 404 — from the client's view a draining tenant has
+// already ceased to exist; only requests admitted before the drain started
+// still complete.
+var errTenantDraining = errors.New("tenant draining")
 
 // Tenant configures one named dataset served by the daemon alongside its
 // default database. Tenants multiplex over the same engine shard pool: the
@@ -38,6 +46,11 @@ type Tenant struct {
 	// across the whole pool (0 = unlimited); excess requests fail fast
 	// with 429 instead of queueing on shard locks.
 	MaxInFlight int
+	// Epoch is the dataset's initial mutation epoch (0 = the dataset as
+	// generated). Every append/delete through the admin mutation API bumps
+	// it; persistent-store records carry the epoch they converged at, and
+	// rehydration compares the two.
+	Epoch int64
 }
 
 // tenantState is one tenant's runtime: its immutable config plus the
@@ -51,6 +64,20 @@ type tenantState struct {
 	Tenant
 	def bool
 
+	// epoch is the dataset's live mutation epoch; catalog is the live
+	// catalog pointer (mutations swap in a new copy-on-write catalog, so
+	// every loaded pointer stays valid and immutable for the request that
+	// loaded it). mutated flips once the default tenant's data diverges
+	// from the engines' built-in catalog — until then its requests keep a
+	// nil JobOptions.Catalog, the byte-for-byte pre-tenancy hot path.
+	// draining marks a tenant mid-removal: new requests 404, in-flight
+	// ones finish. mutMu serializes data mutations per tenant.
+	epoch    atomic.Int64
+	catalog  atomic.Pointer[storage.Catalog]
+	mutated  atomic.Bool
+	draining atomic.Bool
+	mutMu    sync.Mutex
+
 	inFlight     atomic.Int64
 	peakInFlight atomic.Int64
 	requests     atomic.Int64
@@ -58,10 +85,26 @@ type tenantState struct {
 	rejected     atomic.Int64
 }
 
+// newTenantState wires a tenant config into its runtime state.
+func newTenantState(t Tenant, def bool) *tenantState {
+	tn := &tenantState{Tenant: t, def: def}
+	tn.catalog.Store(t.Catalog)
+	tn.epoch.Store(t.Epoch)
+	return tn
+}
+
 // acquire takes one in-flight slot, or reports the over-quota rejection.
+// The draining check sits AFTER the in-flight increment: the remover sets
+// draining and then waits for inFlight to reach zero, so a request that
+// slipped past tenantFor either bounces here or is visible to that wait —
+// never silently executing against a tenant being torn down.
 func (tn *tenantState) acquire() error {
 	tn.requests.Add(1)
 	n := tn.inFlight.Add(1)
+	if tn.draining.Load() {
+		tn.inFlight.Add(-1)
+		return fmt.Errorf("tenant %q: %w", tn.displayName(), errTenantDraining)
+	}
 	if tn.MaxInFlight > 0 && n > int64(tn.MaxInFlight) {
 		tn.inFlight.Add(-1)
 		tn.rejected.Add(1)
@@ -96,18 +139,25 @@ func (tn *tenantState) displayName() string {
 	return tn.Name
 }
 
+// curCatalog is the tenant's live catalog (post-mutation copies included).
+func (tn *tenantState) curCatalog() *storage.Catalog {
+	return tn.catalog.Load()
+}
+
 // jobCatalog is the per-job bind-resolution override: nil for the default
-// tenant (the engine's own catalog), the tenant's catalog otherwise.
+// tenant on unmutated data (the engine's own catalog — the single-tenant
+// hot path), the tenant's live catalog otherwise.
 func (tn *tenantState) jobCatalog() *storage.Catalog {
-	if tn.def {
+	if tn.def && !tn.mutated.Load() {
 		return nil
 	}
-	return tn.Catalog
+	return tn.catalog.Load()
 }
 
 // tenantFor routes a request to its tenant: the body's "tenant" field first,
 // then the X-APQ-Tenant header. Empty and "default" name the server's
-// primary database.
+// primary database. A draining tenant is already gone from the client's
+// perspective — same "unknown tenant" reply removal leaves behind.
 func (s *Server) tenantFor(r *http.Request, name string) (*tenantState, error) {
 	if name == "" {
 		name = r.Header.Get("X-APQ-Tenant")
@@ -115,8 +165,10 @@ func (s *Server) tenantFor(r *http.Request, name string) (*tenantState, error) {
 	if name == "" || name == "default" {
 		return s.defTenant, nil
 	}
+	s.tenantMu.RLock()
 	tn, ok := s.tenants[name]
-	if !ok {
+	s.tenantMu.RUnlock()
+	if !ok || tn.draining.Load() {
 		return nil, fmt.Errorf("unknown tenant %q", name)
 	}
 	return tn, nil
@@ -137,6 +189,11 @@ type TenantStatsInfo struct {
 	MaxInFlight  int   `json:"max_in_flight,omitempty"`
 	// MaxSessions echoes the per-shard session quota (0 = unlimited).
 	MaxSessions int `json:"max_sessions_per_shard,omitempty"`
+	// Epoch is the dataset's live mutation epoch (0 = as generated);
+	// Draining marks a tenant mid-removal (visible only in the narrow
+	// window between the drain starting and the tenant unlinking).
+	Epoch    int64 `json:"epoch"`
+	Draining bool  `json:"draining,omitempty"`
 	// Cache aggregates the tenant's plan-session cache counters across
 	// shards: live sessions, hits, misses, evictions, converged.
 	Cache struct {
@@ -147,6 +204,12 @@ type TenantStatsInfo struct {
 		Converged      int   `json:"converged"`
 		Rehydrated     int64 `json:"rehydrated,omitempty"`
 		Reconvergences int64 `json:"reconvergences,omitempty"`
+		// DataReopens counts epoch-bump warm reopens, DriftReopens
+		// workload-drift reopens, WarmSeeds epoch-mismatched store records
+		// rehydrated as warm seeds.
+		DataReopens  int64 `json:"data_reopens,omitempty"`
+		DriftReopens int64 `json:"drift_reopens,omitempty"`
+		WarmSeeds    int64 `json:"warm_seeds,omitempty"`
 	} `json:"cache"`
 }
 
@@ -163,5 +226,7 @@ func (tn *tenantState) statsInfo() TenantStatsInfo {
 		PeakInFlight: int(tn.peakInFlight.Load()),
 		MaxInFlight:  tn.MaxInFlight,
 		MaxSessions:  tn.MaxSessions,
+		Epoch:        tn.epoch.Load(),
+		Draining:     tn.draining.Load(),
 	}
 }

@@ -26,6 +26,9 @@ func goldenCases() []struct {
 		{"four-socket/noise", withNoise(FourSocket(), 11), ScenarioConfig{Seed: 5, Jobs: 4, Roots: 200, MaxChain: 4, MaxFanout: 2, MemHeavy: 0.7, Budgets: true}},
 		{"four-socket/budgets-noise", withNoise(FourSocket(), 13), ScenarioConfig{Seed: 6, Jobs: 6, Roots: 120, MaxChain: 2, MaxFanout: 4, MemHeavy: 0.5, Budgets: true}},
 		{"smt1", smt1Config(), ScenarioConfig{Seed: 7, Jobs: 2, Roots: 40, MaxChain: 3, MaxFanout: 2, MemHeavy: 0.5, Budgets: true}},
+		{"two-socket-asym/clean", TwoSocketAsym(), ScenarioConfig{Seed: 8, Jobs: 2, Roots: 60, MaxChain: 3, MaxFanout: 2, MemHeavy: 0.5}},
+		{"two-socket-asym/noise", withNoise(TwoSocketAsym(), 17), ScenarioConfig{Seed: 9, Jobs: 3, Roots: 80, MaxChain: 3, MaxFanout: 2, MemHeavy: 0.6, Budgets: true}},
+		{"four-socket-asym/budgets", FourSocketAsym(), ScenarioConfig{Seed: 10, Jobs: 4, Roots: 120, MaxChain: 3, MaxFanout: 2, MemHeavy: 0.5, Budgets: true}},
 	}
 }
 
@@ -96,6 +99,61 @@ func TestGoldenEdgeCases(t *testing.T) {
 	}
 	cfg := tinyConfig()
 	compareTimelines(t, sc, sc.Play(NewMachine(cfg)), sc.Play(NewReference(cfg)))
+}
+
+// TestAsymPresetDeterminism pins each asymmetric preset: replaying the same
+// scenario yields a bit-identical timeline, the slow sockets make the
+// machine strictly slower than its symmetric sibling, and the speed vector
+// is well-formed (validated at construction).
+func TestAsymPresetDeterminism(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		asym, sym Config
+	}{
+		{"two-socket-asym", TwoSocketAsym(), TwoSocket()},
+		{"four-socket-asym", FourSocketAsym(), FourSocket()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if len(tc.asym.SocketSpeed) != tc.asym.Sockets {
+				t.Fatalf("preset speed vector has %d entries for %d sockets",
+					len(tc.asym.SocketSpeed), tc.asym.Sockets)
+			}
+			scen := ScenarioConfig{Seed: 21, Jobs: 3, Roots: 90, MaxChain: 3, MaxFanout: 2, MemHeavy: 0.5}
+			sc := GenScenario(tc.name, scen, tc.asym)
+			a := sc.Play(NewMachine(tc.asym))
+			b := sc.Play(NewMachine(tc.asym))
+			compareTimelines(t, sc, a, b)
+			sym := sc.Play(NewMachine(tc.sym))
+			if a.FinalNs <= sym.FinalNs {
+				t.Fatalf("asymmetric machine finished in %.0fns, not slower than symmetric %.0fns",
+					a.FinalNs, sym.FinalNs)
+			}
+		})
+	}
+}
+
+// TestSocketSpeedValidation: malformed speed vectors must be rejected at
+// machine construction, not surface as index panics mid-simulation.
+func TestSocketSpeedValidation(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		speed []float64
+	}{
+		{"wrong length", []float64{1}},
+		{"zero entry", []float64{1, 0}},
+		{"negative entry", []float64{1, -0.5}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := TwoSocket()
+			cfg.SocketSpeed = tc.speed
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewMachine accepted SocketSpeed %v", tc.speed)
+				}
+			}()
+			NewMachine(cfg)
+		})
+	}
 }
 
 // TestScenarioTaskCount pins the generator's determinism: the same seed must

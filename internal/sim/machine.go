@@ -74,8 +74,30 @@ type Config struct {
 	BWPerSocket        float64 // bytes per ns of memory bandwidth, scaled
 	SMTFactor          float64 // per-thread rate when the SMT sibling is busy
 	NUMAFactor         float64 // memory slowdown for remote-socket access
-	Noise              NoiseConfig
-	Seed               int64
+	// SocketSpeed holds per-socket core-speed multipliers for asymmetric
+	// machines (heterogeneous clocks, one power-capped package). nil means
+	// all sockets run at SpeedFactor — the symmetric presets keep nil so
+	// their timelines stay bit-identical to earlier releases. When set, the
+	// length must equal Sockets and every entry must be positive.
+	SocketSpeed []float64
+	Noise       NoiseConfig
+	Seed        int64
+}
+
+// validateSocketSpeed panics when an asymmetric speed vector is malformed;
+// both simulator cores call it so they can never disagree on the config.
+func validateSocketSpeed(cfg Config) {
+	if cfg.SocketSpeed == nil {
+		return
+	}
+	if len(cfg.SocketSpeed) != cfg.Sockets {
+		panic(fmt.Sprintf("sim: SocketSpeed has %d entries for %d sockets", len(cfg.SocketSpeed), cfg.Sockets))
+	}
+	for i, s := range cfg.SocketSpeed {
+		if s <= 0 {
+			panic(fmt.Sprintf("sim: SocketSpeed[%d]=%g must be positive", i, s))
+		}
+	}
 }
 
 // LogicalCores returns the number of schedulable hardware threads.
@@ -116,6 +138,27 @@ func FourSocket() Config {
 		SMTFactor:          0.55,
 		NUMAFactor:         1.35,
 	}
+}
+
+// TwoSocketAsym is the two-socket machine with socket 1 power-capped to 70%
+// of socket 0's clock — the asymmetric-NUMA regime where uniform mitosis
+// over-partitions the slow package and adaptive parallelization should learn
+// a lopsided placement.
+func TwoSocketAsym() Config {
+	c := TwoSocket()
+	c.Name = "2-socket asymmetric (socket 1 at 0.7×)"
+	c.SocketSpeed = []float64{1.0, 0.7}
+	return c
+}
+
+// FourSocketAsym is the four-socket machine with a stepped clock gradient
+// across packages (1.0×, 0.9×, 0.75×, 0.6×), modelling a thermally
+// imbalanced chassis.
+func FourSocketAsym() Config {
+	c := FourSocket()
+	c.Name = "4-socket asymmetric (stepped 1.0/0.9/0.75/0.6×)"
+	c.SocketSpeed = []float64{1.0, 0.9, 0.75, 0.6}
+	return c
 }
 
 // NoiseConfig models run-time environment disturbance (§3.3.3): multiplicative
@@ -262,6 +305,7 @@ func NewMachine(cfg Config) *Machine {
 	if cfg.SpeedFactor <= 0 {
 		cfg.SpeedFactor = 1
 	}
+	validateSocketSpeed(cfg)
 	n := cfg.LogicalCores()
 	m := &Machine{
 		cfg:      cfg,
@@ -463,6 +507,9 @@ func (m *Machine) refreshRates() {
 			rate *= m.cfg.SMTFactor
 		}
 		sock := core / m.tps
+		if m.cfg.SocketSpeed != nil {
+			rate *= m.cfg.SocketSpeed[sock] // configured asymmetric clocks
+		}
 		if m.sockSpeed != nil {
 			rate *= m.sockSpeed[sock] // fault-injection throttle (fault.go)
 		}

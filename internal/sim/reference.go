@@ -42,6 +42,7 @@ func NewReference(cfg Config) *Reference {
 	if cfg.SpeedFactor <= 0 {
 		cfg.SpeedFactor = 1
 	}
+	validateSocketSpeed(cfg)
 	return &Reference{
 		cfg:   cfg,
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
@@ -179,6 +180,9 @@ func (m *Reference) recomputeRates() {
 			rate *= m.cfg.SMTFactor
 		}
 		sock := m.socketOf(core)
+		if m.cfg.SocketSpeed != nil {
+			rate *= m.cfg.SocketSpeed[sock] // configured asymmetric clocks
+		}
 		bwFactor := 1.0
 		if demand[sock] > m.cfg.BWPerSocket && demand[sock] > 0 {
 			bwFactor = m.cfg.BWPerSocket / demand[sock]

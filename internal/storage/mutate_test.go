@@ -1,0 +1,115 @@
+package storage
+
+import (
+	"testing"
+
+	"repro/internal/vec"
+)
+
+func mutateFixture(t *testing.T) *Catalog {
+	t.Helper()
+	tab := NewTable("t")
+	tab.MustAddColumn(NewIntColumn("a", []int64{1, 2, 3}))
+	d := vec.NewDict()
+	codes := []int64{d.Code("x"), d.Code("y"), d.Code("x")}
+	tab.MustAddColumn(NewColumn("s", 0, vec.NewDictCoded(codes, d)))
+	other := NewTable("u")
+	other.MustAddColumn(NewIntColumn("b", []int64{7}))
+	cat := NewCatalog()
+	cat.MustAdd(tab)
+	cat.MustAdd(other)
+	return cat
+}
+
+func TestAppendRowsCopyOnWrite(t *testing.T) {
+	cat := mutateFixture(t)
+	oldTab := cat.MustTable("t")
+	oldDict := oldTab.MustColumn("s").Dict()
+
+	next, err := cat.AppendRows("t", map[string]ColumnAppend{
+		"a": {Ints: []int64{4, 5}},
+		"s": {Strs: []string{"z", "y"}},
+	})
+	if err != nil {
+		t.Fatalf("AppendRows: %v", err)
+	}
+
+	// Old catalog untouched.
+	if got := cat.MustTable("t").Rows(); got != 3 {
+		t.Fatalf("old table mutated: %d rows", got)
+	}
+	if oldDict.Len() != 2 {
+		t.Fatalf("old dictionary mutated: %d entries", oldDict.Len())
+	}
+	// New table has the appended data.
+	nt := next.MustTable("t")
+	if nt.Rows() != 5 {
+		t.Fatalf("new table rows = %d, want 5", nt.Rows())
+	}
+	a := nt.MustColumn("a")
+	for i, want := range []int64{1, 2, 3, 4, 5} {
+		if a.At(i) != want {
+			t.Fatalf("a[%d] = %d, want %d", i, a.At(i), want)
+		}
+	}
+	s := nt.MustColumn("s")
+	for i, want := range []string{"x", "y", "x", "z", "y"} {
+		if got := s.Data().StringAt(i); got != want {
+			t.Fatalf("s[%d] = %q, want %q", i, got, want)
+		}
+	}
+	if s.Dict() == oldDict {
+		t.Fatal("new string column shares the old dictionary")
+	}
+	// Untouched table shared, mutated table not.
+	if next.MustTable("u") != cat.MustTable("u") {
+		t.Fatal("untouched table not shared")
+	}
+	if nt == oldTab {
+		t.Fatal("mutated table shared")
+	}
+}
+
+func TestAppendRowsValidation(t *testing.T) {
+	cat := mutateFixture(t)
+	cases := []map[string]ColumnAppend{
+		{"a": {Ints: []int64{1}}},                                       // missing column
+		{"a": {Ints: []int64{1}}, "s": {Strs: []string{"p", "q"}}},      // ragged
+		{"a": {Strs: []string{"p"}}, "s": {Strs: []string{"q"}}},        // type mismatch
+		{"a": {Ints: []int64{1}}, "s": {Ints: []int64{0}}},              // type mismatch
+		{"a": {}, "s": {}},                                              // empty
+		{"a": {Ints: []int64{1}}, "s": {}, "extra": {Ints: []int64{1}}}, // unknown column
+	}
+	for i, cols := range cases {
+		if _, err := cat.AppendRows("t", cols); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	if _, err := cat.AppendRows("nope", nil); err == nil {
+		t.Error("append to missing table: expected error")
+	}
+}
+
+func TestDeleteTail(t *testing.T) {
+	cat := mutateFixture(t)
+	next, err := cat.DeleteTail("t", 1)
+	if err != nil {
+		t.Fatalf("DeleteTail: %v", err)
+	}
+	if got := cat.MustTable("t").Rows(); got != 3 {
+		t.Fatalf("old table mutated: %d rows", got)
+	}
+	nt := next.MustTable("t")
+	if nt.Rows() != 2 {
+		t.Fatalf("new table rows = %d, want 2", nt.Rows())
+	}
+	if got := nt.MustColumn("s").Data().StringAt(1); got != "y" {
+		t.Fatalf("s[1] = %q, want %q", got, "y")
+	}
+	if _, err := cat.DeleteTail("t", 3); err == nil {
+		t.Error("emptying delete: expected error")
+	}
+	if _, err := cat.DeleteTail("t", 0); err == nil {
+		t.Error("zero delete: expected error")
+	}
+}

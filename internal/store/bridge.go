@@ -12,13 +12,15 @@ import (
 // NewRecord builds the persistent record for a converged session: the
 // snapshot's best plan in canonical encoded form plus the convergence
 // replay state, stamped with the cache identity (fingerprint, dataset,
-// tenant, query) and the engine calibration the history was measured under.
-func NewRecord(fp, dbIdentity, tenant, query string, snap *core.Snapshot, params cost.Params) Record {
+// tenant, query), the dataset epoch the history was measured at, and the
+// engine calibration it was measured under.
+func NewRecord(fp, dbIdentity, tenant, query string, epoch int64, snap *core.Snapshot, params cost.Params) Record {
 	return Record{
 		Fingerprint:  fp,
 		DBIdentity:   dbIdentity,
 		Tenant:       tenant,
 		Query:        query,
+		Epoch:        epoch,
 		PlanBytes:    plan.Encode(snap.BestPlan),
 		History:      snap.History,
 		Outliers:     snap.Outliers,

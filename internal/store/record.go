@@ -33,8 +33,13 @@ const (
 	// FormatV2 added the tenant name, the outlier-run list, and the cost
 	// calibration the history was measured under.
 	FormatV2 = 2
+	// FormatV3 added the dataset epoch the session converged at. Records
+	// migrated from older versions carry epoch 0 — the epoch of a freshly
+	// generated dataset — so pre-epoch records rehydrate hot on unmutated
+	// data and as warm seeds after any mutation, exactly like v3 records.
+	FormatV3 = 3
 
-	CurrentFormat = FormatV2
+	CurrentFormat = FormatV3
 )
 
 // Record is one persisted converged session.
@@ -72,6 +77,13 @@ type Record struct {
 	// under; rehydration skips records whose calibration differs from the
 	// serving engine's. Since v2.
 	CostParams cost.Params
+	// Epoch is the tenant dataset's mutation epoch the session converged at
+	// (0 = the dataset as generated). Rehydration compares it against the
+	// live tenant's epoch: a mismatch means the plan was learned on other
+	// data — still correct (partitions are binary-rational ranges), but its
+	// measurements are stale, so the record rehydrates as a warm seed, never
+	// as served-converged. Since v3.
+	Epoch int64
 }
 
 // encodeRecord renders rec at the given format version. Encoding is
@@ -79,7 +91,7 @@ type Record struct {
 // makes compaction and export output reproducible bit-for-bit.
 func encodeRecord(rec *Record, version int) ([]byte, error) {
 	switch version {
-	case FormatV1, FormatV2:
+	case FormatV1, FormatV2, FormatV3:
 	default:
 		return nil, fmt.Errorf("store: cannot encode record at unknown format version %d", version)
 	}
@@ -112,6 +124,9 @@ func encodeRecord(rec *Record, version int) ([]byte, error) {
 			buf = append(buf, 0)
 		}
 	}
+	if version >= FormatV3 {
+		buf = binary.AppendUvarint(buf, uint64(rec.Epoch))
+	}
 	return buf, nil
 }
 
@@ -122,7 +137,7 @@ func encodeRecord(rec *Record, version int) ([]byte, error) {
 // false (no calibration check).
 func decodeRecord(data []byte, version int) (Record, error) {
 	switch version {
-	case FormatV1, FormatV2:
+	case FormatV1, FormatV2, FormatV3:
 	default:
 		return Record{}, fmt.Errorf("store: cannot decode record at unknown format version %d", version)
 	}
@@ -208,6 +223,13 @@ func decodeRecord(data []byte, version int) (Record, error) {
 		default:
 			return Record{}, fmt.Errorf("invalid has-cost byte %d", hb)
 		}
+	}
+	if version >= FormatV3 {
+		ep, err := d.uvarint()
+		if err != nil {
+			return Record{}, err
+		}
+		rec.Epoch = int64(ep)
 	}
 	if d.off != len(data) {
 		return Record{}, fmt.Errorf("%d trailing bytes after record", len(data)-d.off)

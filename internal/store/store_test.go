@@ -284,7 +284,7 @@ func TestStoreMigratesV1ToV2(t *testing.T) {
 
 	s := mustOpen(t, path)
 	st := s.Stats()
-	if st.MigratedFromVersion != FormatV1 || st.Version != FormatV2 {
+	if st.MigratedFromVersion != FormatV1 || st.Version != CurrentFormat {
 		t.Fatalf("migration not reported: %+v", st)
 	}
 	for _, want := range recs {
@@ -303,13 +303,13 @@ func TestStoreMigratesV1ToV2(t *testing.T) {
 	}
 	s.Close()
 
-	// The migration rewrote the file: on disk it is now v2, and reopening
-	// it is a plain (non-migrating) open.
+	// The migration rewrote the file: on disk it is now current, and
+	// reopening it is a plain (non-migrating) open.
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if v := binary.LittleEndian.Uint32(data[8:12]); v != FormatV2 {
+	if v := binary.LittleEndian.Uint32(data[8:12]); v != CurrentFormat {
 		t.Fatalf("file still at version %d after migration", v)
 	}
 	s2 := mustOpen(t, path)

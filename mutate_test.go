@@ -1,0 +1,114 @@
+package apq_test
+
+import (
+	"testing"
+
+	apq "repro"
+)
+
+// TestDBAppendDeleteCopyOnWrite exercises the public mutation API: appends
+// and tail deletes return new DBs while the original stays untouched, and
+// queries against the mutated DB see the new rows.
+func TestDBAppendDeleteCopyOnWrite(t *testing.T) {
+	db := apq.LoadTPCH(0.1, 42)
+	before := db.Catalog().MustTable("nation").Rows()
+
+	tab := db.Catalog().MustTable("nation")
+	cols := map[string]apq.ColumnAppend{}
+	for _, name := range tab.ColumnNames() {
+		col := tab.MustColumn(name)
+		if col.Data().IsString() {
+			cols[name] = apq.ColumnAppend{Strs: []string{col.Data().StringAt(0), col.Data().StringAt(1)}}
+		} else {
+			cols[name] = apq.ColumnAppend{Ints: []int64{col.At(0), col.At(1)}}
+		}
+	}
+	grown, err := db.AppendRows("nation", cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := grown.Catalog().MustTable("nation").Rows(); got != before+2 {
+		t.Fatalf("grown nation has %d rows, want %d", got, before+2)
+	}
+	if got := db.Catalog().MustTable("nation").Rows(); got != before {
+		t.Fatalf("append mutated the original DB: %d rows, want %d", got, before)
+	}
+
+	shrunk, err := grown.DeleteTail("nation", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := shrunk.Catalog().MustTable("nation").Rows(); got != before {
+		t.Fatalf("shrunk nation has %d rows, want %d", got, before)
+	}
+	if _, err := db.AppendRows("nation", nil); err == nil {
+		t.Fatal("empty append succeeded")
+	}
+	if _, err := db.DeleteTail("nation", before+1); err == nil {
+		t.Fatal("over-long tail delete succeeded")
+	}
+
+	// Queries on both snapshots run and disagree only where they should:
+	// engines over distinct catalogs are independent.
+	eng := apq.NewEngine(db, apq.TwoSocketMachine())
+	if _, err := eng.Execute(apq.TPCHQuery(6)); err != nil {
+		t.Fatal(err)
+	}
+	eng2 := apq.NewEngine(grown, apq.TwoSocketMachine())
+	if _, err := eng2.Execute(apq.TPCHQuery(6)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerAdminWrappers drives the runtime mutation + tenant lifecycle
+// through the public Server methods.
+func TestServerAdminWrappers(t *testing.T) {
+	db := apq.LoadTPCH(0.1, 42)
+	s, err := apq.NewServer(apq.ServerConfig{
+		DB:         db,
+		Machine:    apq.TwoSocketMachine(),
+		DBIdentity: apq.DBIdentity("tpch", 0.1, 42),
+		Shards:     1,
+		Drift:      apq.DefaultDrift(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	tab := db.Catalog().MustTable("nation")
+	cols := map[string]apq.ColumnAppend{}
+	for _, name := range tab.ColumnNames() {
+		col := tab.MustColumn(name)
+		if col.Data().IsString() {
+			cols[name] = apq.ColumnAppend{Strs: []string{col.Data().StringAt(0)}}
+		} else {
+			cols[name] = apq.ColumnAppend{Ints: []int64{col.At(0)}}
+		}
+	}
+	mut, err := s.AppendRows("", "nation", cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mut.Epoch != 1 {
+		t.Fatalf("append epoch %d, want 1", mut.Epoch)
+	}
+	mut, err = s.DeleteTail("", "nation", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mut.Epoch != 2 {
+		t.Fatalf("truncate epoch %d, want 2", mut.Epoch)
+	}
+
+	// NewServer's built-in factory generates runtime tenants from the spec.
+	if _, err := s.AddTenant(apq.TenantSpec{Name: "rt", SF: 0.1, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RemoveTenant("rt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RemoveTenant("rt"); err == nil {
+		t.Fatal("second removal of the same tenant succeeded")
+	}
+}

@@ -50,6 +50,28 @@ type StalenessConfig = core.StalenessConfig
 // after 3 consecutive servings more than 35% off the converged expectation.
 func DefaultStaleness() StalenessConfig { return core.DefaultStalenessConfig() }
 
+// DriftConfig arms workload-drift detection: a converged query whose serve
+// latency no longer matches the query mix it converged under is proactively
+// reopened with a budget sized to the observed latency.
+type DriftConfig = plancache.DriftConfig
+
+// DefaultDrift is the recommended drift arming (35% band over an 8-serving
+// window, tripped by 6 out-of-band servings when the tenant's query-mix
+// share moved by at least 0.2).
+func DefaultDrift() DriftConfig { return plancache.DefaultDriftConfig() }
+
+// TenantSpec describes a tenant added at runtime via Server.AddTenant or
+// POST /admin/tenants. The server's tenant factory (built-in for NewServer:
+// the benchmark generators) turns it into a live tenant.
+type TenantSpec = server.TenantSpec
+
+// MutationResponse reports one dataset mutation: the tenant's new epoch and
+// how many of its sessions were reopened warm.
+type MutationResponse = server.MutationResponse
+
+// TenantLifecycleResponse reports one runtime tenant add or removal.
+type TenantLifecycleResponse = server.TenantLifecycleResponse
+
 // ServerConfig configures the apqd query service (see cmd/apqd). The daemon
 // keeps adaptive-parallelization state alive between requests: each request
 // against a cached query is one adaptive run, so latency drops
@@ -104,6 +126,12 @@ type ServerConfig struct {
 	// re-adapts (the zero value disables it; DefaultStaleness() is the
 	// recommended arming).
 	Staleness StalenessConfig
+	// Drift arms workload-drift detection: converged sessions whose serve
+	// latency no longer matches the tenant query mix they converged under
+	// are proactively reopened with a budget sized to the observed latency
+	// (the zero value disables it; DefaultDrift() is the recommended
+	// arming).
+	Drift DriftConfig
 	// Faults schedules deterministic machine faults on every shard's
 	// simulated machine for chaos testing (empty = none). Faults land at
 	// their virtual AtNs as the shard's engine clock advances.
@@ -147,6 +175,43 @@ type TenantConfig struct {
 	// MaxInFlight bounds the tenant's concurrently executing requests
 	// (0 = unlimited); excess requests fail fast with HTTP 429.
 	MaxInFlight int
+	// Epoch is the dataset's initial mutation epoch (0 = the dataset as
+	// generated). Persisted convergence records carry the epoch they were
+	// learned at; a record whose epoch no longer matches rehydrates as a
+	// warm seed instead of being served converged.
+	Epoch int64
+}
+
+// buildTenant generates a tenant's dataset and wraps it for the serving
+// layer. It is both the NewServer path for statically configured tenants and
+// the factory behind runtime POST /admin/tenants.
+func buildTenant(t TenantConfig) (server.Tenant, error) {
+	bench := t.Benchmark
+	if bench == "" {
+		bench = "tpch"
+	}
+	sf := t.SF
+	if sf == 0 {
+		sf = 1
+	}
+	var db *DB
+	switch bench {
+	case "tpch":
+		db = LoadTPCH(sf, t.Seed)
+	case "tpcds":
+		db = LoadTPCDS(sf, t.Seed)
+	default:
+		return server.Tenant{}, fmt.Errorf("apq: tenant %q: unknown benchmark %q (want tpch or tpcds)", t.Name, bench)
+	}
+	return server.Tenant{
+		Name:        t.Name,
+		Catalog:     db.cat,
+		DBIdentity:  DBIdentity(bench, sf, t.Seed),
+		Benchmark:   bench,
+		MaxSessions: t.MaxSessions,
+		MaxInFlight: t.MaxInFlight,
+		Epoch:       t.Epoch,
+	}, nil
 }
 
 // Server is the query-service core: HTTP handlers over a pool of engine
@@ -183,31 +248,11 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	// executing on the shared pool.
 	tenants := make([]server.Tenant, 0, len(cfg.Tenants))
 	for _, t := range cfg.Tenants {
-		bench := t.Benchmark
-		if bench == "" {
-			bench = "tpch"
+		tn, err := buildTenant(t)
+		if err != nil {
+			return nil, err
 		}
-		sf := t.SF
-		if sf == 0 {
-			sf = 1
-		}
-		var db *DB
-		switch bench {
-		case "tpch":
-			db = LoadTPCH(sf, t.Seed)
-		case "tpcds":
-			db = LoadTPCDS(sf, t.Seed)
-		default:
-			return nil, fmt.Errorf("apq: tenant %q: unknown benchmark %q (want tpch or tpcds)", t.Name, bench)
-		}
-		tenants = append(tenants, server.Tenant{
-			Name:        t.Name,
-			Catalog:     db.cat,
-			DBIdentity:  DBIdentity(bench, sf, t.Seed),
-			Benchmark:   bench,
-			MaxSessions: t.MaxSessions,
-			MaxInFlight: t.MaxInFlight,
-		})
+		tenants = append(tenants, tn)
 	}
 	var st *store.Store
 	if cfg.StorePath != "" {
@@ -217,14 +262,25 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		}
 	}
 	inner, err := server.New(server.Config{
-		Engines:         engines,
-		DBIdentity:      cfg.DBIdentity,
-		Benchmark:       cfg.Benchmark,
-		Admission:       cfg.Admission,
-		CacheSize:       cfg.CacheSize,
-		Tenants:         tenants,
-		Store:           st,
-		Staleness:       cfg.Staleness,
+		Engines:    engines,
+		DBIdentity: cfg.DBIdentity,
+		Benchmark:  cfg.Benchmark,
+		Admission:  cfg.Admission,
+		CacheSize:  cfg.CacheSize,
+		Tenants:    tenants,
+		Store:      st,
+		Staleness:  cfg.Staleness,
+		Drift:      cfg.Drift,
+		TenantFactory: func(spec server.TenantSpec) (server.Tenant, error) {
+			return buildTenant(TenantConfig{
+				Name:        spec.Name,
+				Benchmark:   spec.Benchmark,
+				SF:          spec.SF,
+				Seed:        spec.Seed,
+				MaxSessions: spec.MaxSessions,
+				MaxInFlight: spec.MaxInFlight,
+			})
+		},
 		Faults:          cfg.Faults,
 		RequestTimeout:  cfg.RequestTimeout,
 		MaxShardQueue:   cfg.MaxShardQueue,
@@ -252,8 +308,43 @@ func (s *Server) InjectFault(shard int, ev FaultEvent) error {
 }
 
 // Handler returns the HTTP handler tree: POST /query, GET /sessions,
-// GET /sessions/{id}/trace, GET /stats, GET /healthz.
+// GET /sessions/{id}/trace, GET /stats, GET /healthz, plus the admin
+// surface POST /admin/append, POST /admin/truncate, POST|DELETE
+// /admin/tenants.
 func (s *Server) Handler() http.Handler { return s.inner.Handler() }
+
+// AppendRows appends rows to one of a tenant's tables ("" = the default
+// tenant) while the server keeps serving: the catalog is rebuilt
+// copy-on-write, swapped in atomically across the shard pool, the tenant's
+// dataset epoch is bumped, and the tenant's converged sessions reopen warm
+// (seeded from their learned plans) instead of being evicted. Equivalent to
+// POST /admin/append.
+func (s *Server) AppendRows(tenant, table string, cols map[string]ColumnAppend) (MutationResponse, error) {
+	return s.inner.AppendRows(tenant, table, cols)
+}
+
+// DeleteTail removes the last n rows of one of a tenant's tables, with the
+// same epoch-bump and warm-reopen semantics as AppendRows. Equivalent to
+// POST /admin/truncate.
+func (s *Server) DeleteTail(tenant, table string, n int) (MutationResponse, error) {
+	return s.inner.DeleteTail(tenant, table, n)
+}
+
+// AddTenant adds a tenant at runtime without restarting: its dataset is
+// generated from the spec, quotas installed on every shard, and any matching
+// convergence-store records rehydrated (epoch-mismatched ones as warm seeds).
+// Equivalent to POST /admin/tenants.
+func (s *Server) AddTenant(spec TenantSpec) (TenantLifecycleResponse, error) {
+	return s.inner.AddTenant(spec)
+}
+
+// RemoveTenant drains a tenant with zero downtime: new traffic 404s, in-flight
+// requests finish, converged sessions flush to the convergence store, and the
+// tenant's plans and catalog are released. Equivalent to DELETE
+// /admin/tenants?name=.
+func (s *Server) RemoveTenant(name string) (TenantLifecycleResponse, error) {
+	return s.inner.RemoveTenant(name)
+}
 
 // Close drains in-flight requests, retires the engine shards, flushes the
 // write-behind persistence queue, and closes the convergence store (when
