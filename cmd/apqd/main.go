@@ -21,6 +21,8 @@
 //	POST /admin/truncate        delete a tenant table's tail rows (same epoch semantics)
 //	POST /admin/tenants         add a tenant at runtime: {"name":"acme","sf":0.5,"seed":7}
 //	DELETE /admin/tenants?name= drain and remove a tenant with zero downtime
+//	GET|POST|DELETE /admin/peers  federation membership (only with -node): list, join {"name":"b","url":"http://..."}, leave ?name=
+//	POST /cluster/replicate     peer-to-peer converged-plan intake (only with -node)
 //	GET  /debug/pprof/          host-side profiling (only with -pprof)
 //
 // Usage:
@@ -32,6 +34,7 @@
 //	go run ./cmd/apqd -store other.apqs -import-plans plans.apqx   # import an export file, then exit
 //	go run ./cmd/apqd -staleness -fault core-loss@5e6:socket=0:count=8   # chaos: scheduled core loss + re-convergence
 //	go run ./cmd/apqd -request-timeout 2s -max-shard-queue 64 -breaker-failures 5   # overload hardening
+//	go run ./cmd/apqd -addr :8080 -node a -peer b=http://host2:8080   # two-node federation (run the mirror on host2)
 //	go run ./cmd/apqd -selfbench             # shard-sweep serving benchmark, JSON to stdout
 //	go run ./cmd/apqd -simbench              # event-core benchmark (optimized vs seed), JSON to stdout
 //
@@ -84,21 +87,23 @@ func (t *tenantFlags) String() string {
 }
 
 func (t *tenantFlags) Set(v string) error {
+	// Every error names the flag and quotes the whole offending value: a
+	// repeatable flag's failure must say which -tenant of several broke.
 	name, spec, ok := strings.Cut(v, "=")
 	if !ok || name == "" {
-		return fmt.Errorf("want name=bench:sf:seed, got %q", v)
+		return fmt.Errorf("bad -tenant value %q: want name=bench:sf:seed", v)
 	}
 	parts := strings.Split(spec, ":")
 	if len(parts) != 3 {
-		return fmt.Errorf("want name=bench:sf:seed, got %q", v)
+		return fmt.Errorf("bad -tenant value %q: want name=bench:sf:seed", v)
 	}
 	sf, err := strconv.ParseFloat(parts[1], 64)
 	if err != nil {
-		return fmt.Errorf("tenant %s: bad scale factor %q: %v", name, parts[1], err)
+		return fmt.Errorf("bad -tenant value %q: scale factor %q does not parse: %v", v, parts[1], err)
 	}
 	seed, err := strconv.ParseInt(parts[2], 10, 64)
 	if err != nil {
-		return fmt.Errorf("tenant %s: bad seed %q: %v", name, parts[2], err)
+		return fmt.Errorf("bad -tenant value %q: seed %q does not parse: %v", v, parts[2], err)
 	}
 	*t = append(*t, apq.TenantConfig{Name: name, Benchmark: parts[0], SF: sf, Seed: seed})
 	return nil
@@ -120,7 +125,7 @@ func (f *faultFlags) String() string {
 func (f *faultFlags) Set(v string) error {
 	kindStr, rest, ok := strings.Cut(v, "@")
 	if !ok {
-		return fmt.Errorf("want kind@ns[:opt=val...], got %q", v)
+		return fmt.Errorf("bad -fault value %q: want kind@ns[:opt=val...]", v)
 	}
 	var ev apq.FaultEvent
 	switch kindStr {
@@ -131,41 +136,69 @@ func (f *faultFlags) Set(v string) error {
 	case "interference":
 		ev.Kind = apq.FaultInterference
 	default:
-		return fmt.Errorf("unknown fault kind %q (want core-loss, throttle, or interference)", kindStr)
+		return fmt.Errorf("bad -fault value %q: unknown fault kind %q (want core-loss, throttle, or interference)", v, kindStr)
 	}
 	parts := strings.Split(rest, ":")
 	at, err := strconv.ParseFloat(parts[0], 64)
 	if err != nil {
-		return fmt.Errorf("fault %s: bad virtual time %q: %v", kindStr, parts[0], err)
+		return fmt.Errorf("bad -fault value %q: virtual time %q does not parse: %v", v, parts[0], err)
 	}
 	ev.AtNs = at
 	for _, opt := range parts[1:] {
 		key, val, ok := strings.Cut(opt, "=")
 		if !ok {
-			return fmt.Errorf("fault %s: want opt=val, got %q", kindStr, opt)
+			return fmt.Errorf("bad -fault value %q: want opt=val, got %q", v, opt)
 		}
 		switch key {
 		case "socket":
 			if ev.Socket, err = strconv.Atoi(val); err != nil {
-				return fmt.Errorf("fault %s: bad socket %q: %v", kindStr, val, err)
+				return fmt.Errorf("bad -fault value %q: socket %q does not parse: %v", v, val, err)
 			}
 		case "count":
 			if ev.Count, err = strconv.Atoi(val); err != nil {
-				return fmt.Errorf("fault %s: bad count %q: %v", kindStr, val, err)
+				return fmt.Errorf("bad -fault value %q: count %q does not parse: %v", v, val, err)
 			}
 		case "factor":
 			if ev.Factor, err = strconv.ParseFloat(val, 64); err != nil {
-				return fmt.Errorf("fault %s: bad factor %q: %v", kindStr, val, err)
+				return fmt.Errorf("bad -fault value %q: factor %q does not parse: %v", v, val, err)
 			}
 		case "dur":
 			if ev.DurationNs, err = strconv.ParseFloat(val, 64); err != nil {
-				return fmt.Errorf("fault %s: bad duration %q: %v", kindStr, val, err)
+				return fmt.Errorf("bad -fault value %q: duration %q does not parse: %v", v, val, err)
 			}
 		default:
-			return fmt.Errorf("fault %s: unknown option %q (want socket, count, factor, or dur)", kindStr, key)
+			return fmt.Errorf("bad -fault value %q: unknown option %q (want socket, count, factor, or dur)", v, key)
 		}
 	}
 	*f = append(*f, ev)
+	return nil
+}
+
+// peerFlags collects repeatable -peer flags: name=http://host:port.
+type peerFlags []apq.ClusterPeer
+
+func (p *peerFlags) String() string {
+	parts := make([]string, len(*p))
+	for i, pr := range *p {
+		parts[i] = pr.Name + "=" + pr.URL
+	}
+	return strings.Join(parts, ",")
+}
+
+func (p *peerFlags) Set(v string) error {
+	name, url, ok := strings.Cut(v, "=")
+	if !ok || name == "" || url == "" {
+		return fmt.Errorf("bad -peer value %q: want name=http://host:port", v)
+	}
+	if !strings.Contains(url, "://") {
+		return fmt.Errorf("bad -peer value %q: url %q has no scheme (want name=http://host:port)", v, url)
+	}
+	for _, pr := range *p {
+		if pr.Name == name {
+			return fmt.Errorf("bad -peer value %q: peer name %q given twice", v, name)
+		}
+	}
+	*p = append(*p, apq.ClusterPeer{Name: name, URL: url})
 	return nil
 }
 
@@ -187,6 +220,9 @@ func main() {
 	tenantInflight := flag.Int("tenant-inflight", 0, "per-tenant in-flight request quota (0 = unlimited)")
 	var faults faultFlags
 	flag.Var(&faults, "fault", "schedule a machine fault on every shard: kind@ns[:socket=N][:count=N][:factor=F][:dur=ns] with kind core-loss, throttle, or interference (repeatable)")
+	node := flag.String("node", "", "this daemon's federation node name; with -peer, /query routes across the cluster's consistent-hash ring")
+	var peers peerFlags
+	flag.Var(&peers, "peer", "federate with a remote daemon: name=http://host:port (repeatable; requires -node; all nodes must agree on names)")
 	staleness := flag.Bool("staleness", false, "arm serving-time staleness detection: converged queries whose latency drifts out of band reopen convergence and re-adapt")
 	drift := flag.Bool("drift", false, "arm workload-drift detection: converged queries whose serve latency no longer matches the query mix they converged under reopen sized to their observed budget")
 	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline including the wait for the shard (0 = none); expired requests get 503")
@@ -199,7 +235,7 @@ func main() {
 	selfbench := flag.Bool("selfbench", false, "run the shard-sweep serving benchmark and print JSON (no listener)")
 	benchN := flag.Int("selfbench-n", 400, "measured requests per phase for -selfbench")
 	benchQueries := flag.Int("selfbench-queries", 8, "distinct queries in the -selfbench workload")
-	benchPhase := flag.String("selfbench-phase", "all", "which -selfbench phases to run: all, or drift (drift probe only — the CI smoke target)")
+	benchPhase := flag.String("selfbench-phase", "all", "which -selfbench phases to run: all, drift (drift probe only), or federation (two-node failover probe only) — the single-phase modes are the CI smoke targets")
 	simbench := flag.Bool("simbench", false, "run the event-core benchmark (optimized vs seed core) and print JSON")
 	simbenchRounds := flag.Int("simbench-rounds", 5, "repetitions per scenario for -simbench (min is reported)")
 	flag.Parse()
@@ -274,6 +310,12 @@ func main() {
 	if *drift {
 		cfg.Drift = apq.DefaultDrift()
 	}
+	if len(peers) > 0 && *node == "" {
+		log.Fatal("apqd: -peer requires -node (this daemon's own federation name)")
+	}
+	if *node != "" {
+		cfg.Cluster = &apq.ClusterConfig{Self: *node, Peers: peers}
+	}
 	if *noise {
 		cfg.EngineOptions = append(cfg.EngineOptions, apq.WithNoise(apq.DefaultNoise()), apq.WithSeed(*seed))
 	}
@@ -317,6 +359,9 @@ func main() {
 	}
 	if *drift {
 		storeNote += ", drift armed"
+	}
+	if *node != "" {
+		storeNote += fmt.Sprintf(", federation node %q (%d peers)", *node, len(peers))
 	}
 	log.Printf("apqd: serving %s sf=%g on %s (machine %s, %d shards, %d tenants, admission %v, pprof %v%s)",
 		*bench, *sf, *addr, *machine, s.Shards(), 1+len(tenants), *admission, *pprofOn, storeNote)
@@ -466,6 +511,11 @@ type benchReport struct {
 	// observed budget, and the warm re-convergence cost is compared to the
 	// cold convergence cost.
 	Drift *driftProbe `json:"workload_drift,omitempty"`
+	// Federation records the two-node failover phase: a remotely-owned query
+	// converges through one entry node, the owning node is killed
+	// mid-traffic, and the survivor serves the re-pinned fingerprint from
+	// its replicated plan.
+	Federation *federationProbe `json:"federation,omitempty"`
 	// SeedBaseline quotes the seed daemon's recorded BENCH_serve.json
 	// (single run-loop engine, seed event core, TPC-H q6 at sf=1): the
 	// regression this PR fixes is hot adaptive serving being SLOWER than
@@ -494,9 +544,34 @@ const (
 
 func runSelfbench(cfg apq.ServerConfig, sf float64, seed int64, queries, n int, phase string) error {
 	switch phase {
-	case "all", "drift":
+	case "all", "drift", "federation":
 	default:
-		return fmt.Errorf("apqd: unknown -selfbench-phase %q (want all or drift)", phase)
+		return fmt.Errorf("apqd: unknown -selfbench-phase %q (want all, drift, or federation)", phase)
+	}
+	if phase == "federation" {
+		// Single-phase artifact, same shape as the drift smoke: only the
+		// two-node failover probe, minimal wall time.
+		cfg.Admission = false
+		cfg.StorePath = ""
+		fp, err := runFederationProbe(cfg, n)
+		if err != nil {
+			return err
+		}
+		rep := benchReport{
+			Benchmark:            cfg.Benchmark,
+			DBIdentity:           cfg.DBIdentity,
+			Machine:              cfg.Machine.Name,
+			Cores:                cfg.Machine.LogicalCores(),
+			HostCPUs:             runtime.NumCPU(),
+			GoMaxProcs:           runtime.GOMAXPROCS(0),
+			HotBeatsColdAtShards: -1,
+			SeedBaseline:         seedBaseline{HotRPS: seedHotRPS, ColdRPS: seedColdRPS, HotBeatsSeedColdAtShards: -1},
+			Federation:           fp,
+			Notes:                []string{federationNote},
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
 	}
 	if phase == "drift" {
 		// The CI smoke target: only the drift probe, one shard, minimal
@@ -591,7 +666,12 @@ func runSelfbench(cfg apq.ServerConfig, sf float64, seed int64, queries, n int, 
 		return err
 	}
 	rep.Drift = dp
-	rep.Notes = append(rep.Notes, driftNote)
+	fp, err := runFederationProbe(cfg, n)
+	if err != nil {
+		return err
+	}
+	rep.Federation = fp
+	rep.Notes = append(rep.Notes, driftNote, federationNote)
 	rep.Notes = append(rep.Notes,
 		"chaos (ISSUE 7): converge one query with staleness detection armed, measure steady-state serving, then lose most of the machine mid-run via InjectFault — degradation_depth is the stale converged plan's latency blowout on the shrunken machine, reconverge_requests counts servings from the fault until the staleness detector reopened convergence and the session re-converged, and reconverged_virtual_ns shows the recovered plan beating the stale one",
 		"warm_restart converges one query against a temporary -store file, restarts the server on the same file, and compares first-request virtual latency cold (first adaptive run from scratch) vs rehydrated (served converged from the persisted plan); rehydrated_sessions is the restarted server's /stats store counter",
@@ -1242,6 +1322,193 @@ func runDriftProbe(cfg apq.ServerConfig) (*driftProbe, error) {
 	p.DriftReopens = stResp.Cache.DriftReopens
 	if p.DriftReopens < 1 {
 		return nil, errors.New("selfbench drift: /stats shows no drift reopen")
+	}
+	return p, nil
+}
+
+// federationProbe is the -selfbench federation phase: a two-node cluster
+// over real loopback listeners converges a remotely-owned query through one
+// entry node, the owning node is killed mid-traffic, and the probe measures
+// the failover — the error budget the client saw and how warm the
+// survivor's replicated seed was.
+type federationProbe struct {
+	Nodes int `json:"nodes"`
+	// OwnerQueryLo identifies the probed query (its select_sum lo bound);
+	// chosen so the remote node owns its fingerprint on the ring.
+	OwnerQueryLo int64 `json:"owner_query_lo"`
+	// ColdConvergeRequests is what first convergence cost on the owner.
+	ColdConvergeRequests int `json:"cold_converge_requests"`
+	// ForwardedByEntry counts the entry node's remote routings during the
+	// converge drive (every request of the drive, if routing worked).
+	ForwardedByEntry int64 `json:"forwarded_by_entry"`
+	// ReplicaApplied is how many replicated records the entry node accepted
+	// before the kill — the warm seeds failover draws on.
+	ReplicaApplied int64 `json:"replica_applied"`
+	// FailoverRequests / FailoverErrors: requests driven after the owner
+	// was killed, and how many of them the client saw fail (the acceptance
+	// bar is zero — the survivor absorbs the re-pin).
+	FailoverRequests int `json:"failover_requests"`
+	FailoverErrors   int `json:"failover_errors"`
+	// WarmReconvergeRequests counts post-kill requests until the re-pinned
+	// fingerprint served "converged" on the survivor (0 = the very first
+	// failover request served converged from the replicated plan).
+	WarmReconvergeRequests int `json:"warm_reconverge_requests"`
+	// Failovers is the entry node's failover counter after the drive.
+	Failovers int64 `json:"failovers"`
+	// PeerBreakerTrips is how often the entry node's breaker for the dead
+	// peer opened during the failover drive.
+	PeerBreakerTrips int64 `json:"peer_breaker_trips"`
+}
+
+const federationNote = "federation (PR 9): two single-shard nodes federate over real loopback listeners; a query whose fingerprint the remote node owns converges through the entry node (every request forwarded), the owner is killed mid-traffic, and the drive continues through the entry node — failover_errors is the client-visible error count (bar: zero; bounded retries absorb the kill), warm_reconverge_requests counts requests until the re-pinned fingerprint served converged on the survivor from its replicated plan (bar: fewer than cold_converge_requests)"
+
+func runFederationProbe(cfg apq.ServerConfig, n int) (*federationProbe, error) {
+	cfg.Shards = 1
+	cfg.Admission = false
+	cfg.StorePath = ""
+	// Listeners first: each node's config names its peer's URL, so both
+	// addresses must exist before either server does.
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		lnA.Close()
+		return nil, err
+	}
+	urlA := "http://" + lnA.Addr().String()
+	urlB := "http://" + lnB.Addr().String()
+	mkNode := func(self, peerName, peerURL string) (*apq.Server, error) {
+		c := cfg
+		c.Cluster = &apq.ClusterConfig{
+			Self:            self,
+			Peers:           []apq.ClusterPeer{{Name: peerName, URL: peerURL}},
+			RetryBase:       5 * time.Millisecond,
+			BreakerFailures: 1,
+			BreakerCooldown: 250 * time.Millisecond,
+		}
+		return apq.NewServer(c)
+	}
+	sA, err := mkNode("a", "b", urlB)
+	if err != nil {
+		lnA.Close()
+		lnB.Close()
+		return nil, err
+	}
+	defer sA.Close()
+	sB, err := mkNode("b", "a", urlA)
+	if err != nil {
+		lnA.Close()
+		lnB.Close()
+		return nil, err
+	}
+	defer sB.Close()
+	hsA := &http.Server{Handler: sA.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	hsB := &http.Server{Handler: sB.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go hsA.Serve(lnA)
+	go hsB.Serve(lnB)
+	defer hsA.Close()
+	defer hsB.Close()
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4}}
+	post := func(lo int64) (state string, failed bool, err error) {
+		body := fmt.Sprintf(`{"select_sum":{"table":"lineitem","column":"l_quantity","lo":%d,"hi":%d}}`, lo, lo+7)
+		resp, err := client.Post(urlA+"/query", "application/json", strings.NewReader(body))
+		if err != nil {
+			return "", true, nil
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return "", true, nil
+		}
+		var out struct {
+			State string `json:"state"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			return "", false, err
+		}
+		return out.State, false, nil
+	}
+
+	p := &federationProbe{Nodes: 2, OwnerQueryLo: -1}
+	// Find a query B owns: drive candidates through A and watch A's
+	// forwarded counter move.
+	for lo := int64(1); lo <= 64; lo++ {
+		before, _ := sA.ClusterStats()
+		if _, failed, err := post(lo); err != nil || failed {
+			return nil, fmt.Errorf("selfbench federation: probe request failed (lo=%d, err=%v)", lo, err)
+		}
+		after, _ := sA.ClusterStats()
+		if after.Forwarded > before.Forwarded {
+			p.OwnerQueryLo = lo
+			break
+		}
+	}
+	if p.OwnerQueryLo < 0 {
+		return nil, errors.New("selfbench federation: no candidate fingerprint hashed to the remote node")
+	}
+	// Converge it through A; every request forwards to its owner B.
+	converged := false
+	for i := 0; i < 4000 && !converged; i++ {
+		state, failed, err := post(p.OwnerQueryLo)
+		if err != nil || failed {
+			return nil, fmt.Errorf("selfbench federation: converge request failed (err=%v)", err)
+		}
+		p.ColdConvergeRequests++
+		converged = state == "converged"
+	}
+	if !converged {
+		return nil, errors.New("selfbench federation: query did not converge within 4000 requests")
+	}
+	stA, _ := sA.ClusterStats()
+	p.ForwardedByEntry = stA.Forwarded
+	// Wait for B's write-behind replicator to land the converged record on
+	// A — that replica is what failover below serves from.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		stA, _ = sA.ClusterStats()
+		if stA.Replication.RecordsApplied > 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	p.ReplicaApplied = stA.Replication.RecordsApplied
+	if p.ReplicaApplied == 0 {
+		return nil, errors.New("selfbench federation: owner's converged plan never replicated to the entry node")
+	}
+	// Kill the owner mid-traffic and keep driving through A.
+	hsB.Close()
+	sB.Close()
+	if n < 20 {
+		n = 20
+	}
+	sawConverged := false
+	for i := 0; i < n; i++ {
+		state, failed, err := post(p.OwnerQueryLo)
+		if err != nil {
+			return nil, err
+		}
+		p.FailoverRequests++
+		if failed {
+			p.FailoverErrors++
+			continue
+		}
+		if !sawConverged {
+			if state == "converged" {
+				sawConverged = true
+			} else {
+				p.WarmReconvergeRequests++
+			}
+		}
+	}
+	if !sawConverged {
+		return nil, errors.New("selfbench federation: re-pinned fingerprint never served converged on the survivor")
+	}
+	stA, _ = sA.ClusterStats()
+	p.Failovers = stA.Failovers
+	for _, peer := range stA.Peers {
+		p.PeerBreakerTrips += peer.Trips
 	}
 	return p, nil
 }

@@ -54,12 +54,37 @@ func TestApqdSmoke(t *testing.T) {
 		{"-machine", "9s"},
 		{"-definitely-not-a-flag"},
 		{"-selfbench", "unexpected-positional"},
-		{"-tenant", "missing-spec"},
-		{"-tenant", "acme=tpch:notanumber:42"},
-		{"-tenant", "acme=tpch:1:42:extra"},
 	} {
 		if out, code := cmdtest.Run(t, bin, args...); code == 0 {
 			t.Fatalf("%v exited 0, want non-zero:\n%s", args, out)
+		}
+	}
+
+	// Malformed repeatable flags must exit non-zero with a diagnostic that
+	// names the flag and quotes the whole offending value — with several
+	// -tenant/-fault/-peer flags on one command line, "invalid value" alone
+	// doesn't say which one broke.
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-tenant", "missing-spec"}, `bad -tenant value "missing-spec"`},
+		{[]string{"-tenant", "acme=tpch:notanumber:42"}, `bad -tenant value "acme=tpch:notanumber:42"`},
+		{[]string{"-tenant", "acme=tpch:1:42:extra"}, `bad -tenant value "acme=tpch:1:42:extra"`},
+		{[]string{"-fault", "no-at-sign"}, `bad -fault value "no-at-sign"`},
+		{[]string{"-fault", "meteor@5e9"}, `bad -fault value "meteor@5e9"`},
+		{[]string{"-fault", "throttle@5e9:factor=fast"}, `bad -fault value "throttle@5e9:factor=fast"`},
+		{[]string{"-node", "a", "-peer", "nohost"}, `bad -peer value "nohost"`},
+		{[]string{"-node", "a", "-peer", "b=127.0.0.1:8081"}, `bad -peer value "b=127.0.0.1:8081"`},
+		{[]string{"-node", "a", "-peer", "b=http://x:1", "-peer", "b=http://y:2"}, `bad -peer value "b=http://y:2"`},
+		{[]string{"-peer", "b=http://x:1"}, "-peer requires -node"},
+	} {
+		out, code := cmdtest.Run(t, bin, tc.args...)
+		if code == 0 {
+			t.Fatalf("%v exited 0, want non-zero:\n%s", tc.args, out)
+		}
+		if !strings.Contains(out, tc.want) {
+			t.Fatalf("%v diagnostic missing %q:\n%s", tc.args, tc.want, out)
 		}
 	}
 }

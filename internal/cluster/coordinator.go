@@ -1,0 +1,653 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/store"
+)
+
+// Peer names one remote daemon in the federation.
+type Peer struct {
+	// Name is the node's stable identity on the hash ring. Every node in
+	// the federation must agree on every name — ring ownership is computed
+	// independently on each node from the same names.
+	Name string `json:"name"`
+	// URL is the peer's base address (http://host:port).
+	URL string `json:"url"`
+}
+
+// Config shapes a federation coordinator.
+type Config struct {
+	// Self is this node's own ring name (required).
+	Self string
+	// Peers is the initial remote membership; join/leave mutate it live.
+	Peers []Peer
+	// PeerTimeout bounds each remote attempt (default 2s).
+	PeerTimeout time.Duration
+	// Retries is how many times a failed remote attempt is retried on the
+	// same peer before failing over (default 2; negative = never retry).
+	Retries int
+	// RetryBase is the first retry's backoff; subsequent retries double it,
+	// jittered, capped at one second (default 25ms).
+	RetryBase time.Duration
+	// BreakerFailures is the consecutive-failure count that opens a peer's
+	// breaker (default 3).
+	BreakerFailures int
+	// BreakerCooldown is how long an open peer breaker holds before
+	// admitting a half-open probe attempt, pre-jitter (default 2s).
+	BreakerCooldown time.Duration
+	// ProbeInterval is the background health-probe cadence for breaker-open
+	// peers; 0 defaults to 500ms, negative disables the prober.
+	ProbeInterval time.Duration
+	// NowFn and RandFn are test seams (clock and jitter source), same shape
+	// as the per-shard breaker's. Defaults: time.Now, math/rand.
+	NowFn  func() time.Time
+	RandFn func() float64
+}
+
+// Coordinator federates the local daemon with its peers: it fronts the
+// local HTTP surface, routes /query requests to the fingerprint's owning
+// node on the consistent-hash ring, retries remote failures with jittered
+// exponential backoff, trips a per-peer breaker after repeated failure —
+// the per-shard breaker model lifted one level, from engine replica to
+// whole node — and fails the fingerprint over to the next surviving node in
+// ring order. A write-behind replicator ships every convergence record to
+// the peers, so the failover target serves the re-pinned fingerprint from a
+// warm replicated plan instead of re-converging cold.
+type Coordinator struct {
+	self        string
+	local       *server.Server
+	peerTimeout time.Duration
+	retries     int
+	retryBase   time.Duration
+	brkFailures int
+	brkCooldown time.Duration
+	probeEvery  time.Duration
+	nowFn       func() time.Time
+
+	randMu sync.Mutex
+	randFn func() float64
+
+	mu    sync.RWMutex
+	ring  *ring
+	peers map[string]*peerState
+
+	repl      *replicator
+	handler   http.Handler
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+
+	servedLocal atomic.Int64
+	forwarded   atomic.Int64
+	retried     atomic.Int64
+	failovers   atomic.Int64
+	recovered   atomic.Int64
+}
+
+type peerState struct {
+	rem *Remote
+	brk peerBreaker
+}
+
+// peerBreaker is the per-shard breaker model one level up: consecutive
+// serve-path failures against a peer open it, an open breaker routes the
+// peer's fingerprints to the next ring node without a network hop, and
+// after a jittered cooldown one request (or the background health probe)
+// is admitted half-open — success closes it, returning ownership.
+type peerBreaker struct {
+	mu        sync.Mutex
+	nowFn     func() time.Time
+	randFn    func() float64
+	threshold int
+	cooldown  time.Duration
+	failures  int
+	open      bool
+	openedAt  time.Time
+	scale     float64
+	trips     int64
+}
+
+func (b *peerBreaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true
+	}
+	return b.nowFn().Sub(b.openedAt) >= time.Duration(float64(b.cooldown)*b.scale)
+}
+
+func (b *peerBreaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.open {
+		// A failure while open (the half-open probe lost) restarts the
+		// cooldown with fresh jitter.
+		b.openedAt = b.nowFn()
+		b.scale = 1 + 0.5*b.randFn()
+		return
+	}
+	b.failures++
+	if b.failures >= b.threshold {
+		b.failures = 0
+		b.open = true
+		b.openedAt = b.nowFn()
+		// Same jitter shape as the shard breaker: nodes that tripped on one
+		// burst must not all probe the peer back in one burst.
+		b.scale = 1 + 0.5*b.randFn()
+		b.trips++
+	}
+}
+
+func (b *peerBreaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.open = false
+	b.failures = 0
+}
+
+func (b *peerBreaker) snapshot() (open bool, failures int, trips int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.open, b.failures, b.trips
+}
+
+// New builds a coordinator fronting local. The caller owns local's
+// lifecycle; Close stops only the federation machinery.
+func New(local *server.Server, cfg Config) (*Coordinator, error) {
+	if cfg.Self == "" {
+		return nil, errors.New("cluster: Self node name is required")
+	}
+	c := &Coordinator{
+		self:        cfg.Self,
+		local:       local,
+		peerTimeout: cfg.PeerTimeout,
+		retries:     cfg.Retries,
+		retryBase:   cfg.RetryBase,
+		brkFailures: cfg.BreakerFailures,
+		brkCooldown: cfg.BreakerCooldown,
+		probeEvery:  cfg.ProbeInterval,
+		nowFn:       cfg.NowFn,
+		randFn:      cfg.RandFn,
+		ring:        newRing(),
+		peers:       make(map[string]*peerState),
+		stop:        make(chan struct{}),
+	}
+	if c.peerTimeout <= 0 {
+		c.peerTimeout = 2 * time.Second
+	}
+	if c.retries < 0 {
+		c.retries = 0
+	} else if cfg.Retries == 0 {
+		c.retries = 2
+	}
+	if c.retryBase <= 0 {
+		c.retryBase = 25 * time.Millisecond
+	}
+	if c.brkFailures <= 0 {
+		c.brkFailures = 3
+	}
+	if c.brkCooldown <= 0 {
+		c.brkCooldown = 2 * time.Second
+	}
+	if c.probeEvery == 0 {
+		c.probeEvery = 500 * time.Millisecond
+	}
+	if c.nowFn == nil {
+		c.nowFn = time.Now
+	}
+	if c.randFn == nil {
+		c.randFn = rand.Float64
+	}
+	c.ring.add(c.self)
+	c.repl = newReplicator(c)
+	for _, p := range cfg.Peers {
+		if err := c.AddPeer(p.Name, p.URL); err != nil {
+			c.repl.close()
+			return nil, err
+		}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", c.handleQuery)
+	mux.HandleFunc("/cluster/replicate", c.handleReplicate)
+	mux.HandleFunc("/admin/peers", c.handlePeers)
+	mux.Handle("/", local.Handler())
+	c.handler = mux
+	if c.probeEvery > 0 {
+		c.wg.Add(1)
+		go c.probeLoop()
+	}
+	return c, nil
+}
+
+// Handler is the federated HTTP surface: /query routes across the ring,
+// /cluster/replicate and /admin/peers are the federation's own endpoints,
+// everything else passes through to the local daemon.
+func (c *Coordinator) Handler() http.Handler { return c.handler }
+
+// Observe feeds one convergence record into the write-behind replicator —
+// the server.Config.OnRecord subscription point.
+func (c *Coordinator) Observe(rec store.Record) { c.repl.enqueue(rec) }
+
+// Close stops the prober and the replicator (flushing its queue best-effort)
+// and releases peer connections. The local server is not closed.
+func (c *Coordinator) Close() {
+	c.closeOnce.Do(func() {
+		close(c.stop)
+		c.wg.Wait()
+		c.repl.close()
+		for _, p := range c.peerList() {
+			p.rem.Retire()
+		}
+	})
+}
+
+// rand draws from the jitter seam; the lock makes a deterministic test seam
+// safe under the prober/replicator/serve-path concurrency.
+func (c *Coordinator) rand() float64 {
+	c.randMu.Lock()
+	defer c.randMu.Unlock()
+	return c.randFn()
+}
+
+// AddPeer joins a node to the ring and pushes it the full replica set, so a
+// joining (or rejoining) node starts warm. Fingerprints whose ring arc the
+// newcomer now owns re-pin to it on their next request; all others keep
+// their placement — the consistent-hashing minimal-movement property.
+func (c *Coordinator) AddPeer(name, url string) error {
+	if name == "" || url == "" {
+		return errors.New("cluster: peer needs both a name and a url")
+	}
+	if name == c.self {
+		return fmt.Errorf("cluster: peer %q collides with this node's own name", name)
+	}
+	c.mu.Lock()
+	if _, ok := c.peers[name]; ok {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: peer %q already joined", name)
+	}
+	p := &peerState{rem: NewRemote(name, url)}
+	p.brk = peerBreaker{
+		nowFn:     c.nowFn,
+		randFn:    c.rand,
+		threshold: c.brkFailures,
+		cooldown:  c.brkCooldown,
+	}
+	c.peers[name] = p
+	c.ring.add(name)
+	c.mu.Unlock()
+	c.repl.syncTo(p)
+	return nil
+}
+
+// RemovePeer detaches a node: its virtual points leave the ring, so the
+// fingerprints it owned re-pin to their next-in-sequence survivors.
+func (c *Coordinator) RemovePeer(name string) error {
+	c.mu.Lock()
+	p, ok := c.peers[name]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: unknown peer %q", name)
+	}
+	delete(c.peers, name)
+	c.ring.remove(name)
+	c.mu.Unlock()
+	p.rem.Retire()
+	return nil
+}
+
+func (c *Coordinator) peerList() []*peerState {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*peerState, 0, len(c.peers))
+	for _, p := range c.peers {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].rem.name < out[j].rem.name })
+	return out
+}
+
+// handleQuery is the federated serve path. Requests another coordinator
+// already routed (forwarded marker) and non-POSTs serve locally untouched.
+// Everything else resolves to a routing fingerprint and walks the ring.
+func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost || r.Header.Get(server.ForwardedHeader) != "" {
+		c.serveLocal(w, r, nil)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		code := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, code, map[string]string{"error": fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	var req server.QueryRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		// Undecodable bodies are not routable; the local serve path owns the
+		// canonical 400.
+		c.serveLocal(w, r, body)
+		return
+	}
+	fp, err := c.local.RouteFingerprint(r.Header.Get("X-APQ-Tenant"), &req)
+	if err != nil {
+		// Resolution failures (unknown tenant, bad spec) are not routing
+		// decisions either — serve locally for the canonical error reply.
+		c.serveLocal(w, r, body)
+		return
+	}
+	c.route(w, r, body, &req, fp)
+}
+
+// serveLocal replays the request into the local daemon's own handler; body
+// non-nil restores an already-consumed request body.
+func (c *Coordinator) serveLocal(w http.ResponseWriter, r *http.Request, body []byte) {
+	if body != nil {
+		r = r.Clone(r.Context())
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		r.ContentLength = int64(len(body))
+	}
+	c.servedLocal.Add(1)
+	c.local.Handler().ServeHTTP(w, r)
+}
+
+// route walks fp's ring sequence: the owner first, then the failover order.
+// A node is skipped while its breaker is open; a remote owner that fails
+// its bounded retries fails the fingerprint over to the next survivor. The
+// local node always terminates the walk — worst case every peer is down
+// and the fingerprint serves here from its replicated warm seed.
+func (c *Coordinator) route(w http.ResponseWriter, r *http.Request, body []byte, req *server.QueryRequest, fp string) {
+	c.mu.RLock()
+	seq := c.ring.sequence(fp)
+	states := make([]*peerState, len(seq))
+	for i, node := range seq {
+		states[i] = c.peers[node] // nil for self
+	}
+	c.mu.RUnlock()
+	for i, node := range seq {
+		if node == c.self {
+			if i > 0 {
+				c.failovers.Add(1)
+			}
+			c.serveLocal(w, r, body)
+			return
+		}
+		p := states[i]
+		if p == nil || !p.brk.allow() {
+			continue
+		}
+		resp, err := c.invokeRetry(r, p, req)
+		if err == nil {
+			if i > 0 {
+				c.failovers.Add(1)
+			}
+			c.forwarded.Add(1)
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		var be *server.BackendError
+		if errors.As(err, &be) && be.Code < 500 {
+			// The owning node answered and the request itself is at fault
+			// (unknown tenant, over quota, bad spec): proxy the reply back
+			// verbatim — failing over a bad request would cascade it across
+			// every node in the ring.
+			if i > 0 {
+				c.failovers.Add(1)
+			}
+			c.forwarded.Add(1)
+			if be.RetryAfter != "" {
+				w.Header().Set("Retry-After", be.RetryAfter)
+			}
+			writeJSON(w, be.Code, map[string]string{"error": be.Msg})
+			return
+		}
+		// 5xx or unreachable: the node is the problem, not the request.
+		// Fall through to the next node in ring order.
+	}
+	// Unreachable while self is a ring member; kept as the defensive
+	// backstop.
+	c.failovers.Add(1)
+	c.serveLocal(w, r, body)
+}
+
+// invokeRetry runs one request against one peer with bounded retries. Each
+// attempt gets its own PeerTimeout deadline under the client's context;
+// retry n sleeps base·2^(n-1) scaled by the breaker-style 1+0.5·rand()
+// jitter first. Sub-500 BackendErrors return immediately (the peer
+// answered; retrying a bad request cannot fix it) and do not feed the
+// breaker; everything else counts a breaker failure, and a breaker that
+// opens mid-retry aborts the loop so failover starts without burning the
+// remaining attempts.
+func (c *Coordinator) invokeRetry(r *http.Request, p *peerState, req *server.QueryRequest) (*server.QueryResponse, error) {
+	frozen := r.Header.Get(server.FrozenHeader) == "1"
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			c.retried.Add(1)
+			if !c.backoff(r.Context(), attempt) {
+				break
+			}
+		}
+		actx, cancel := context.WithTimeout(r.Context(), c.peerTimeout)
+		var resp *server.QueryResponse
+		var err error
+		if frozen {
+			resp, err = p.rem.InvokeFrozen(actx, req)
+		} else {
+			resp, err = p.rem.Invoke(actx, req)
+		}
+		cancel()
+		if err == nil {
+			p.brk.success()
+			return resp, nil
+		}
+		var be *server.BackendError
+		if errors.As(err, &be) && be.Code < 500 {
+			return nil, err
+		}
+		lastErr = err
+		p.brk.failure()
+		if !p.brk.allow() {
+			break
+		}
+	}
+	return nil, lastErr
+}
+
+// backoff sleeps retry attempt n's delay (n is 1-based); false means the
+// request's context or the coordinator died first.
+func (c *Coordinator) backoff(ctx context.Context, n int) bool {
+	d := c.retryBase << (n - 1)
+	if d > time.Second {
+		d = time.Second
+	}
+	d = time.Duration(float64(d) * (1 + 0.5*c.rand()))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	case <-c.stop:
+		return false
+	}
+}
+
+// probeLoop pings breaker-open peers' /healthz in the background. A healthy
+// reply closes the breaker — ring ownership re-pins back — and re-seeds the
+// recovered peer with the full replica set, covering every record it was
+// deaf to while down.
+func (c *Coordinator) probeLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.probeEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+		}
+		for _, p := range c.peerList() {
+			open, _, _ := p.brk.snapshot()
+			if !open {
+				continue
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), c.peerTimeout)
+			h, err := p.rem.Health(ctx)
+			cancel()
+			if err == nil && h.OK {
+				p.brk.success()
+				c.recovered.Add(1)
+				c.repl.syncTo(p)
+			}
+		}
+	}
+}
+
+// handleReplicate is the replication intake: an APQXPORT document from a
+// peer's replicator, applied record by record through the same identity
+// gates as disk rehydration. Records that don't belong here (unknown
+// tenant, foreign DB identity, stale identity) are skipped, not errors —
+// membership may lag.
+func (c *Coordinator) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "POST only"})
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxReplicationBody))
+	if err != nil {
+		writeJSON(w, http.StatusRequestEntityTooLarge, map[string]string{"error": fmt.Sprintf("bad replication body: %v", err)})
+		return
+	}
+	recs, err := store.DecodeRecords(body, "replication payload")
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	applied := 0
+	for _, rec := range recs {
+		if c.local.ApplyRecord(rec) {
+			applied++
+		}
+	}
+	c.repl.applied.Add(int64(applied))
+	writeJSON(w, http.StatusOK, map[string]int{"received": len(recs), "applied": applied})
+}
+
+// handlePeers is the membership surface: GET lists, POST {"name","url"}
+// joins, DELETE ?name= leaves.
+func (c *Coordinator) handlePeers(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, c.Stats())
+	case http.MethodPost:
+		var p Peer
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&p); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("bad peer body: %v", err)})
+			return
+		}
+		if err := c.AddPeer(p.Name, p.URL); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"joined": p.Name, "nodes": c.Nodes()})
+	case http.MethodDelete:
+		name := r.URL.Query().Get("name")
+		if err := c.RemovePeer(name); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"left": name, "nodes": c.Nodes()})
+	default:
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "GET, POST or DELETE"})
+	}
+}
+
+// maxReplicationBody bounds one replication intake document; generous —
+// a full replica-set sync push from a large peer must fit.
+const maxReplicationBody = 16 << 20
+
+// Nodes returns the current ring membership, sorted, self included.
+func (c *Coordinator) Nodes() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ring.nodes()
+}
+
+// PeerStatus is one remote node's health as this coordinator sees it.
+type PeerStatus struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+	// Breaker is "closed" (serving) or "open" (failed over away).
+	Breaker string `json:"breaker"`
+	// Failures is the current consecutive-failure count while closed.
+	Failures int `json:"consecutive_failures,omitempty"`
+	// Trips counts breaker openings since the peer joined.
+	Trips int64 `json:"trips"`
+}
+
+// Stats is the GET /stats "cluster" block.
+type Stats struct {
+	Self  string       `json:"self"`
+	Nodes []string     `json:"nodes"`
+	Peers []PeerStatus `json:"peers"`
+	// ServedLocal counts requests this node answered from its own pool
+	// (owned here, forwarded here by a peer, or failed over to here).
+	ServedLocal int64 `json:"served_local"`
+	// Forwarded counts requests routed to a remote owner.
+	Forwarded int64 `json:"forwarded"`
+	// Retries counts remote attempts beyond each request's first.
+	Retries int64 `json:"retries"`
+	// Failovers counts requests served by a node other than the ring owner.
+	Failovers int64 `json:"failovers"`
+	// PeersRecovered counts breaker-open peers the health probe brought
+	// back.
+	PeersRecovered int64            `json:"peers_recovered"`
+	Replication    ReplicationStats `json:"replication"`
+}
+
+// Stats snapshots the coordinator; wired into the local daemon's GET /stats
+// as the "cluster" block.
+func (c *Coordinator) Stats() Stats {
+	s := Stats{
+		Self:           c.self,
+		Nodes:          c.Nodes(),
+		ServedLocal:    c.servedLocal.Load(),
+		Forwarded:      c.forwarded.Load(),
+		Retries:        c.retried.Load(),
+		Failovers:      c.failovers.Load(),
+		PeersRecovered: c.recovered.Load(),
+		Replication:    c.repl.stats(),
+	}
+	for _, p := range c.peerList() {
+		open, failures, trips := p.brk.snapshot()
+		st := PeerStatus{Name: p.rem.name, URL: p.rem.base, Breaker: "closed", Failures: failures, Trips: trips}
+		if open {
+			st.Breaker = "open"
+		}
+		s.Peers = append(s.Peers, st)
+	}
+	return s
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// fakeClock is a hand-advanced nowFn.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// TestPeerBreakerLifecycle pins the clock and the jitter seam and walks the
+// whole cycle: closed under sparse failures, open at the threshold, held
+// through the jittered cooldown, half-open admit, failed probe restarting
+// the cooldown, successful probe closing.
+func TestPeerBreakerLifecycle(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := peerBreaker{
+		nowFn:     clk.now,
+		randFn:    func() float64 { return 1 }, // jitter scale pinned to 1.5
+		threshold: 3,
+		cooldown:  2 * time.Second,
+	}
+	if !b.allow() {
+		t.Fatal("new breaker must be closed")
+	}
+	b.failure()
+	b.failure()
+	if open, failures, trips := b.snapshot(); open || failures != 2 || trips != 0 {
+		t.Fatalf("after 2 failures: open=%v failures=%d trips=%d", open, failures, trips)
+	}
+	// A success wipes the streak: only consecutive failures trip.
+	b.success()
+	b.failure()
+	b.failure()
+	if open, _, _ := b.snapshot(); open {
+		t.Fatal("streak should have reset on success")
+	}
+	b.failure()
+	if open, _, trips := b.snapshot(); !open || trips != 1 {
+		t.Fatalf("3rd consecutive failure should trip: open=%v trips=%d", open, trips)
+	}
+	// Jittered cooldown = 2s * 1.5 = 3s.
+	clk.advance(2900 * time.Millisecond)
+	if b.allow() {
+		t.Fatal("breaker admitted before the jittered cooldown elapsed")
+	}
+	clk.advance(200 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("breaker must admit a half-open attempt after cooldown")
+	}
+	// The half-open attempt fails: cooldown restarts from now.
+	b.failure()
+	if b.allow() {
+		t.Fatal("failed half-open probe must re-arm the cooldown")
+	}
+	if _, _, trips := b.snapshot(); trips != 1 {
+		t.Fatalf("re-armed cooldown is not a new trip: trips=%d", trips)
+	}
+	clk.advance(3100 * time.Millisecond)
+	if !b.allow() {
+		t.Fatal("breaker must admit again after the re-armed cooldown")
+	}
+	b.success()
+	if open, failures, _ := b.snapshot(); open || failures != 0 {
+		t.Fatalf("success must close and reset: open=%v failures=%d", open, failures)
+	}
+}
+
+// TestBackoffDelays: the jittered exponential schedule doubles per attempt
+// from RetryBase and honours context cancellation.
+func TestBackoffDelays(t *testing.T) {
+	c := &Coordinator{
+		retryBase: 10 * time.Millisecond,
+		randFn:    func() float64 { return 0 }, // jitter scale pinned to 1.0
+		stop:      make(chan struct{}),
+	}
+	for n, want := range map[int]time.Duration{1: 10 * time.Millisecond, 2: 20 * time.Millisecond, 3: 40 * time.Millisecond} {
+		start := time.Now()
+		if !c.backoff(context.Background(), n) {
+			t.Fatalf("backoff(%d) aborted without cancellation", n)
+		}
+		if got := time.Since(start); got < want {
+			t.Fatalf("backoff(%d) slept %v, want >= %v", n, got, want)
+		}
+	}
+	// The cap: attempt 30 would be base<<29 without it.
+	start := time.Now()
+	if !c.backoff(context.Background(), 30) {
+		t.Fatal("capped backoff aborted without cancellation")
+	}
+	if got := time.Since(start); got > 5*time.Second {
+		t.Fatalf("backoff cap failed: slept %v", got)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if c.backoff(ctx, 1) {
+		t.Fatal("backoff must report cancellation")
+	}
+}
+
+// TestConfigValidation: a coordinator rejects nameless nodes and membership
+// collisions.
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(nil, Config{}); err == nil {
+		t.Fatal("empty Self must be rejected")
+	}
+	for _, peers := range [][]Peer{
+		{{Name: "", URL: "http://x"}},
+		{{Name: "b", URL: ""}},
+		{{Name: "a", URL: "http://x"}},                               // collides with self
+		{{Name: "b", URL: "http://x"}, {Name: "b", URL: "http://y"}}, // duplicate
+	} {
+		c, err := New(nil, Config{Self: "a", Peers: peers, ProbeInterval: -1})
+		if err == nil {
+			c.Close()
+			t.Fatalf("peers %v must be rejected", peers)
+		}
+	}
+}

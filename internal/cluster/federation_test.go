@@ -1,0 +1,421 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/exec"
+	"repro/internal/server"
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/tpch"
+)
+
+const testIdentity = "tpch:sf=0.1:seed=42"
+
+// newEngineServer builds one single-shard serving core over its own engine.
+// Every call generates the same dataset, so two nodes (or a node and its
+// standalone twin) are deterministically identical.
+func newEngineServer(t *testing.T, onRecord func(store.Record)) *server.Server {
+	t.Helper()
+	cat := tpch.Generate(tpch.Config{SF: 0.1, Seed: 42})
+	s, err := server.New(server.Config{
+		Engine:     exec.NewEngine(cat, sim.TwoSocket(), cost.Default()),
+		DBIdentity: testIdentity,
+		Benchmark:  "tpch",
+		OnRecord:   onRecord,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+type fedNode struct {
+	name  string
+	srv   *server.Server
+	coord *Coordinator
+	hs    *http.Server
+	url   string
+}
+
+// startNode brings up one federated node on ln: serving core, coordinator,
+// and a real HTTP listener, with convergence records wired into the
+// replicator the way the apq wiring does it.
+func startNode(t *testing.T, name string, ln net.Listener, peers []Peer, ccfg Config) *fedNode {
+	t.Helper()
+	var ptr atomic.Pointer[Coordinator]
+	srv := newEngineServer(t, func(rec store.Record) {
+		if c := ptr.Load(); c != nil {
+			c.Observe(rec)
+		}
+	})
+	ccfg.Self = name
+	ccfg.Peers = peers
+	coord, err := New(srv, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ptr.Store(coord)
+	t.Cleanup(coord.Close)
+	hs := &http.Server{Handler: coord.Handler()}
+	go hs.Serve(ln)
+	t.Cleanup(func() { hs.Close() })
+	return &fedNode{
+		name:  name,
+		srv:   srv,
+		coord: coord,
+		hs:    hs,
+		url:   "http://" + ln.Addr().String(),
+	}
+}
+
+// twoNodes wires an A/B federation over pre-allocated loopback listeners
+// (each node's config must name the other's URL before either exists).
+func twoNodes(t *testing.T, ccfg Config) (*fedNode, *fedNode) {
+	t.Helper()
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		lnA.Close()
+		t.Fatal(err)
+	}
+	urlA := "http://" + lnA.Addr().String()
+	urlB := "http://" + lnB.Addr().String()
+	a := startNode(t, "a", lnA, []Peer{{Name: "b", URL: urlB}}, ccfg)
+	b := startNode(t, "b", lnB, []Peer{{Name: "a", URL: urlA}}, ccfg)
+	return a, b
+}
+
+func selectSumReq(lo int64) server.QueryRequest {
+	hi := lo + 7
+	return server.QueryRequest{SelectSum: &server.SelectSumSpec{
+		Table: "lineitem", Column: "l_quantity", Lo: &lo, Hi: &hi,
+	}}
+}
+
+// remoteOwnedQuery finds a select_sum whose fingerprint node owner owns on
+// the ring as this coordinator computes it.
+func remoteOwnedQuery(t *testing.T, c *Coordinator, owner string) server.QueryRequest {
+	t.Helper()
+	for lo := int64(1); lo <= 64; lo++ {
+		req := selectSumReq(lo)
+		fp, err := c.local.RouteFingerprint("", &req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.mu.RLock()
+		got := c.ring.owner(fp, nil)
+		c.mu.RUnlock()
+		if got == owner {
+			return req
+		}
+	}
+	t.Fatalf("no select_sum candidate hashed to node %q", owner)
+	return server.QueryRequest{}
+}
+
+func postJSON(t *testing.T, client *http.Client, url string, req server.QueryRequest) (server.QueryResponse, int) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := client.Post(url+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s/query: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var qr server.QueryResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+			t.Fatalf("decode reply: %v", err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return qr, resp.StatusCode
+}
+
+// TestRemoteTwinBitIdentical is the tentpole's first acceptance test: the
+// same request sequence driven through a standalone server and through a
+// federation entry node that forwards every request to the remote owner
+// must produce identical responses field for field — session IDs, latencies,
+// run numbers, convergence state — and identical per-run convergence
+// traces. The remote transport is a routing layer, not a different engine.
+func TestRemoteTwinBitIdentical(t *testing.T) {
+	a, b := twoNodes(t, Config{ProbeInterval: -1})
+	standalone := newEngineServer(t, nil)
+	ts := httptest.NewServer(standalone.Handler())
+	defer ts.Close()
+
+	req := remoteOwnedQuery(t, a.coord, "b")
+	client := &http.Client{}
+	var session string
+	converged := 0
+	for i := 0; i < 4000; i++ {
+		viaCluster, codeC := postJSON(t, client, a.url, req)
+		direct, codeD := postJSON(t, client, ts.URL, req)
+		if codeC != http.StatusOK || codeD != http.StatusOK {
+			t.Fatalf("request %d: cluster=%d standalone=%d", i, codeC, codeD)
+		}
+		if !reflect.DeepEqual(viaCluster, direct) {
+			t.Fatalf("request %d: twin divergence:\ncluster:    %+v\nstandalone: %+v", i, viaCluster, direct)
+		}
+		session = direct.Session
+		if direct.State == "converged" {
+			// A few extra servings past convergence: the hot path must stay
+			// identical too.
+			if converged++; converged > 3 {
+				break
+			}
+		}
+	}
+	if converged == 0 {
+		t.Fatal("query never converged within 4000 requests")
+	}
+	if stats := a.coord.Stats(); stats.Forwarded == 0 {
+		t.Fatal("entry node never forwarded — the twin test compared two local serves")
+	}
+	// The convergence histories: byte-identical trace documents from the
+	// owning node and the standalone twin.
+	trace := func(base string) []byte {
+		resp, err := client.Get(base + "/sessions/" + session + "/trace")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET trace on %s: %d", base, resp.StatusCode)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return raw
+	}
+	if got, want := trace(b.url), trace(ts.URL); !bytes.Equal(got, want) {
+		t.Fatalf("convergence traces diverge:\nowner:      %s\nstandalone: %s", got, want)
+	}
+}
+
+// TestFailoverKillNodeMidTraffic is the tentpole's chaos acceptance test: a
+// remotely-owned query converges through the entry node, the owning node
+// dies, and every subsequent request still answers 200 — the fingerprint
+// re-pins to the survivor, which serves it converged from the replicated
+// plan (fewer requests to re-converge than the cold convergence took: zero).
+func TestFailoverKillNodeMidTraffic(t *testing.T) {
+	a, b := twoNodes(t, Config{
+		Retries:         2,
+		RetryBase:       time.Millisecond,
+		BreakerFailures: 1,
+		BreakerCooldown: 100 * time.Millisecond,
+		ProbeInterval:   -1,
+	})
+	req := remoteOwnedQuery(t, a.coord, "b")
+	client := &http.Client{}
+	coldRuns := 0
+	for i := 0; i < 4000; i++ {
+		qr, code := postJSON(t, client, a.url, req)
+		if code != http.StatusOK {
+			t.Fatalf("converge request %d: status %d", i, code)
+		}
+		coldRuns++
+		if qr.State == "converged" {
+			break
+		}
+	}
+	if coldRuns < 2 || coldRuns >= 4000 {
+		t.Fatalf("implausible cold convergence: %d requests", coldRuns)
+	}
+	// The owner's converged record must land on the entry node before the
+	// kill — that replica is what failover serves from.
+	deadline := time.Now().Add(10 * time.Second)
+	for a.coord.Stats().Replication.RecordsApplied == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("owner's converged plan never replicated to the entry node")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Kill the owner mid-traffic.
+	b.hs.Close()
+	b.srv.Close()
+
+	for i := 0; i < 30; i++ {
+		qr, code := postJSON(t, client, a.url, req)
+		if code != http.StatusOK {
+			// The acceptance bar: zero client-visible errors beyond the
+			// bounded retry window — and the retries are inside the request,
+			// so the client sees none at all.
+			t.Fatalf("failover request %d: status %d", i, code)
+		}
+		if qr.State != "converged" {
+			t.Fatalf("failover request %d served %q — survivor should hold the replicated converged plan (0 warm runs < %d cold runs)", i, qr.State, coldRuns)
+		}
+	}
+	stats := a.coord.Stats()
+	if stats.Failovers == 0 {
+		t.Fatal("no failovers counted despite the owner being dead")
+	}
+	var trips int64
+	for _, p := range stats.Peers {
+		if p.Name == "b" {
+			trips = p.Trips
+		}
+	}
+	if trips == 0 {
+		t.Fatal("peer breaker never tripped on the dead node")
+	}
+}
+
+// TestAdminPeersJoinLeave: runtime membership. A node that converged alone
+// pushes its replica set to a joining peer; fingerprints the newcomer owns
+// re-pin to it; leaving pins them back.
+func TestAdminPeersJoinLeave(t *testing.T) {
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		lnA.Close()
+		t.Fatal(err)
+	}
+	a := startNode(t, "a", lnA, nil, Config{ProbeInterval: -1})
+	b := startNode(t, "b", lnB, nil, Config{ProbeInterval: -1})
+
+	// Converge something on the lone node so the join has a replica set to
+	// push.
+	client := &http.Client{}
+	req := selectSumReq(3)
+	for i := 0; i < 4000; i++ {
+		qr, code := postJSON(t, client, a.url, req)
+		if code != http.StatusOK {
+			t.Fatalf("status %d", code)
+		}
+		if qr.State == "converged" {
+			break
+		}
+	}
+
+	// Join b via the admin surface.
+	joinBody := fmt.Sprintf(`{"name":"b","url":%q}`, b.url)
+	resp, err := client.Post(a.url+"/admin/peers", "application/json", bytes.NewReader([]byte(joinBody)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("join: status %d", resp.StatusCode)
+	}
+	if got := a.coord.Nodes(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Fatalf("membership after join: %v", got)
+	}
+	// The join push seeds the newcomer with the converged plan.
+	deadline := time.Now().Add(10 * time.Second)
+	for b.coord.Stats().Replication.RecordsApplied == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("join never pushed the replica set to the new peer")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// A fingerprint b now owns routes remotely...
+	bReq := remoteOwnedQuery(t, a.coord, "b")
+	before := a.coord.Stats().Forwarded
+	if _, code := postJSON(t, client, a.url, bReq); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if after := a.coord.Stats().Forwarded; after != before+1 {
+		t.Fatalf("request for b-owned fingerprint was not forwarded (forwarded %d -> %d)", before, after)
+	}
+
+	// ...and pins back home once b leaves.
+	dreq, _ := http.NewRequest(http.MethodDelete, a.url+"/admin/peers?name=b", nil)
+	resp, err = client.Do(dreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("leave: status %d", resp.StatusCode)
+	}
+	if got := a.coord.Nodes(); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Fatalf("membership after leave: %v", got)
+	}
+	before = a.coord.Stats().Forwarded
+	if _, code := postJSON(t, client, a.url, bReq); code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if after := a.coord.Stats().Forwarded; after != before {
+		t.Fatal("fingerprint still forwarding after its owner left")
+	}
+}
+
+// TestReplicateIntake: the replication endpoint rejects hostile documents
+// and skips well-formed records that don't belong on this node.
+func TestReplicateIntake(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := startNode(t, "a", ln, nil, Config{ProbeInterval: -1})
+	client := &http.Client{}
+
+	resp, err := client.Post(a.url+"/cluster/replicate", "application/octet-stream", bytes.NewReader([]byte("not an export document")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage intake: status %d, want 400", resp.StatusCode)
+	}
+
+	resp, err = client.Get(a.url + "/cluster/replicate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET intake: status %d, want 405", resp.StatusCode)
+	}
+
+	// A valid document whose record names a tenant this node doesn't run:
+	// received but not applied.
+	rec := store.Record{
+		Fingerprint: "fp-foreign", DBIdentity: testIdentity, Tenant: "ghost",
+		Query: "tpch:q6", PlanBytes: []byte{1, 2, 3}, History: []float64{10, 5},
+		Cores: 4, HasCost: true, CostParams: cost.Default(),
+	}
+	doc, err := store.EncodeRecords([]store.Record{rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = client.Post(a.url+"/cluster/replicate", "application/octet-stream", bytes.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Received int `json:"received"`
+		Applied  int `json:"applied"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || out.Received != 1 || out.Applied != 0 {
+		t.Fatalf("foreign record intake: status %d, %+v (want 200, received 1, applied 0)", resp.StatusCode, out)
+	}
+}

@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/server"
+)
+
+// Remote is the HTTP implementation of server.ShardBackend: a whole peer
+// daemon addressed as one shard. Invoke POSTs the query to the peer's
+// /query with the forwarded marker set, so the peer serves it locally
+// instead of re-routing (no forwarding loops); non-200 replies come back as
+// *server.BackendError carrying the peer's status, body, and Retry-After
+// hint, and transport failures come back raw — the coordinator's cue to
+// retry or fail over.
+type Remote struct {
+	name string
+	base string
+	hc   *http.Client
+}
+
+// NewRemote builds a client for the peer daemon at baseURL (scheme://host:
+// port, no trailing slash needed). Per-request deadlines come from the
+// caller's context; the client itself sets none.
+func NewRemote(name, baseURL string) *Remote {
+	return &Remote{
+		name: name,
+		base: strings.TrimRight(baseURL, "/"),
+		hc: &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 4,
+			IdleConnTimeout:     30 * time.Second,
+		}},
+	}
+}
+
+// Name returns the peer's node name.
+func (r *Remote) Name() string { return r.name }
+
+// URL returns the peer's base URL.
+func (r *Remote) URL() string { return r.base }
+
+func (r *Remote) invoke(ctx context.Context, req *server.QueryRequest, frozen bool) (*server.QueryResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: encode request for %s: %w", r.name, err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, r.base+"/query", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %s: %w", r.name, err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set(server.ForwardedHeader, "1")
+	if frozen {
+		hreq.Header.Set(server.FrozenHeader, "1")
+	}
+	hresp, err := r.hc.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %s unreachable: %w", r.name, err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		return nil, r.backendError(hresp)
+	}
+	var resp server.QueryResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("cluster: %s sent a malformed reply: %w", r.name, err)
+	}
+	return &resp, nil
+}
+
+// backendError converts a peer's non-200 reply into a *server.BackendError,
+// preserving the status, the error body, and the Retry-After hint so the
+// coordinator can proxy the reply to the client byte-compatibly.
+func (r *Remote) backendError(hresp *http.Response) *server.BackendError {
+	msg := fmt.Sprintf("%s replied %s", r.name, hresp.Status)
+	raw, _ := io.ReadAll(io.LimitReader(hresp.Body, 1<<16))
+	var eresp struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &eresp) == nil && eresp.Error != "" {
+		msg = eresp.Error
+	}
+	return &server.BackendError{
+		Code:       hresp.StatusCode,
+		Msg:        msg,
+		RetryAfter: hresp.Header.Get("Retry-After"),
+	}
+}
+
+// Invoke executes one query on the peer at full fidelity.
+func (r *Remote) Invoke(ctx context.Context, req *server.QueryRequest) (*server.QueryResponse, error) {
+	return r.invoke(ctx, req, false)
+}
+
+// InvokeFrozen executes one query on the peer from learned state only.
+func (r *Remote) InvokeFrozen(ctx context.Context, req *server.QueryRequest) (*server.QueryResponse, error) {
+	return r.invoke(ctx, req, true)
+}
+
+// Stats fetches the peer's GET /stats snapshot.
+func (r *Remote) Stats(ctx context.Context) (*server.StatsResponse, error) {
+	var resp server.StatsResponse
+	if err := r.getJSON(ctx, "/stats", &resp, http.StatusOK); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Health fetches the peer's GET /healthz report. A degraded peer answers
+// 503 with a body — that decodes and returns like a 200 (OK=false tells the
+// story); only an unreachable peer is an error.
+func (r *Remote) Health(ctx context.Context) (*server.HealthResponse, error) {
+	var resp server.HealthResponse
+	if err := r.getJSON(ctx, "/healthz", &resp, http.StatusOK, http.StatusServiceUnavailable); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (r *Remote) getJSON(ctx context.Context, path string, out any, okCodes ...int) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+path, nil)
+	if err != nil {
+		return fmt.Errorf("cluster: %s: %w", r.name, err)
+	}
+	hresp, err := r.hc.Do(hreq)
+	if err != nil {
+		return fmt.Errorf("cluster: %s unreachable: %w", r.name, err)
+	}
+	defer hresp.Body.Close()
+	ok := false
+	for _, c := range okCodes {
+		ok = ok || hresp.StatusCode == c
+	}
+	if !ok {
+		return r.backendError(hresp)
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(out); err != nil {
+		return fmt.Errorf("cluster: %s sent a malformed reply: %w", r.name, err)
+	}
+	return nil
+}
+
+// replicate ships an APQXPORT document to the peer's replication intake.
+func (r *Remote) replicate(ctx context.Context, payload []byte) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, r.base+"/cluster/replicate", bytes.NewReader(payload))
+	if err != nil {
+		return fmt.Errorf("cluster: %s: %w", r.name, err)
+	}
+	hreq.Header.Set("Content-Type", "application/octet-stream")
+	hresp, err := r.hc.Do(hreq)
+	if err != nil {
+		return fmt.Errorf("cluster: %s unreachable: %w", r.name, err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		return r.backendError(hresp)
+	}
+	io.Copy(io.Discard, io.LimitReader(hresp.Body, 1<<16))
+	return nil
+}
+
+// Retire releases the client's pooled connections. The remote daemon keeps
+// running — retiring a remote shard is a local decision.
+func (r *Remote) Retire() error {
+	r.hc.CloseIdleConnections()
+	return nil
+}
+
+// Remote must satisfy the seam it transports.
+var _ server.ShardBackend = (*Remote)(nil)

@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func sampleFPs(n int) []string {
+	fps := make([]string, n)
+	for i := range fps {
+		fps[i] = fmt.Sprintf("fp-%04d", i)
+	}
+	return fps
+}
+
+// TestRingSequence: every fingerprint's sequence enumerates each member
+// exactly once, starting with the owner, and ownership is independent of
+// the order members were added (all nodes must compute the same ring from
+// the same names).
+func TestRingSequence(t *testing.T) {
+	r := newRing()
+	for _, n := range []string{"a", "b", "c"} {
+		r.add(n)
+	}
+	r2 := newRing()
+	for _, n := range []string{"c", "a", "b"} {
+		r2.add(n)
+	}
+	for _, fp := range sampleFPs(500) {
+		seq := r.sequence(fp)
+		if len(seq) != 3 {
+			t.Fatalf("sequence(%q) = %v, want 3 distinct nodes", fp, seq)
+		}
+		seen := map[string]bool{}
+		for _, n := range seq {
+			if seen[n] {
+				t.Fatalf("sequence(%q) = %v repeats %q", fp, seq, n)
+			}
+			seen[n] = true
+		}
+		if got := r.owner(fp, nil); got != seq[0] {
+			t.Fatalf("owner(%q) = %q, want sequence head %q", fp, got, seq[0])
+		}
+		if got := r2.sequence(fp); !reflect.DeepEqual(got, seq) {
+			t.Fatalf("sequence(%q) differs by add order: %v vs %v", fp, got, seq)
+		}
+	}
+}
+
+// TestRingOwnerFailover: owner() with an aliveness predicate walks the
+// failover order, skipping dead nodes.
+func TestRingOwnerFailover(t *testing.T) {
+	r := newRing()
+	for _, n := range []string{"a", "b", "c"} {
+		r.add(n)
+	}
+	fp := "fp-failover"
+	seq := r.sequence(fp)
+	dead := map[string]bool{seq[0]: true}
+	if got := r.owner(fp, func(n string) bool { return !dead[n] }); got != seq[1] {
+		t.Fatalf("owner with %q dead = %q, want %q", seq[0], got, seq[1])
+	}
+	dead[seq[1]] = true
+	if got := r.owner(fp, func(n string) bool { return !dead[n] }); got != seq[2] {
+		t.Fatalf("owner with two dead = %q, want %q", got, seq[2])
+	}
+	if got := r.owner(fp, func(string) bool { return false }); got != "" {
+		t.Fatalf("owner with all dead = %q, want empty", got)
+	}
+}
+
+// TestRingMinimalMovement is the membership contract behind join/leave
+// re-pinning: adding a node re-pins only the fingerprints the newcomer now
+// owns (everything that moves moves TO it), and removing it restores the
+// previous ownership exactly.
+func TestRingMinimalMovement(t *testing.T) {
+	r := newRing()
+	r.add("a")
+	r.add("b")
+	fps := sampleFPs(2000)
+	before := make(map[string]string, len(fps))
+	for _, fp := range fps {
+		before[fp] = r.owner(fp, nil)
+	}
+	r.add("c")
+	moved := 0
+	for _, fp := range fps {
+		now := r.owner(fp, nil)
+		if now != before[fp] {
+			moved++
+			if now != "c" {
+				t.Fatalf("fp %q moved %q -> %q, not to the joining node", fp, before[fp], now)
+			}
+		}
+	}
+	if moved == 0 || moved > len(fps)/2 {
+		// c should take roughly a third; anything over half means the join
+		// reshuffled fingerprints it didn't need to.
+		t.Fatalf("join moved %d of %d fingerprints, want (0, %d]", moved, len(fps), len(fps)/2)
+	}
+	r.remove("c")
+	for _, fp := range fps {
+		if got := r.owner(fp, nil); got != before[fp] {
+			t.Fatalf("fp %q did not return to %q after leave (got %q)", fp, before[fp], got)
+		}
+	}
+}
+
+// TestRingBalance: vnodes keep the split between a few real nodes from
+// degenerating — every member owns a meaningful share.
+func TestRingBalance(t *testing.T) {
+	r := newRing()
+	for _, n := range []string{"a", "b", "c", "d"} {
+		r.add(n)
+	}
+	counts := map[string]int{}
+	fps := sampleFPs(4000)
+	for _, fp := range fps {
+		counts[r.owner(fp, nil)]++
+	}
+	for n, c := range counts {
+		if c < len(fps)/10 {
+			t.Fatalf("node %q owns %d of %d fingerprints — ring is badly imbalanced: %v", n, c, len(fps), counts)
+		}
+	}
+}

@@ -1,9 +1,15 @@
 package server
 
 import (
+	"bytes"
+	"encoding/json"
+	"net/http"
 	"strconv"
+	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/tpch"
 )
 
 // TestBreakerCooldownJitterBounds pins the jittered cooldown window: a
@@ -98,5 +104,55 @@ func TestRetryAfterJitterBounds(t *testing.T) {
 		if v, _ := strconv.Atoi(s.retryAfter()); v < 1 || v > 3 {
 			t.Fatalf("default source produced Retry-After %d", v)
 		}
+	}
+}
+
+// TestOverQuota429RetryAfter: an over-quota tenant rejection is backpressure
+// like a shed — the 429 reply carries the same jittered Retry-After hint the
+// shed 503 does, drawn from the same seam.
+func TestOverQuota429RetryAfter(t *testing.T) {
+	cat := tpch.Generate(tpch.Config{SF: 0.1, Seed: 7})
+	s, ts := newTestServer(t, Config{
+		Benchmark: "tpch",
+		Admission: true,
+		Tenants:   []Tenant{{Name: "acme", Catalog: cat, MaxInFlight: 1}},
+	})
+	s.randFn = func() float64 { return 0.999 } // top of the window: hint is "3"
+
+	// Hold one acme request past the in-flight gate via the admission seam.
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s.admitHook = func() {
+		once.Do(func() { close(entered) })
+		<-release
+	}
+	done := make(chan int, 1)
+	go func() {
+		_, code := postTenant(t, ts.URL, "acme", QueryRequest{Query: 6}, false)
+		done <- code
+	}()
+	<-entered
+	s.admitHook = nil
+	defer func() {
+		close(release)
+		<-done
+	}()
+
+	body, _ := json.Marshal(QueryRequest{Query: 14, Tenant: "acme"})
+	resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota request: status %d, want 429", resp.StatusCode)
+	}
+	got := resp.Header.Get("Retry-After")
+	if got != "3" {
+		t.Fatalf("429 Retry-After = %q, want the pinned jitter's 3", got)
+	}
+	if v, err := strconv.Atoi(got); err != nil || v < 1 || v > 3 {
+		t.Fatalf("429 Retry-After %q outside [1,3]", got)
 	}
 }

@@ -143,6 +143,17 @@ type Config struct {
 	// session's serial baseline as a breaker failure (0 = only hard errors
 	// count).
 	SlowFactor float64
+
+	// OnRecord, when set, observes every convergence record the serving
+	// layer produces — the same records the persistent store receives, fired
+	// on convergence and converged eviction (cold events only, never the
+	// converged serving path). The federation replicator subscribes here to
+	// ship converged sessions to peer nodes; the hook must not block (hand
+	// off to a queue).
+	OnRecord func(store.Record)
+	// ClusterStats, when set, supplies the GET /stats "cluster" block — the
+	// federation coordinator's view of its peers. nil omits the block.
+	ClusterStats func() any
 }
 
 // shard is one engine replica: a simulated machine, its plan-session cache,
@@ -318,11 +329,13 @@ func New(cfg Config) (*Server, error) {
 			Staleness:   cfg.Staleness,
 			Drift:       cfg.Drift,
 		}
-		if s.sync != nil {
+		if s.sync != nil || cfg.OnRecord != nil {
 			// Write-behind persistence: the hook fires on convergence and
 			// converged eviction (cold events only — never the converged
 			// serving path) and just snapshots + enqueues; the synchronizer
 			// goroutine does the encoding batch-wise off the request path.
+			// The same record feeds the OnRecord subscriber (the federation
+			// replicator), which runs its own write-behind queue.
 			shardEng := eng
 			ccfg.Persist = func(e *plancache.Entry) {
 				tn := s.tenantByTag(e.Tenant)
@@ -338,7 +351,13 @@ func New(cfg Config) (*Server, error) {
 				// after a bump to N+1 was reopened by that bump (non-done, not
 				// persisted) — so a done session's history always belongs to
 				// the live epoch.
-				s.sync.Enqueue(store.NewRecord(e.Fingerprint, tn.DBIdentity, e.Tenant, e.Query, tn.epoch.Load(), snap, shardEng.Params()))
+				rec := store.NewRecord(e.Fingerprint, tn.DBIdentity, e.Tenant, e.Query, tn.epoch.Load(), snap, shardEng.Params())
+				if s.sync != nil {
+					s.sync.Enqueue(rec)
+				}
+				if cfg.OnRecord != nil {
+					cfg.OnRecord(rec)
+				}
 			}
 		}
 		sh := &shard{
@@ -414,44 +433,79 @@ func (s *Server) rehydrate(st *store.Store, only *tenantState) {
 			s.skippedRecords.Add(1)
 			continue
 		}
-		if tn.DBIdentity != rec.DBIdentity {
-			s.skippedRecords.Add(1)
-			continue
-		}
-		sh := s.shardFor(rec.Fingerprint)
-		if rec.HasCost && rec.CostParams != sh.eng.Params() {
-			s.skippedRecords.Add(1)
-			continue
-		}
-		sess, err := rec.RestoreSession(sh.eng, s.cfg.Mutation)
-		if err != nil {
-			s.skippedRecords.Add(1)
-			continue
-		}
-		warm := rec.Epoch != tn.epoch.Load()
-		var ok bool
-		// Cache insertion under the shard's engine-ownership lock: at
-		// startup it is uncontended; for runtime tenant addition it
-		// serializes against live serving on that shard.
-		if s.do(sh, func() {
-			if warm {
-				ok = sess.ReopenForData(0) &&
-					sh.cache.RestoreWarm(rec.Tenant, rec.Fingerprint, rec.Query, sess) != nil
-			} else {
-				ok = sh.cache.Restore(rec.Tenant, rec.Fingerprint, rec.Query, sess) != nil
-			}
-		}) != nil {
+		if _, err := s.applyRecord(&rec, tn); err != nil {
 			return // server closing mid-rehydration
 		}
-		switch {
-		case !ok:
-			s.skippedRecords.Add(1)
-		case warm:
-			s.warmSeeded.Add(1)
-		default:
-			s.rehydrated.Add(1)
-		}
 	}
+}
+
+// applyRecord identity-checks one convergence record and restores it into
+// its owning shard's cache — the shared core of startup rehydration and
+// peer-to-peer replication. It reports whether the session went live (a
+// skipped record is not an error: the query it belonged to simply converges
+// afresh) and errors only when the server is closing.
+func (s *Server) applyRecord(rec *store.Record, tn *tenantState) (bool, error) {
+	if tn.DBIdentity != rec.DBIdentity {
+		s.skippedRecords.Add(1)
+		return false, nil
+	}
+	sh := s.shardFor(rec.Fingerprint)
+	if rec.HasCost && rec.CostParams != sh.eng.Params() {
+		s.skippedRecords.Add(1)
+		return false, nil
+	}
+	sess, err := rec.RestoreSession(sh.eng, s.cfg.Mutation)
+	if err != nil {
+		s.skippedRecords.Add(1)
+		return false, nil
+	}
+	warm := rec.Epoch != tn.epoch.Load()
+	var ok bool
+	// Cache insertion under the shard's engine-ownership lock: at startup
+	// it is uncontended; for runtime tenant addition and replicated records
+	// it serializes against live serving on that shard.
+	if err := s.do(sh, func() {
+		if warm {
+			ok = sess.ReopenForData(0) &&
+				sh.cache.RestoreWarm(rec.Tenant, rec.Fingerprint, rec.Query, sess) != nil
+		} else {
+			ok = sh.cache.Restore(rec.Tenant, rec.Fingerprint, rec.Query, sess) != nil
+		}
+	}); err != nil {
+		return false, err
+	}
+	switch {
+	case !ok:
+		s.skippedRecords.Add(1)
+	case warm:
+		s.warmSeeded.Add(1)
+	default:
+		s.rehydrated.Add(1)
+	}
+	return ok, nil
+}
+
+// ApplyRecord applies one replicated convergence record to the live serving
+// state — the peer-to-peer equivalent of startup rehydration, with the same
+// identity checks and warm-seed epoch semantics. A record whose fingerprint
+// is already live in its shard's cache is left alone (the local session is
+// at least as fresh). When a persistent store is configured the record is
+// also written behind, so replicated plans survive this node's own restart.
+// It reports whether the session went live.
+func (s *Server) ApplyRecord(rec store.Record) bool {
+	tn := s.tenantByTag(rec.Tenant)
+	if tn == nil || tn.draining.Load() {
+		s.skippedRecords.Add(1)
+		return false
+	}
+	ok, err := s.applyRecord(&rec, tn)
+	if err != nil || !ok {
+		return false
+	}
+	if s.sync != nil {
+		s.sync.Enqueue(rec)
+	}
+	return true
 }
 
 // Handler returns the HTTP handler tree (panic recovery outermost).
@@ -851,6 +905,16 @@ func (s *Server) resolve(tn *tenantState, req *QueryRequest) (name, fp string, b
 		func() (*plan.Plan, error) { return lookup(n) }, nil
 }
 
+// FrozenHeader forces a request to serve from learned state only (the
+// remote-shard InvokeFrozen transport); ForwardedHeader marks a request
+// already routed by a peer's federation coordinator — the receiving node
+// must serve it locally, never re-route it (no forwarding loops). Both are
+// coordinator-to-node headers, exported for internal/cluster.
+const (
+	FrozenHeader    = "X-APQ-Frozen"
+	ForwardedHeader = "X-APQ-Forwarded"
+)
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		s.writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
@@ -872,10 +936,42 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeErrBuf(b, w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
-	tn, err := s.tenantFor(r, req.Tenant)
-	if err != nil {
-		s.writeErrBuf(b, w, http.StatusNotFound, err)
+	resp, derr := s.dispatch(r.Context(), r.Header.Get("X-APQ-Tenant"), &req, r.Header.Get(FrozenHeader) == "1")
+	if derr != nil {
+		if derr.retry {
+			// Shed and over-quota rejections both carry the jittered backoff
+			// hint: clients bounced in one burst should not return in one.
+			w.Header().Set("Retry-After", s.retryAfter())
+		}
+		s.writeErrBuf(b, w, derr.code, derr.err)
 		return
+	}
+	b.reply(w, http.StatusOK, resp)
+}
+
+// dispatchErr is a serve-path failure with its HTTP mapping: the status code
+// and whether the reply should carry a Retry-After backoff hint.
+type dispatchErr struct {
+	code  int
+	err   error
+	retry bool
+}
+
+// dispatch runs one decoded query request through the whole serve path below
+// HTTP framing: tenant routing and admission, fingerprint resolution, shard
+// pinning, breaker fidelity, and engine invocation. It is the local
+// implementation behind the ShardBackend seam — the HTTP handler and the
+// in-process backend both call it, so a remote twin of this node computes
+// bit-identical replies. forceFrozen overrides the breaker decision to
+// serve learned state only (the InvokeFrozen fidelity).
+func (s *Server) dispatch(ctx context.Context, hdrTenant string, req *QueryRequest, forceFrozen bool) (QueryResponse, *dispatchErr) {
+	tenantName := req.Tenant
+	if tenantName == "" {
+		tenantName = hdrTenant
+	}
+	tn, err := s.tenantByName(tenantName)
+	if err != nil {
+		return QueryResponse{}, &dispatchErr{code: http.StatusNotFound, err: err}
 	}
 	// The in-flight quota rejects before any engine work queues: a tenant
 	// over its concurrency budget fails fast with 429 instead of stacking
@@ -884,19 +980,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// it no longer exists.
 	if err := tn.acquire(); err != nil {
 		tn.noteErr()
-		code := http.StatusTooManyRequests
+		code, retry := http.StatusTooManyRequests, true
 		if errors.Is(err, errTenantDraining) {
-			code = http.StatusNotFound
+			code, retry = http.StatusNotFound, false
 		}
-		s.writeErrBuf(b, w, code, err)
-		return
+		return QueryResponse{}, &dispatchErr{code: code, err: err, retry: retry}
 	}
 	defer tn.release()
-	name, fp, build, err := s.resolve(tn, &req)
+	name, fp, build, err := s.resolve(tn, req)
 	if err != nil {
 		tn.noteErr()
-		s.writeErrBuf(b, w, http.StatusBadRequest, err)
-		return
+		return QueryResponse{}, &dispatchErr{code: http.StatusBadRequest, err: err}
 	}
 	s.statMu.Lock()
 	s.queryCount++
@@ -911,7 +1005,6 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// The request context carries the per-request deadline into shard
 	// dispatch: a request that cannot reach its engine in time 503s instead
 	// of queueing forever (the client's own cancellation flows through too).
-	ctx := r.Context()
 	if s.cfg.RequestTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
@@ -938,9 +1031,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case "", "adaptive":
 		// The shard's health breaker decides the invocation's fidelity: a
 		// degraded shard serves frozen (learned plans, no exploration) until
-		// its cooldown admits a half-open probe.
+		// its cooldown admits a half-open probe. A forced-frozen request
+		// (remote InvokeFrozen) is the degraded mode by demand — it never
+		// feeds the breaker, exactly like breaker-frozen servings.
 		mode := brkNormal
-		if s.cfg.BreakerFailures > 0 {
+		if forceFrozen {
+			mode = brkFrozen
+		} else if s.cfg.BreakerFailures > 0 {
 			mode = sh.brk.admit(s.cfg.BreakerCooldown)
 		}
 		var (
@@ -966,19 +1063,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				sh.brk.record(mode, true, s.cfg.BreakerFailures)
 			}
 			tn.noteErr()
-			if sheddable(doErr) {
-				w.Header().Set("Retry-After", s.retryAfter())
-			}
-			s.writeErrBuf(b, w, http.StatusServiceUnavailable, doErr)
-			return
+			return QueryResponse{}, &dispatchErr{code: http.StatusServiceUnavailable, err: doErr, retry: sheddable(doErr)}
 		}
 		if err != nil {
 			if s.cfg.BreakerFailures > 0 {
 				sh.brk.record(mode, true, s.cfg.BreakerFailures)
 			}
 			tn.noteErr()
-			s.writeErrBuf(b, w, http.StatusInternalServerError, err)
-			return
+			return QueryResponse{}, &dispatchErr{code: http.StatusInternalServerError, err: err}
 		}
 		if s.cfg.BreakerFailures > 0 {
 			slow := s.cfg.SlowFactor > 0 && sum.SerialNs > 0 &&
@@ -1006,7 +1098,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			resp.State = "converged"
 		}
 		resp.Degraded = res.Invocation.Frozen
-		b.reply(w, http.StatusOK, resp)
+		return resp, nil
 	case "serial":
 		var (
 			vals []exec.Value
@@ -1024,18 +1116,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		})
 		if doErr != nil {
 			tn.noteErr()
-			if sheddable(doErr) {
-				w.Header().Set("Retry-After", s.retryAfter())
-			}
-			s.writeErrBuf(b, w, http.StatusServiceUnavailable, doErr)
-			return
+			return QueryResponse{}, &dispatchErr{code: http.StatusServiceUnavailable, err: doErr, retry: sheddable(doErr)}
 		}
 		if err != nil {
 			tn.noteErr()
-			s.writeErrBuf(b, w, http.StatusInternalServerError, err)
-			return
+			return QueryResponse{}, &dispatchErr{code: http.StatusInternalServerError, err: err}
 		}
-		b.reply(w, http.StatusOK, QueryResponse{
+		return QueryResponse{
 			Query:     name,
 			Tenant:    tn.tag(),
 			Shard:     sh.id,
@@ -1045,10 +1132,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			DOP:       1,
 			MaxCores:  opts.MaxCores,
 			NumValues: len(vals),
-		})
+		}, nil
 	default:
 		tn.noteErr()
-		s.writeErrBuf(b, w, http.StatusBadRequest, fmt.Errorf("unknown mode %q", req.Mode))
+		return QueryResponse{}, &dispatchErr{code: http.StatusBadRequest, err: fmt.Errorf("unknown mode %q", req.Mode)}
 	}
 }
 
@@ -1235,6 +1322,9 @@ type StatsResponse struct {
 	Resilience ResilienceStats `json:"resilience"`
 	// Lifecycle counts admin mutations and tenant churn (admin.go).
 	Lifecycle LifecycleStats `json:"lifecycle"`
+	// Cluster is the federation coordinator's block (Config.ClusterStats;
+	// absent on an unfederated daemon).
+	Cluster any `json:"cluster,omitempty"`
 }
 
 // LifecycleStats is the GET /stats "lifecycle" block: counters for the
@@ -1273,6 +1363,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusMethodNotAllowed, errors.New("GET only"))
 		return
 	}
+	resp, err := s.statsResponse()
+	if err != nil {
+		s.writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+// statsResponse assembles the GET /stats reply — shared by the HTTP handler
+// and the in-process ShardBackend. It errors only when the server is closing
+// mid-snapshot.
+func (s *Server) statsResponse() (StatsResponse, error) {
 	s.statMu.Lock()
 	queries, errs := s.queryCount, s.errCount
 	s.statMu.Unlock()
@@ -1314,8 +1416,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			st.Faults = sh.eng.Machine().Faults()
 			tstats = sh.cache.TenantStats()
 		}); err != nil {
-			s.writeErr(w, http.StatusServiceUnavailable, err)
-			return
+			return StatsResponse{}, err
 		}
 		for tag, tst := range tstats {
 			if i, ok := tenantIdx[tag]; ok {
@@ -1376,10 +1477,26 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Appends:        s.life.appends.Load(),
 		Deletes:        s.life.deletes.Load(),
 	}
-	writeJSON(w, resp)
+	if s.cfg.ClusterStats != nil {
+		resp.Cluster = s.cfg.ClusterStats()
+	}
+	return resp, nil
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := s.healthResponse()
+	code := http.StatusOK
+	if !resp.OK {
+		code = http.StatusServiceUnavailable
+	}
+	b := getIOBuf()
+	defer putIOBuf(b)
+	b.reply(w, code, resp)
+}
+
+// healthResponse assembles the GET /healthz reply — shared by the HTTP
+// handler and the in-process ShardBackend.
+func (s *Server) healthResponse() HealthResponse {
 	s.closeMu.RLock()
 	closed := s.closed
 	s.closeMu.RUnlock()
@@ -1398,11 +1515,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		depth := s.sync.QueueDepth()
 		resp.StoreQueueDepth = &depth
 	}
-	code := http.StatusOK
-	if !resp.OK {
-		code = http.StatusServiceUnavailable
-	}
-	b := getIOBuf()
-	defer putIOBuf(b)
-	b.reply(w, code, resp)
+	return resp
 }

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"context"
+	"net/http"
+)
+
+// ShardBackend is the transport-agnostic shard abstraction the federation
+// layer routes over (ROADMAP: "promote the fingerprint-hash shard routing
+// behind an interface so shards can be remote"). A backend is something that
+// can execute query requests against its own engine pool and report its
+// health — the in-process pool below (Server.Backend) and internal/cluster's
+// HTTP remote node are the two implementations. The coordinator treats a
+// whole peer daemon as one backend: fingerprint hashing picks the owning
+// node first, and the owning node's own shardFor picks the engine replica,
+// so a query's adaptive convergence still happens on exactly one
+// deterministic virtual machine wherever it lands.
+type ShardBackend interface {
+	// Invoke executes one query request at full fidelity (adaptation,
+	// exploration, staleness feedback — subject to the backend's own breaker
+	// state). Failures that map to an HTTP status are *BackendError; anything
+	// else is a transport-level failure the caller may retry elsewhere.
+	Invoke(ctx context.Context, req *QueryRequest) (*QueryResponse, error)
+	// InvokeFrozen serves the request from learned state only: the current
+	// plan executes but no adaptation or staleness feedback happens — the
+	// degraded fidelity a coordinator demands while it distrusts the
+	// session's placement (mid-failover, mid-re-pin).
+	InvokeFrozen(ctx context.Context, req *QueryRequest) (*QueryResponse, error)
+	// Stats snapshots the backend's serving counters.
+	Stats(ctx context.Context) (*StatsResponse, error)
+	// Health reports whether the backend is serving at full fidelity; a
+	// transport error means the node itself is unreachable.
+	Health(ctx context.Context) (*HealthResponse, error)
+	// Retire shuts the backend down: local pools drain and close, remote
+	// clients release their connections (the remote daemon keeps running).
+	Retire() error
+}
+
+// BackendError is an Invoke failure that carries its HTTP status mapping: a
+// remote shard's non-200 reply, or the local dispatch path's coded error.
+// Status codes below 500 are the request's own fault (unknown tenant, bad
+// spec, over-quota) — a coordinator must proxy them back, never fail over,
+// or a malformed request would cascade across every node in the ring.
+type BackendError struct {
+	// Code is the HTTP status the failure maps to.
+	Code int
+	// Msg is the error body.
+	Msg string
+	// RetryAfter is the jittered backoff hint in seconds ("" = none), set on
+	// shed and over-quota rejections.
+	RetryAfter string
+}
+
+func (e *BackendError) Error() string { return e.Msg }
+
+// Temporary reports whether the failure is the node's condition rather than
+// the request's: 5xx and 429 replies may succeed on another node or at
+// another time, 4xx replies will not.
+func (e *BackendError) Temporary() bool {
+	return e.Code >= 500 || e.Code == http.StatusTooManyRequests
+}
+
+// localBackend adapts the in-process shard pool to the ShardBackend seam:
+// every method is the corresponding HTTP handler's core below the framing
+// layer, so a request dispatched through the backend computes the same
+// bytes the handler would have written.
+type localBackend struct{ s *Server }
+
+// Backend returns the server's in-process ShardBackend: the local
+// implementation of the seam internal/cluster routes over.
+func (s *Server) Backend() ShardBackend { return localBackend{s} }
+
+func (lb localBackend) invoke(ctx context.Context, req *QueryRequest, frozen bool) (*QueryResponse, error) {
+	resp, derr := lb.s.dispatch(ctx, "", req, frozen)
+	if derr != nil {
+		be := &BackendError{Code: derr.code, Msg: derr.err.Error()}
+		if derr.retry {
+			be.RetryAfter = lb.s.retryAfter()
+		}
+		return nil, be
+	}
+	return &resp, nil
+}
+
+func (lb localBackend) Invoke(ctx context.Context, req *QueryRequest) (*QueryResponse, error) {
+	return lb.invoke(ctx, req, false)
+}
+
+func (lb localBackend) InvokeFrozen(ctx context.Context, req *QueryRequest) (*QueryResponse, error) {
+	return lb.invoke(ctx, req, true)
+}
+
+func (lb localBackend) Stats(ctx context.Context) (*StatsResponse, error) {
+	resp, err := lb.s.statsResponse()
+	if err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func (lb localBackend) Health(ctx context.Context) (*HealthResponse, error) {
+	resp := lb.s.healthResponse()
+	return &resp, nil
+}
+
+func (lb localBackend) Retire() error {
+	lb.s.Close()
+	return nil
+}
+
+// RouteFingerprint resolves a request to its routing fingerprint without
+// executing anything — the key the federation coordinator hashes to pick an
+// owning node. hdrTenant is the X-APQ-Tenant header value ("" = none; the
+// body field wins, same precedence as serving). Resolution failures (unknown
+// tenant, malformed spec) are not routing decisions: the caller serves such
+// requests locally so the canonical error reply comes from the full serve
+// path.
+func (s *Server) RouteFingerprint(hdrTenant string, req *QueryRequest) (string, error) {
+	name := req.Tenant
+	if name == "" {
+		name = hdrTenant
+	}
+	tn, err := s.tenantByName(name)
+	if err != nil {
+		return "", err
+	}
+	_, fp, _, err := s.resolve(tn, req)
+	return fp, err
+}

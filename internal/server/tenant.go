@@ -162,6 +162,12 @@ func (s *Server) tenantFor(r *http.Request, name string) (*tenantState, error) {
 	if name == "" {
 		name = r.Header.Get("X-APQ-Tenant")
 	}
+	return s.tenantByName(name)
+}
+
+// tenantByName is tenantFor below the HTTP layer: the name is already
+// resolved (header fallback applied by the caller, if any).
+func (s *Server) tenantByName(name string) (*tenantState, error) {
 	if name == "" || name == "default" {
 		return s.defTenant, nil
 	}

@@ -17,6 +17,79 @@ var exportMagic = [8]byte{'A', 'P', 'Q', 'X', 'P', 'O', 'R', 'T'}
 
 const exportHeaderLen = 16 // magic + version + count
 
+// EncodeRecords renders records as an APQXPORT document in memory — the
+// same bytes Export writes to disk. It is the federation layer's wire
+// format: a replicator encodes a batch of convergence records once and
+// ships the document to every peer. Records are encoded in the order given;
+// callers wanting the deterministic on-disk property sort by fingerprint
+// first (Export does).
+func EncodeRecords(recs []Record) ([]byte, error) {
+	var hdr [exportHeaderLen]byte
+	copy(hdr[:], exportMagic[:])
+	binary.LittleEndian.PutUint32(hdr[8:], CurrentFormat)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(recs)))
+	buf := hdr[:]
+	for i := range recs {
+		payload, err := encodeRecord(&recs[i], CurrentFormat)
+		if err != nil {
+			return nil, fmt.Errorf("store: encode records: %w", err)
+		}
+		var fh [frameLen]byte
+		binary.LittleEndian.PutUint32(fh[:], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(fh[4:], crc32.Checksum(payload, crcTable))
+		buf = append(buf, fh[:]...)
+		buf = append(buf, payload...)
+	}
+	return buf, nil
+}
+
+// DecodeRecords parses an APQXPORT document from memory — the receiving
+// side of EncodeRecords. src names the document in errors (a path, a peer).
+// The same strictness as ReadExport applies: framing or checksum damage is
+// an error, never a silent skip.
+func DecodeRecords(data []byte, src string) ([]Record, error) {
+	if len(data) < exportHeaderLen || [8]byte(data[:8]) != exportMagic {
+		return nil, fmt.Errorf("store: %s is not a plan export file (bad magic)", src)
+	}
+	version := int(binary.LittleEndian.Uint32(data[8:12]))
+	if version > CurrentFormat {
+		return nil, fmt.Errorf("store: %s is export format version %d, newer than this build supports (%d) — upgrade before importing", src, version, CurrentFormat)
+	}
+	if version < FormatV1 {
+		return nil, fmt.Errorf("store: %s carries invalid export format version %d", src, version)
+	}
+	count := int(binary.LittleEndian.Uint32(data[12:16]))
+	// Cap the allocation by what the bytes in hand could actually frame: a
+	// hostile header may claim 4 billion records in a 20-byte document.
+	maxFit := (len(data) - exportHeaderLen) / frameLen
+	recs := make([]Record, 0, min(count, maxFit))
+	off := exportHeaderLen
+	for i := 0; i < count; i++ {
+		if len(data)-off < frameLen {
+			return nil, fmt.Errorf("store: %s: truncated at record %d of %d", src, i+1, count)
+		}
+		plen := binary.LittleEndian.Uint32(data[off:])
+		sum := binary.LittleEndian.Uint32(data[off+4:])
+		if plen > maxPayload || len(data)-off-frameLen < int(plen) {
+			return nil, fmt.Errorf("store: %s: truncated at record %d of %d", src, i+1, count)
+		}
+		payload := data[off+frameLen : off+frameLen+int(plen)]
+		if crc32.Checksum(payload, crcTable) != sum {
+			return nil, fmt.Errorf("store: %s: record %d of %d fails its checksum — file is corrupt", src, i+1, count)
+		}
+		rec, err := decodeRecord(payload, version)
+		if err != nil {
+			return nil, fmt.Errorf("store: %s: record %d of %d does not decode at format version %d: %w", src, i+1, count, version, err)
+		}
+		recs = append(recs, rec)
+		off += frameLen + int(plen)
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("store: %s: %d trailing bytes after %d records", src, len(data)-off, count)
+	}
+	return recs, nil
+}
+
 // Export writes the store's live records to path, atomically (temp file +
 // rename). It returns the number of records written.
 func (s *Store) Export(path string) (int, error) {
@@ -26,21 +99,9 @@ func (s *Store) Export(path string) (int, error) {
 		return 0, fmt.Errorf("store: %s is closed", s.path)
 	}
 	recs := s.sortedLocked()
-	var hdr [exportHeaderLen]byte
-	copy(hdr[:], exportMagic[:])
-	binary.LittleEndian.PutUint32(hdr[8:], CurrentFormat)
-	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(recs)))
-	buf := hdr[:]
-	for i := range recs {
-		payload, err := encodeRecord(&recs[i], CurrentFormat)
-		if err != nil {
-			return 0, fmt.Errorf("store: export: %w", err)
-		}
-		var fh [frameLen]byte
-		binary.LittleEndian.PutUint32(fh[:], uint32(len(payload)))
-		binary.LittleEndian.PutUint32(fh[4:], crc32.Checksum(payload, crcTable))
-		buf = append(buf, fh[:]...)
-		buf = append(buf, payload...)
+	buf, err := EncodeRecords(recs)
+	if err != nil {
+		return 0, fmt.Errorf("store: export: %w", err)
 	}
 	tmp := path + ".tmp"
 	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
@@ -89,41 +150,5 @@ func ReadExport(path string) ([]Record, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: import %s: %w", path, err)
 	}
-	if len(data) < exportHeaderLen || [8]byte(data[:8]) != exportMagic {
-		return nil, fmt.Errorf("store: %s is not a plan export file (bad magic)", path)
-	}
-	version := int(binary.LittleEndian.Uint32(data[8:12]))
-	if version > CurrentFormat {
-		return nil, fmt.Errorf("store: %s is export format version %d, newer than this build supports (%d) — upgrade before importing", path, version, CurrentFormat)
-	}
-	if version < FormatV1 {
-		return nil, fmt.Errorf("store: %s carries invalid export format version %d", path, version)
-	}
-	count := int(binary.LittleEndian.Uint32(data[12:16]))
-	recs := make([]Record, 0, count)
-	off := exportHeaderLen
-	for i := 0; i < count; i++ {
-		if len(data)-off < frameLen {
-			return nil, fmt.Errorf("store: %s: truncated at record %d of %d", path, i+1, count)
-		}
-		plen := binary.LittleEndian.Uint32(data[off:])
-		sum := binary.LittleEndian.Uint32(data[off+4:])
-		if plen > maxPayload || len(data)-off-frameLen < int(plen) {
-			return nil, fmt.Errorf("store: %s: truncated at record %d of %d", path, i+1, count)
-		}
-		payload := data[off+frameLen : off+frameLen+int(plen)]
-		if crc32.Checksum(payload, crcTable) != sum {
-			return nil, fmt.Errorf("store: %s: record %d of %d fails its checksum — file is corrupt", path, i+1, count)
-		}
-		rec, err := decodeRecord(payload, version)
-		if err != nil {
-			return nil, fmt.Errorf("store: %s: record %d of %d does not decode at format version %d: %w", path, i+1, count, version, err)
-		}
-		recs = append(recs, rec)
-		off += frameLen + int(plen)
-	}
-	if off != len(data) {
-		return nil, fmt.Errorf("store: %s: %d trailing bytes after %d records", path, len(data)-off, count)
-	}
-	return recs, nil
+	return DecodeRecords(data, path)
 }

@@ -1,0 +1,110 @@
+package store
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+
+	"repro/internal/cost"
+)
+
+// Fuzz targets for the store's two decoders. The property under test is the
+// robustness contract the append log and the replication path both rely on:
+// hostile bytes — including bytes whose CRC framing is perfectly valid —
+// must come back as an error, never a panic or a runaway allocation. The
+// CRC only protects against corruption in flight; a malicious or buggy peer
+// can frame anything.
+
+// fuzzSeedRecord is a fully populated current-format record whose encoding
+// seeds both corpora.
+func fuzzSeedRecord() Record {
+	return Record{
+		Fingerprint:  "fp-fuzz-0001",
+		DBIdentity:   "tpch:sf=0.5:seed=42",
+		Tenant:       "acme",
+		Query:        "tpch:q6",
+		PlanBytes:    []byte{0xDE, 0xAD, 0xBE, 0xEF},
+		History:      []float64{100, 60, 40, 31},
+		Outliers:     []int{2},
+		Cores:        8,
+		ExtraRuns:    8,
+		GMEThreshold: 0.02,
+		HasCost:      true,
+		CostParams:   cost.Default(),
+		Epoch:        3,
+	}
+}
+
+// FuzzDecodeRecord drives the per-record payload decoder — the bytes inside
+// one CRC frame, after the checksum already passed — at every live format
+// version. Valid-looking length prefixes pointing past the buffer, huge
+// varint counts, and truncated tails must all error cleanly.
+func FuzzDecodeRecord(f *testing.F) {
+	rec := fuzzSeedRecord()
+	for v := FormatV1; v <= CurrentFormat; v++ {
+		payload, err := encodeRecord(&rec, v)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(payload, v)
+		// Truncation seeds: every prefix family the reader walks through.
+		f.Add(payload[:len(payload)/2], v)
+		f.Add(payload[:1], v)
+	}
+	f.Add([]byte{}, CurrentFormat)
+	f.Fuzz(func(t *testing.T, data []byte, version int) {
+		rec, err := decodeRecord(data, version)
+		if err != nil {
+			return
+		}
+		// A payload that decodes must re-encode: decode success on bytes the
+		// encoder cannot round-trip would let one hostile peer poison the
+		// next hop's store file.
+		if _, err := encodeRecord(&rec, CurrentFormat); err != nil {
+			t.Fatalf("decoded record does not re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeExport drives the whole-document APQXPORT decoder two ways: the
+// raw input as a full document (hostile magic, header, framing), and the
+// input wrapped in a valid header and a correct CRC frame (CRC-valid-but-
+// hostile payload — the case checksums cannot catch).
+func FuzzDecodeExport(f *testing.F) {
+	rec := fuzzSeedRecord()
+	doc, err := EncodeRecords([]Record{rec})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(doc)
+	f.Add(doc[:len(doc)-3])
+	f.Add(doc[:exportHeaderLen])
+	f.Add([]byte("APQXPORT"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if _, err := DecodeRecords(data, "fuzz"); err == nil {
+			// A document that decodes must re-encode losslessly enough to
+			// decode again (not bit-identical: older versions migrate).
+			recs, _ := DecodeRecords(data, "fuzz")
+			if _, err := EncodeRecords(recs); err != nil {
+				t.Fatalf("decoded export does not re-encode: %v", err)
+			}
+		}
+		// CRC-valid-but-hostile: frame the raw input as the single record of
+		// an otherwise impeccable current-format document. The framing layer
+		// passes by construction, so any failure to reject garbage here is
+		// the record decoder's.
+		framed := make([]byte, 0, exportHeaderLen+frameLen+len(data))
+		framed = append(framed, exportMagic[:]...)
+		framed = binary.LittleEndian.AppendUint32(framed, CurrentFormat)
+		framed = binary.LittleEndian.AppendUint32(framed, 1)
+		framed = binary.LittleEndian.AppendUint32(framed, uint32(len(data)))
+		framed = binary.LittleEndian.AppendUint32(framed, crc32.Checksum(data, crcTable))
+		framed = append(framed, data...)
+		if recs, err := DecodeRecords(framed, "fuzz"); err == nil {
+			if len(recs) != 1 {
+				t.Fatalf("framed single-record document decoded to %d records", len(recs))
+			}
+		}
+	})
+}

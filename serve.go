@@ -7,8 +7,10 @@ import (
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/plancache"
@@ -154,6 +156,47 @@ type ServerConfig struct {
 	// request counting as a failure when its latency exceeds SlowFactor ×
 	// the query's serial baseline (0 = only errors count).
 	SlowFactor float64
+	// Cluster federates this daemon with remote peers (nil = standalone).
+	// When set, Handler() fronts the serve surface with the federation
+	// coordinator: /query routes by fingerprint across the consistent-hash
+	// ring, convergence records replicate to the peers write-behind, and a
+	// dead peer's fingerprints fail over to survivors warm.
+	Cluster *ClusterConfig
+}
+
+// ClusterPeer names one remote daemon of a federation.
+type ClusterPeer = cluster.Peer
+
+// ClusterStats is the GET /stats "cluster" block a federated daemon reports.
+type ClusterStats = cluster.Stats
+
+// ClusterConfig federates a daemon with its peers. All nodes must agree on
+// the set of node names (ring ownership is computed independently on each
+// node) and should run identically configured tenants — replicated records
+// are identity-checked on arrival, so a mismatched peer skips them.
+type ClusterConfig struct {
+	// Self is this node's ring name (required; must differ from every peer).
+	Self string
+	// Peers is the initial remote membership; POST/DELETE /admin/peers
+	// mutates it live.
+	Peers []ClusterPeer
+	// PeerTimeout bounds each remote attempt (0 = 2s).
+	PeerTimeout time.Duration
+	// Retries is how many times a failed remote attempt retries on the same
+	// peer, with jittered exponential backoff, before failing over
+	// (0 = 2, negative = never retry).
+	Retries int
+	// RetryBase is the first retry's backoff delay (0 = 25ms).
+	RetryBase time.Duration
+	// BreakerFailures opens a peer's breaker after that many consecutive
+	// failures (0 = 3).
+	BreakerFailures int
+	// BreakerCooldown holds an open peer breaker before a half-open probe
+	// is admitted, pre-jitter (0 = 2s).
+	BreakerCooldown time.Duration
+	// ProbeInterval is the background health-probe cadence that recovers
+	// breaker-open peers (0 = 500ms, negative = disabled).
+	ProbeInterval time.Duration
 }
 
 // TenantConfig declares one named tenant dataset for the query service.
@@ -222,6 +265,7 @@ func buildTenant(t TenantConfig) (server.Tenant, error) {
 type Server struct {
 	inner     *server.Server
 	st        *store.Store
+	coord     *cluster.Coordinator
 	closeOnce sync.Once
 }
 
@@ -261,7 +305,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 			return nil, err
 		}
 	}
-	inner, err := server.New(server.Config{
+	scfg := server.Config{
 		Engines:    engines,
 		DBIdentity: cfg.DBIdentity,
 		Benchmark:  cfg.Benchmark,
@@ -287,14 +331,54 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		BreakerFailures: cfg.BreakerFailures,
 		BreakerCooldown: cfg.BreakerCooldown,
 		SlowFactor:      cfg.SlowFactor,
-	})
+	}
+	// The coordinator wraps the serving core but the core's config hooks
+	// must exist before server.New — relay through a pointer filled in once
+	// the coordinator is up. Records converged before that (rehydration) are
+	// covered by the replica-set sync pushed at peer join.
+	var coordPtr atomic.Pointer[cluster.Coordinator]
+	if cfg.Cluster != nil {
+		scfg.OnRecord = func(rec store.Record) {
+			if c := coordPtr.Load(); c != nil {
+				c.Observe(rec)
+			}
+		}
+		scfg.ClusterStats = func() any {
+			if c := coordPtr.Load(); c != nil {
+				return c.Stats()
+			}
+			return nil
+		}
+	}
+	inner, err := server.New(scfg)
 	if err != nil {
 		if st != nil {
 			st.Close()
 		}
 		return nil, err
 	}
-	return &Server{inner: inner, st: st}, nil
+	var coord *cluster.Coordinator
+	if cfg.Cluster != nil {
+		coord, err = cluster.New(inner, cluster.Config{
+			Self:            cfg.Cluster.Self,
+			Peers:           cfg.Cluster.Peers,
+			PeerTimeout:     cfg.Cluster.PeerTimeout,
+			Retries:         cfg.Cluster.Retries,
+			RetryBase:       cfg.Cluster.RetryBase,
+			BreakerFailures: cfg.Cluster.BreakerFailures,
+			BreakerCooldown: cfg.Cluster.BreakerCooldown,
+			ProbeInterval:   cfg.Cluster.ProbeInterval,
+		})
+		if err != nil {
+			inner.Close()
+			if st != nil {
+				st.Close()
+			}
+			return nil, err
+		}
+		coordPtr.Store(coord)
+	}
+	return &Server{inner: inner, st: st, coord: coord}, nil
 }
 
 // Shards reports the engine-pool width the server is running with.
@@ -310,8 +394,42 @@ func (s *Server) InjectFault(shard int, ev FaultEvent) error {
 // Handler returns the HTTP handler tree: POST /query, GET /sessions,
 // GET /sessions/{id}/trace, GET /stats, GET /healthz, plus the admin
 // surface POST /admin/append, POST /admin/truncate, POST|DELETE
-// /admin/tenants.
-func (s *Server) Handler() http.Handler { return s.inner.Handler() }
+// /admin/tenants. A federated daemon (ServerConfig.Cluster) fronts the tree
+// with the coordinator, adding POST /cluster/replicate and GET|POST|DELETE
+// /admin/peers and routing /query across the ring.
+func (s *Server) Handler() http.Handler {
+	if s.coord != nil {
+		return s.coord.Handler()
+	}
+	return s.inner.Handler()
+}
+
+// AddPeer joins a remote daemon to the federation at runtime (equivalent to
+// POST /admin/peers). Errors when the server is not federated.
+func (s *Server) AddPeer(name, url string) error {
+	if s.coord == nil {
+		return errors.New("apq: server is not federated (no ServerConfig.Cluster)")
+	}
+	return s.coord.AddPeer(name, url)
+}
+
+// RemovePeer detaches a peer from the federation at runtime (equivalent to
+// DELETE /admin/peers?name=). Errors when the server is not federated.
+func (s *Server) RemovePeer(name string) error {
+	if s.coord == nil {
+		return errors.New("apq: server is not federated (no ServerConfig.Cluster)")
+	}
+	return s.coord.RemovePeer(name)
+}
+
+// ClusterStats snapshots the federation coordinator; ok is false on a
+// standalone daemon.
+func (s *Server) ClusterStats() (stats ClusterStats, ok bool) {
+	if s.coord == nil {
+		return ClusterStats{}, false
+	}
+	return s.coord.Stats(), true
+}
 
 // AppendRows appends rows to one of a tenant's tables ("" = the default
 // tenant) while the server keeps serving: the catalog is rebuilt
@@ -352,6 +470,11 @@ func (s *Server) RemoveTenant(name string) (TenantLifecycleResponse, error) {
 // afterwards fail with 503.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
+		if s.coord != nil {
+			// Federation machinery first: the replicator flushes its queue
+			// against a still-serving pool of peers.
+			s.coord.Close()
+		}
 		s.inner.Close()
 		if s.st != nil {
 			s.st.Close()
