@@ -56,6 +56,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -64,6 +65,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -235,7 +237,7 @@ func main() {
 	selfbench := flag.Bool("selfbench", false, "run the shard-sweep serving benchmark and print JSON (no listener)")
 	benchN := flag.Int("selfbench-n", 400, "measured requests per phase for -selfbench")
 	benchQueries := flag.Int("selfbench-queries", 8, "distinct queries in the -selfbench workload")
-	benchPhase := flag.String("selfbench-phase", "all", "which -selfbench phases to run: all, drift (drift probe only), or federation (two-node failover probe only) — the single-phase modes are the CI smoke targets")
+	benchPhase := flag.String("selfbench-phase", "all", "which -selfbench phases to run: all, drift (drift probe only), federation (two-node failover probe only), or zipf (coalescing probe only) — the single-phase modes are the CI smoke targets")
 	simbench := flag.Bool("simbench", false, "run the event-core benchmark (optimized vs seed core) and print JSON")
 	simbenchRounds := flag.Int("simbench-rounds", 5, "repetitions per scenario for -simbench (min is reported)")
 	flag.Parse()
@@ -516,6 +518,11 @@ type benchReport struct {
 	// mid-traffic, and the survivor serves the re-pinned fingerprint from
 	// its replicated plan.
 	Federation *federationProbe `json:"federation,omitempty"`
+	// Zipf records the coalescing phase: a Zipf-skewed concurrent client mix
+	// posts results-negotiated requests at one shard, and single-flight
+	// coalescing collapses identical in-flight requests into shared engine
+	// runs (engine_runs < requests at equal correctness).
+	Zipf *zipfProbe `json:"zipf_coalescing,omitempty"`
 	// SeedBaseline quotes the seed daemon's recorded BENCH_serve.json
 	// (single run-loop engine, seed event core, TPC-H q6 at sf=1): the
 	// regression this PR fixes is hot adaptive serving being SLOWER than
@@ -544,9 +551,34 @@ const (
 
 func runSelfbench(cfg apq.ServerConfig, sf float64, seed int64, queries, n int, phase string) error {
 	switch phase {
-	case "all", "drift", "federation":
+	case "all", "drift", "federation", "zipf":
 	default:
-		return fmt.Errorf("apqd: unknown -selfbench-phase %q (want all, drift, or federation)", phase)
+		return fmt.Errorf("apqd: unknown -selfbench-phase %q (want all, drift, federation, or zipf)", phase)
+	}
+	if phase == "zipf" {
+		// Single-phase artifact for the CI coalescing smoke: only the
+		// Zipf-skewed single-flight probe, one shard, minimal wall time.
+		cfg.Admission = false
+		cfg.StorePath = ""
+		zp, err := runZipfProbe(cfg, queries, n)
+		if err != nil {
+			return err
+		}
+		rep := benchReport{
+			Benchmark:            cfg.Benchmark,
+			DBIdentity:           cfg.DBIdentity,
+			Machine:              cfg.Machine.Name,
+			Cores:                cfg.Machine.LogicalCores(),
+			HostCPUs:             runtime.NumCPU(),
+			GoMaxProcs:           runtime.GOMAXPROCS(0),
+			HotBeatsColdAtShards: -1,
+			SeedBaseline:         seedBaseline{HotRPS: seedHotRPS, ColdRPS: seedColdRPS, HotBeatsSeedColdAtShards: -1},
+			Zipf:                 zp,
+			Notes:                []string{zipfNote},
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
 	}
 	if phase == "federation" {
 		// Single-phase artifact, same shape as the drift smoke: only the
@@ -671,7 +703,12 @@ func runSelfbench(cfg apq.ServerConfig, sf float64, seed int64, queries, n int, 
 		return err
 	}
 	rep.Federation = fp
-	rep.Notes = append(rep.Notes, driftNote, federationNote)
+	zp, err := runZipfProbe(cfg, queries, n)
+	if err != nil {
+		return err
+	}
+	rep.Zipf = zp
+	rep.Notes = append(rep.Notes, driftNote, federationNote, zipfNote)
 	rep.Notes = append(rep.Notes,
 		"chaos (ISSUE 7): converge one query with staleness detection armed, measure steady-state serving, then lose most of the machine mid-run via InjectFault — degradation_depth is the stale converged plan's latency blowout on the shrunken machine, reconverge_requests counts servings from the fault until the staleness detector reopened convergence and the session re-converged, and reconverged_virtual_ns shows the recovered plan beating the stale one",
 		"warm_restart converges one query against a temporary -store file, restarts the server on the same file, and compares first-request virtual latency cold (first adaptive run from scratch) vs rehydrated (served converged from the persisted plan); rehydrated_sessions is the restarted server's /stats store counter",
@@ -1324,6 +1361,244 @@ func runDriftProbe(cfg apq.ServerConfig) (*driftProbe, error) {
 		return nil, errors.New("selfbench drift: /stats shows no drift reopen")
 	}
 	return p, nil
+}
+
+// zipfNote documents the zipf_coalescing phase for artifact readers.
+const zipfNote = "zipf_coalescing (ISSUE 10): concurrent clients sample a Zipf-skewed query mix (results-negotiated APQRESULT responses) against one shard — identical in-flight requests coalesce into shared single-flight engine runs, so engine_runs lands below requests while every response decodes to the same payload; p50/p99 are client-observed wall latencies"
+
+// zipfProbe is the -selfbench zipf phase: single-flight coalescing measured
+// under a skewed concurrent mix over the columnar result path.
+type zipfProbe struct {
+	Shards          int     `json:"shards"`
+	Clients         int     `json:"clients"`
+	DistinctQueries int     `json:"distinct_queries"`
+	ZipfS           float64 `json:"zipf_s"`
+	// Requests counts measured requests, including any storm rounds the
+	// probe appended to witness at least one coalesced request on hosts
+	// whose scheduler never overlapped two identical requests organically.
+	Requests int `json:"requests"`
+	// EngineRuns is the plan-cache lookup delta (hits+misses) over the
+	// measured window — coalesced waiters never reach the cache, so
+	// requests - engine_runs is the work the single-flight layer saved.
+	EngineRuns        int64   `json:"engine_runs"`
+	CoalescedRequests int64   `json:"coalesced_requests"`
+	RunsOverRequests  float64 `json:"runs_over_requests"`
+	P50Ms             float64 `json:"p50_ms"`
+	P99Ms             float64 `json:"p99_ms"`
+	ResultBytesSent   int64   `json:"result_bytes_sent"`
+}
+
+// runZipfProbe converges a small distinct-query set on one shard, then
+// hammers it with concurrent clients whose query choice is Zipf-distributed.
+// The skew makes identical requests overlap in flight, which the server's
+// fingerprint-keyed single-flight layer coalesces into shared engine runs.
+// Responses are results-negotiated: every reply is an APQRESULT stream and
+// is decoded as a correctness gate before its latency counts.
+func runZipfProbe(cfg apq.ServerConfig, queries, n int) (*zipfProbe, error) {
+	cfg.Shards = 1 // one shard concentrates the mix so identical requests collide
+	cfg.Tenants = nil
+	cfg.StorePath = ""
+	cfg.Admission = false // admission would serialize the very overlap the probe measures
+	s, err := apq.NewServer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	h := s.Handler()
+
+	// Coalescing needs two identical requests genuinely in flight at once.
+	// On a single-P runtime, CPU-bound in-process requests run to completion
+	// back to back and never overlap, so the busy gate (correctly) never
+	// fires; give the client goroutines their own Ps so a leader can be
+	// preempted mid-run while the rest of the burst reaches the gate — the
+	// overlap a real daemon gets for free from network concurrency.
+	const clients = 8
+	if prev := runtime.GOMAXPROCS(0); prev < clients {
+		runtime.GOMAXPROCS(clients)
+		defer runtime.GOMAXPROCS(prev)
+	}
+
+	if queries < 2 {
+		queries = 2
+	}
+	// select_rows, widest range first: the Zipf-hot query materializes the
+	// largest column, so its engine runs are long enough to overlap (and its
+	// APQRESULT stream spans many chunk frames — the probe exercises the
+	// multi-chunk path, not just scalars).
+	warm := make([]string, queries)
+	hot := make([]string, queries)
+	for i := range warm {
+		hi := 50 - i
+		if hi < 1 {
+			hi = 1
+		}
+		spec := fmt.Sprintf(`"select_rows":{"table":"lineitem","column":"l_quantity","lo":1,"hi":%d}`, hi)
+		warm[i] = "{" + spec + "}"
+		hot[i] = "{" + spec + `,"results":true}`
+	}
+
+	serveJSON := func(body string) (map[string]any, error) {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/query", bytes.NewReader([]byte(body)))
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			return nil, fmt.Errorf("selfbench zipf: status %d: %s", rec.Code, rec.Body.String())
+		}
+		var out map[string]any
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	for i, body := range warm {
+		converged := false
+		for j := 0; j < 4000 && !converged; j++ {
+			resp, err := serveJSON(body)
+			if err != nil {
+				return nil, err
+			}
+			converged = resp["state"] == "converged"
+		}
+		if !converged {
+			return nil, fmt.Errorf("selfbench zipf: query %d did not converge within 4000 warmup requests", i)
+		}
+	}
+
+	stats := func() (runs, coalesced, resultBytes int64, err error) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stats", nil))
+		if rec.Code != http.StatusOK {
+			return 0, 0, 0, fmt.Errorf("selfbench zipf: /stats status %d", rec.Code)
+		}
+		var st struct {
+			Cache struct {
+				Hits   int64 `json:"hits"`
+				Misses int64 `json:"misses"`
+			} `json:"cache"`
+			CoalescedRequests int64 `json:"coalesced_requests"`
+			ResultBytesSent   int64 `json:"result_bytes_sent"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+			return 0, 0, 0, err
+		}
+		return st.Cache.Hits + st.Cache.Misses, st.CoalescedRequests, st.ResultBytesSent, nil
+	}
+
+	serveResult := func(body string) (time.Duration, error) {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/query", bytes.NewReader([]byte(body)))
+		start := time.Now()
+		h.ServeHTTP(rec, req)
+		elapsed := time.Since(start)
+		if rec.Code != http.StatusOK {
+			return 0, fmt.Errorf("selfbench zipf: status %d: %s", rec.Code, rec.Body.String())
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != apq.ResultContentType {
+			return 0, fmt.Errorf("selfbench zipf: Content-Type %q, want %q", ct, apq.ResultContentType)
+		}
+		if _, err := apq.DecodeResult(rec.Body.Bytes()); err != nil {
+			return 0, fmt.Errorf("selfbench zipf: decode: %w", err)
+		}
+		return elapsed, nil
+	}
+
+	const zipfS = 1.2
+	rounds := n / clients
+	if rounds < 1 {
+		rounds = 1
+	}
+
+	runs0, coal0, bytes0, err := stats()
+	if err != nil {
+		return nil, err
+	}
+
+	var mu sync.Mutex
+	var lats []time.Duration
+	var serveErr error
+	round := func(pick func(c int) string) {
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(body string) {
+				defer wg.Done()
+				elapsed, err := serveResult(body)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					if serveErr == nil {
+						serveErr = err
+					}
+					return
+				}
+				lats = append(lats, elapsed)
+			}(pick(c))
+		}
+		wg.Wait()
+	}
+
+	zipfs := make([]*rand.Zipf, clients)
+	for c := range zipfs {
+		zipfs[c] = rand.NewZipf(rand.New(rand.NewSource(int64(c)+1)), zipfS, 1, uint64(queries-1))
+	}
+	for r := 0; r < rounds && serveErr == nil; r++ {
+		round(func(c int) string { return hot[zipfs[c].Uint64()] })
+	}
+	if serveErr != nil {
+		return nil, serveErr
+	}
+
+	// The skewed mix almost always collides; if this host's scheduler never
+	// overlapped two identical requests, append storm rounds (every client
+	// on the hottest query) until one coalesced request is witnessed.
+	for extra := 0; extra < 200; extra++ {
+		_, coal, _, err := stats()
+		if err != nil {
+			return nil, err
+		}
+		if coal > coal0 {
+			break
+		}
+		round(func(int) string { return hot[0] })
+		if serveErr != nil {
+			return nil, serveErr
+		}
+	}
+
+	runs1, coal1, bytes1, err := stats()
+	if err != nil {
+		return nil, err
+	}
+	if coal1 <= coal0 {
+		return nil, errors.New("selfbench zipf: no coalesced request witnessed")
+	}
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	quantile := func(p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		return float64(lats[int(p*float64(len(lats)-1))]) / 1e6
+	}
+	zp := &zipfProbe{
+		Shards:            1,
+		Clients:           clients,
+		DistinctQueries:   queries,
+		ZipfS:             zipfS,
+		Requests:          len(lats),
+		EngineRuns:        runs1 - runs0,
+		CoalescedRequests: coal1 - coal0,
+		P50Ms:             quantile(0.50),
+		P99Ms:             quantile(0.99),
+		ResultBytesSent:   bytes1 - bytes0,
+	}
+	if zp.Requests > 0 {
+		zp.RunsOverRequests = float64(zp.EngineRuns) / float64(zp.Requests)
+	}
+	if zp.EngineRuns >= int64(zp.Requests) {
+		return nil, fmt.Errorf("selfbench zipf: engine runs (%d) not below requests (%d)", zp.EngineRuns, zp.Requests)
+	}
+	return zp, nil
 }
 
 // federationProbe is the -selfbench federation phase: a two-node cluster

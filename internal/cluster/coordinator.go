@@ -95,6 +95,9 @@ type Coordinator struct {
 	retried     atomic.Int64
 	failovers   atomic.Int64
 	recovered   atomic.Int64
+	// resultBytesProxied counts APQRESULT payload bytes relayed verbatim
+	// from remote owners to this node's clients.
+	resultBytesProxied atomic.Int64
 }
 
 type peerState struct {
@@ -379,6 +382,11 @@ func (c *Coordinator) route(w http.ResponseWriter, r *http.Request, body []byte,
 		states[i] = c.peers[node] // nil for self
 	}
 	c.mu.RUnlock()
+	// A results-negotiated request is proxied raw: the owner's APQRESULT
+	// bytes relay to the client verbatim instead of being re-encoded, so a
+	// forwarded columnar reply is bit-identical to the owner-local one —
+	// the PR 9 twin guarantee extended to result payloads.
+	wantRes := server.WantsResult(r.Header.Get("Accept"), req)
 	for i, node := range seq {
 		if node == c.self {
 			if i > 0 {
@@ -391,12 +399,28 @@ func (c *Coordinator) route(w http.ResponseWriter, r *http.Request, body []byte,
 		if p == nil || !p.brk.allow() {
 			continue
 		}
-		resp, err := c.invokeRetry(r, p, req)
+		var (
+			resp  *server.QueryResponse
+			hresp *http.Response
+			err   error
+		)
+		if wantRes {
+			hresp, err = c.invokeResultRetry(r, p, body)
+		} else {
+			resp, err = c.invokeRetry(r, p, req)
+		}
 		if err == nil {
 			if i > 0 {
 				c.failovers.Add(1)
 			}
 			c.forwarded.Add(1)
+			if wantRes {
+				w.Header().Set("Content-Type", hresp.Header.Get("Content-Type"))
+				n, _ := io.Copy(w, hresp.Body)
+				hresp.Body.Close()
+				c.resultBytesProxied.Add(n)
+				return
+			}
 			writeJSON(w, http.StatusOK, resp)
 			return
 		}
@@ -456,6 +480,54 @@ func (c *Coordinator) invokeRetry(r *http.Request, p *peerState, req *server.Que
 			p.brk.success()
 			return resp, nil
 		}
+		var be *server.BackendError
+		if errors.As(err, &be) && be.Code < 500 {
+			return nil, err
+		}
+		lastErr = err
+		p.brk.failure()
+		if !p.brk.allow() {
+			break
+		}
+	}
+	return nil, lastErr
+}
+
+// cancelBody ties a streamed response body to its per-attempt context: the
+// deadline must stay armed while the coordinator relays the stream, and
+// Close releases it.
+type cancelBody struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b cancelBody) Close() error {
+	b.cancel()
+	return b.ReadCloser.Close()
+}
+
+// invokeResultRetry is invokeRetry for results-negotiated requests: the
+// peer's raw APQRESULT response comes back still streaming (the caller
+// relays and closes it), under the same per-attempt deadlines, bounded
+// retries, and breaker bookkeeping.
+func (c *Coordinator) invokeResultRetry(r *http.Request, p *peerState, body []byte) (*http.Response, error) {
+	frozen := r.Header.Get(server.FrozenHeader) == "1"
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if attempt > 0 {
+			c.retried.Add(1)
+			if !c.backoff(r.Context(), attempt) {
+				break
+			}
+		}
+		actx, cancel := context.WithTimeout(r.Context(), c.peerTimeout)
+		hresp, err := p.rem.InvokeResult(actx, body, frozen)
+		if err == nil {
+			p.brk.success()
+			hresp.Body = cancelBody{ReadCloser: hresp.Body, cancel: cancel}
+			return hresp, nil
+		}
+		cancel()
 		var be *server.BackendError
 		if errors.As(err, &be) && be.Code < 500 {
 			return nil, err
@@ -618,22 +690,26 @@ type Stats struct {
 	Failovers int64 `json:"failovers"`
 	// PeersRecovered counts breaker-open peers the health probe brought
 	// back.
-	PeersRecovered int64            `json:"peers_recovered"`
-	Replication    ReplicationStats `json:"replication"`
+	PeersRecovered int64 `json:"peers_recovered"`
+	// ResultBytesProxied counts APQRESULT payload bytes relayed verbatim
+	// from remote owners to this node's clients.
+	ResultBytesProxied int64            `json:"result_bytes_proxied"`
+	Replication        ReplicationStats `json:"replication"`
 }
 
 // Stats snapshots the coordinator; wired into the local daemon's GET /stats
 // as the "cluster" block.
 func (c *Coordinator) Stats() Stats {
 	s := Stats{
-		Self:           c.self,
-		Nodes:          c.Nodes(),
-		ServedLocal:    c.servedLocal.Load(),
-		Forwarded:      c.forwarded.Load(),
-		Retries:        c.retried.Load(),
-		Failovers:      c.failovers.Load(),
-		PeersRecovered: c.recovered.Load(),
-		Replication:    c.repl.stats(),
+		Self:               c.self,
+		Nodes:              c.Nodes(),
+		ServedLocal:        c.servedLocal.Load(),
+		Forwarded:          c.forwarded.Load(),
+		Retries:            c.retried.Load(),
+		Failovers:          c.failovers.Load(),
+		PeersRecovered:     c.recovered.Load(),
+		ResultBytesProxied: c.resultBytesProxied.Load(),
+		Replication:        c.repl.stats(),
 	}
 	for _, p := range c.peerList() {
 		open, failures, trips := p.brk.snapshot()

@@ -21,14 +21,17 @@ import (
 	"repro/internal/tpch"
 )
 
-const testIdentity = "tpch:sf=0.1:seed=42"
+// The federation dataset is SF 0.2: big enough that a full-range select_rows
+// result (12k values) spans APQRESULT chunk frames, so the forwarded-bytes
+// twin test exercises chunk boundaries over the wire.
+const testIdentity = "tpch:sf=0.2:seed=42"
 
 // newEngineServer builds one single-shard serving core over its own engine.
 // Every call generates the same dataset, so two nodes (or a node and its
 // standalone twin) are deterministically identical.
 func newEngineServer(t *testing.T, onRecord func(store.Record)) *server.Server {
 	t.Helper()
-	cat := tpch.Generate(tpch.Config{SF: 0.1, Seed: 42})
+	cat := tpch.Generate(tpch.Config{SF: 0.2, Seed: 42})
 	s, err := server.New(server.Config{
 		Engine:     exec.NewEngine(cat, sim.TwoSocket(), cost.Default()),
 		DBIdentity: testIdentity,
@@ -207,6 +210,111 @@ func TestRemoteTwinBitIdentical(t *testing.T) {
 	}
 	if got, want := trace(b.url), trace(ts.URL); !bytes.Equal(got, want) {
 		t.Fatalf("convergence traces diverge:\nowner:      %s\nstandalone: %s", got, want)
+	}
+}
+
+// remoteOwnedRowsQuery finds a select_rows spanning multiple APQRESULT chunk
+// frames whose fingerprint the named node owns. hi stays at the column
+// maximum and lo stays small so every candidate selects more than one
+// chunk's worth of rows.
+func remoteOwnedRowsQuery(t *testing.T, c *Coordinator, owner string) server.QueryRequest {
+	t.Helper()
+	hi := int64(50)
+	for lo := int64(1); lo <= 12; lo++ {
+		lo := lo
+		req := server.QueryRequest{SelectRows: &server.SelectSumSpec{
+			Table: "lineitem", Column: "l_quantity", Lo: &lo, Hi: &hi,
+		}}
+		fp, err := c.local.RouteFingerprint("", &req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.mu.RLock()
+		got := c.ring.owner(fp, nil)
+		c.mu.RUnlock()
+		if got == owner {
+			return req
+		}
+	}
+	t.Fatalf("no select_rows candidate hashed to node %q", owner)
+	return server.QueryRequest{}
+}
+
+// postResultBytes POSTs a results-negotiated /query and returns the raw
+// APQRESULT reply bytes.
+func postResultBytes(t *testing.T, client *http.Client, url string, req server.QueryRequest) []byte {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := client.Post(url+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s/query: %v", url, err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s/query: status %d: %s", url, resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != server.ResultContentType {
+		t.Fatalf("POST %s/query: Content-Type %q, want %q", url, ct, server.ResultContentType)
+	}
+	return raw
+}
+
+// TestRemoteTwinForwardedResultBytes extends the twin guarantee to result
+// payloads: the APQRESULT stream an entry node proxies verbatim from the
+// remote owner must be bit-identical — chunk boundaries included — to what a
+// standalone server produces for the same request sequence, and (once
+// converged) to what the owner serves locally.
+func TestRemoteTwinForwardedResultBytes(t *testing.T) {
+	a, b := twoNodes(t, Config{ProbeInterval: -1})
+	standalone := newEngineServer(t, nil)
+	ts := httptest.NewServer(standalone.Handler())
+	defer ts.Close()
+
+	req := remoteOwnedRowsQuery(t, a.coord, "b")
+	req.Results = true
+	client := &http.Client{}
+	converged := 0
+	for i := 0; i < 4000; i++ {
+		viaCluster := postResultBytes(t, client, a.url, req)
+		direct := postResultBytes(t, client, ts.URL, req)
+		if !bytes.Equal(viaCluster, direct) {
+			t.Fatalf("request %d: forwarded APQRESULT differs from the standalone twin (%d vs %d bytes)",
+				i, len(viaCluster), len(direct))
+		}
+		p, err := server.DecodeResult(viaCluster)
+		if err != nil {
+			t.Fatalf("request %d: forwarded reply does not decode: %v", i, err)
+		}
+		if n := p.Values[0].Len(); n <= 8192 {
+			t.Fatalf("result carries %d values — too small to span a chunk boundary", n)
+		}
+		if p.Meta.State == "converged" {
+			if converged++; converged > 2 {
+				break
+			}
+		}
+	}
+	if converged == 0 {
+		t.Fatal("query never converged within 4000 requests")
+	}
+	// Owner-local vs forwarded, converged: the proxy adds and removes
+	// nothing. (Converged servings are idempotent, so the extra owner-local
+	// request does not perturb the twin sequence.)
+	ownerLocal := postResultBytes(t, client, b.url, req)
+	forwarded := postResultBytes(t, client, a.url, req)
+	if !bytes.Equal(ownerLocal, forwarded) {
+		t.Fatalf("forwarded APQRESULT differs from owner-local bytes (%d vs %d)", len(forwarded), len(ownerLocal))
+	}
+	stats := a.coord.Stats()
+	if stats.Forwarded == 0 {
+		t.Fatal("entry node never forwarded — the twin test compared two local serves")
+	}
+	if stats.ResultBytesProxied == 0 {
+		t.Fatal("coordinator proxied no result bytes despite forwarded APQRESULT replies")
 	}
 }
 

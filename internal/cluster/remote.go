@@ -75,6 +75,35 @@ func (r *Remote) invoke(ctx context.Context, req *server.QueryRequest, frozen bo
 	return &resp, nil
 }
 
+// InvokeResult executes one query on the peer and returns the raw HTTP
+// response carrying the peer's APQRESULT reply. body is the client's
+// original request bytes, forwarded verbatim so the owner decodes exactly
+// what this node decoded. The caller streams hresp.Body to its own client
+// untouched — one encoder produced the bytes, so a forwarded reply is
+// bit-identical to the owner-local one — and must Close it. A non-200 reply
+// is consumed and returned as *server.BackendError.
+func (r *Remote) InvokeResult(ctx context.Context, body []byte, frozen bool) (*http.Response, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, r.base+"/query", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %s: %w", r.name, err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("Accept", server.ResultContentType)
+	hreq.Header.Set(server.ForwardedHeader, "1")
+	if frozen {
+		hreq.Header.Set(server.FrozenHeader, "1")
+	}
+	hresp, err := r.hc.Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %s unreachable: %w", r.name, err)
+	}
+	if hresp.StatusCode != http.StatusOK {
+		defer hresp.Body.Close()
+		return nil, r.backendError(hresp)
+	}
+	return hresp, nil
+}
+
 // backendError converts a peer's non-200 reply into a *server.BackendError,
 // preserving the status, the error body, and the Retry-After hint so the
 // coordinator can proxy the reply to the client byte-compatibly.

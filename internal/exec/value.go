@@ -23,6 +23,14 @@
 // are not goroutine-safe: the simulated machine is single-threaded, and
 // callers (the server's shard locks) must serialize all executions on one
 // engine.
+//
+// The escape rule above is load-bearing for the serving layer: a published
+// result may be shared by many request goroutines at once (single-flight
+// coalescing hands one run's values to every waiter) and streamed to
+// sockets after the shard lock is released. That is sound only because
+// result values are fresh per run and no later Evict, Retire, or recycler
+// handoff ever reaches them — any future change to result-buffer lifetime
+// must preserve this or teach the coalescer to copy.
 package exec
 
 import (

@@ -1,7 +1,10 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -52,6 +55,12 @@ type allocBaseline struct {
 	ColdMaxAllocsPerOp float64 `json:"cold_max_allocs_per_op"`
 	ColdMeasuredAllocs float64 `json:"cold_measured_allocs_per_op"`
 	ColdPR3AllocsPerOp float64 `json:"cold_pr3_allocs_per_op"`
+	// Results budget: the converged serve loop answering APQRESULT instead
+	// of JSON. The wire encoder stages through a pooled buffer, so the only
+	// per-request costs on top of the hot JSON path are the metadata
+	// marshal and the single-flight gate (one atomic load, zero allocs).
+	ResultsMaxAllocsPerOp float64 `json:"results_max_allocs_per_op"`
+	ResultsMeasuredAllocs float64 `json:"results_measured_allocs_per_op"`
 }
 
 func loadAllocBaseline(t *testing.T) allocBaseline {
@@ -99,6 +108,47 @@ func TestServeHotAllocBudget(t *testing.T) {
 		t.Fatalf("hot serve loop allocates %.0f/op, budget is %.0f/op (seed was %.0f/op) — "+
 			"either a hot-path allocation regressed or testdata/alloc_baseline.json needs a deliberate bump",
 			got, base.MaxAllocsPerOp, base.SeedAllocsPerOp)
+	}
+}
+
+// TestServeResultAllocBudget gates the APQRESULT serving path: a converged
+// select_sum served with "results":true must stay within its recorded
+// allocation budget. The engine contributes zero additional per-request
+// allocations on this path — result values stream straight from the
+// published buffers through the pooled wire encoder — so the delta over the
+// JSON budget is the metadata marshal plus the httptest harness.
+func TestServeResultAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc budget measured in full (non -short) runs")
+	}
+	base := loadAllocBaseline(t)
+	if base.ResultsMaxAllocsPerOp <= 0 {
+		t.Fatal("baseline missing results_max_allocs_per_op")
+	}
+	s := newBudgetServer(t)
+	convergeQuery(t, s, []byte(`{"select_sum":{"table":"lineitem","column":"l_quantity","lo":1,"hi":24}}`))
+	s.sync.Flush()
+	body := []byte(`{"select_sum":{"table":"lineitem","column":"l_quantity","lo":1,"hi":24},"results":true}`)
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rec := httptest.NewRecorder()
+			req := httptest.NewRequest(http.MethodPost, "/query", bytes.NewReader(body))
+			s.Handler().ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+			}
+			if ct := rec.Header().Get("Content-Type"); ct != ResultContentType {
+				b.Fatalf("Content-Type %q", ct)
+			}
+		}
+	})
+	got := float64(res.AllocsPerOp())
+	t.Logf("results serve loop: %.0f allocs/op (budget %.0f)", got, base.ResultsMaxAllocsPerOp)
+	if got > base.ResultsMaxAllocsPerOp {
+		t.Fatalf("results serve loop allocates %.0f/op, budget is %.0f/op — "+
+			"either the wire path regressed or testdata/alloc_baseline.json needs a deliberate bump",
+			got, base.ResultsMaxAllocsPerOp)
 	}
 }
 

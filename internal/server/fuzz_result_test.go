@@ -1,0 +1,109 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"repro/internal/algebra"
+	"repro/internal/exec"
+)
+
+// fuzzResultSeeds builds one canonical APQRESULT document per value shape
+// plus truncation and bad-version variants. Shared by FuzzDecodeResult's
+// inline seeds and the checked-in corpus generator, so the corpus can never
+// drift from the live encoder.
+func fuzzResultSeeds(tb testing.TB) map[string][]byte {
+	tb.Helper()
+	long := make([]int64, 2*resultChunkValues+5)
+	for i := range long {
+		long[i] = int64(i)
+	}
+	shapes := map[string][]exec.Value{
+		"scalar":  {exec.ScalarValue(41)},
+		"oids":    {exec.OidsValue([]int64{1, 2, 3})},
+		"column":  {exec.ColValue(intColumn("l_quantity", 5, []int64{4, 5}))},
+		"dict":    {exec.ColValue(dictColumn(tb, "flag", 2, []string{"A", "B", "A"}))},
+		"groups":  {exec.GroupsValue(&algebra.Groups{Keys: intColumn("k", 1, []int64{10, 20}), GIDs: []int64{0, 1, 0}})},
+		"chunked": {exec.ColValue(intColumn("big", 9, long))},
+		"empty":   nil,
+	}
+	out := make(map[string][]byte, 2*len(shapes)+1)
+	for name, vals := range shapes {
+		doc, err := EncodeResult(&QueryResponse{Query: "fuzz:" + name, NumValues: len(vals)}, vals)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		out["valid-"+name] = doc
+		out["truncated-"+name] = doc[:len(doc)/2]
+	}
+	// A future version rejected by the version check, not the CRC: the
+	// trailer is recomputed over the corrupted body.
+	doc := out["valid-scalar"]
+	bad := append([]byte{}, doc[:len(doc)-4]...)
+	binary.LittleEndian.PutUint32(bad[len(resultMagic):], resultVersion+9)
+	out["bad-version"] = reframe(bad)
+	return out
+}
+
+// FuzzDecodeResult is the wire decoder's robustness contract: hostile bytes —
+// lying length prefixes, truncated columns, bad versions, and CRC-valid
+// garbage — must come back as an error, never a panic or a runaway
+// allocation. And any input that does decode must be canonical: re-encoding
+// the payload reproduces the input bit-for-bit, the property the cluster
+// layer's verbatim result proxy rests on.
+func FuzzDecodeResult(f *testing.F) {
+	for _, seed := range fuzzResultSeeds(f) {
+		f.Add(seed)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("APQRESULT"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if p, err := DecodeResult(data); err == nil {
+			again, err := EncodeResult(&p.Meta, p.Values)
+			if err != nil {
+				t.Fatalf("decoded payload does not re-encode: %v", err)
+			}
+			if !bytes.Equal(again, data) {
+				t.Fatalf("input decoded but is not the canonical encoding of its payload")
+			}
+		}
+		// CRC-valid-but-hostile: re-frame the raw input with a correct
+		// trailer. The checksum passes by construction, so every rejection
+		// past this point is the structural validation's — the case a
+		// malicious or buggy peer presents.
+		framed := append([]byte{}, data...)
+		var tr [4]byte
+		binary.LittleEndian.PutUint32(tr[:], crc32.Checksum(framed, resultCRC))
+		framed = append(framed, tr[:]...)
+		if p, err := DecodeResult(framed); err == nil {
+			again, err := EncodeResult(&p.Meta, p.Values)
+			if err != nil || !bytes.Equal(again, framed) {
+				t.Fatalf("re-framed input decoded but does not round-trip (err %v)", err)
+			}
+		}
+	})
+}
+
+// TestGenerateResultFuzzCorpus regenerates the checked-in seed corpus from
+// the live encoder (GEN_FUZZ_CORPUS=1), mirroring the store decoder's
+// corpus workflow.
+func TestGenerateResultFuzzCorpus(t *testing.T) {
+	if os.Getenv("GEN_FUZZ_CORPUS") == "" {
+		t.Skip("set GEN_FUZZ_CORPUS=1 to regenerate")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeResult")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, seed := range fuzzResultSeeds(t) {
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(seed)) + ")\n"
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -215,6 +215,15 @@ type Server struct {
 	queryCount int64
 	errCount   int64
 
+	// flights is the single-flight table behind /query coalescing: identical
+	// adaptive requests arriving while their shard is busy join one in-flight
+	// engine run (dispatch). coalesced counts requests served by joining;
+	// resultBytes counts APQRESULT payload bytes written — both /stats rows.
+	flightMu    sync.Mutex
+	flights     map[flightKey]*flight
+	coalesced   atomic.Int64
+	resultBytes atomic.Int64
+
 	// fpMu guards the fingerprint cache: resolving a request's cache key
 	// hashes and hex-encodes identity strings, which the hot serve loop
 	// would otherwise re-allocate on every request for the same query.
@@ -270,7 +279,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DBIdentity == "" {
 		cfg.DBIdentity = cfg.Benchmark
 	}
-	s := &Server{cfg: cfg, start: time.Now(), fpCache: make(map[string]fpEntry)}
+	s := &Server{
+		cfg:     cfg,
+		start:   time.Now(),
+		fpCache: make(map[string]fpEntry),
+		flights: make(map[flightKey]*flight),
+	}
 	s.defTenant = newTenantState(Tenant{
 		Name:       "default",
 		Catalog:    engines[0].Catalog(),
@@ -615,6 +629,14 @@ type QueryRequest struct {
 	// converged session served persistently under a small client budget is
 	// exactly the regime the workload-drift detector watches.
 	MaxCores int `json:"max_cores,omitempty"`
+	// SelectRows is SelectSum without the aggregation: fetch the matching
+	// column values themselves. Its result is one column of every selected
+	// row — the shape that exercises chunked APQRESULT streaming.
+	SelectRows *SelectSumSpec `json:"select_rows,omitempty"`
+	// Results asks for the columnar APQRESULT reply body (an Accept header
+	// carrying ResultContentType is the equivalent). Off, the reply is the
+	// JSON metadata only — existing clients are untouched.
+	Results bool `json:"results,omitempty"`
 }
 
 // SelectSumSpec is the ad-hoc builder spec the service accepts over JSON.
@@ -641,10 +663,11 @@ func (sp *SelectSumSpec) pred() algebra.Range {
 // key renders the spec's canonical identity for fingerprinting — the spec
 // fields already determine the plan, so there is no need to build and
 // render a plan per request just to compute the cache key. Built with
-// append, not Sprintf: this runs on every select_sum request.
-func (sp *SelectSumSpec) key() string {
-	buf := make([]byte, 0, 48+len(sp.Table)+len(sp.Column))
-	buf = append(buf, "select_sum:"...)
+// append, not Sprintf: this runs on every select_sum/select_rows request.
+// prefix namespaces the two query shapes sharing this spec type.
+func (sp *SelectSumSpec) key(prefix string) string {
+	buf := make([]byte, 0, 48+len(prefix)+len(sp.Table)+len(sp.Column))
+	buf = append(buf, prefix...)
 	buf = append(buf, sp.Table...)
 	buf = append(buf, ':')
 	buf = append(buf, sp.Column...)
@@ -696,6 +719,17 @@ func (sp *SelectSumSpec) build() *plan.Plan {
 	vals := b.Fetch(sel, col)
 	sum := b.Aggr(algebra.AggrSum, vals)
 	b.Result(sum)
+	return b.Plan()
+}
+
+// buildRows is the select_rows builder: the same scan predicate, but the
+// fetched values are the result — no aggregation folds them down, so a wide
+// selection yields a result column spanning many wire chunks.
+func (sp *SelectSumSpec) buildRows() *plan.Plan {
+	b := plan.NewBuilder()
+	col := b.Bind(sp.Table, sp.Column)
+	sel := b.Select(col, sp.pred())
+	b.Result(b.Fetch(sel, col))
 	return b.Plan()
 }
 
@@ -781,7 +815,11 @@ func putIOBuf(b *ioBuf) {
 func (b *ioBuf) reply(w http.ResponseWriter, code int, v any) {
 	b.buf.Reset()
 	if err := b.enc.Encode(v); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		// Even the encode-failure fallback speaks the API's content type:
+		// http.Error would answer text/plain, and clients that unmarshal
+		// every body (the documented contract) would choke on the one reply
+		// shape they can't parse.
+		writeJSONError(w, http.StatusInternalServerError, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -828,6 +866,18 @@ func writeJSON(w http.ResponseWriter, v any) {
 	b.reply(w, http.StatusOK, v)
 }
 
+// writeJSONError writes an errorResponse without a pooled buffer — the
+// last-resort error path for when staging the real reply itself failed.
+func writeJSONError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	msg, merr := json.Marshal(errorResponse{Error: err.Error()})
+	if merr != nil {
+		msg = []byte(`{"error":"internal error"}`)
+	}
+	w.Write(append(msg, '\n'))
+}
+
 // fpCacheKey namespaces a fingerprint-cache key by tenant. The default
 // tenant keeps the bare key (no per-request concatenation on the
 // single-tenant hot path); named tenants prefix their name.
@@ -849,32 +899,40 @@ func (s *Server) resolve(tn *tenantState, req *QueryRequest) (name, fp string, b
 	if bench != tn.Benchmark {
 		return "", "", nil, fmt.Errorf("tenant %q serves %q, not %q", tn.displayName(), tn.Benchmark, bench)
 	}
-	if req.SelectSum != nil {
-		if req.Query != 0 {
-			return "", "", nil, errors.New("set either query or select_sum, not both")
+	if req.SelectSum != nil || req.SelectRows != nil {
+		if req.Query != 0 || (req.SelectSum != nil && req.SelectRows != nil) {
+			return "", "", nil, errors.New("set exactly one of query, select_sum, or select_rows")
 		}
-		if req.SelectSum.Table == "" || req.SelectSum.Column == "" {
-			return "", "", nil, errors.New("select_sum needs table and column")
+		shape, sel := "select_sum", req.SelectSum
+		if req.SelectRows != nil {
+			shape, sel = "select_rows", req.SelectRows
+		}
+		if sel.Table == "" || sel.Column == "" {
+			return "", "", nil, fmt.Errorf("%s needs table and column", shape)
 		}
 		// Validate against the tenant's live catalog before the plan can
 		// reach the cache: a bad spec must be a 400, not a cache insertion
 		// (and possible eviction of a healthy session) followed by an
 		// execution failure. Catalogs are immutable once published, so the
 		// loaded pointer needs no lock.
-		tbl, err := tn.curCatalog().Table(req.SelectSum.Table)
+		tbl, err := tn.curCatalog().Table(sel.Table)
 		if err != nil {
 			return "", "", nil, err
 		}
-		if _, err := tbl.Column(req.SelectSum.Column); err != nil {
+		if _, err := tbl.Column(sel.Column); err != nil {
 			return "", "", nil, err
 		}
-		spec := *req.SelectSum
-		e := s.fingerprintFor(s.fpCacheKey(tn, spec.key()), func() fpEntry {
+		spec, rows := *sel, req.SelectRows != nil
+		e := s.fingerprintFor(s.fpCacheKey(tn, spec.key(shape+":")), func() fpEntry {
 			return fpEntry{
-				name: fmt.Sprintf("select_sum(%s.%s)", spec.Table, spec.Column),
-				fp:   plancache.Fingerprint(tn.DBIdentity, spec.key()),
+				name: fmt.Sprintf("%s(%s.%s)", shape, spec.Table, spec.Column),
+				fp:   plancache.Fingerprint(tn.DBIdentity, spec.key(shape+":")),
 			}
 		})
+		if rows {
+			return e.name, e.fp,
+				func() (*plan.Plan, error) { return spec.buildRows(), nil }, nil
+		}
 		return e.name, e.fp,
 			func() (*plan.Plan, error) { return spec.build(), nil }, nil
 	}
@@ -936,7 +994,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeErrBuf(b, w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
-	resp, derr := s.dispatch(r.Context(), r.Header.Get("X-APQ-Tenant"), &req, r.Header.Get(FrozenHeader) == "1")
+	resp, vals, derr := s.dispatch(r.Context(), r.Header.Get("X-APQ-Tenant"), &req, r.Header.Get(FrozenHeader) == "1")
 	if derr != nil {
 		if derr.retry {
 			// Shed and over-quota rejections both carry the jittered backoff
@@ -944,6 +1002,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Retry-After", s.retryAfter())
 		}
 		s.writeErrBuf(b, w, derr.code, derr.err)
+		return
+	}
+	if wantsResult(r.Header.Get("Accept"), &req) {
+		// Columnar reply: the JSON metadata framed inside APQRESULT, then
+		// every result value streamed chunk-by-chunk straight from the
+		// published immutable buffers (result.go). Errors above still went
+		// out as JSON — only success bodies change representation.
+		meta, err := json.Marshal(&resp)
+		if err != nil {
+			s.writeErrBuf(b, w, http.StatusInternalServerError, err)
+			return
+		}
+		w.Header().Set("Content-Type", ResultContentType)
+		n, _ := writeResult(w, meta, vals)
+		// A mid-stream write error means the client hung up; the bytes that
+		// made it out still count.
+		s.resultBytes.Add(n)
 		return
 	}
 	b.reply(w, http.StatusOK, resp)
@@ -957,21 +1032,47 @@ type dispatchErr struct {
 	retry bool
 }
 
+// flightKey identifies requests that may share one engine run: the
+// fingerprint (which already encodes tenant, dataset identity, and the full
+// query spec), the frozen-fidelity demand, and the client core budget —
+// requests differing in any of these must not share a result.
+type flightKey struct {
+	fp     string
+	frozen bool
+	cores  int
+}
+
+// flight is one in-flight adaptive engine run. Waiters block on done, then
+// share the leader's published result. The sharing is safe by the exec
+// ownership contract: values reachable from a result instruction are
+// allocated fresh per run and never pooled or rewritten, so a concurrent
+// Evict/Retire on the session recycles only arenas and schedules, never the
+// buffers waiters hold.
+type flight struct {
+	done chan struct{}
+	resp QueryResponse
+	vals []exec.Value
+	derr *dispatchErr
+}
+
 // dispatch runs one decoded query request through the whole serve path below
 // HTTP framing: tenant routing and admission, fingerprint resolution, shard
-// pinning, breaker fidelity, and engine invocation. It is the local
-// implementation behind the ShardBackend seam — the HTTP handler and the
-// in-process backend both call it, so a remote twin of this node computes
-// bit-identical replies. forceFrozen overrides the breaker decision to
-// serve learned state only (the InvokeFrozen fidelity).
-func (s *Server) dispatch(ctx context.Context, hdrTenant string, req *QueryRequest, forceFrozen bool) (QueryResponse, *dispatchErr) {
+// pinning, single-flight coalescing, breaker fidelity, and engine
+// invocation. It is the local implementation behind the ShardBackend seam —
+// the HTTP handler and the in-process backend both call it, so a remote twin
+// of this node computes bit-identical replies. forceFrozen overrides the
+// breaker decision to serve learned state only (the InvokeFrozen fidelity).
+// The returned values are the query's published result (shared, immutable;
+// owned per the exec escape contract) — callers stream them as APQRESULT
+// when the request negotiated it.
+func (s *Server) dispatch(ctx context.Context, hdrTenant string, req *QueryRequest, forceFrozen bool) (QueryResponse, []exec.Value, *dispatchErr) {
 	tenantName := req.Tenant
 	if tenantName == "" {
 		tenantName = hdrTenant
 	}
 	tn, err := s.tenantByName(tenantName)
 	if err != nil {
-		return QueryResponse{}, &dispatchErr{code: http.StatusNotFound, err: err}
+		return QueryResponse{}, nil, &dispatchErr{code: http.StatusNotFound, err: err}
 	}
 	// The in-flight quota rejects before any engine work queues: a tenant
 	// over its concurrency budget fails fast with 429 instead of stacking
@@ -984,13 +1085,13 @@ func (s *Server) dispatch(ctx context.Context, hdrTenant string, req *QueryReque
 		if errors.Is(err, errTenantDraining) {
 			code, retry = http.StatusNotFound, false
 		}
-		return QueryResponse{}, &dispatchErr{code: code, err: err, retry: retry}
+		return QueryResponse{}, nil, &dispatchErr{code: code, err: err, retry: retry}
 	}
 	defer tn.release()
 	name, fp, build, err := s.resolve(tn, req)
 	if err != nil {
 		tn.noteErr()
-		return QueryResponse{}, &dispatchErr{code: http.StatusBadRequest, err: err}
+		return QueryResponse{}, nil, &dispatchErr{code: http.StatusBadRequest, err: err}
 	}
 	s.statMu.Lock()
 	s.queryCount++
@@ -1011,95 +1112,63 @@ func (s *Server) dispatch(ctx context.Context, hdrTenant string, req *QueryReque
 		defer cancel()
 	}
 
-	// Bind resolution happens against the tenant's catalog; everything else
-	// (machine, recycler, schedule cache, admission) is the shared shard.
-	opts := exec.JobOptions{Catalog: tn.jobCatalog()}
-	if s.cfg.Admission {
-		idx, active := sh.adm.acquire()
-		defer sh.adm.release(idx)
-		cores := sh.eng.Machine().Config().LogicalCores()
-		opts.MaxCores = vectorwise.AdmissionMaxCores(idx, active, cores)
-		if s.admitHook != nil {
-			s.admitHook()
-		}
-	}
-	if req.MaxCores > 0 && (opts.MaxCores == 0 || req.MaxCores < opts.MaxCores) {
-		opts.MaxCores = req.MaxCores
-	}
-
 	switch req.Mode {
 	case "", "adaptive":
-		// The shard's health breaker decides the invocation's fidelity: a
-		// degraded shard serves frozen (learned plans, no exploration) until
-		// its cooldown admits a half-open probe. A forced-frozen request
-		// (remote InvokeFrozen) is the degraded mode by demand — it never
-		// feeds the breaker, exactly like breaker-frozen servings.
-		mode := brkNormal
-		if forceFrozen {
-			mode = brkFrozen
-		} else if s.cfg.BreakerFailures > 0 {
-			mode = sh.brk.admit(s.cfg.BreakerCooldown)
-		}
-		var (
-			res *plancache.Result
-			sum core.Summary
-		)
-		doErr := s.doCtx(ctx, sh, func() {
-			if mode == brkFrozen {
-				res, err = sh.cache.InvokeTenantFrozen(tn.tag(), fp, name, build, opts)
-			} else {
-				res, err = sh.cache.InvokeTenant(tn.tag(), fp, name, build, opts)
+		// Single-flight coalescing: when the shard is already busy (a request
+		// holds or waits on its engine lock), an identical request joins the
+		// in-flight run instead of queueing behind it — N concurrent clients
+		// on one fingerprint cost one engine run, and every waiter shares the
+		// leader's published immutable result. The busy gate keeps the
+		// sequential hot path at one atomic load and zero allocations, and
+		// means the first overlapping pair still runs twice (runs per burst ≈
+		// contenders at the instant of arrival, far below total requests).
+		if sh.waiting.Load() > 0 {
+			k := flightKey{fp: fp, frozen: forceFrozen, cores: req.MaxCores}
+			s.flightMu.Lock()
+			if f, ok := s.flights[k]; ok {
+				s.flightMu.Unlock()
+				s.coalesced.Add(1)
+				select {
+				case <-f.done:
+					if f.derr != nil {
+						tn.noteErr()
+						return QueryResponse{}, nil, f.derr
+					}
+					return f.resp, f.vals, nil
+				case <-ctx.Done():
+					// The waiter's own deadline expired before the leader
+					// finished — same surface as a doCtx deadline expiry.
+					s.res.deadlineExpiries.Add(1)
+					tn.noteErr()
+					return QueryResponse{}, nil, &dispatchErr{code: http.StatusServiceUnavailable, err: fmt.Errorf("server: %w", ctx.Err())}
+				}
 			}
-			if err == nil {
-				// Snapshot under the shard lock: another request may step
-				// this session the moment we release it.
-				sum = res.Entry.Session.Summary()
+			f := &flight{
+				done: make(chan struct{}),
+				// Pre-arm the failure outcome: if the leader panics out of
+				// serveAdaptive, waiters must see an error, not a zero reply.
+				derr: &dispatchErr{code: http.StatusInternalServerError, err: errors.New("server: coalesced engine run failed")},
 			}
-		})
-		if doErr != nil {
-			if s.cfg.BreakerFailures > 0 {
-				// Shed, deadline-expired, or closed: the shard never answered
-				// at full fidelity — a probe that hit this stays open.
-				sh.brk.record(mode, true, s.cfg.BreakerFailures)
-			}
-			tn.noteErr()
-			return QueryResponse{}, &dispatchErr{code: http.StatusServiceUnavailable, err: doErr, retry: sheddable(doErr)}
+			s.flights[k] = f
+			s.flightMu.Unlock()
+			defer func() {
+				s.flightMu.Lock()
+				delete(s.flights, k)
+				s.flightMu.Unlock()
+				close(f.done)
+			}()
+			f.resp, f.vals, f.derr = s.serveAdaptive(ctx, tn, sh, req, fp, name, build, forceFrozen)
+			return f.resp, f.vals, f.derr
 		}
-		if err != nil {
-			if s.cfg.BreakerFailures > 0 {
-				sh.brk.record(mode, true, s.cfg.BreakerFailures)
-			}
-			tn.noteErr()
-			return QueryResponse{}, &dispatchErr{code: http.StatusInternalServerError, err: err}
-		}
-		if s.cfg.BreakerFailures > 0 {
-			slow := s.cfg.SlowFactor > 0 && sum.SerialNs > 0 &&
-				res.Invocation.LatencyNs > s.cfg.SlowFactor*sum.SerialNs
-			sh.brk.record(mode, slow, s.cfg.BreakerFailures)
-		}
-		resp := QueryResponse{
-			Session:         res.Entry.ID,
-			Fingerprint:     fp,
-			Query:           name,
-			Tenant:          tn.tag(),
-			Shard:           sh.id,
-			State:           "adapting",
-			Run:             res.Invocation.Run,
-			CacheHit:        !res.Created,
-			LatencyNs:       res.Invocation.LatencyNs,
-			BestLatencyNs:   sum.GMENs,
-			SerialLatencyNs: sum.SerialNs,
-			Speedup:         sum.Speedup(),
-			DOP:             res.Invocation.DOP,
-			MaxCores:        opts.MaxCores,
-			NumValues:       len(res.Values),
-		}
-		if res.Invocation.Converged {
-			resp.State = "converged"
-		}
-		resp.Degraded = res.Invocation.Frozen
-		return resp, nil
+		return s.serveAdaptive(ctx, tn, sh, req, fp, name, build, forceFrozen)
 	case "serial":
+		// Serial mode is the cold baseline the serving benchmark compares
+		// against — coalescing it would fabricate the very sharing the
+		// baseline exists to exclude, so it always runs.
+		opts := s.jobOpts(tn, sh, req)
+		if s.cfg.Admission {
+			defer sh.adm.release(opts.slot)
+		}
 		var (
 			vals []exec.Value
 			prof *exec.Profile
@@ -1107,20 +1176,21 @@ func (s *Server) dispatch(ctx context.Context, hdrTenant string, req *QueryReque
 		doErr := s.doCtx(ctx, sh, func() {
 			var p *plan.Plan
 			if p, err = build(); err == nil {
-				vals, prof, err = sh.eng.ExecuteOpts(p, opts)
+				vals, prof, err = sh.eng.ExecuteOpts(p, opts.JobOptions)
 				// One-shot plan: retire it immediately so its compiled
 				// schedule doesn't churn the engine cache and its buffers
-				// feed the next cold request through the recycler.
+				// feed the next cold request through the recycler. Result
+				// values stay valid: they escape per the exec contract.
 				sh.eng.Retire(p)
 			}
 		})
 		if doErr != nil {
 			tn.noteErr()
-			return QueryResponse{}, &dispatchErr{code: http.StatusServiceUnavailable, err: doErr, retry: sheddable(doErr)}
+			return QueryResponse{}, nil, &dispatchErr{code: http.StatusServiceUnavailable, err: doErr, retry: sheddable(doErr)}
 		}
 		if err != nil {
 			tn.noteErr()
-			return QueryResponse{}, &dispatchErr{code: http.StatusInternalServerError, err: err}
+			return QueryResponse{}, nil, &dispatchErr{code: http.StatusInternalServerError, err: err}
 		}
 		return QueryResponse{
 			Query:     name,
@@ -1132,11 +1202,120 @@ func (s *Server) dispatch(ctx context.Context, hdrTenant string, req *QueryReque
 			DOP:       1,
 			MaxCores:  opts.MaxCores,
 			NumValues: len(vals),
-		}, nil
+		}, vals, nil
 	default:
 		tn.noteErr()
-		return QueryResponse{}, &dispatchErr{code: http.StatusBadRequest, err: fmt.Errorf("unknown mode %q", req.Mode)}
+		return QueryResponse{}, nil, &dispatchErr{code: http.StatusBadRequest, err: fmt.Errorf("unknown mode %q", req.Mode)}
 	}
+}
+
+// jobOptions is exec.JobOptions plus the admission slot that produced its
+// core budget (slot is only meaningful when Config.Admission is on; the
+// caller releases it after the engine run).
+type jobOptions struct {
+	exec.JobOptions
+	slot int
+}
+
+// jobOpts binds a request's execution options: the tenant's catalog, the
+// admission-control core budget (acquiring an admission slot the caller must
+// release), and the client's own core cap — the smaller budget wins.
+func (s *Server) jobOpts(tn *tenantState, sh *shard, req *QueryRequest) jobOptions {
+	opts := jobOptions{JobOptions: exec.JobOptions{Catalog: tn.jobCatalog()}}
+	if s.cfg.Admission {
+		idx, active := sh.adm.acquire()
+		opts.slot = idx
+		cores := sh.eng.Machine().Config().LogicalCores()
+		opts.MaxCores = vectorwise.AdmissionMaxCores(idx, active, cores)
+		if s.admitHook != nil {
+			s.admitHook()
+		}
+	}
+	if req.MaxCores > 0 && (opts.MaxCores == 0 || req.MaxCores < opts.MaxCores) {
+		opts.MaxCores = req.MaxCores
+	}
+	return opts
+}
+
+// serveAdaptive runs one adaptive invocation on its shard: admission,
+// breaker fidelity, engine run, response assembly. Exactly one goroutine
+// runs this per coalesced flight — waiters never reach it.
+func (s *Server) serveAdaptive(ctx context.Context, tn *tenantState, sh *shard, req *QueryRequest, fp, name string, build func() (*plan.Plan, error), forceFrozen bool) (QueryResponse, []exec.Value, *dispatchErr) {
+	opts := s.jobOpts(tn, sh, req)
+	if s.cfg.Admission {
+		defer sh.adm.release(opts.slot)
+	}
+	// The shard's health breaker decides the invocation's fidelity: a
+	// degraded shard serves frozen (learned plans, no exploration) until
+	// its cooldown admits a half-open probe. A forced-frozen request
+	// (remote InvokeFrozen) is the degraded mode by demand — it never
+	// feeds the breaker, exactly like breaker-frozen servings.
+	mode := brkNormal
+	if forceFrozen {
+		mode = brkFrozen
+	} else if s.cfg.BreakerFailures > 0 {
+		mode = sh.brk.admit(s.cfg.BreakerCooldown)
+	}
+	var (
+		res *plancache.Result
+		sum core.Summary
+		err error
+	)
+	doErr := s.doCtx(ctx, sh, func() {
+		if mode == brkFrozen {
+			res, err = sh.cache.InvokeTenantFrozen(tn.tag(), fp, name, build, opts.JobOptions)
+		} else {
+			res, err = sh.cache.InvokeTenant(tn.tag(), fp, name, build, opts.JobOptions)
+		}
+		if err == nil {
+			// Snapshot under the shard lock: another request may step
+			// this session the moment we release it.
+			sum = res.Entry.Session.Summary()
+		}
+	})
+	if doErr != nil {
+		if s.cfg.BreakerFailures > 0 {
+			// Shed, deadline-expired, or closed: the shard never answered
+			// at full fidelity — a probe that hit this stays open.
+			sh.brk.record(mode, true, s.cfg.BreakerFailures)
+		}
+		tn.noteErr()
+		return QueryResponse{}, nil, &dispatchErr{code: http.StatusServiceUnavailable, err: doErr, retry: sheddable(doErr)}
+	}
+	if err != nil {
+		if s.cfg.BreakerFailures > 0 {
+			sh.brk.record(mode, true, s.cfg.BreakerFailures)
+		}
+		tn.noteErr()
+		return QueryResponse{}, nil, &dispatchErr{code: http.StatusInternalServerError, err: err}
+	}
+	if s.cfg.BreakerFailures > 0 {
+		slow := s.cfg.SlowFactor > 0 && sum.SerialNs > 0 &&
+			res.Invocation.LatencyNs > s.cfg.SlowFactor*sum.SerialNs
+		sh.brk.record(mode, slow, s.cfg.BreakerFailures)
+	}
+	resp := QueryResponse{
+		Session:         res.Entry.ID,
+		Fingerprint:     fp,
+		Query:           name,
+		Tenant:          tn.tag(),
+		Shard:           sh.id,
+		State:           "adapting",
+		Run:             res.Invocation.Run,
+		CacheHit:        !res.Created,
+		LatencyNs:       res.Invocation.LatencyNs,
+		BestLatencyNs:   sum.GMENs,
+		SerialLatencyNs: sum.SerialNs,
+		Speedup:         sum.Speedup(),
+		DOP:             res.Invocation.DOP,
+		MaxCores:        opts.MaxCores,
+		NumValues:       len(res.Values),
+	}
+	if res.Invocation.Converged {
+		resp.State = "converged"
+	}
+	resp.Degraded = res.Invocation.Frozen
+	return resp, res.Values, nil
 }
 
 // SessionInfo is one GET /sessions list element.
@@ -1299,18 +1478,24 @@ type ShardStats struct {
 // StatsResponse is the GET /stats reply. Cache counters are aggregated
 // across shards; VirtualNowNs and PeakClients report the busiest shard.
 type StatsResponse struct {
-	UptimeSeconds float64         `json:"uptime_seconds"`
-	VirtualNowNs  float64         `json:"virtual_now_ns"`
-	Benchmark     string          `json:"benchmark"`
-	DBIdentity    string          `json:"db_identity"`
-	QueryRequests int64           `json:"query_requests"`
-	Errors        int64           `json:"errors"`
-	Admission     bool            `json:"admission"`
-	PeakClients   int             `json:"peak_concurrent_clients"`
-	Cores         int             `json:"logical_cores"`
-	Shards        int             `json:"shards"`
-	Cache         plancache.Stats `json:"cache"`
-	PerShard      []ShardStats    `json:"per_shard"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	VirtualNowNs  float64 `json:"virtual_now_ns"`
+	Benchmark     string  `json:"benchmark"`
+	DBIdentity    string  `json:"db_identity"`
+	QueryRequests int64   `json:"query_requests"`
+	Errors        int64   `json:"errors"`
+	// CoalescedRequests counts /query requests served by joining another
+	// identical in-flight engine run (single-flight coalescing) instead of
+	// running the engine themselves; ResultBytesSent counts APQRESULT
+	// payload bytes written to clients.
+	CoalescedRequests int64           `json:"coalesced_requests"`
+	ResultBytesSent   int64           `json:"result_bytes_sent"`
+	Admission         bool            `json:"admission"`
+	PeakClients       int             `json:"peak_concurrent_clients"`
+	Cores             int             `json:"logical_cores"`
+	Shards            int             `json:"shards"`
+	Cache             plancache.Stats `json:"cache"`
+	PerShard          []ShardStats    `json:"per_shard"`
 	// Tenants breaks the serving counters down per tenant (default tenant
 	// first, then config order); cache counters aggregate across shards.
 	Tenants []TenantStatsInfo `json:"tenants"`
@@ -1379,14 +1564,16 @@ func (s *Server) statsResponse() (StatsResponse, error) {
 	queries, errs := s.queryCount, s.errCount
 	s.statMu.Unlock()
 	resp := StatsResponse{
-		UptimeSeconds: time.Since(s.start).Seconds(),
-		Benchmark:     s.cfg.Benchmark,
-		DBIdentity:    s.cfg.DBIdentity,
-		QueryRequests: queries,
-		Errors:        errs,
-		Admission:     s.cfg.Admission,
-		Cores:         s.shards[0].eng.Machine().Config().LogicalCores(),
-		Shards:        len(s.shards),
+		UptimeSeconds:     time.Since(s.start).Seconds(),
+		Benchmark:         s.cfg.Benchmark,
+		DBIdentity:        s.cfg.DBIdentity,
+		QueryRequests:     queries,
+		Errors:            errs,
+		CoalescedRequests: s.coalesced.Load(),
+		ResultBytesSent:   s.resultBytes.Load(),
+		Admission:         s.cfg.Admission,
+		Cores:             s.shards[0].eng.Machine().Config().LogicalCores(),
+		Shards:            len(s.shards),
 	}
 	// Per-tenant rows start from the tenant request counters; shard-cache
 	// slices merge in below under each shard's lock. The list is copied

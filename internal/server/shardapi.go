@@ -71,7 +71,10 @@ type localBackend struct{ s *Server }
 func (s *Server) Backend() ShardBackend { return localBackend{s} }
 
 func (lb localBackend) invoke(ctx context.Context, req *QueryRequest, frozen bool) (*QueryResponse, error) {
-	resp, derr := lb.s.dispatch(ctx, "", req, frozen)
+	// The seam carries metadata only; a caller that wants the columnar
+	// result bytes speaks HTTP to the owner (the coordinator's raw
+	// APQRESULT proxy), so the wire bytes come from one encoder.
+	resp, _, derr := lb.s.dispatch(ctx, "", req, frozen)
 	if derr != nil {
 		be := &BackendError{Code: derr.code, Msg: derr.err.Error()}
 		if derr.retry {

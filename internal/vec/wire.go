@@ -1,0 +1,28 @@
+package vec
+
+import "encoding/binary"
+
+// Little-endian int64 framing for columnar payloads on the wire. The result
+// wire format (internal/server's APQRESULT) streams published immutable
+// vector buffers straight to the socket; these helpers are the only
+// byte-level encoding of a vector's tail, kept here so the wire layer never
+// reaches into vector internals.
+
+// AppendInt64LE appends vals to dst in little-endian byte order and returns
+// the extended slice. It never retains vals.
+func AppendInt64LE(dst []byte, vals []int64) []byte {
+	for _, v := range vals {
+		dst = binary.LittleEndian.AppendUint64(dst, uint64(v))
+	}
+	return dst
+}
+
+// Int64LE decodes n little-endian int64 values from src into a fresh slice.
+// src must hold at least n*8 bytes (callers validate lengths first).
+func Int64LE(src []byte, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(src[i*8:]))
+	}
+	return out
+}

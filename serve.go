@@ -62,6 +62,24 @@ type DriftConfig = plancache.DriftConfig
 // share moved by at least 0.2).
 func DefaultDrift() DriftConfig { return plancache.DefaultDriftConfig() }
 
+// ResultContentType is the media type of the columnar APQRESULT reply body.
+// A POST /query carrying it in Accept (or "results":true in the body)
+// receives the full result values streamed column-at-a-time instead of the
+// JSON metadata reply.
+const ResultContentType = server.ResultContentType
+
+// ResultPayload is a decoded APQRESULT reply: the JSON metadata the plain
+// reply would have carried, plus the typed columnar result values.
+type ResultPayload = server.ResultPayload
+
+// DecodeResult parses an APQRESULT reply body — the typed client-side
+// decoder for results-negotiated /query responses. Corrupt or truncated
+// documents error; a successful decode is bit-identical to the engine's
+// published result.
+func DecodeResult(data []byte) (*ResultPayload, error) {
+	return server.DecodeResult(data)
+}
+
 // TenantSpec describes a tenant added at runtime via Server.AddTenant or
 // POST /admin/tenants. The server's tenant factory (built-in for NewServer:
 // the benchmark generators) turns it into a live tenant.
